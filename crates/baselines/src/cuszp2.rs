@@ -1,0 +1,162 @@
+//! cuSZp2: 1D block offset prediction with fixed-length encoding.
+//!
+//! cuSZp2 is the paper's throughput-oriented baseline: values are
+//! pre-quantized to integers, each 32-element 1D block predicts every element
+//! from its predecessor (offset/delta prediction), and the zig-zag-coded
+//! deltas are packed with the block's maximum significant bit count — the
+//! `P3 → LE2` pipeline of Figure 2. This re-implementation corresponds to
+//! cuSZp2's "outlier mode": deltas that do not fit a 32-bit zig-zag code are
+//! escaped to a lossless side channel.
+
+use crate::stream::{read_header, write_header, write_int_outliers, read_int_outliers};
+use crate::Compressor;
+use szhi_codec::bitio::put_u64;
+use szhi_codec::fixedlen::{pack_u32, unpack_u32, unzigzag_u32, zigzag_i32};
+use szhi_core::{ErrorBound, SzhiError};
+use szhi_ndgrid::Grid;
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"CZP2";
+/// Elements per prediction/packing block (cuSZp2's warp-sized blocks).
+const BLOCK: usize = 32;
+
+/// The cuSZp2 baseline compressor.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Cuszp2;
+
+impl Compressor for Cuszp2 {
+    fn name(&self) -> &'static str {
+        "cuSZp2"
+    }
+
+    fn compress(&self, data: &Grid<f32>, eb: ErrorBound) -> Result<Vec<u8>, SzhiError> {
+        if data.is_empty() {
+            return Err(SzhiError::InvalidInput("empty field".into()));
+        }
+        let abs_eb = eb.absolute(data.value_range() as f64);
+        let two_eb = 2.0 * abs_eb;
+        // Pre-quantization (parallel).
+        let q: Vec<i64> = data.as_slice().par_iter().map(|&v| (v as f64 / two_eb).round() as i64).collect();
+        // Per-block 1D offset prediction: delta against the previous element
+        // inside the block, the block leader against zero.
+        let mut deltas = vec![0u32; q.len()];
+        let mut outliers: Vec<(u64, i64)> = Vec::new();
+        for (b, block) in q.chunks(BLOCK).enumerate() {
+            let base = b * BLOCK;
+            let mut prev = 0i64;
+            for (i, &qi) in block.iter().enumerate() {
+                let d = qi - prev;
+                if d.abs() <= (i32::MAX / 2) as i64 {
+                    deltas[base + i] = zigzag_i32(d as i32);
+                } else {
+                    // Escape: store the exact integer and use a zero delta so
+                    // the packing stays narrow.
+                    deltas[base + i] = 0;
+                    outliers.push(((base + i) as u64, qi));
+                }
+                prev = qi;
+            }
+        }
+        let packed = pack_u32(&deltas, BLOCK);
+
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, MAGIC, data.dims(), abs_eb);
+        write_int_outliers(&mut bytes, &outliers);
+        put_u64(&mut bytes, packed.len() as u64);
+        bytes.extend_from_slice(&packed);
+        Ok(bytes)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
+        let (mut cur, dims, abs_eb) = read_header(bytes, MAGIC, "cuSZp2")?;
+        let outliers = read_int_outliers(&mut cur)?;
+        let packed_len = cur.get_u64().map_err(SzhiError::from)? as usize;
+        let packed = cur.take(packed_len).map_err(SzhiError::from)?;
+        let deltas = unpack_u32(packed)?;
+        if deltas.len() != dims.len() {
+            return Err(SzhiError::InvalidStream(format!(
+                "cuSZp2: decoded {} deltas for {} points",
+                deltas.len(),
+                dims.len()
+            )));
+        }
+        let two_eb = 2.0 * abs_eb;
+        let mut q = vec![0i64; dims.len()];
+        for (b, chunk) in deltas.chunks(BLOCK).enumerate() {
+            let base = b * BLOCK;
+            let mut prev = 0i64;
+            for (i, &d) in chunk.iter().enumerate() {
+                prev += unzigzag_u32(d) as i64;
+                q[base + i] = prev;
+            }
+        }
+        for &(idx, v) in &outliers {
+            // Re-derive the escaped element and everything after it in its
+            // block (the deltas downstream of an escape are relative to the
+            // exact value).
+            let idx = idx as usize;
+            let block_end = ((idx / BLOCK) + 1) * BLOCK;
+            let mut prev = v;
+            q[idx] = v;
+            for j in (idx + 1)..block_end.min(q.len()) {
+                prev += unzigzag_u32(deltas[j]) as i64;
+                q[j] = prev;
+            }
+        }
+        let values: Vec<f32> = q.par_iter().map(|&qi| (qi as f64 * two_eb) as f32).collect();
+        Ok(Grid::from_vec(dims, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szhi_datagen::DatasetKind;
+    use szhi_ndgrid::Dims;
+
+    fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
+        for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
+            let slack = (a.abs() as f64) * f32::EPSILON as f64;
+            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let c = Cuszp2;
+        for kind in [DatasetKind::Miranda, DatasetKind::Jhtdb, DatasetKind::CesmAtm] {
+            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(50, 70) } else { Dims::d3(24, 28, 30) };
+            let g = kind.generate(dims, 9);
+            let rel = 1e-3;
+            let bytes = c.compress(&g, ErrorBound::Relative(rel)).unwrap();
+            let recon = c.decompress(&bytes).unwrap();
+            check_bound(&g, &recon, rel * g.value_range() as f64);
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let g = DatasetKind::Miranda.generate(Dims::d3(48, 48, 48), 4);
+        let bytes = Cuszp2.compress(&g, ErrorBound::Relative(1e-2)).unwrap();
+        let ratio = g.dims().nbytes_f32() as f64 / bytes.len() as f64;
+        assert!(ratio > 3.0, "cuSZp2 ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn interpolation_compressors_beat_cuszp2_on_smooth_3d_data() {
+        // The paper's core claim ordering: offset prediction < interpolation.
+        let g = DatasetKind::Nyx.generate(Dims::d3(48, 48, 48), 6);
+        let eb = ErrorBound::Relative(1e-2);
+        let p2 = Cuszp2.compress(&g, eb).unwrap().len();
+        let hi = crate::SzhiCr.compress(&g, eb).unwrap().len();
+        assert!(hi < p2, "cuSZ-Hi ({hi}) must beat cuSZp2 ({p2}) on smooth 3D data");
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let g = DatasetKind::Rtm.generate(Dims::d3(16, 16, 16), 8);
+        let bytes = Cuszp2.compress(&g, ErrorBound::Relative(1e-2)).unwrap();
+        assert!(Cuszp2.decompress(&bytes[..bytes.len() / 3]).is_err());
+        assert!(Cuszp2.decompress(b"junk").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the end-to-end compressors (compression and
+//! decompression), the CPU counterpart of the paper's Figure 10 kernel-speed
+//! measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szhi_baselines::{Compressor, Cuszp2, CuszI, CuszIb, CuszL, FzGpu, SzhiCr, SzhiTp};
+use szhi_bench::dataset;
+use szhi_core::ErrorBound;
+use szhi_datagen::DatasetKind;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = dataset(DatasetKind::Nyx, 0.5); // 64³
+    let eb = ErrorBound::Relative(1e-3);
+    let compressors: Vec<Box<dyn Compressor>> = vec![
+        Box::new(SzhiCr),
+        Box::new(SzhiTp),
+        Box::new(CuszL::default()),
+        Box::new(CuszI),
+        Box::new(CuszIb),
+        Box::new(Cuszp2),
+        Box::new(FzGpu::default()),
+    ];
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.throughput(Throughput::Bytes(data.dims().nbytes_f32() as u64));
+    for comp in &compressors {
+        group.bench_with_input(BenchmarkId::new("compress", comp.name()), &data, |b, data| {
+            b.iter(|| comp.compress(data, eb).unwrap())
+        });
+        let bytes = comp.compress(&data, eb).unwrap();
+        group.bench_with_input(BenchmarkId::new("decompress", comp.name()), &bytes, |b, bytes| {
+            b.iter(|| comp.decompress(bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = end_to_end;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+);
+criterion_main!(end_to_end);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the individual compression kernels:
+//! the lossy decomposition (interpolation and Lorenzo predictors), the
+//! entropy coder and the LC-style reducers. These are the per-stage numbers
+//! behind the end-to-end throughput of Figure 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szhi_bench::{dataset, quant_codes};
+use szhi_codec::components::{Bit, Rre, Rze, Tcms};
+use szhi_codec::huffman;
+use szhi_datagen::DatasetKind;
+use szhi_predictor::{lorenzo, InterpConfig, InterpPredictor};
+
+fn bench_predictors(c: &mut Criterion) {
+    let data = dataset(DatasetKind::Nyx, 0.5); // 64³
+    let abs_eb = 1e-3 * data.value_range() as f64;
+    let mut group = c.benchmark_group("predictor");
+    group.throughput(Throughput::Bytes(data.dims().nbytes_f32() as u64));
+    group.bench_function("interp_cusz_hi_compress", |b| {
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        b.iter(|| p.compress(&data, abs_eb))
+    });
+    group.bench_function("interp_cusz_i_compress", |b| {
+        let p = InterpPredictor::new(InterpConfig::cusz_i());
+        b.iter(|| p.compress(&data, abs_eb))
+    });
+    group.bench_function("interp_cusz_hi_decompress", |b| {
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&data, abs_eb);
+        b.iter(|| p.decompress(data.dims(), abs_eb, &out))
+    });
+    group.bench_function("lorenzo_compress", |b| {
+        b.iter(|| lorenzo::compress(&data, abs_eb, lorenzo::DEFAULT_RADIUS))
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = dataset(DatasetKind::Miranda, 0.6);
+    let codes = quant_codes(&data, 1e-3, true);
+    let mut group = c.benchmark_group("lossless_kernels");
+    group.throughput(Throughput::Bytes(codes.len() as u64));
+    group.bench_function("huffman_encode", |b| b.iter(|| huffman::encode(&codes)));
+    {
+        let encoded = huffman::encode(&codes);
+        group.bench_function("huffman_decode", |b| b.iter(|| huffman::decode(&encoded).unwrap()));
+    }
+    let components: Vec<(&str, Box<dyn Fn(&[u8]) -> Vec<u8>>)> = vec![
+        ("rre1", Box::new(|d: &[u8]| Rre::new(1).encode_bytes(d))),
+        ("rze1", Box::new(|d: &[u8]| Rze::new(1).encode_bytes(d))),
+        ("tcms1", Box::new(|d: &[u8]| Tcms::new(1).encode_bytes(d))),
+        ("bit1", Box::new(|d: &[u8]| Bit::new(1).encode_bytes(d))),
+    ];
+    for (name, encode) in &components {
+        group.bench_with_input(BenchmarkId::new("component_encode", *name), &codes, |b, codes| {
+            b.iter(|| encode(codes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_predictors, bench_codecs
+);
+criterion_main!(kernels);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the named lossless pipelines on cuSZ-Hi
+//! quantization codes — the timing substrate of the Figure 6 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szhi_bench::{dataset, quant_codes};
+use szhi_codec::PipelineSpec;
+use szhi_datagen::DatasetKind;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let data = dataset(DatasetKind::Miranda, 0.6);
+    let codes = quant_codes(&data, 1e-3, true);
+
+    let mut group = c.benchmark_group("lossless_pipelines");
+    group.throughput(Throughput::Bytes(codes.len() as u64));
+    // The two production pipelines plus the strongest Figure 6 alternatives.
+    let specs = [
+        PipelineSpec::CR,
+        PipelineSpec::TP,
+        PipelineSpec::Hf,
+        PipelineSpec::HfBitcomp,
+        PipelineSpec::Rre1,
+        PipelineSpec::Ans,
+        PipelineSpec::Lz4,
+    ];
+    for spec in specs {
+        let pipeline = spec.build();
+        group.bench_with_input(BenchmarkId::new("encode", spec.name()), &codes, |b, codes| {
+            b.iter(|| pipeline.encode(codes))
+        });
+        let encoded = pipeline.encode(&codes);
+        group.bench_with_input(BenchmarkId::new("decode", spec.name()), &encoded, |b, encoded| {
+            b.iter(|| pipeline.decode(encoded).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = lossless_pipelines;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipelines
+);
+criterion_main!(lossless_pipelines);

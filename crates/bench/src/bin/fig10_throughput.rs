@@ -1,0 +1,43 @@
+//! Figure 10: compression and decompression throughput.
+//!
+//! Reproduces the paper's Figure 10: the compression and decompression
+//! throughput (GiB/s of uncompressed data) of every compressor on every
+//! dataset family at relative error bounds 1e-2, 1e-3 and 1e-4. The paper
+//! measures CUDA kernels on A100/RTX 6000 Ada GPUs; this harness measures the
+//! Rayon CPU implementation, so absolute numbers differ while the relative
+//! ordering (throughput-oriented codecs > TP mode > CR mode ≈ Huffman-based
+//! baselines) is the comparison of interest.
+//!
+//! Run with `cargo run -p szhi-bench --release --bin fig10_throughput`.
+
+use szhi_bench::{all_compressors, dataset, print_table, run_cell, scale_from_args, PAPER_EBS};
+
+fn main() {
+    let scale = scale_from_args();
+    let compressors = all_compressors(8.0);
+    for kind in szhi_datagen::all_kinds() {
+        let data = dataset(kind, scale);
+        eprintln!("# {kind}: {} ({} MiB)", data.dims(), data.dims().nbytes_f32() >> 20);
+        let mut rows = Vec::new();
+        for &eb in &PAPER_EBS {
+            for c in &compressors {
+                match run_cell(c.as_ref(), &data, kind.name(), eb) {
+                    Ok(r) => rows.push(vec![
+                        format!("{eb:.0e}"),
+                        r.compressor,
+                        format!("{:.3}", r.compress_gibps),
+                        format!("{:.3}", r.decompress_gibps),
+                        szhi_bench::fmt_ms(r.compress_time),
+                        szhi_bench::fmt_ms(r.decompress_time),
+                    ]),
+                    Err(e) => rows.push(vec![format!("{eb:.0e}"), c.name().to_string(), format!("err({e})"), String::new(), String::new(), String::new()]),
+                }
+            }
+        }
+        print_table(
+            &format!("Figure 10 — throughput on {kind} (scale {scale})"),
+            &["eb", "compressor", "comp GiB/s", "decomp GiB/s", "comp ms", "decomp ms"],
+            &rows,
+        );
+    }
+}

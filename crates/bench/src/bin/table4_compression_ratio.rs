@@ -1,0 +1,66 @@
+//! Table 4: fixed-error-bound compression ratios.
+//!
+//! Reproduces the paper's Table 4: the compression ratio of every
+//! error-bounded compressor on every dataset family at value-range-relative
+//! error bounds 1e-2, 1e-3 and 1e-4, plus the cuSZ-Hi improvement over the
+//! best baseline.
+//!
+//! Run with `cargo run -p szhi-bench --release --bin table4_compression_ratio
+//! [-- --scale <f>]`.
+
+use szhi_bench::{dataset, error_bounded_compressors, print_table, run_cell, scale_from_args, PAPER_EBS};
+
+fn main() {
+    let scale = scale_from_args();
+    let compressors = error_bounded_compressors();
+    let headers: Vec<&str> = {
+        let mut h = vec!["dataset", "eb"];
+        h.extend(compressors.iter().map(|c| c.name()));
+        h.push("max(cuSZ-Hi)");
+        h.push("max(baseline)");
+        h.push("adv. %");
+        h
+    };
+
+    let mut rows = Vec::new();
+    for kind in szhi_datagen::all_kinds() {
+        let data = dataset(kind, scale);
+        eprintln!("# {kind}: {} ({} MiB)", data.dims(), data.dims().nbytes_f32() >> 20);
+        for &eb in &PAPER_EBS {
+            let mut row = vec![kind.name().to_string(), format!("{eb:.0e}")];
+            let mut ratios = Vec::new();
+            for c in &compressors {
+                match run_cell(c.as_ref(), &data, kind.name(), eb) {
+                    Ok(r) => {
+                        row.push(format!("{:.1}", r.ratio));
+                        ratios.push((c.name().to_string(), r.ratio));
+                    }
+                    Err(e) => {
+                        row.push(format!("err({e})"));
+                        ratios.push((c.name().to_string(), 0.0));
+                    }
+                }
+            }
+            let best_hi = ratios
+                .iter()
+                .filter(|(n, _)| n.starts_with("cuSZ-Hi"))
+                .map(|(_, r)| *r)
+                .fold(0.0f64, f64::max);
+            let best_base = ratios
+                .iter()
+                .filter(|(n, _)| !n.starts_with("cuSZ-Hi"))
+                .map(|(_, r)| *r)
+                .fold(0.0f64, f64::max);
+            let adv = if best_base > 0.0 { (best_hi / best_base - 1.0) * 100.0 } else { f64::NAN };
+            row.push(format!("{best_hi:.1}"));
+            row.push(format!("{best_base:.1}"));
+            row.push(format!("{adv:+.0}%"));
+            rows.push(row);
+        }
+    }
+    print_table(
+        &format!("Table 4 — fixed-error-bound compression ratio (scale {scale})"),
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 5: ablation study of the cuSZ-Hi design components.
+//!
+//! Reproduces the paper's Table 5: starting from the cuSZ-IB baseline, the
+//! design increments are applied one by one — the new data partition and
+//! anchor stride (§5.1.1), the level-ordered code reordering (§5.1.4), the
+//! multi-dimensional interpolation with auto-tuning (§5.1.2–§5.1.3) and
+//! finally the optimized CR lossless pipeline (§5.2) — and the compression
+//! ratio of each increment is reported on four datasets at two error bounds.
+//!
+//! Run with `cargo run -p szhi-bench --release --bin table5_ablation`.
+
+use szhi_bench::{ablation_compressed_size, dataset, print_table, scale_from_args};
+use szhi_codec::PipelineSpec;
+use szhi_datagen::DatasetKind;
+use szhi_predictor::InterpConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    let datasets = [DatasetKind::Jhtdb, DatasetKind::Miranda, DatasetKind::Nyx, DatasetKind::Rtm];
+    let ebs = [1e-2, 1e-3];
+
+    let mut rows = Vec::new();
+    for kind in datasets {
+        let data = dataset(kind, scale);
+        eprintln!("# {kind}: {}", data.dims());
+        let input = data.dims().nbytes_f32() as f64;
+        for &eb in &ebs {
+            // Stage A: cuSZ-IB — stride-8 anisotropic partition, 1D
+            // interpolation, no reorder, Huffman + Bitcomp-sim.
+            let a = ablation_compressed_size(&data, eb, &InterpConfig::cusz_i(), false, false, PipelineSpec::HfBitcomp);
+            // Stage B: + new data partition & anchor stride (17³, stride 16).
+            let b = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi_partition_only(), false, false, PipelineSpec::HfBitcomp);
+            // Stage C: + quantization-code reordering.
+            let c = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi_partition_only(), false, true, PipelineSpec::HfBitcomp);
+            // Stage D: + multi-dimensional interpolation with auto-tuning.
+            let d = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi(), true, true, PipelineSpec::HfBitcomp);
+            // Stage E: + the optimized CR lossless pipeline = cuSZ-Hi-CR.
+            let e = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi(), true, true, PipelineSpec::CR);
+
+            let crs = [input / a as f64, input / b as f64, input / c as f64, input / d as f64, input / e as f64];
+            let pct = |from: f64, to: f64| format!("{:+.0}%", (to / from - 1.0) * 100.0);
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{eb:.0e}"),
+                format!("{:.1}", crs[0]),
+                format!("{} → {:.1}", pct(crs[0], crs[1]), crs[1]),
+                format!("{} → {:.1}", pct(crs[1], crs[2]), crs[2]),
+                format!("{} → {:.1}", pct(crs[2], crs[3]), crs[3]),
+                format!("{} → {:.1}", pct(crs[3], crs[4]), crs[4]),
+                format!("{:.2}x", crs[4] / crs[0]),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Table 5 — ablation of cuSZ-Hi design increments (scale {scale})"),
+        &[
+            "dataset",
+            "eb",
+            "cuSZ-IB",
+            "+partition/anchor",
+            "+code reorder",
+            "+MD interp & auto-tune",
+            "cuSZ-Hi-CR (new lossless)",
+            "total gain",
+        ],
+        &rows,
+    );
+}

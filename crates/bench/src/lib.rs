@@ -1,0 +1,238 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` for the per-experiment index). This library
+//! holds what they share: dataset preparation at a configurable scale, the
+//! compressor registry, timing helpers and table printing.
+
+use std::time::Duration;
+
+use szhi_baselines::{Compressor, CuZfp, Cuszp2, CuszI, CuszIb, CuszL, FzGpu, SzhiCr, SzhiTp};
+use szhi_codec::PipelineSpec;
+use szhi_core::{ErrorBound, SzhiError};
+use szhi_datagen::DatasetKind;
+use szhi_metrics::{QualityReport, Stopwatch};
+use szhi_ndgrid::{Dims, Grid};
+use szhi_predictor::{autotune, InterpConfig, InterpPredictor, LevelOrder};
+
+/// Default seed for dataset generation; every experiment uses the same seed
+/// so results are comparable across binaries.
+pub const SEED: u64 = 42;
+
+/// The error bounds used by the paper's fixed-error-bound experiments.
+pub const PAPER_EBS: [f64; 3] = [1e-2, 1e-3, 1e-4];
+
+/// Reads the experiment scale factor: `--scale <f>` on the command line or
+/// the `SZHI_SCALE` environment variable (default 1.0). A scale of 1.0 uses
+/// the laptop-sized default dimensions; larger scales approach the paper's
+/// dataset sizes.
+pub fn scale_from_args() -> f64 {
+    let mut args = std::env::args().skip(1);
+    let mut scale: Option<f64> = None;
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            scale = args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    scale
+        .or_else(|| std::env::var("SZHI_SCALE").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(1.0)
+}
+
+/// Scales a dataset's default dimensions by `scale` along every axis (keeping
+/// the aspect ratio), clamped to at least 32 points per non-degenerate axis.
+pub fn scaled_dims(kind: DatasetKind, scale: f64) -> Dims {
+    let base = kind.default_dims();
+    let s = |extent: usize| -> usize {
+        if extent == 1 {
+            1
+        } else {
+            ((extent as f64 * scale).round() as usize).max(32)
+        }
+    };
+    match base.rank() {
+        1 => Dims::d1(s(base.nx())),
+        2 => Dims::d2(s(base.ny()), s(base.nx())),
+        _ => Dims::d3(s(base.nz()), s(base.ny()), s(base.nx())),
+    }
+}
+
+/// Generates the synthetic stand-in field for a dataset family at the given
+/// scale.
+pub fn dataset(kind: DatasetKind, scale: f64) -> Grid<f32> {
+    kind.generate(scaled_dims(kind, scale), SEED)
+}
+
+/// The error-bounded compressors of Table 4, in the paper's column order.
+pub fn error_bounded_compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(SzhiCr),
+        Box::new(SzhiTp),
+        Box::new(CuszL::default()),
+        Box::new(CuszI),
+        Box::new(CuszIb),
+        Box::new(Cuszp2),
+        Box::new(FzGpu::default()),
+    ]
+}
+
+/// The full compressor set of the rate-distortion and throughput figures
+/// (Table 4 set plus fixed-rate cuZFP at the given rate).
+pub fn all_compressors(zfp_rate: f64) -> Vec<Box<dyn Compressor>> {
+    let mut set = error_bounded_compressors();
+    set.push(Box::new(CuZfp::with_rate(zfp_rate)));
+    set
+}
+
+/// One measured compression run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Compressor name.
+    pub compressor: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Value-range-relative error bound requested (0.0 for fixed-rate runs).
+    pub rel_eb: f64,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+    /// Bit rate (bits per value).
+    pub bitrate: f64,
+    /// PSNR of the reconstruction in dB.
+    pub psnr: f64,
+    /// Maximum point-wise absolute error.
+    pub max_err: f64,
+    /// Compression wall time.
+    pub compress_time: Duration,
+    /// Decompression wall time.
+    pub decompress_time: Duration,
+    /// Compression throughput in GiB/s of uncompressed data.
+    pub compress_gibps: f64,
+    /// Decompression throughput in GiB/s of uncompressed data.
+    pub decompress_gibps: f64,
+}
+
+/// Runs one (compressor, dataset, error-bound) cell: compress, decompress,
+/// verify and measure.
+pub fn run_cell(c: &dyn Compressor, data: &Grid<f32>, name: &str, rel_eb: f64) -> Result<RunResult, SzhiError> {
+    let bytes_in = data.dims().nbytes_f32();
+    let sw = Stopwatch::start();
+    let compressed = c.compress(data, ErrorBound::Relative(rel_eb))?;
+    let comp = sw.finish(bytes_in);
+    let sw = Stopwatch::start();
+    let restored = c.decompress(&compressed)?;
+    let decomp = sw.finish(bytes_in);
+    let q = QualityReport::compare(data, &restored);
+    Ok(RunResult {
+        compressor: c.name().to_string(),
+        dataset: name.to_string(),
+        rel_eb,
+        ratio: bytes_in as f64 / compressed.len() as f64,
+        bitrate: compressed.len() as f64 * 8.0 / data.len() as f64,
+        psnr: q.psnr,
+        max_err: q.max_abs_error,
+        compress_time: comp.elapsed,
+        decompress_time: decomp.elapsed,
+        compress_gibps: comp.gibps,
+        decompress_gibps: decomp.gibps,
+    })
+}
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Produces the cuSZ-Hi quantization codes (the input of the lossless
+/// benchmark experiments) for a field: auto-tuned interpolation at the given
+/// relative error bound, optionally level-reordered.
+pub fn quant_codes(data: &Grid<f32>, rel_eb: f64, reorder: bool) -> Vec<u8> {
+    let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+    let (cfg, _) = autotune::tune(data, &InterpConfig::cusz_hi());
+    let predictor = InterpPredictor::new(cfg.clone());
+    let out = predictor.compress(data, abs_eb);
+    if reorder {
+        LevelOrder::new(data.dims(), cfg.anchor_stride).reorder(&out.codes)
+    } else {
+        out.codes
+    }
+}
+
+/// The compressed size (bytes) of one ablation configuration: interpolation
+/// config + optional reorder + lossless pipeline, accounting for anchors and
+/// outliers like the real stream format does.
+pub fn ablation_compressed_size(
+    data: &Grid<f32>,
+    rel_eb: f64,
+    interp: &InterpConfig,
+    auto_tune: bool,
+    reorder: bool,
+    pipeline: PipelineSpec,
+) -> usize {
+    let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+    let cfg = if auto_tune {
+        autotune::tune(data, interp).0
+    } else {
+        interp.clone()
+    };
+    let predictor = InterpPredictor::new(cfg.clone());
+    let out = predictor.compress(data, abs_eb);
+    let codes = if reorder {
+        LevelOrder::new(data.dims(), cfg.anchor_stride).reorder(&out.codes)
+    } else {
+        out.codes
+    };
+    let payload = pipeline.build().encode(&codes);
+    // Anchors (f32) + outliers (index u64 + value f32) + payload + header.
+    out.anchors.len() * 4 + out.outliers.len() * 12 + payload.len() + 64
+}
+
+/// Formats a duration as milliseconds with two decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_dims_respect_rank_and_minimum() {
+        let d = scaled_dims(DatasetKind::CesmAtm, 0.05);
+        assert_eq!(d.rank(), 2);
+        assert!(d.ny() >= 32 && d.nx() >= 32);
+        let d = scaled_dims(DatasetKind::Nyx, 0.5);
+        assert_eq!(d.rank(), 3);
+        assert_eq!(d.nz(), 64);
+    }
+
+    #[test]
+    fn run_cell_produces_consistent_metrics() {
+        let g = dataset(DatasetKind::Miranda, 0.4);
+        let c = SzhiCr;
+        let r = run_cell(&c, &g, "miranda", 1e-3).unwrap();
+        assert!(r.ratio > 1.0);
+        assert!((r.bitrate - 32.0 / r.ratio).abs() < 1e-9);
+        assert!(r.psnr > 30.0);
+        assert!(r.max_err <= 1e-3 * g.value_range() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn quant_codes_cover_every_point() {
+        let g = dataset(DatasetKind::Qmcpack, 0.4);
+        let codes = quant_codes(&g, 1e-3, true);
+        assert_eq!(codes.len(), g.len());
+    }
+
+    #[test]
+    fn ablation_size_decreases_with_better_configs() {
+        let g = dataset(DatasetKind::Nyx, 0.35);
+        let base = ablation_compressed_size(&g, 1e-2, &InterpConfig::cusz_i(), false, false, PipelineSpec::HfBitcomp);
+        let full = ablation_compressed_size(&g, 1e-2, &InterpConfig::cusz_hi(), true, true, PipelineSpec::CR);
+        assert!(full < base, "full cuSZ-Hi ({full}) must beat the cuSZ-IB ablation baseline ({base})");
+    }
+}

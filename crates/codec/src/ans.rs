@@ -1,0 +1,218 @@
+//! A static rANS entropy coder over byte symbols.
+//!
+//! The paper's Figure 6 includes nvCOMP's proprietary ANS codec among the
+//! benchmarked lossless encoders. This module provides an open-source
+//! stand-in: a classic single-state range-asymmetric-numeral-system coder
+//! with static, 12-bit-normalised frequencies. Like the real thing it is an
+//! order-0 entropy coder, so its compression ratio on quantization codes is
+//! close to Huffman's while its throughput profile differs from the
+//! dictionary and bit-packing codecs.
+
+use crate::bitio::{put_u16, put_u64, ByteCursor};
+use crate::CodecError;
+
+/// Log2 of the frequency normalisation total.
+const SCALE_BITS: u32 = 12;
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the rANS state.
+const RANS_L: u32 = 1 << 23;
+
+/// Normalises a histogram so the frequencies sum to exactly `SCALE` and every
+/// occurring symbol keeps a non-zero frequency.
+fn normalize(hist: &[u64; 256]) -> [u32; 256] {
+    let total: u64 = hist.iter().sum();
+    let mut freqs = [0u32; 256];
+    if total == 0 {
+        return freqs;
+    }
+    let mut assigned = 0u32;
+    for s in 0..256 {
+        if hist[s] > 0 {
+            let f = ((hist[s] as u128 * SCALE as u128) / total as u128) as u32;
+            freqs[s] = f.max(1);
+            assigned += freqs[s];
+        }
+    }
+    // Fix the sum to exactly SCALE by adjusting the most frequent symbol(s).
+    if assigned > SCALE {
+        let mut excess = assigned - SCALE;
+        // Shrink symbols with the largest frequencies first, never below 1.
+        while excess > 0 {
+            let s = (0..256).max_by_key(|&s| freqs[s]).unwrap();
+            if freqs[s] <= 1 {
+                break;
+            }
+            let take = excess.min(freqs[s] - 1);
+            freqs[s] -= take;
+            excess -= take;
+        }
+    } else if assigned < SCALE {
+        let s = (0..256).max_by_key(|&s| freqs[s]).unwrap();
+        freqs[s] += SCALE - assigned;
+    }
+    freqs
+}
+
+fn cumulative(freqs: &[u32; 256]) -> [u32; 257] {
+    let mut cum = [0u32; 257];
+    for s in 0..256 {
+        cum[s + 1] = cum[s] + freqs[s];
+    }
+    cum
+}
+
+/// Encodes `data` with a static rANS coder.
+///
+/// Layout: `n u64 | 256 × u16 frequencies | payload` where the payload is the
+/// 4-byte final state followed by the renormalisation bytes in decode order.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut hist = [0u64; 256];
+    for &b in data {
+        hist[b as usize] += 1;
+    }
+    let freqs = normalize(&hist);
+    let cum = cumulative(&freqs);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 512 + 16);
+    put_u64(&mut out, data.len() as u64);
+    for s in 0..256 {
+        put_u16(&mut out, freqs[s] as u16);
+    }
+    if data.is_empty() {
+        return out;
+    }
+
+    let mut emitted: Vec<u8> = Vec::with_capacity(data.len());
+    let mut x: u32 = RANS_L;
+    for &b in data.iter().rev() {
+        let f = freqs[b as usize];
+        debug_assert!(f > 0, "symbol {b} has zero frequency");
+        // Renormalise so the state stays in [RANS_L, RANS_L * 256) after encoding.
+        let x_max = ((RANS_L >> SCALE_BITS) << 8) * f;
+        while x >= x_max {
+            emitted.push(x as u8);
+            x >>= 8;
+        }
+        x = ((x / f) << SCALE_BITS) + (x % f) + cum[b as usize];
+    }
+    // Final state, then the stream bytes reversed so the decoder reads forward.
+    out.extend_from_slice(&x.to_le_bytes());
+    emitted.reverse();
+    out.extend_from_slice(&emitted);
+    out
+}
+
+/// Decodes a stream produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut cur = ByteCursor::new(data);
+    let n = cur.get_u64()? as usize;
+    let mut freqs = [0u32; 256];
+    for f in freqs.iter_mut() {
+        *f = cur.get_u16()? as u32;
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let total: u32 = freqs.iter().sum();
+    if total != SCALE {
+        return Err(CodecError::header("ans", format!("frequencies sum to {total}, expected {SCALE}")));
+    }
+    let cum = cumulative(&freqs);
+    // Slot → symbol lookup table.
+    let mut slot_to_symbol = vec![0u8; SCALE as usize];
+    for s in 0..256 {
+        for slot in cum[s]..cum[s + 1] {
+            slot_to_symbol[slot as usize] = s as u8;
+        }
+    }
+
+    let mut x = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+    let stream = cur.take_rest();
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = x & (SCALE - 1);
+        let s = slot_to_symbol[slot as usize];
+        let f = freqs[s as usize];
+        x = f * (x >> SCALE_BITS) + slot - cum[s as usize];
+        while x < RANS_L {
+            if pos >= stream.len() {
+                return Err(CodecError::eof("ans"));
+            }
+            x = (x << 8) | stream[pos] as u32;
+            pos += 1;
+        }
+        out.push(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let enc = encode(data);
+        assert_eq!(decode(&enc).unwrap(), data);
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[255; 3]);
+        roundtrip(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn roundtrip_random_and_skewed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        let random: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        roundtrip(&random);
+        let skewed: Vec<u8> = (0..50_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                if r < 0.9 {
+                    128
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect();
+        let size = roundtrip(&skewed);
+        assert!(size < skewed.len() / 2, "skewed data must compress ≥2x, got {size}");
+    }
+
+    #[test]
+    fn compression_close_to_entropy() {
+        // Two symbols, p = 0.25 / 0.75 → H ≈ 0.811 bits/symbol.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let data: Vec<u8> = (0..200_000).map(|_| if rng.gen::<f64>() < 0.25 { 1u8 } else { 2u8 }).collect();
+        let size = roundtrip(&data);
+        let bits_per_symbol = size as f64 * 8.0 / data.len() as f64;
+        assert!(bits_per_symbol < 0.9, "rANS should be near entropy (0.81), got {bits_per_symbol}");
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        let size = roundtrip(&[7u8; 100_000]);
+        assert!(size < 1200, "constant stream should collapse, got {size}");
+    }
+
+    #[test]
+    fn corrupted_frequency_table_is_rejected() {
+        let enc = encode(&[1u8, 2, 3, 4, 5, 6, 7, 8]);
+        let mut bad = enc.clone();
+        bad[8] ^= 0xff; // clobber a frequency entry
+        assert!(decode(&bad).is_err() || decode(&bad).unwrap() != vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i * 31 % 256) as u8).collect();
+        let enc = encode(&data);
+        assert!(decode(&enc[..enc.len() - 4]).is_err());
+    }
+}

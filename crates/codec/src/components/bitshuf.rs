@@ -1,0 +1,136 @@
+//! BIT — bit shuffle.
+//!
+//! Transposes blocks of symbols into bit planes: after the shuffle, bit `k`
+//! of every symbol in a block is stored contiguously. Combined with the TCMS
+//! magnitude-sign transform this concentrates the information of
+//! near-zero quantization codes into a few dense planes and leaves the
+//! remaining planes as long runs, which the following RRE stage collapses
+//! (the TP-mode pipeline of Figure 7).
+//!
+//! BIT is a pure transformer: length-preserving and headerless. Blocks of
+//! `64` symbols are transposed; a partial tail block is passed through
+//! unchanged.
+
+use crate::CodecError;
+
+/// Number of symbols per transposed block.
+pub const BLOCK_SYMBOLS: usize = 64;
+
+/// The bit-shuffle transformer at a given symbol width.
+#[derive(Debug, Clone, Copy)]
+pub struct Bit {
+    width: usize,
+}
+
+impl Bit {
+    /// Creates a bit-shuffle component for `width`-byte symbols.
+    pub fn new(width: usize) -> Self {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported BIT symbol width {width}");
+        Bit { width }
+    }
+
+    /// Symbol width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Applies the forward shuffle.
+    pub fn encode_bytes(&self, input: &[u8]) -> Vec<u8> {
+        let block_bytes = BLOCK_SYMBOLS * self.width;
+        let bits = self.width * 8;
+        let mut out = Vec::with_capacity(input.len());
+        let mut pos = 0;
+        while pos + block_bytes <= input.len() {
+            let block = &input[pos..pos + block_bytes];
+            // plane-major output: for every bit position, 64 bits = 8 bytes.
+            for bit in 0..bits {
+                let mut plane = 0u64;
+                for (s, chunk) in block.chunks_exact(self.width).enumerate() {
+                    let byte = chunk[bit / 8];
+                    let b = (byte >> (bit % 8)) & 1;
+                    plane |= (b as u64) << s;
+                }
+                out.extend_from_slice(&plane.to_le_bytes());
+            }
+            pos += block_bytes;
+        }
+        out.extend_from_slice(&input[pos..]);
+        out
+    }
+
+    /// Reverses the shuffle.
+    pub fn decode_bytes(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let block_bytes = BLOCK_SYMBOLS * self.width;
+        let bits = self.width * 8;
+        let mut out = Vec::with_capacity(input.len());
+        let mut pos = 0;
+        while pos + block_bytes <= input.len() {
+            let block = &input[pos..pos + block_bytes];
+            let mut symbols = vec![0u8; block_bytes];
+            for bit in 0..bits {
+                let plane = u64::from_le_bytes(block[bit * 8..bit * 8 + 8].try_into().unwrap());
+                for s in 0..BLOCK_SYMBOLS {
+                    if (plane >> s) & 1 == 1 {
+                        symbols[s * self.width + bit / 8] |= 1 << (bit % 8);
+                    }
+                }
+            }
+            out.extend_from_slice(&symbols);
+            pos += block_bytes;
+        }
+        out.extend_from_slice(&input[pos..]);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(width: usize, data: &[u8]) {
+        let b = Bit::new(width);
+        let enc = b.encode_bytes(data);
+        assert_eq!(enc.len(), data.len(), "BIT must be length-preserving");
+        assert_eq!(b.decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for w in [1, 2, 4, 8] {
+            for len in [0usize, 1, 63, 64, 65, 128, 1000, 4096] {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                roundtrip(w, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_symbols_produce_constant_planes() {
+        // 64 copies of 0b0000_0011 → plane 0 and plane 1 all-ones, others zero.
+        let data = vec![0b0000_0011u8; 64];
+        let enc = Bit::new(1).encode_bytes(&data);
+        assert_eq!(&enc[0..8], &[0xffu8; 8]);
+        assert_eq!(&enc[8..16], &[0xffu8; 8]);
+        assert!(enc[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn small_magnitudes_leave_high_planes_empty() {
+        // Values < 16: planes 4..8 are all zero after shuffling → long zero
+        // runs for the downstream RRE/RZE stage.
+        let data: Vec<u8> = (0..640).map(|i| (i % 16) as u8).collect();
+        let enc = Bit::new(1).encode_bytes(&data);
+        for block in enc.chunks_exact(64) {
+            assert!(block[32..].iter().all(|&b| b == 0), "high planes must be empty");
+        }
+    }
+
+    #[test]
+    fn tail_is_passthrough() {
+        let data: Vec<u8> = (0..70).map(|i| i as u8).collect();
+        let enc = Bit::new(1).encode_bytes(&data);
+        assert_eq!(&enc[64..], &data[64..]);
+    }
+}

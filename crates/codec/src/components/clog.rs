@@ -1,0 +1,143 @@
+//! CLOG — per-block ceiling-log₂ fixed-length packing.
+//!
+//! Splits the symbol stream into blocks of [`BLOCK_SYMBOLS`] symbols, finds
+//! the number of significant bits of the largest symbol in each block, and
+//! stores every symbol of the block with exactly that many bits. Streams of
+//! small magnitudes (after DIFFMS / TCMS) shrink to a fraction of their
+//! original width; blocks containing one large value pay for it only locally.
+
+use super::{read_symbol, symbol_count, write_symbol};
+use crate::bitio::{put_u64, BitReader, BitWriter, ByteCursor};
+use crate::CodecError;
+
+/// Symbols per fixed-length block.
+pub const BLOCK_SYMBOLS: usize = 256;
+
+/// The CLOG reducer at a given symbol width.
+#[derive(Debug, Clone, Copy)]
+pub struct Clog {
+    width: usize,
+}
+
+impl Clog {
+    /// Creates a CLOG component for `width`-byte symbols.
+    pub fn new(width: usize) -> Self {
+        assert!(matches!(width, 1 | 2 | 4), "unsupported CLOG symbol width {width}");
+        Clog { width }
+    }
+
+    /// Symbol width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes `input`.
+    ///
+    /// Layout: `orig_len u64 | bit stream`, where the bit stream is a
+    /// sequence of blocks `[6-bit width | width × count bits]`.
+    pub fn encode_bytes(&self, input: &[u8]) -> Vec<u8> {
+        let width = self.width;
+        let n_sym = symbol_count(input.len(), width);
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        put_u64(&mut out, input.len() as u64);
+        let mut bw = BitWriter::with_capacity_bits(input.len() * 4);
+        let mut i = 0usize;
+        while i < n_sym {
+            let count = BLOCK_SYMBOLS.min(n_sym - i);
+            let mut max = 0u64;
+            for k in 0..count {
+                max = max.max(read_symbol(input, i + k, width));
+            }
+            let bits = if max == 0 { 0 } else { 64 - max.leading_zeros() };
+            bw.put_bits(bits as u64, 6);
+            if bits > 0 {
+                for k in 0..count {
+                    bw.put_bits(read_symbol(input, i + k, width), bits);
+                }
+            }
+            i += count;
+        }
+        out.extend_from_slice(&bw.finish());
+        out
+    }
+
+    /// Decodes a stream produced by [`Clog::encode_bytes`].
+    pub fn decode_bytes(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let width = self.width;
+        let mut cur = ByteCursor::new(input);
+        let orig_len = cur.get_u64()? as usize;
+        let n_sym = symbol_count(orig_len, width);
+        let mut br = BitReader::new(cur.take_rest());
+        let mut out = Vec::with_capacity(orig_len);
+        let mut i = 0usize;
+        while i < n_sym {
+            let count = BLOCK_SYMBOLS.min(n_sym - i);
+            let bits = br.get_bits(6)? as u32;
+            if bits > 64 {
+                return Err(CodecError::corrupt("clog", format!("invalid block width {bits}")));
+            }
+            for k in 0..count {
+                let v = if bits == 0 { 0 } else { br.get_bits(bits)? };
+                let remaining = orig_len - (i + k) * width;
+                write_symbol(&mut out, v, width, remaining);
+            }
+            i += count;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(width: usize, data: &[u8]) -> usize {
+        let c = Clog::new(width);
+        let enc = c.encode_bytes(data);
+        assert_eq!(c.decode_bytes(&enc).unwrap(), data, "width {width}");
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for w in [1, 2, 4] {
+            for len in [0usize, 1, 5, 255, 256, 257, 5000] {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                roundtrip(w, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_pack_tightly() {
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 4) as u8).collect();
+        let size = roundtrip(1, &data);
+        // 2 bits per symbol plus headers → about a quarter of the input.
+        assert!(size < data.len() / 3, "2-bit values should pack to ~25%, got {size}");
+    }
+
+    #[test]
+    fn all_zero_blocks_cost_almost_nothing() {
+        let data = vec![0u8; 65_536];
+        let size = roundtrip(1, &data);
+        assert!(size < 300, "zero blocks should cost only the per-block widths, got {size}");
+    }
+
+    #[test]
+    fn outlier_only_hurts_its_own_block() {
+        let mut data = vec![1u8; 4096];
+        data[100] = 255;
+        let size_with = roundtrip(1, &data);
+        let size_without = roundtrip(1, &vec![1u8; 4096]);
+        assert!(size_with < size_without + 300, "an outlier must only widen its own block");
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let c = Clog::new(1);
+        let enc = c.encode_bytes(&[200u8; 1000]);
+        assert!(c.decode_bytes(&enc[..enc.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! LC-framework-style lossless components.
+//!
+//! The paper builds its lossless pipelines out of fine-grained, composable
+//! components taken from the LC framework (Azami et al., ASPLOS'25): symbol
+//! *transformers* (TCMS, BIT, DIFFMS, TUPL) that expose redundancy, and
+//! *reducers* (RRE, RZE, CLOG) that actually shrink the stream. The numeric
+//! suffix of a component name is the width in bytes of the symbols it
+//! processes (`RRE4` works on 4-byte symbols, `TCMS1` on single bytes, …).
+//!
+//! Every component is strictly lossless. Reducers embed a small
+//! self-describing header; transformers are length-preserving and headerless.
+
+pub mod bitshuf;
+pub mod clog;
+pub mod diffms;
+pub mod rre;
+pub mod rze;
+pub mod tcms;
+pub mod tupl;
+
+pub use bitshuf::Bit;
+pub use clog::Clog;
+pub use diffms::DiffMs;
+pub use rre::Rre;
+pub use rze::Rze;
+pub use tcms::Tcms;
+pub use tupl::{TuplD, TuplQ};
+
+/// Splits a byte stream into `n_sym` symbols of `width` bytes, zero-padding
+/// the final symbol if the input length is not a multiple of the width.
+pub(crate) fn symbol_count(len: usize, width: usize) -> usize {
+    len.div_ceil(width)
+}
+
+/// Reads the symbol at index `i` (little-endian, zero-padded) as a `u64`.
+#[inline]
+pub(crate) fn read_symbol(input: &[u8], i: usize, width: usize) -> u64 {
+    let start = i * width;
+    let end = (start + width).min(input.len());
+    let mut v = 0u64;
+    for (k, &b) in input[start..end].iter().enumerate() {
+        v |= (b as u64) << (8 * k);
+    }
+    v
+}
+
+/// Appends the low `width` bytes of `v` (little-endian) to `out`, truncating
+/// the final symbol to `remaining` bytes when it was zero-padded.
+#[inline]
+pub(crate) fn write_symbol(out: &mut Vec<u8>, v: u64, width: usize, remaining: usize) {
+    let n = width.min(remaining);
+    for k in 0..n {
+        out.push((v >> (8 * k)) as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_count_rounds_up() {
+        assert_eq!(symbol_count(0, 4), 0);
+        assert_eq!(symbol_count(3, 4), 1);
+        assert_eq!(symbol_count(4, 4), 1);
+        assert_eq!(symbol_count(5, 4), 2);
+    }
+
+    #[test]
+    fn read_symbol_pads_with_zero() {
+        let data = [0x01u8, 0x02, 0x03];
+        assert_eq!(read_symbol(&data, 0, 2), 0x0201);
+        assert_eq!(read_symbol(&data, 1, 2), 0x0003);
+    }
+
+    #[test]
+    fn write_symbol_truncates_tail() {
+        let mut out = Vec::new();
+        write_symbol(&mut out, 0x0403_0201, 4, 4);
+        write_symbol(&mut out, 0x0000_0605, 4, 2);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,205 @@
+//! RRE — Run of Repeats Elimination.
+//!
+//! For a stream of `width`-byte symbols, RRE emits a bitmap with one bit per
+//! symbol: `1` when the symbol differs from its predecessor (the symbol is
+//! kept in the payload), `0` when it is identical (the symbol is dropped and
+//! reconstructed from its predecessor). The bitmap itself is compressed with
+//! a second, byte-granular repeat-elimination pass — the "recursive bitmap
+//! compression" of §5.2.3.
+
+use super::{read_symbol, symbol_count, write_symbol};
+use crate::bitio::{put_u64, ByteCursor};
+use crate::CodecError;
+
+/// Produces `(bitmap, kept)` for a single repeat-elimination pass: bit `i` of
+/// the bitmap (LSB-first within each byte) is 1 when symbol `i` differs from
+/// symbol `i-1` (symbol 0 is always kept).
+fn rre_pass(input: &[u8], width: usize) -> (Vec<u8>, Vec<u8>) {
+    let n_sym = symbol_count(input.len(), width);
+    let mut bitmap = vec![0u8; n_sym.div_ceil(8)];
+    let mut kept = Vec::with_capacity(input.len() / 2);
+    let mut prev: Option<u64> = None;
+    for i in 0..n_sym {
+        let sym = read_symbol(input, i, width);
+        let keep = prev != Some(sym);
+        if keep {
+            bitmap[i / 8] |= 1 << (i % 8);
+            let remaining = input.len() - i * width;
+            // Kept symbols are stored at full width; the true tail length is
+            // recovered from the original length in the header.
+            let _ = remaining;
+            for k in 0..width {
+                kept.push((sym >> (8 * k)) as u8);
+            }
+        }
+        prev = Some(sym);
+    }
+    (bitmap, kept)
+}
+
+/// Reverses a single repeat-elimination pass.
+fn rre_unpass(bitmap: &[u8], kept: &[u8], width: usize, orig_len: usize) -> Result<Vec<u8>, CodecError> {
+    let n_sym = symbol_count(orig_len, width);
+    let mut out = Vec::with_capacity(orig_len);
+    let mut kept_pos = 0usize;
+    let mut prev = 0u64;
+    for i in 0..n_sym {
+        if i / 8 >= bitmap.len() {
+            return Err(CodecError::eof("rre bitmap"));
+        }
+        let keep = bitmap[i / 8] >> (i % 8) & 1 == 1;
+        let sym = if keep {
+            if kept_pos + width > kept.len() {
+                return Err(CodecError::eof("rre payload"));
+            }
+            let v = read_symbol(kept, kept_pos / width, width);
+            kept_pos += width;
+            v
+        } else {
+            if i == 0 {
+                return Err(CodecError::corrupt("rre", "first symbol marked as repeat"));
+            }
+            prev
+        };
+        let remaining = orig_len - i * width;
+        write_symbol(&mut out, sym, width, remaining);
+        prev = sym;
+    }
+    Ok(out)
+}
+
+/// The RRE reducer at a given symbol width.
+#[derive(Debug, Clone, Copy)]
+pub struct Rre {
+    width: usize,
+}
+
+impl Rre {
+    /// Creates an RRE component for `width`-byte symbols (1, 2, 4 or 8).
+    pub fn new(width: usize) -> Self {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported RRE symbol width {width}");
+        Rre { width }
+    }
+
+    /// Symbol width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes `input`.
+    ///
+    /// Layout: `orig_len u64 | bitmap_len u64 | bm_bitmap_len u64 |
+    /// bm_kept_len u64 | kept_len u64 | bm_bitmap | bm_kept | kept`.
+    pub fn encode_bytes(&self, input: &[u8]) -> Vec<u8> {
+        let (bitmap, kept) = rre_pass(input, self.width);
+        // Recursive pass over the bitmap at byte granularity: long runs of
+        // kept (0xff) or dropped (0x00) symbols collapse well.
+        let (bm_bitmap, bm_kept) = rre_pass(&bitmap, 1);
+        let mut out = Vec::with_capacity(kept.len() + bm_kept.len() + 48);
+        put_u64(&mut out, input.len() as u64);
+        put_u64(&mut out, bitmap.len() as u64);
+        put_u64(&mut out, bm_bitmap.len() as u64);
+        put_u64(&mut out, bm_kept.len() as u64);
+        put_u64(&mut out, kept.len() as u64);
+        out.extend_from_slice(&bm_bitmap);
+        out.extend_from_slice(&bm_kept);
+        out.extend_from_slice(&kept);
+        out
+    }
+
+    /// Decodes a stream produced by [`Rre::encode_bytes`].
+    pub fn decode_bytes(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut cur = ByteCursor::new(input);
+        let orig_len = cur.get_u64()? as usize;
+        let bitmap_len = cur.get_u64()? as usize;
+        let bm_bitmap_len = cur.get_u64()? as usize;
+        let bm_kept_len = cur.get_u64()? as usize;
+        let kept_len = cur.get_u64()? as usize;
+        let bm_bitmap = cur.take(bm_bitmap_len)?;
+        let bm_kept = cur.take(bm_kept_len)?;
+        let kept = cur.take(kept_len)?;
+        let bitmap = rre_unpass(bm_bitmap, bm_kept, 1, bitmap_len)?;
+        rre_unpass(&bitmap, kept, self.width, orig_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(width: usize, data: &[u8]) -> usize {
+        let rre = Rre::new(width);
+        let enc = rre.encode_bytes(data);
+        let dec = rre.decode_bytes(&enc).expect("decode");
+        assert_eq!(dec, data, "width {width} length {}", data.len());
+        enc.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for w in [1, 2, 4, 8] {
+            roundtrip(w, &[]);
+            roundtrip(w, &[5]);
+            roundtrip(w, &[5, 5]);
+            roundtrip(w, &[1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn long_runs_collapse() {
+        let mut data = vec![7u8; 4096];
+        data.extend_from_slice(&[9u8; 4096]);
+        let size = roundtrip(4, &data);
+        assert!(size < data.len() / 8, "runs should collapse, got {size} bytes for {}", data.len());
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        for w in [1, 4, 8] {
+            let size = roundtrip(w, &data);
+            // Random data cannot shrink but the overhead must stay bounded
+            // (bitmap ≈ n/8/width plus headers).
+            assert!(size <= data.len() + data.len() / (8 * w) + 128);
+        }
+    }
+
+    #[test]
+    fn width_ties_to_symbol_alignment() {
+        // Alternating 4-byte symbols: no repeats at width 4, full repeats at
+        // width 8 never — use data with repeats only visible at width 4.
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        let size4 = roundtrip(4, &data);
+        let size1 = roundtrip(1, &data);
+        assert!(size4 < size1, "width-4 RRE should beat width-1 on repeated 4-byte patterns");
+        assert!(size4 < 200);
+    }
+
+    #[test]
+    fn non_multiple_lengths() {
+        for w in [2, 4, 8] {
+            for len in [1usize, 3, 7, 9, 17, 1001] {
+                let data: Vec<u8> = (0..len).map(|i| (i % 5) as u8).collect();
+                roundtrip(w, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let rre = Rre::new(4);
+        let enc = rre.encode_bytes(&[1u8, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(rre.decode_bytes(&enc[..10]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_width_rejected() {
+        let _ = Rre::new(3);
+    }
+}

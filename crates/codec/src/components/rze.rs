@@ -1,0 +1,174 @@
+//! RZE — Run of Zeros Elimination.
+//!
+//! Identical in structure to [`super::rre::Rre`] but the bitmap marks symbols
+//! equal to **zero** (which are dropped) rather than symbols equal to their
+//! predecessor. In the CR pipeline this is the final reducer: after Huffman
+//! coding and the magnitude-sign transform, the stream contains substantial
+//! clusters of zero bytes which RZE removes.
+
+use super::{read_symbol, symbol_count, write_symbol};
+use crate::bitio::{put_u64, ByteCursor};
+use crate::CodecError;
+
+fn rze_pass(input: &[u8], width: usize) -> (Vec<u8>, Vec<u8>) {
+    let n_sym = symbol_count(input.len(), width);
+    let mut bitmap = vec![0u8; n_sym.div_ceil(8)];
+    let mut kept = Vec::with_capacity(input.len() / 2);
+    for i in 0..n_sym {
+        let sym = read_symbol(input, i, width);
+        if sym != 0 {
+            bitmap[i / 8] |= 1 << (i % 8);
+            for k in 0..width {
+                kept.push((sym >> (8 * k)) as u8);
+            }
+        }
+    }
+    (bitmap, kept)
+}
+
+fn rze_unpass(bitmap: &[u8], kept: &[u8], width: usize, orig_len: usize) -> Result<Vec<u8>, CodecError> {
+    let n_sym = symbol_count(orig_len, width);
+    let mut out = Vec::with_capacity(orig_len);
+    let mut kept_pos = 0usize;
+    for i in 0..n_sym {
+        if i / 8 >= bitmap.len() {
+            return Err(CodecError::eof("rze bitmap"));
+        }
+        let nonzero = bitmap[i / 8] >> (i % 8) & 1 == 1;
+        let sym = if nonzero {
+            if kept_pos + width > kept.len() {
+                return Err(CodecError::eof("rze payload"));
+            }
+            let v = read_symbol(kept, kept_pos / width, width);
+            kept_pos += width;
+            v
+        } else {
+            0
+        };
+        let remaining = orig_len - i * width;
+        write_symbol(&mut out, sym, width, remaining);
+    }
+    Ok(out)
+}
+
+/// The RZE reducer at a given symbol width.
+#[derive(Debug, Clone, Copy)]
+pub struct Rze {
+    width: usize,
+}
+
+impl Rze {
+    /// Creates an RZE component for `width`-byte symbols (1, 2, 4 or 8).
+    pub fn new(width: usize) -> Self {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported RZE symbol width {width}");
+        Rze { width }
+    }
+
+    /// Symbol width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes `input`. Layout mirrors [`super::rre::Rre::encode_bytes`],
+    /// with the bitmap itself compressed by a byte-granular zero-elimination
+    /// pass (runs of zero symbols produce zero bitmap bytes).
+    pub fn encode_bytes(&self, input: &[u8]) -> Vec<u8> {
+        let (bitmap, kept) = rze_pass(input, self.width);
+        let (bm_bitmap, bm_kept) = rze_pass(&bitmap, 1);
+        let mut out = Vec::with_capacity(kept.len() + bm_kept.len() + 48);
+        put_u64(&mut out, input.len() as u64);
+        put_u64(&mut out, bitmap.len() as u64);
+        put_u64(&mut out, bm_bitmap.len() as u64);
+        put_u64(&mut out, bm_kept.len() as u64);
+        put_u64(&mut out, kept.len() as u64);
+        out.extend_from_slice(&bm_bitmap);
+        out.extend_from_slice(&bm_kept);
+        out.extend_from_slice(&kept);
+        out
+    }
+
+    /// Decodes a stream produced by [`Rze::encode_bytes`].
+    pub fn decode_bytes(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut cur = ByteCursor::new(input);
+        let orig_len = cur.get_u64()? as usize;
+        let bitmap_len = cur.get_u64()? as usize;
+        let bm_bitmap_len = cur.get_u64()? as usize;
+        let bm_kept_len = cur.get_u64()? as usize;
+        let kept_len = cur.get_u64()? as usize;
+        let bm_bitmap = cur.take(bm_bitmap_len)?;
+        let bm_kept = cur.take(bm_kept_len)?;
+        let kept = cur.take(kept_len)?;
+        let bitmap = rze_unpass(bm_bitmap, bm_kept, 1, bitmap_len)?;
+        rze_unpass(&bitmap, kept, self.width, orig_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(width: usize, data: &[u8]) -> usize {
+        let rze = Rze::new(width);
+        let enc = rze.encode_bytes(data);
+        let dec = rze.decode_bytes(&enc).expect("decode");
+        assert_eq!(dec, data, "width {width} length {}", data.len());
+        enc.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for w in [1, 2, 4, 8] {
+            roundtrip(w, &[]);
+            roundtrip(w, &[0]);
+            roundtrip(w, &[9]);
+            roundtrip(w, &[0, 0, 1]);
+        }
+    }
+
+    #[test]
+    fn mostly_zero_data_collapses() {
+        let mut data = vec![0u8; 100_000];
+        for i in (0..data.len()).step_by(997) {
+            data[i] = (i % 255) as u8 + 1;
+        }
+        let size = roundtrip(1, &data);
+        // ~100 nonzero bytes + double-compressed bitmap: far below 5 % of input.
+        assert!(size < data.len() / 20, "mostly-zero data should collapse, got {size}");
+    }
+
+    #[test]
+    fn dense_data_keeps_everything() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen_range(1..=255u8)).collect();
+        let size = roundtrip(1, &data);
+        assert!(size >= data.len(), "no zero symbols — nothing can be dropped");
+        assert!(size <= data.len() + data.len() / 8 + 256);
+    }
+
+    #[test]
+    fn non_multiple_lengths() {
+        for w in [2, 4, 8] {
+            for len in [1usize, 3, 7, 9, 17, 1001] {
+                let data: Vec<u8> = (0..len).map(|i| if i % 3 == 0 { 0 } else { (i % 200) as u8 }).collect();
+                roundtrip(w, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_symbol_detection_respects_width() {
+        // [0,1] as a 2-byte symbol is nonzero even though it contains a zero byte.
+        let data = vec![0u8, 1, 0, 0, 0, 1];
+        let rze = Rze::new(2);
+        let enc = rze.encode_bytes(&data);
+        assert_eq!(rze.decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let rze = Rze::new(1);
+        let enc = rze.encode_bytes(&[1u8, 0, 3, 0, 5]);
+        assert!(rze.decode_bytes(&enc[..12]).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Canonical Huffman coding over byte symbols.
+//!
+//! cuSZ, cuSZ-I and the CR-mode pipeline of cuSZ-Hi all use Huffman coding as
+//! the entropy stage over the quantization codes. This module implements a
+//! canonical, length-limited Huffman coder over `u8` symbols:
+//!
+//! * code lengths come from a standard two-queue Huffman construction over
+//!   the symbol histogram, then are limited to [`MAX_CODE_LEN`] bits with a
+//!   Kraft-sum fix-up (the approach used by zlib);
+//! * only the 256 code lengths are stored in the header (canonical codes are
+//!   reconstructed on decode), so the header overhead matches the "Huffman
+//!   tree can be a non-negligible overhead at very high CR" effect the paper
+//!   discusses for small inputs;
+//! * decoding uses a 12-bit prefix lookup table with a canonical fallback for
+//!   longer codes.
+
+use crate::bitio::{put_u64, BitReader, BitWriter, ByteCursor};
+use crate::CodecError;
+
+/// Maximum code length in bits. 32 is far above the entropy of quantization
+/// codes but keeps the fix-up cheap and the decoder simple.
+pub const MAX_CODE_LEN: u32 = 32;
+
+const LUT_BITS: u32 = 12;
+
+/// Computes the Huffman code length of every symbol of `hist` (zero for
+/// symbols that never occur), limited to `MAX_CODE_LEN`.
+fn code_lengths(hist: &[u64; 256]) -> [u32; 256] {
+    let mut lengths = [0u32; 256];
+    let symbols: Vec<usize> = (0..256).filter(|&s| hist[s] > 0).collect();
+    match symbols.len() {
+        0 => return lengths,
+        1 => {
+            lengths[symbols[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Two-queue Huffman construction over (weight, node) pairs.
+    #[derive(Clone, Copy)]
+    struct Node {
+        weight: u64,
+        // Index into `nodes`; leaves store the symbol in `symbol`.
+        left: i32,
+        right: i32,
+        symbol: i32,
+    }
+    let mut nodes: Vec<Node> = symbols
+        .iter()
+        .map(|&s| Node { weight: hist[s], left: -1, right: -1, symbol: s as i32 })
+        .collect();
+    nodes.sort_by_key(|n| n.weight);
+    let mut leaves: std::collections::VecDeque<usize> = (0..nodes.len()).collect();
+    let mut internal: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    let pop_min = |nodes: &Vec<Node>,
+                   leaves: &mut std::collections::VecDeque<usize>,
+                   internal: &mut std::collections::VecDeque<usize>|
+     -> usize {
+        match (leaves.front(), internal.front()) {
+            (Some(&l), Some(&i)) => {
+                if nodes[l].weight <= nodes[i].weight {
+                    leaves.pop_front().unwrap()
+                } else {
+                    internal.pop_front().unwrap()
+                }
+            }
+            (Some(_), None) => leaves.pop_front().unwrap(),
+            (None, Some(_)) => internal.pop_front().unwrap(),
+            (None, None) => unreachable!("huffman construction ran out of nodes"),
+        }
+    };
+
+    while leaves.len() + internal.len() > 1 {
+        let a = pop_min(&nodes, &mut leaves, &mut internal);
+        let b = pop_min(&nodes, &mut leaves, &mut internal);
+        let merged = Node {
+            weight: nodes[a].weight + nodes[b].weight,
+            left: a as i32,
+            right: b as i32,
+            symbol: -1,
+        };
+        nodes.push(merged);
+        internal.push_back(nodes.len() - 1);
+    }
+    let root = internal.pop_front().unwrap();
+
+    // Depth-first traversal to assign lengths.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((idx, depth)) = stack.pop() {
+        let n = nodes[idx];
+        if n.symbol >= 0 {
+            lengths[n.symbol as usize] = depth.max(1);
+        } else {
+            stack.push((n.left as usize, depth + 1));
+            stack.push((n.right as usize, depth + 1));
+        }
+    }
+
+    limit_lengths(&mut lengths);
+    lengths
+}
+
+/// Limits code lengths to `MAX_CODE_LEN` while keeping the Kraft sum exactly 1
+/// (zlib-style fix-up). Lengths of zero mean "symbol absent".
+fn limit_lengths(lengths: &mut [u32; 256]) {
+    let over: Vec<usize> = (0..256).filter(|&s| lengths[s] > MAX_CODE_LEN).collect();
+    if over.is_empty() {
+        return;
+    }
+    for &s in &over {
+        lengths[s] = MAX_CODE_LEN;
+    }
+    // Kraft sum in units of 2^-MAX_CODE_LEN.
+    let unit = 1u64 << MAX_CODE_LEN;
+    let mut kraft: u64 = (0..256).filter(|&s| lengths[s] > 0).map(|s| unit >> lengths[s]).sum();
+    // While over-subscribed, lengthen the shortest-coded low-frequency symbols.
+    while kraft > unit {
+        // Find a symbol with the largest length < MAX_CODE_LEN and grow it.
+        let mut candidate = None;
+        for s in 0..256 {
+            if lengths[s] > 0 && lengths[s] < MAX_CODE_LEN {
+                candidate = match candidate {
+                    None => Some(s),
+                    Some(c) if lengths[s] > lengths[c] => Some(s),
+                    other => other,
+                };
+            }
+        }
+        let s = candidate.expect("kraft fix-up failed to find a symbol to lengthen");
+        kraft -= unit >> lengths[s];
+        lengths[s] += 1;
+        kraft += unit >> lengths[s];
+    }
+    // If under-subscribed (possible after clamping), shorten symbols greedily.
+    loop {
+        let mut changed = false;
+        for s in 0..256 {
+            if lengths[s] > 1 {
+                let gain = (unit >> (lengths[s] - 1)) - (unit >> lengths[s]);
+                if kraft + gain <= unit {
+                    lengths[s] -= 1;
+                    kraft += gain;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Assigns canonical codes to symbols given their code lengths: shorter codes
+/// first, ties broken by symbol value.
+fn canonical_codes(lengths: &[u32; 256]) -> [u64; 256] {
+    let mut codes = [0u64; 256];
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &s in &symbols {
+        code <<= lengths[s] - prev_len;
+        codes[s] = code;
+        code += 1;
+        prev_len = lengths[s];
+    }
+    codes
+}
+
+/// A canonical Huffman code book built from a symbol histogram.
+#[derive(Debug, Clone)]
+pub struct HuffmanBook {
+    lengths: [u32; 256],
+    codes: [u64; 256],
+}
+
+impl HuffmanBook {
+    /// Builds the code book for `data`.
+    pub fn from_data(data: &[u8]) -> Self {
+        let mut hist = [0u64; 256];
+        for &b in data {
+            hist[b as usize] += 1;
+        }
+        Self::from_histogram(&hist)
+    }
+
+    /// Builds the code book from an explicit histogram.
+    pub fn from_histogram(hist: &[u64; 256]) -> Self {
+        let lengths = code_lengths(hist);
+        let codes = canonical_codes(&lengths);
+        HuffmanBook { lengths, codes }
+    }
+
+    /// The code length (bits) of `symbol`, zero when the symbol is absent.
+    pub fn length(&self, symbol: u8) -> u32 {
+        self.lengths[symbol as usize]
+    }
+
+    /// The total encoded size in bits of data with histogram `hist`.
+    pub fn encoded_bits(&self, hist: &[u64; 256]) -> u64 {
+        (0..256).map(|s| hist[s] * self.lengths[s] as u64).sum()
+    }
+}
+
+/// Encodes `data` with a canonical Huffman code built from its histogram.
+///
+/// Output layout: `[n_symbols: u64][256 packed 6-bit lengths][payload bits]`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let book = HuffmanBook::from_data(data);
+    let mut out = Vec::with_capacity(data.len() / 2 + 256);
+    put_u64(&mut out, data.len() as u64);
+    // Pack the 256 code lengths, 6 bits each (MAX_CODE_LEN ≤ 63).
+    let mut lw = BitWriter::with_capacity_bits(256 * 6);
+    for s in 0..256 {
+        lw.put_bits(book.lengths[s] as u64, 6);
+    }
+    out.extend_from_slice(&lw.finish());
+    let mut bw = BitWriter::with_capacity_bits(data.len() * 4);
+    for &b in data {
+        bw.put_bits(book.codes[b as usize], book.lengths[b as usize]);
+    }
+    out.extend_from_slice(&bw.finish());
+    out
+}
+
+/// Decodes a stream produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut cur = ByteCursor::new(data);
+    let n = cur.get_u64()? as usize;
+    let lengths_bytes = cur.take(192)?; // 256 * 6 bits = 192 bytes
+    let mut lr = BitReader::new(lengths_bytes);
+    let mut lengths = [0u32; 256];
+    for l in lengths.iter_mut() {
+        *l = lr.get_bits(6)? as u32;
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if lengths.iter().all(|&l| l == 0) {
+        return Err(CodecError::header("huffman", "no symbols in code book for non-empty payload"));
+    }
+    let codes = canonical_codes(&lengths);
+
+    // Decoding tables: a LUT for codes up to LUT_BITS, canonical search above.
+    let mut lut_symbol = vec![0u8; 1 << LUT_BITS];
+    let mut lut_length = vec![0u8; 1 << LUT_BITS];
+    // For the canonical fallback: symbols sorted by (length, symbol) with the
+    // first code of each length.
+    let mut sorted: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
+    sorted.sort_by_key(|&s| (lengths[s as usize], s));
+    for &s in &sorted {
+        let len = lengths[s as usize];
+        if len <= LUT_BITS {
+            let code = codes[s as usize];
+            let shift = LUT_BITS - len;
+            let start = (code << shift) as usize;
+            for e in start..start + (1usize << shift) {
+                lut_symbol[e] = s as u8;
+                lut_length[e] = len as u8;
+            }
+        }
+    }
+    // Canonical tables for the slow path: per-length symbol count, first
+    // canonical code and index of the first symbol of that length in the
+    // (length, symbol)-sorted order.
+    let max_len = lengths.iter().copied().max().unwrap();
+    let mut count = vec![0u64; (max_len + 1) as usize];
+    for &s in &sorted {
+        count[lengths[s as usize] as usize] += 1;
+    }
+    let mut first_code = vec![0u64; (max_len + 1) as usize];
+    let mut first_index = vec![0usize; (max_len + 1) as usize];
+    {
+        let mut code = 0u64;
+        let mut idx = 0usize;
+        for l in 1..=max_len as usize {
+            first_code[l] = code;
+            first_index[l] = idx;
+            code = (code + count[l]) << 1;
+            idx += count[l] as usize;
+        }
+    }
+
+    let payload = cur.take_rest();
+    let mut br = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let peek = br.peek_bits(LUT_BITS) as usize;
+        let len = lut_length[peek];
+        if len != 0 {
+            br.consume(len as u32);
+            out.push(lut_symbol[peek]);
+            continue;
+        }
+        // Slow path: the code is longer than LUT_BITS; decode it bit by bit
+        // with the canonical tables.
+        let mut code = 0u64;
+        let mut l = 0u32;
+        loop {
+            l += 1;
+            if l > max_len {
+                return Err(CodecError::corrupt("huffman", "code longer than the longest code length"));
+            }
+            code = (code << 1) | br.get_bit()? as u64;
+            let li = l as usize;
+            if count[li] > 0 && code >= first_code[li] && code - first_code[li] < count[li] {
+                let idx = first_index[li] + (code - first_code[li]) as usize;
+                out.push(sorted[idx] as u8);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) {
+        let enc = encode(data);
+        let dec = decode(&enc).expect("decode failed");
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_runs() {
+        roundtrip(&[42u8; 1000]);
+        roundtrip(&[0u8]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let data: Vec<u8> = (0..500).map(|i| if i % 3 == 0 { 7 } else { 200 }).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn all_symbols_uniform() {
+        let data: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // Quantization-code-like data: strongly peaked around 128.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                128u8.wrapping_add(((r - 0.5) * 8.0) as i8 as u8)
+            })
+            .collect();
+        let enc = encode(&data);
+        assert!(enc.len() < data.len() / 2, "skewed data should compress at least 2x, got {} -> {}", data.len(), enc.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for len in [1usize, 2, 3, 255, 256, 1000, 65537] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn lengths_satisfy_kraft_inequality() {
+        let mut hist = [0u64; 256];
+        // Fibonacci-ish weights force long codes.
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for s in 0..64 {
+            hist[s] = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let book = HuffmanBook::from_histogram(&hist);
+        let kraft: f64 = (0..256)
+            .filter(|&s| book.lengths[s] > 0)
+            .map(|s| 2f64.powi(-(book.lengths[s] as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft sum {kraft} exceeds 1");
+        assert!(book.lengths.iter().all(|&l| l <= MAX_CODE_LEN));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let enc = encode(&[1u8, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(decode(&enc[..enc.len() - 1]).is_err() || decode(&enc[..enc.len() - 1]).is_ok());
+        // Cutting into the header must error.
+        assert!(decode(&enc[..16]).is_err());
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual_payload() {
+        let data: Vec<u8> = (0..10_000).map(|i| ((i * i) % 7) as u8).collect();
+        let mut hist = [0u64; 256];
+        for &b in &data {
+            hist[b as usize] += 1;
+        }
+        let book = HuffmanBook::from_histogram(&hist);
+        let bits = book.encoded_bits(&hist);
+        let enc = encode(&data);
+        let payload_bytes = enc.len() as u64 - 8 - 192;
+        assert!(payload_bytes >= bits / 8 && payload_bytes <= bits / 8 + 1, "payload {payload_bytes} vs predicted bits {bits}");
+    }
+}

@@ -1,0 +1,262 @@
+//! A byte-aligned LZSS dictionary coder.
+//!
+//! Figure 6 of the paper benchmarks several dictionary coders (GPULZ, nvCOMP
+//! LZ4/GDeflate/Zstd). This module provides the open-source stand-in used by
+//! the Figure 6 harness: a greedy hash-chain LZSS coder with an LZ4-style
+//! token format. Two effort levels mirror the throughput/ratio trade-off of
+//! the originals: [`Effort::Fast`] (single hash probe, GPULZ/LZ4-like) and
+//! [`Effort::Thorough`] (longer chains, GDeflate/Zstd-like).
+
+use crate::bitio::{put_u64, ByteCursor};
+use crate::CodecError;
+
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = 65_535;
+const HASH_BITS: u32 = 16;
+
+/// Search effort of the match finder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// One probe per position (fast, lower ratio).
+    Fast,
+    /// Up to 32 chained probes per position (slower, higher ratio).
+    Thorough,
+}
+
+impl Effort {
+    fn max_probes(self) -> usize {
+        match self {
+            Effort::Fast => 1,
+            Effort::Thorough => 32,
+        }
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_len(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+fn read_len(cur: &mut ByteCursor<'_>, nibble: usize) -> Result<usize, CodecError> {
+    let mut len = nibble;
+    if nibble == 15 {
+        loop {
+            let b = cur.get_u8()?;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Compresses `input`.
+///
+/// Layout: `orig_len u64 | LZ4-style sequences` (token byte with
+/// literal/match length nibbles, literals, little-endian 16-bit offset,
+/// length extension bytes; the final sequence carries literals only).
+pub fn compress(input: &[u8], effort: Effort) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    put_u64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut chain = vec![usize::MAX; input.len()];
+    let max_probes = effort.max_probes();
+
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(input, pos);
+        // Find the best match among up to `max_probes` chained candidates.
+        let mut best_len = 0usize;
+        let mut best_offset = 0usize;
+        let mut candidate = head[h];
+        let mut probes = 0usize;
+        while candidate != usize::MAX && probes < max_probes {
+            let offset = pos - candidate;
+            if offset > MAX_OFFSET {
+                break;
+            }
+            let limit = input.len() - pos;
+            let mut len = 0usize;
+            while len < limit && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH && len > best_len {
+                best_len = len;
+                best_offset = offset;
+            }
+            candidate = chain[candidate];
+            probes += 1;
+        }
+
+        if best_len >= MIN_MATCH {
+            // Emit the pending literals and the match.
+            let literals = &input[literal_start..pos];
+            let lit_nibble = literals.len().min(15);
+            let match_nibble = (best_len - MIN_MATCH).min(15);
+            out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+            if lit_nibble == 15 {
+                write_len(&mut out, literals.len() - 15);
+            }
+            out.extend_from_slice(literals);
+            out.extend_from_slice(&(best_offset as u16).to_le_bytes());
+            if match_nibble == 15 {
+                write_len(&mut out, best_len - MIN_MATCH - 15);
+            }
+            // Insert the covered positions into the hash chains (sparsely for
+            // speed) and advance.
+            let end = pos + best_len;
+            let step = if best_len > 64 { 8 } else { 1 };
+            let mut p = pos;
+            while p < end && p + MIN_MATCH <= input.len() {
+                let hh = hash4(input, p);
+                chain[p] = head[hh];
+                head[hh] = p;
+                p += step;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            chain[pos] = head[h];
+            head[h] = pos;
+            pos += 1;
+        }
+    }
+
+    // Final literal-only sequence.
+    let literals = &input[literal_start..];
+    let lit_nibble = literals.len().min(15);
+    out.push((lit_nibble as u8) << 4);
+    if lit_nibble == 15 {
+        write_len(&mut out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut cur = ByteCursor::new(input);
+    let orig_len = cur.get_u64()? as usize;
+    let mut out = Vec::with_capacity(orig_len);
+    while out.len() < orig_len {
+        let token = cur.get_u8()?;
+        let lit_len = read_len(&mut cur, (token >> 4) as usize)?;
+        let literals = cur.take(lit_len)?;
+        out.extend_from_slice(literals);
+        if out.len() >= orig_len {
+            break;
+        }
+        if cur.remaining() == 0 {
+            return Err(CodecError::eof("lz"));
+        }
+        let offset = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
+        if offset == 0 || offset > out.len() {
+            return Err(CodecError::corrupt("lz", format!("invalid offset {offset} at output length {}", out.len())));
+        }
+        let match_len = read_len(&mut cur, (token & 0x0f) as usize)? + MIN_MATCH;
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != orig_len {
+        return Err(CodecError::corrupt("lz", format!("decoded {} bytes, expected {orig_len}", out.len())));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8], effort: Effort) -> usize {
+        let enc = compress(data, effort);
+        assert_eq!(decompress(&enc).unwrap(), data, "effort {effort:?} len {}", data.len());
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        for effort in [Effort::Fast, Effort::Thorough] {
+            roundtrip(&[], effort);
+            roundtrip(&[1], effort);
+            roundtrip(&[1, 2, 3], effort);
+            roundtrip(&[9; 4], effort);
+        }
+    }
+
+    #[test]
+    fn repeated_patterns_compress() {
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(b"abcdefgh12345678");
+        }
+        for effort in [Effort::Fast, Effort::Thorough] {
+            let size = roundtrip(&data, effort);
+            assert!(size < data.len() / 10, "periodic data must compress >10x, got {size}");
+        }
+    }
+
+    #[test]
+    fn long_zero_runs_compress() {
+        let data = vec![0u8; 1 << 18];
+        let size = roundtrip(&data, Effort::Fast);
+        assert!(size < 4096, "zero run should collapse, got {size}");
+    }
+
+    #[test]
+    fn random_data_survives_with_bounded_expansion() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        let data: Vec<u8> = (0..100_000).map(|_| rng.gen()).collect();
+        for effort in [Effort::Fast, Effort::Thorough] {
+            let size = roundtrip(&data, effort);
+            assert!(size <= data.len() + data.len() / 100 + 64);
+        }
+    }
+
+    #[test]
+    fn thorough_is_at_least_as_good_on_structured_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        // Structured: repeated fragments with small perturbations.
+        let mut data = Vec::new();
+        let fragment: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        for i in 0..2000 {
+            data.extend_from_slice(&fragment);
+            data.push((i % 256) as u8);
+        }
+        let fast = compress(&data, Effort::Fast).len();
+        let thorough = compress(&data, Effort::Thorough).len();
+        assert!(thorough <= fast, "thorough ({thorough}) must not be worse than fast ({fast})");
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaa..." forces overlapping copies (offset 1, long match).
+        let data = vec![b'a'; 500];
+        roundtrip(&data, Effort::Fast);
+    }
+
+    #[test]
+    fn corrupt_offset_is_rejected() {
+        let enc = compress(&[1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8], Effort::Fast);
+        // Truncating usually produces an EOF or invalid-offset error.
+        assert!(decompress(&enc[..enc.len() - 2]).is_err());
+    }
+}

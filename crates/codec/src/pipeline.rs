@@ -1,0 +1,473 @@
+//! Lossless stage composition and the named pipeline catalogue.
+//!
+//! A [`Stage`] is one lossless bytes→bytes encoder; a [`Pipeline`] is an
+//! ordered list of stages applied left to right on encode and right to left
+//! on decode. The [`PipelineSpec`] enum names every pipeline the paper uses
+//! or benchmarks: the two cuSZ-Hi modes of Figure 7, the LC-style
+//! combinations and the third-party codecs of Figure 6.
+
+use crate::components::{Bit, Clog, DiffMs, Rre, Rze, Tcms, TuplD, TuplQ};
+use crate::{ans, bitcomp_sim, huffman, lz, CodecError};
+
+/// One lossless encoding stage.
+pub trait Stage: Send + Sync {
+    /// Short name used in benchmark output (e.g. `"RRE4"`).
+    fn name(&self) -> &'static str;
+    /// Encodes `input` into a self-describing byte stream.
+    fn encode(&self, input: &[u8]) -> Vec<u8>;
+    /// Decodes a stream produced by [`Stage::encode`].
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+}
+
+macro_rules! component_stage {
+    ($wrapper:ident, $inner:ty, $name:expr, $ctor:expr) => {
+        /// Stage adapter for the corresponding codec component.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $wrapper($inner);
+
+        impl $wrapper {
+            /// Creates the stage.
+            pub fn new() -> Self {
+                $wrapper($ctor)
+            }
+        }
+
+        impl Default for $wrapper {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl Stage for $wrapper {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn encode(&self, input: &[u8]) -> Vec<u8> {
+                self.0.encode_bytes(input)
+            }
+            fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+                self.0.decode_bytes(input)
+            }
+        }
+    };
+}
+
+component_stage!(Rre1Stage, Rre, "RRE1", Rre::new(1));
+component_stage!(Rre2Stage, Rre, "RRE2", Rre::new(2));
+component_stage!(Rre4Stage, Rre, "RRE4", Rre::new(4));
+component_stage!(Rze1Stage, Rze, "RZE1", Rze::new(1));
+component_stage!(Tcms1Stage, Tcms, "TCMS1", Tcms::new(1));
+component_stage!(Tcms8Stage, Tcms, "TCMS8", Tcms::new(8));
+component_stage!(Bit1Stage, Bit, "BIT1", Bit::new(1));
+component_stage!(DiffMs1Stage, DiffMs, "DIFFMS1", DiffMs::new(1));
+component_stage!(Clog1Stage, Clog, "CLOG1", Clog::new(1));
+component_stage!(TuplQ1Stage, TuplQ, "TUPLQ1", TuplQ::new());
+component_stage!(TuplD2Stage, TuplD, "TUPLD2", TuplD::new());
+
+/// Canonical Huffman entropy coding stage (`HF` in the paper's figures).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HuffmanStage;
+
+impl Stage for HuffmanStage {
+    fn name(&self) -> &'static str {
+        "HF"
+    }
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        huffman::encode(input)
+    }
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        huffman::decode(input)
+    }
+}
+
+/// Static rANS entropy coding stage (stand-in for nvCOMP ANS).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnsStage;
+
+impl Stage for AnsStage {
+    fn name(&self) -> &'static str {
+        "ANS"
+    }
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        ans::encode(input)
+    }
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        ans::decode(input)
+    }
+}
+
+/// Bitcomp-simulator stage (stand-in for NVIDIA Bitcomp).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitcompStage;
+
+impl Stage for BitcompStage {
+    fn name(&self) -> &'static str {
+        "BITCOMP"
+    }
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        bitcomp_sim::compress(input)
+    }
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        bitcomp_sim::decompress(input)
+    }
+}
+
+/// Fast LZ stage (stand-in for GPULZ / nvCOMP LZ4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LzFastStage;
+
+impl Stage for LzFastStage {
+    fn name(&self) -> &'static str {
+        "LZ-FAST"
+    }
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        lz::compress(input, lz::Effort::Fast)
+    }
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        lz::decompress(input)
+    }
+}
+
+/// Thorough LZ stage (stand-in for nvCOMP GDeflate / Zstd match finding).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LzThoroughStage;
+
+impl Stage for LzThoroughStage {
+    fn name(&self) -> &'static str {
+        "LZ-THOROUGH"
+    }
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        lz::compress(input, lz::Effort::Thorough)
+    }
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        lz::decompress(input)
+    }
+}
+
+/// An ordered composition of lossless stages.
+pub struct Pipeline {
+    name: String,
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from stages applied left to right on encode.
+    pub fn new(name: impl Into<String>, stages: Vec<Box<dyn Stage>>) -> Self {
+        Pipeline { name: name.into(), stages }
+    }
+
+    /// The pipeline's display name, e.g. `"HF-RRE4-TCMS8-RZE1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages (an identity pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Applies every stage in order.
+    pub fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut data = input.to_vec();
+        for stage in &self.stages {
+            data = stage.encode(&data);
+        }
+        data
+    }
+
+    /// Reverses every stage in reverse order.
+    pub fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut data = input.to_vec();
+        for stage in self.stages.iter().rev() {
+            data = stage.decode(&data)?;
+        }
+        Ok(data)
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pipeline({})", self.name)
+    }
+}
+
+/// Every named lossless pipeline used in the paper.
+///
+/// The first two variants are the production pipelines of cuSZ-Hi
+/// (Figure 7); the remainder are the Figure 6 benchmark entries. Proprietary
+/// codecs are represented by the open-source stand-ins documented in
+/// `DESIGN.md` (`ANS` → rANS, `Bitcomp` → bitcomp-sim, `LZ4`/`GPULZ` → fast
+/// LZSS, `GDeflate`/`Zstd` → thorough LZSS, `Zstd` additionally entropy-coded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineSpec {
+    /// `HF → RRE4 → TCMS8 → RZE1`: the CR-mode pipeline of cuSZ-Hi.
+    HfRre4Tcms8Rze1,
+    /// `TCMS1 → BIT1 → RRE1`: the TP-mode pipeline of cuSZ-Hi.
+    Tcms1Bit1Rre1,
+    /// Huffman alone (the cuSZ / cuSZ-I lossless stage).
+    Hf,
+    /// `HF → RRE1`.
+    HfRre1,
+    /// `HF → TUPLQ1 → RRE1`.
+    HfTuplq1Rre1,
+    /// `HF → TUPLD2 → RRE2 → TUPLQ1 → RRE1`.
+    HfTupld2Rre2Tuplq1Rre1,
+    /// `HF → ANS` (Huffman then the nvCOMP-ANS stand-in).
+    HfAns,
+    /// `HF → Bitcomp-sim` (the cuSZ-IB lossless stack).
+    HfBitcomp,
+    /// `HF → fast LZ` (Huffman then a GPULZ/LZ4 stand-in).
+    HfLz,
+    /// `RRE1` alone.
+    Rre1,
+    /// `RRE1 → RRE2`.
+    Rre1Rre2,
+    /// `RRE1 → RZE1 → DIFFMS1 → CLOG1`.
+    Rre1Rze1Diffms1Clog1,
+    /// rANS alone (nvCOMP ANS stand-in).
+    Ans,
+    /// Bitcomp-sim alone.
+    Bitcomp,
+    /// Fast LZSS (GPULZ / nvCOMP LZ4 stand-in).
+    Lz4,
+    /// Thorough LZSS (nvCOMP GDeflate stand-in).
+    Gdeflate,
+    /// Thorough LZSS followed by rANS (nvCOMP Zstd stand-in).
+    Zstd,
+    /// `DIFFMS1 → BIT1 → RZE1` (ndzip-style transform + residual coder).
+    Ndzip,
+}
+
+impl PipelineSpec {
+    /// The CR-preferred production pipeline.
+    pub const CR: PipelineSpec = PipelineSpec::HfRre4Tcms8Rze1;
+    /// The TP-preferred production pipeline.
+    pub const TP: PipelineSpec = PipelineSpec::Tcms1Bit1Rre1;
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineSpec::HfRre4Tcms8Rze1 => "HF-RRE4-TCMS8-RZE1",
+            PipelineSpec::Tcms1Bit1Rre1 => "TCMS1-BIT1-RRE1",
+            PipelineSpec::Hf => "HF",
+            PipelineSpec::HfRre1 => "HF+RRE1",
+            PipelineSpec::HfTuplq1Rre1 => "HF+TUPLQ1-RRE1",
+            PipelineSpec::HfTupld2Rre2Tuplq1Rre1 => "HF+TUPLD2-RRE2-TUPLQ1-RRE1",
+            PipelineSpec::HfAns => "HF+ANS",
+            PipelineSpec::HfBitcomp => "HF+Bitcomp",
+            PipelineSpec::HfLz => "HF+GPULZ",
+            PipelineSpec::Rre1 => "RRE1",
+            PipelineSpec::Rre1Rre2 => "RRE1-RRE2",
+            PipelineSpec::Rre1Rze1Diffms1Clog1 => "RRE1-RZE1-DIFFMS1-CLOG1",
+            PipelineSpec::Ans => "ANS",
+            PipelineSpec::Bitcomp => "Bitcomp",
+            PipelineSpec::Lz4 => "LZ4/GPULZ",
+            PipelineSpec::Gdeflate => "GDeflate",
+            PipelineSpec::Zstd => "Zstd",
+            PipelineSpec::Ndzip => "ndzip",
+        }
+    }
+
+    /// Stable identifier stored in compressed-stream headers.
+    pub fn id(&self) -> u8 {
+        match self {
+            PipelineSpec::HfRre4Tcms8Rze1 => 0,
+            PipelineSpec::Tcms1Bit1Rre1 => 1,
+            PipelineSpec::Hf => 2,
+            PipelineSpec::HfRre1 => 3,
+            PipelineSpec::HfTuplq1Rre1 => 4,
+            PipelineSpec::HfTupld2Rre2Tuplq1Rre1 => 5,
+            PipelineSpec::HfAns => 6,
+            PipelineSpec::HfBitcomp => 7,
+            PipelineSpec::HfLz => 8,
+            PipelineSpec::Rre1 => 9,
+            PipelineSpec::Rre1Rre2 => 10,
+            PipelineSpec::Rre1Rze1Diffms1Clog1 => 11,
+            PipelineSpec::Ans => 12,
+            PipelineSpec::Bitcomp => 13,
+            PipelineSpec::Lz4 => 14,
+            PipelineSpec::Gdeflate => 15,
+            PipelineSpec::Zstd => 16,
+            PipelineSpec::Ndzip => 17,
+        }
+    }
+
+    /// Inverse of [`PipelineSpec::id`].
+    pub fn from_id(id: u8) -> Option<PipelineSpec> {
+        PipelineSpec::all().into_iter().find(|p| p.id() == id)
+    }
+
+    /// Every named pipeline.
+    pub fn all() -> Vec<PipelineSpec> {
+        vec![
+            PipelineSpec::HfRre4Tcms8Rze1,
+            PipelineSpec::Tcms1Bit1Rre1,
+            PipelineSpec::Hf,
+            PipelineSpec::HfRre1,
+            PipelineSpec::HfTuplq1Rre1,
+            PipelineSpec::HfTupld2Rre2Tuplq1Rre1,
+            PipelineSpec::HfAns,
+            PipelineSpec::HfBitcomp,
+            PipelineSpec::HfLz,
+            PipelineSpec::Rre1,
+            PipelineSpec::Rre1Rre2,
+            PipelineSpec::Rre1Rze1Diffms1Clog1,
+            PipelineSpec::Ans,
+            PipelineSpec::Bitcomp,
+            PipelineSpec::Lz4,
+            PipelineSpec::Gdeflate,
+            PipelineSpec::Zstd,
+            PipelineSpec::Ndzip,
+        ]
+    }
+
+    /// The pipelines swept in the Figure 6 lossless-encoder benchmark.
+    pub fn fig6_set() -> Vec<PipelineSpec> {
+        Self::all()
+    }
+
+    /// Materialises the pipeline.
+    pub fn build(&self) -> Pipeline {
+        let stages: Vec<Box<dyn Stage>> = match self {
+            PipelineSpec::HfRre4Tcms8Rze1 => vec![
+                Box::new(HuffmanStage),
+                Box::new(Rre4Stage::new()),
+                Box::new(Tcms8Stage::new()),
+                Box::new(Rze1Stage::new()),
+            ],
+            PipelineSpec::Tcms1Bit1Rre1 => vec![
+                Box::new(Tcms1Stage::new()),
+                Box::new(Bit1Stage::new()),
+                Box::new(Rre1Stage::new()),
+            ],
+            PipelineSpec::Hf => vec![Box::new(HuffmanStage)],
+            PipelineSpec::HfRre1 => vec![Box::new(HuffmanStage), Box::new(Rre1Stage::new())],
+            PipelineSpec::HfTuplq1Rre1 => vec![
+                Box::new(HuffmanStage),
+                Box::new(TuplQ1Stage::new()),
+                Box::new(Rre1Stage::new()),
+            ],
+            PipelineSpec::HfTupld2Rre2Tuplq1Rre1 => vec![
+                Box::new(HuffmanStage),
+                Box::new(TuplD2Stage::new()),
+                Box::new(Rre2Stage::new()),
+                Box::new(TuplQ1Stage::new()),
+                Box::new(Rre1Stage::new()),
+            ],
+            PipelineSpec::HfAns => vec![Box::new(HuffmanStage), Box::new(AnsStage)],
+            PipelineSpec::HfBitcomp => vec![Box::new(HuffmanStage), Box::new(BitcompStage)],
+            PipelineSpec::HfLz => vec![Box::new(HuffmanStage), Box::new(LzFastStage)],
+            PipelineSpec::Rre1 => vec![Box::new(Rre1Stage::new())],
+            PipelineSpec::Rre1Rre2 => vec![Box::new(Rre1Stage::new()), Box::new(Rre2Stage::new())],
+            PipelineSpec::Rre1Rze1Diffms1Clog1 => vec![
+                Box::new(Rre1Stage::new()),
+                Box::new(Rze1Stage::new()),
+                Box::new(DiffMs1Stage::new()),
+                Box::new(Clog1Stage::new()),
+            ],
+            PipelineSpec::Ans => vec![Box::new(AnsStage)],
+            PipelineSpec::Bitcomp => vec![Box::new(BitcompStage)],
+            PipelineSpec::Lz4 => vec![Box::new(LzFastStage)],
+            PipelineSpec::Gdeflate => vec![Box::new(LzThoroughStage)],
+            PipelineSpec::Zstd => vec![Box::new(LzThoroughStage), Box::new(AnsStage)],
+            PipelineSpec::Ndzip => vec![
+                Box::new(DiffMs1Stage::new()),
+                Box::new(Bit1Stage::new()),
+                Box::new(Rze1Stage::new()),
+            ],
+        };
+        Pipeline::new(self.name(), stages)
+    }
+}
+
+impl std::fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Quantization-code-like test data: values clustered tightly around 128
+    /// with occasional excursions — the input every pipeline is designed for.
+    fn quant_like(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                if r < 0.995 {
+                    let d: f64 = rng.gen::<f64>() * rng.gen::<f64>() * 3.0;
+                    128u8.wrapping_add((d as i8 * if rng.gen() { 1 } else { -1 }) as u8)
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_named_pipeline_roundtrips() {
+        let data = quant_like(40_000, 73);
+        for spec in PipelineSpec::all() {
+            let p = spec.build();
+            let enc = p.encode(&data);
+            let dec = p.decode(&enc).unwrap_or_else(|e| panic!("{spec} failed to decode: {e}"));
+            assert_eq!(dec, data, "{spec} round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn every_named_pipeline_roundtrips_tiny_inputs() {
+        for spec in PipelineSpec::all() {
+            let p = spec.build();
+            for data in [vec![], vec![128u8], vec![0u8; 7], (0..64u8).collect::<Vec<_>>()] {
+                let enc = p.encode(&data);
+                assert_eq!(p.decode(&enc).unwrap(), data, "{spec} on {} bytes", data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn production_pipelines_compress_quant_codes() {
+        let data = quant_like(200_000, 79);
+        for spec in [PipelineSpec::CR, PipelineSpec::TP] {
+            let p = spec.build();
+            let enc = p.encode(&data);
+            let ratio = data.len() as f64 / enc.len() as f64;
+            assert!(ratio > 2.5, "{spec} achieved only {ratio:.2}x on quant-code-like data");
+        }
+    }
+
+    #[test]
+    fn cr_mode_beats_tp_mode_on_ratio() {
+        let data = quant_like(400_000, 83);
+        let cr = PipelineSpec::CR.build().encode(&data).len();
+        let tp = PipelineSpec::TP.build().encode(&data).len();
+        assert!(cr < tp, "CR pipeline ({cr} bytes) must beat TP pipeline ({tp} bytes) on ratio");
+    }
+
+    #[test]
+    fn ids_are_unique_and_roundtrip() {
+        let all = PipelineSpec::all();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &all {
+            assert!(seen.insert(spec.id()), "duplicate id for {spec}");
+            assert_eq!(PipelineSpec::from_id(spec.id()), Some(*spec));
+        }
+        assert_eq!(PipelineSpec::from_id(200), None);
+    }
+
+    #[test]
+    fn pipeline_decode_rejects_garbage() {
+        let p = PipelineSpec::CR.build();
+        assert!(p.decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! The end-to-end cuSZ-Hi compression and decompression pipelines.
+
+use crate::config::{PipelineMode, SzhiConfig};
+use crate::error::SzhiError;
+use crate::format::{read_stream, write_stream, Header};
+use szhi_ndgrid::Grid;
+use szhi_predictor::autotune;
+use szhi_predictor::{InterpPredictor, LevelOrder};
+
+/// Statistics of one compression run, returned by [`compress_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Uncompressed input size in bytes.
+    pub original_bytes: usize,
+    /// Compressed output size in bytes.
+    pub compressed_bytes: usize,
+    /// Compression ratio (`original / compressed`).
+    pub compression_ratio: f64,
+    /// Absolute error bound used.
+    pub abs_eb: f64,
+    /// Number of losslessly stored anchors.
+    pub anchors: usize,
+    /// Number of outlier points.
+    pub outliers: usize,
+    /// Size in bytes of the pipeline-encoded quantization codes.
+    pub encoded_codes_bytes: usize,
+}
+
+/// Compresses `data` under `cfg`, returning the self-describing byte stream.
+pub fn compress(data: &Grid<f32>, cfg: &SzhiConfig) -> Result<Vec<u8>, SzhiError> {
+    compress_with_stats(data, cfg).map(|(bytes, _)| bytes)
+}
+
+/// Compresses `data` under `cfg`, returning the stream and its statistics.
+pub fn compress_with_stats(
+    data: &Grid<f32>,
+    cfg: &SzhiConfig,
+) -> Result<(Vec<u8>, CompressionStats), SzhiError> {
+    if data.is_empty() {
+        return Err(SzhiError::InvalidInput("cannot compress an empty field".into()));
+    }
+    let dims = data.dims();
+    let abs_eb = cfg.error_bound.absolute(data.value_range() as f64);
+    if !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(SzhiError::InvalidInput(format!("invalid error bound {abs_eb}")));
+    }
+
+    // 1. Select the interpolation configuration, optionally auto-tuned on a
+    //    0.2 % sample (§5.1.3).
+    let interp_cfg = if cfg.auto_tune {
+        let (tuned, _) = autotune::tune(data, &cfg.interp);
+        tuned
+    } else {
+        cfg.interp.clone()
+    };
+
+    // 2. Lossy decomposition: anchors + one-byte quantization codes +
+    //    outliers (§5.1).
+    let predictor = InterpPredictor::new(interp_cfg.clone());
+    let output = predictor.compress(data, abs_eb);
+
+    // 3. Level-ordered reordering of the codes (§5.1.4).
+    let codes = if cfg.reorder {
+        let order = LevelOrder::new(dims, interp_cfg.anchor_stride);
+        order.reorder(&output.codes)
+    } else {
+        output.codes.clone()
+    };
+
+    // 4. Multi-stage lossless encoding (§5.2).
+    let pipeline = cfg.mode.pipeline_spec();
+    let payload = pipeline.build().encode(&codes);
+
+    let header = Header {
+        dims,
+        abs_eb,
+        pipeline,
+        reorder: cfg.reorder,
+        interp: interp_cfg,
+    };
+    let bytes = write_stream(&header, &output.anchors, &output.outliers, &payload);
+    let stats = CompressionStats {
+        original_bytes: dims.nbytes_f32(),
+        compressed_bytes: bytes.len(),
+        compression_ratio: dims.nbytes_f32() as f64 / bytes.len() as f64,
+        abs_eb,
+        anchors: output.anchors.len(),
+        outliers: output.outliers.len(),
+        encoded_codes_bytes: payload.len(),
+    };
+    Ok((bytes, stats))
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
+    let (header, anchors, outliers, payload) = read_stream(bytes)?;
+    let codes = header.pipeline.build().decode(&payload)?;
+    if codes.len() != header.dims.len() {
+        return Err(SzhiError::InvalidStream(format!(
+            "decoded {} quantization codes for a field of {} points",
+            codes.len(),
+            header.dims.len()
+        )));
+    }
+    let codes = if header.reorder {
+        let order = LevelOrder::new(header.dims, header.interp.anchor_stride);
+        order.restore(&codes)
+    } else {
+        codes
+    };
+    let output = szhi_predictor::InterpOutput { anchors, codes, outliers };
+    let predictor = InterpPredictor::new(header.interp.clone());
+    Ok(predictor.decompress(header.dims, header.abs_eb, &output))
+}
+
+/// Convenience: the mode name the paper uses for a configuration
+/// (`cuSZ-Hi-CR` / `cuSZ-Hi-TP`).
+pub fn mode_label(mode: PipelineMode) -> String {
+    format!("cuSZ-Hi-{}", mode.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ErrorBound, PipelineMode, SzhiConfig};
+    use szhi_datagen::DatasetKind;
+    use szhi_metrics::QualityReport;
+    use szhi_ndgrid::Dims;
+
+    fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
+        for (i, (a, b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "bound violated at {i}: {a} vs {b} (eb {abs_eb})"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_dataset_families_cr_mode() {
+        for kind in szhi_datagen::all_kinds() {
+            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(60, 90) } else { Dims::d3(33, 30, 35) };
+            let g = kind.generate(dims, 5);
+            let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+            let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+            let recon = decompress(&bytes).unwrap();
+            assert_eq!(recon.dims(), dims);
+            check_bound(&g, &recon, stats.abs_eb);
+            assert!(stats.compression_ratio > 1.0, "{kind}: no compression achieved");
+        }
+    }
+
+    #[test]
+    fn roundtrip_tp_mode() {
+        let g = DatasetKind::Miranda.generate(Dims::d3(40, 48, 48), 3);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_mode(PipelineMode::Tp);
+        let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+        let recon = decompress(&bytes).unwrap();
+        check_bound(&g, &recon, stats.abs_eb);
+    }
+
+    #[test]
+    fn absolute_bound_is_honoured() {
+        let g = DatasetKind::Jhtdb.generate(Dims::d3(32, 32, 32), 11);
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(0.05));
+        let bytes = compress(&g, &cfg).unwrap();
+        let recon = decompress(&bytes).unwrap();
+        check_bound(&g, &recon, 0.05);
+    }
+
+    #[test]
+    fn looser_bounds_compress_better() {
+        let g = DatasetKind::Nyx.generate(Dims::d3(48, 48, 48), 7);
+        let mut ratios = Vec::new();
+        for eb in [1e-2, 1e-3, 1e-4] {
+            let cfg = SzhiConfig::new(ErrorBound::Relative(eb));
+            let (_, stats) = compress_with_stats(&g, &cfg).unwrap();
+            ratios.push(stats.compression_ratio);
+        }
+        assert!(ratios[0] > ratios[1] && ratios[1] > ratios[2],
+            "compression ratio must decrease with tighter bounds: {ratios:?}");
+    }
+
+    #[test]
+    fn psnr_improves_with_tighter_bounds() {
+        let g = DatasetKind::Rtm.generate(Dims::d3(40, 40, 24), 13);
+        let mut psnrs = Vec::new();
+        for eb in [1e-2, 1e-3] {
+            let cfg = SzhiConfig::new(ErrorBound::Relative(eb));
+            let bytes = compress(&g, &cfg).unwrap();
+            let recon = decompress(&bytes).unwrap();
+            psnrs.push(QualityReport::compare(&g, &recon).psnr);
+        }
+        assert!(psnrs[1] > psnrs[0] + 10.0, "PSNR should rise sharply with a 10x tighter bound: {psnrs:?}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = DatasetKind::Miranda.generate(Dims::d3(33, 33, 33), 1);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+        assert_eq!(stats.compressed_bytes, bytes.len());
+        assert_eq!(stats.original_bytes, 33 * 33 * 33 * 4);
+        assert!(stats.encoded_codes_bytes < stats.compressed_bytes);
+        assert_eq!(stats.anchors, 27);
+    }
+
+    #[test]
+    fn disabling_reorder_and_autotune_still_roundtrips() {
+        let g = DatasetKind::Qmcpack.generate(Dims::d3(30, 35, 35), 9);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3))
+            .with_reorder(false)
+            .with_auto_tune(false);
+        let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+        let recon = decompress(&bytes).unwrap();
+        check_bound(&g, &recon, stats.abs_eb);
+    }
+
+    #[test]
+    fn constant_field_compresses_enormously() {
+        let dims = Dims::d3(32, 32, 32);
+        let g = Grid::from_vec(dims, vec![4.25f32; dims.len()]);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+        let recon = decompress(&bytes).unwrap();
+        assert_eq!(recon.as_slice(), g.as_slice());
+        assert!(stats.compression_ratio > 50.0, "constant field ratio only {}", stats.compression_ratio);
+        assert!(bytes.len() < dims.nbytes_f32());
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(b"not a szhi stream at all").is_err());
+        let g = DatasetKind::Nyx.generate(Dims::d3(20, 20, 20), 2);
+        let bytes = compress(&g, &SzhiConfig::new(ErrorBound::Relative(1e-2))).unwrap();
+        // Truncations anywhere must error, never panic.
+        for cut in [5usize, 50, bytes.len() / 2, bytes.len() - 3] {
+            assert!(decompress(&bytes[..cut]).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn mode_labels_match_paper() {
+        assert_eq!(mode_label(PipelineMode::Cr), "cuSZ-Hi-CR");
+        assert_eq!(mode_label(PipelineMode::Tp), "cuSZ-Hi-TP");
+    }
+}

@@ -1,0 +1,148 @@
+//! Compressor configuration.
+
+use szhi_codec::PipelineSpec;
+use szhi_predictor::InterpConfig;
+
+/// The error-bound specification of a compression run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// A point-wise absolute bound `ε`.
+    Absolute(f64),
+    /// A value-range-relative bound: the absolute bound is
+    /// `eb · (max − min)` of the input field (the convention used by every
+    /// table and figure of the paper).
+    Relative(f64),
+}
+
+impl ErrorBound {
+    /// Resolves the bound to an absolute `ε` for a field with the given value
+    /// range.
+    pub fn absolute(&self, value_range: f64) -> f64 {
+        match *self {
+            ErrorBound::Absolute(eb) => eb,
+            ErrorBound::Relative(eb) => {
+                let abs = eb * value_range;
+                if abs > 0.0 {
+                    abs
+                } else {
+                    // Constant fields compress exactly under any positive bound.
+                    eb.max(f64::MIN_POSITIVE)
+                }
+            }
+        }
+    }
+}
+
+/// Which of the two cuSZ-Hi lossless pipelines to use (§5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineMode {
+    /// Compression-ratio-preferred: `HF → RRE4 → TCMS8 → RZE1`.
+    Cr,
+    /// Throughput-preferred: `TCMS1 → BIT1 → RRE1`.
+    Tp,
+}
+
+impl PipelineMode {
+    /// The lossless pipeline implementing this mode.
+    pub fn pipeline_spec(&self) -> PipelineSpec {
+        match self {
+            PipelineMode::Cr => PipelineSpec::CR,
+            PipelineMode::Tp => PipelineSpec::TP,
+        }
+    }
+
+    /// Mode name as used in the paper's tables (`cuSZ-Hi-CR` / `cuSZ-Hi-TP`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineMode::Cr => "CR",
+            PipelineMode::Tp => "TP",
+        }
+    }
+}
+
+/// Full configuration of a cuSZ-Hi compression run.
+#[derive(Debug, Clone)]
+pub struct SzhiConfig {
+    /// The error bound to honour.
+    pub error_bound: ErrorBound,
+    /// Which lossless pipeline to use.
+    pub mode: PipelineMode,
+    /// Whether to auto-tune the per-level interpolation configuration on a
+    /// 0.2 % sample of the input (§5.1.3). Enabled by default.
+    pub auto_tune: bool,
+    /// Whether to apply the level-ordered code reordering (§5.1.4). Enabled
+    /// by default; the ablation harness switches it off.
+    pub reorder: bool,
+    /// The interpolation predictor configuration (anchor stride, tile span,
+    /// per-level scheme/spline defaults). Defaults to
+    /// [`InterpConfig::cusz_hi`].
+    pub interp: InterpConfig,
+}
+
+impl SzhiConfig {
+    /// A default cuSZ-Hi configuration (CR mode, auto-tuning and reordering
+    /// enabled) for the given error bound.
+    pub fn new(error_bound: ErrorBound) -> Self {
+        SzhiConfig {
+            error_bound,
+            mode: PipelineMode::Cr,
+            auto_tune: true,
+            reorder: true,
+            interp: InterpConfig::cusz_hi(),
+        }
+    }
+
+    /// Selects the lossless pipeline mode.
+    pub fn with_mode(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables interpolation auto-tuning.
+    pub fn with_auto_tune(mut self, enabled: bool) -> Self {
+        self.auto_tune = enabled;
+        self
+    }
+
+    /// Enables or disables the level-ordered code reordering.
+    pub fn with_reorder(mut self, enabled: bool) -> Self {
+        self.reorder = enabled;
+        self
+    }
+
+    /// Replaces the interpolation predictor configuration.
+    pub fn with_interp(mut self, interp: InterpConfig) -> Self {
+        self.interp = interp;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_bound_scales_with_range() {
+        assert_eq!(ErrorBound::Relative(1e-2).absolute(200.0), 2.0);
+        assert_eq!(ErrorBound::Absolute(0.5).absolute(200.0), 0.5);
+        assert!(ErrorBound::Relative(1e-2).absolute(0.0) > 0.0);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(1.0))
+            .with_mode(PipelineMode::Tp)
+            .with_auto_tune(false)
+            .with_reorder(false);
+        assert_eq!(cfg.mode, PipelineMode::Tp);
+        assert!(!cfg.auto_tune);
+        assert!(!cfg.reorder);
+        assert_eq!(cfg.interp.anchor_stride, 16);
+    }
+
+    #[test]
+    fn mode_pipelines_match_paper() {
+        assert_eq!(PipelineMode::Cr.pipeline_spec().name(), "HF-RRE4-TCMS8-RZE1");
+        assert_eq!(PipelineMode::Tp.pipeline_spec().name(), "TCMS1-BIT1-RRE1");
+    }
+}

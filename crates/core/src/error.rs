@@ -1,0 +1,53 @@
+//! Error type of the cuSZ-Hi compressor.
+
+use szhi_codec::CodecError;
+
+/// Errors produced while compressing or decompressing a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzhiError {
+    /// The input field or configuration is invalid.
+    InvalidInput(String),
+    /// The compressed stream is not a szhi stream or uses an unsupported
+    /// version.
+    InvalidStream(String),
+    /// A lossless decoding stage failed (truncated or corrupted payload).
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for SzhiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzhiError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SzhiError::InvalidStream(msg) => write!(f, "invalid compressed stream: {msg}"),
+            SzhiError::Codec(e) => write!(f, "lossless decoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SzhiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SzhiError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for SzhiError {
+    fn from(e: CodecError) -> Self {
+        SzhiError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SzhiError::InvalidStream("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e: SzhiError = CodecError::eof("huffman").into();
+        assert!(e.to_string().contains("huffman"));
+    }
+}

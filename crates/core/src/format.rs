@@ -1,0 +1,263 @@
+//! The self-describing compressed stream format.
+//!
+//! A szhi stream consists of a fixed header followed by three sections:
+//! the losslessly stored anchor values, the outlier side channel, and the
+//! lossless-pipeline-encoded quantization codes. Everything needed to
+//! decompress (shape, error bound, predictor configuration, pipeline
+//! identifier, reorder flag) lives in the header, so `decompress` takes only
+//! the byte stream.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "SZHI" | version u8 | rank u8 | nz u64 | ny u64 | nx u64
+//! | abs_eb f64 | pipeline_id u8 | reorder u8 | anchor_stride u16
+//! | block_span 3×u16 | n_levels u8 | n_levels × (scheme u8, spline u8)
+//! | n_anchors u64 | n_anchors × f32
+//! | n_outliers u64 | n_outliers × (index u64, value f32)
+//! | payload_len u64 | payload bytes
+//! ```
+
+use crate::error::SzhiError;
+use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u64, put_u8, ByteCursor};
+use szhi_codec::PipelineSpec;
+use szhi_ndgrid::Dims;
+use szhi_predictor::{InterpConfig, LevelConfig, Outlier, Scheme, Spline};
+
+/// Magic bytes identifying a szhi stream.
+pub const MAGIC: [u8; 4] = *b"SZHI";
+/// Stream format version.
+pub const VERSION: u8 = 1;
+
+/// The decoded header of a compressed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Shape of the original field.
+    pub dims: Dims,
+    /// Absolute error bound the stream was produced with.
+    pub abs_eb: f64,
+    /// Lossless pipeline used for the quantization codes.
+    pub pipeline: PipelineSpec,
+    /// Whether the codes were level-reordered before encoding.
+    pub reorder: bool,
+    /// Interpolation predictor configuration.
+    pub interp: InterpConfig,
+}
+
+fn scheme_id(s: Scheme) -> u8 {
+    match s {
+        Scheme::DimSequence => 0,
+        Scheme::MultiDim => 1,
+    }
+}
+
+fn scheme_from(id: u8) -> Result<Scheme, SzhiError> {
+    match id {
+        0 => Ok(Scheme::DimSequence),
+        1 => Ok(Scheme::MultiDim),
+        _ => Err(SzhiError::InvalidStream(format!("unknown scheme id {id}"))),
+    }
+}
+
+fn spline_id(s: Spline) -> u8 {
+    match s {
+        Spline::Linear => 0,
+        Spline::Cubic => 1,
+    }
+}
+
+fn spline_from(id: u8) -> Result<Spline, SzhiError> {
+    match id {
+        0 => Ok(Spline::Linear),
+        1 => Ok(Spline::Cubic),
+        _ => Err(SzhiError::InvalidStream(format!("unknown spline id {id}"))),
+    }
+}
+
+/// Serialises the header and the anchor/outlier/payload sections into a
+/// complete stream.
+pub fn write_stream(
+    header: &Header,
+    anchors: &[f32],
+    outliers: &[Outlier],
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + anchors.len() * 4 + outliers.len() * 12 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    put_u8(&mut out, VERSION);
+    put_u8(&mut out, header.dims.rank() as u8);
+    put_u64(&mut out, header.dims.nz() as u64);
+    put_u64(&mut out, header.dims.ny() as u64);
+    put_u64(&mut out, header.dims.nx() as u64);
+    put_f64(&mut out, header.abs_eb);
+    put_u8(&mut out, header.pipeline.id());
+    put_u8(&mut out, header.reorder as u8);
+    put_u16(&mut out, header.interp.anchor_stride as u16);
+    for &s in &header.interp.block_span {
+        put_u16(&mut out, s as u16);
+    }
+    put_u8(&mut out, header.interp.levels.len() as u8);
+    for lc in &header.interp.levels {
+        put_u8(&mut out, scheme_id(lc.scheme));
+        put_u8(&mut out, spline_id(lc.spline));
+    }
+    put_u64(&mut out, anchors.len() as u64);
+    for &a in anchors {
+        put_f32(&mut out, a);
+    }
+    put_u64(&mut out, outliers.len() as u64);
+    for o in outliers {
+        put_u64(&mut out, o.index);
+        put_f32(&mut out, o.value);
+    }
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a stream back into its header and sections.
+pub fn read_stream(bytes: &[u8]) -> Result<(Header, Vec<f32>, Vec<Outlier>, Vec<u8>), SzhiError> {
+    let mut cur = ByteCursor::new(bytes);
+    let magic = cur.take(4).map_err(|_| SzhiError::InvalidStream("stream too short for magic".into()))?;
+    if magic != MAGIC {
+        return Err(SzhiError::InvalidStream("not a szhi stream (bad magic)".into()));
+    }
+    let version = cur.get_u8().map_err(SzhiError::from)?;
+    if version != VERSION {
+        return Err(SzhiError::InvalidStream(format!("unsupported version {version}")));
+    }
+    let rank = cur.get_u8().map_err(SzhiError::from)? as usize;
+    let nz = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let ny = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let nx = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let dims = match rank {
+        1 => Dims::d1(nx),
+        2 => Dims::d2(ny, nx),
+        3 => Dims::d3(nz, ny, nx),
+        _ => return Err(SzhiError::InvalidStream(format!("unsupported rank {rank}"))),
+    };
+    let abs_eb = cur.get_f64().map_err(SzhiError::from)?;
+    let pipeline_id = cur.get_u8().map_err(SzhiError::from)?;
+    let pipeline = PipelineSpec::from_id(pipeline_id)
+        .ok_or_else(|| SzhiError::InvalidStream(format!("unknown pipeline id {pipeline_id}")))?;
+    let reorder = cur.get_u8().map_err(SzhiError::from)? != 0;
+    let anchor_stride = cur.get_u16().map_err(SzhiError::from)? as usize;
+    let mut block_span = [0usize; 3];
+    for s in block_span.iter_mut() {
+        *s = cur.get_u16().map_err(SzhiError::from)? as usize;
+    }
+    let n_levels = cur.get_u8().map_err(SzhiError::from)? as usize;
+    let mut levels = Vec::with_capacity(n_levels);
+    for _ in 0..n_levels {
+        let scheme = scheme_from(cur.get_u8().map_err(SzhiError::from)?)?;
+        let spline = spline_from(cur.get_u8().map_err(SzhiError::from)?)?;
+        levels.push(LevelConfig { scheme, spline });
+    }
+    if !anchor_stride.is_power_of_two() || anchor_stride < 2 || levels.len() != anchor_stride.trailing_zeros() as usize {
+        return Err(SzhiError::InvalidStream(format!(
+            "inconsistent predictor configuration: stride {anchor_stride}, {} levels",
+            levels.len()
+        )));
+    }
+    let interp = InterpConfig { anchor_stride, block_span, levels };
+
+    let n_anchors = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let mut anchors = Vec::with_capacity(n_anchors);
+    for _ in 0..n_anchors {
+        anchors.push(cur.get_f32().map_err(SzhiError::from)?);
+    }
+    let n_outliers = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let mut outliers = Vec::with_capacity(n_outliers);
+    for _ in 0..n_outliers {
+        let index = cur.get_u64().map_err(SzhiError::from)?;
+        let value = cur.get_f32().map_err(SzhiError::from)?;
+        outliers.push(Outlier { index, value });
+    }
+    let payload_len = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let payload = cur.take(payload_len).map_err(SzhiError::from)?.to_vec();
+
+    Ok((
+        Header { dims, abs_eb, pipeline, reorder, interp },
+        anchors,
+        outliers,
+        payload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            dims: Dims::d3(20, 30, 40),
+            abs_eb: 1.5e-3,
+            pipeline: PipelineSpec::CR,
+            reorder: true,
+            interp: InterpConfig::cusz_hi(),
+        }
+    }
+
+    #[test]
+    fn stream_roundtrips() {
+        let header = sample_header();
+        let anchors = vec![1.0f32, -2.5, 3.25];
+        let outliers = vec![Outlier { index: 7, value: 9.5 }, Outlier { index: 1000, value: -0.125 }];
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let bytes = write_stream(&header, &anchors, &outliers, &payload);
+        let (h, a, o, p) = read_stream(&bytes).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(a, anchors);
+        assert_eq!(o, outliers);
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let header = sample_header();
+        let mut bytes = write_stream(&header, &[], &[], &[]);
+        bytes[0] = b'X';
+        assert!(matches!(read_stream(&bytes), Err(SzhiError::InvalidStream(_))));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let header = sample_header();
+        let mut bytes = write_stream(&header, &[], &[], &[]);
+        bytes[4] = 99;
+        assert!(matches!(read_stream(&bytes), Err(SzhiError::InvalidStream(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let header = sample_header();
+        let bytes = write_stream(&header, &[1.0; 10], &[], &[7u8; 100]);
+        for cut in [3usize, 20, bytes.len() - 1] {
+            assert!(read_stream(&bytes[..cut]).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn two_d_headers_roundtrip() {
+        let header = Header {
+            dims: Dims::d2(1800, 3600),
+            abs_eb: 0.25,
+            pipeline: PipelineSpec::TP,
+            reorder: false,
+            interp: InterpConfig::cusz_i(),
+        };
+        let bytes = write_stream(&header, &[], &[], &[]);
+        let (h, _, _, _) = read_stream(&bytes).unwrap();
+        assert_eq!(h, header);
+    }
+
+    #[test]
+    fn inconsistent_predictor_config_is_rejected() {
+        let header = sample_header();
+        let mut bytes = write_stream(&header, &[], &[], &[]);
+        // Corrupt the anchor stride (offset: 4 magic + 1 ver + 1 rank + 24 dims + 8 eb + 1 pid + 1 reorder = 40).
+        bytes[40] = 12;
+        bytes[41] = 0;
+        assert!(read_stream(&bytes).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # szhi-core — the cuSZ-Hi compressor
+//!
+//! This crate is the paper's primary contribution: a high-ratio scientific
+//! error-bounded lossy compressor built from the synergistic combination of
+//!
+//! 1. an **optimized interpolation-based lossy decomposition** — anchor
+//!    stride 16, isotropic 17³ tiles, multi-dimensional spline interpolation
+//!    with per-level auto-tuning (§5.1);
+//! 2. a **level-ordered reordering** of the quantization codes (§5.1.4); and
+//! 3. one of two **multi-stage lossless pipelines** (§5.2): the
+//!    ratio-preferred `HF-RRE4-TCMS8-RZE1` (CR mode) or the
+//!    throughput-preferred `TCMS1-BIT1-RRE1` (TP mode).
+//!
+//! The public API is two functions:
+//!
+//! ```
+//! use szhi_core::{compress, decompress, ErrorBound, PipelineMode, SzhiConfig};
+//! use szhi_ndgrid::{Dims, Grid};
+//!
+//! let field = Grid::from_fn(Dims::d3(24, 24, 24), |z, y, x| {
+//!     ((x as f32) * 0.2).sin() + ((y + z) as f32) * 0.05
+//! });
+//! let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_mode(PipelineMode::Cr);
+//! let bytes = compress(&field, &cfg).unwrap();
+//! let restored = decompress(&bytes).unwrap();
+//! assert_eq!(restored.dims(), field.dims());
+//! let abs_eb = 1e-3 * field.value_range() as f64;
+//! for (a, b) in field.as_slice().iter().zip(restored.as_slice()) {
+//!     assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb);
+//! }
+//! ```
+
+pub mod compressor;
+pub mod config;
+pub mod error;
+pub mod format;
+
+pub use compressor::{compress, compress_with_stats, decompress, CompressionStats};
+pub use config::{ErrorBound, PipelineMode, SzhiConfig};
+pub use error::SzhiError;
+pub use format::{Header, MAGIC, VERSION};

@@ -1,0 +1,42 @@
+//! Synthetic scientific dataset generators.
+//!
+//! The cuSZ-Hi paper evaluates on six SDRBench datasets (CESM-ATM, JHTDB,
+//! Miranda, Nyx, QMCPack, RTM). Those datasets are multi-gigabyte downloads
+//! that are not available in this environment, so this crate provides
+//! synthetic stand-ins: for each dataset family a generator produces fields
+//! with the same dimensionality and the same *compression-relevant*
+//! character — spectral content, smoothness, interfaces, dynamic range — so
+//! that the relative behaviour of the compressors (who wins, by roughly what
+//! factor, where the crossovers fall) matches the paper. The substitution is
+//! documented in `DESIGN.md`.
+//!
+//! All generators are deterministic functions of `(dims, seed)` so every
+//! experiment is reproducible, and they are parallelised over `z`-planes with
+//! Rayon because the evaluation harness generates hundreds of megabytes of
+//! input per run.
+
+pub mod field;
+pub mod noise;
+
+pub use field::{DatasetKind, FieldSpec};
+pub use noise::ValueNoise;
+
+use szhi_ndgrid::{Dims, Grid};
+
+/// Convenience wrapper: generate the dataset `kind` at shape `dims` with the
+/// given RNG `seed`.
+pub fn generate(kind: DatasetKind, dims: Dims, seed: u64) -> Grid<f32> {
+    kind.generate(dims, seed)
+}
+
+/// All six dataset families in the order the paper's tables use.
+pub fn all_kinds() -> [DatasetKind; 6] {
+    [
+        DatasetKind::CesmAtm,
+        DatasetKind::Jhtdb,
+        DatasetKind::Miranda,
+        DatasetKind::Nyx,
+        DatasetKind::Qmcpack,
+        DatasetKind::Rtm,
+    ]
+}

@@ -1,0 +1,15 @@
+//! Compression quality and performance metrics.
+//!
+//! This crate is the workspace's stand-in for the Z-checker tooling the
+//! paper's evaluation relies on: it computes the distortion metrics (PSNR,
+//! NRMSE, maximum point-wise error), the size metrics (compression ratio,
+//! bit rate) and the speed metrics (GiB/s throughput) that every table and
+//! figure of the paper reports.
+
+pub mod quality;
+pub mod size;
+pub mod timing;
+
+pub use quality::{verify_error_bound, QualityReport};
+pub use size::{bitrate, compression_ratio, SizeReport};
+pub use timing::{throughput_gibps, Stopwatch, ThroughputReport};

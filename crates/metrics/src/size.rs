@@ -1,0 +1,67 @@
+//! Compression-size metrics: compression ratio and bit rate.
+
+/// Size statistics of one compression run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// Uncompressed size in bytes.
+    pub original_bytes: usize,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// `original_bytes / compressed_bytes`.
+    pub compression_ratio: f64,
+    /// Average number of compressed bits per original scalar (assumes `f32`
+    /// input, i.e. `32 / compression_ratio`), the paper's bit-rate metric.
+    pub bitrate: f64,
+}
+
+impl SizeReport {
+    /// Builds a report from an original byte count and a compressed byte
+    /// count (the original is assumed to be an `f32` field for the bit-rate).
+    pub fn new(original_bytes: usize, compressed_bytes: usize) -> Self {
+        let cr = compression_ratio(original_bytes, compressed_bytes);
+        SizeReport {
+            original_bytes,
+            compressed_bytes,
+            compression_ratio: cr,
+            bitrate: if cr > 0.0 { 32.0 / cr } else { f64::INFINITY },
+        }
+    }
+}
+
+/// The compression ratio `original / compressed`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0, "compressed size must be non-zero");
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// The bit rate in bits per scalar for `n_points` original values compressed
+/// into `compressed_bytes` bytes.
+pub fn bitrate(n_points: usize, compressed_bytes: usize) -> f64 {
+    assert!(n_points > 0, "cannot compute a bit rate for zero points");
+    compressed_bytes as f64 * 8.0 / n_points as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate_are_consistent() {
+        let r = SizeReport::new(4000, 100);
+        assert!((r.compression_ratio - 40.0).abs() < 1e-12);
+        assert!((r.bitrate - 0.8).abs() < 1e-12);
+        // 4000 bytes of f32 = 1000 points; 100 bytes = 800 bits → 0.8 bits/pt.
+        assert!((bitrate(1000, 100) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_ratio() {
+        assert_eq!(compression_ratio(123, 123), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_compressed_size_panics() {
+        let _ = compression_ratio(10, 0);
+    }
+}

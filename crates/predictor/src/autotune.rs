@@ -1,0 +1,195 @@
+//! Workload-balanced interpolation auto-tuning (§5.1.3).
+//!
+//! cuSZ-Hi selects the interpolation scheme and spline **per level** by
+//! running trial interpolations on a small sample of data blocks (about 0.2 %
+//! of the field) and keeping, for every level, the configuration with the
+//! smallest aggregated prediction error. The GPU implementation balances the
+//! trial workload across thread blocks by hand; here the same trials are
+//! simply distributed over the Rayon thread pool.
+//!
+//! The trials use the original values (not reconstructed ones) as the known
+//! grid — the standard approximation also used by QoZ — which makes every
+//! (block, level, configuration) trial independent and embarrassingly
+//! parallel.
+
+use crate::interp::{predict_point, steps, InterpConfig, LevelConfig, Scheme, Spline};
+use rayon::prelude::*;
+use szhi_ndgrid::{BlockGrid, Grid};
+#[cfg(test)]
+use szhi_ndgrid::Dims;
+
+/// Fraction of the field sampled for the trials (the paper's 0.2 %).
+pub const SAMPLE_FRACTION: f64 = 0.002;
+
+/// The candidate (scheme, spline) pairs evaluated per level.
+pub fn candidates() -> [LevelConfig; 4] {
+    [
+        LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic },
+        LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Linear },
+        LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic },
+        LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Linear },
+    ]
+}
+
+/// The outcome of auto-tuning: one configuration per level plus the measured
+/// trial errors (exposed for the ablation/bench harness).
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Selected configuration per level (index 0 = level 1).
+    pub levels: Vec<LevelConfig>,
+    /// Aggregated absolute trial error per level and candidate,
+    /// `errors[level-1][candidate]`.
+    pub errors: Vec<[f64; 4]>,
+    /// Number of blocks sampled.
+    pub sampled_blocks: usize,
+}
+
+/// Tunes the per-level interpolation configuration of `base` for `data`.
+///
+/// The returned configuration keeps the anchor stride and block span of
+/// `base` and replaces its per-level scheme/spline selections.
+pub fn tune(data: &Grid<f32>, base: &InterpConfig) -> (InterpConfig, TuneResult) {
+    base.validate();
+    let dims = data.dims();
+    let block_grid = BlockGrid::new(dims, base.anchor_stride);
+    let blocks = block_grid.to_vec();
+
+    // Uniformly sample ~SAMPLE_FRACTION of the volume, at least one block.
+    let n_samples = ((blocks.len() as f64 * SAMPLE_FRACTION).ceil() as usize).clamp(1, blocks.len());
+    let stride = (blocks.len() / n_samples).max(1);
+    let sampled: Vec<_> = blocks.iter().step_by(stride).take(n_samples).collect();
+
+    let num_levels = base.num_levels();
+    let cands = candidates();
+
+    // Each (block, level, candidate) trial is independent.
+    let trials: Vec<(usize, usize, f64)> = sampled
+        .par_iter()
+        .flat_map_iter(|block| {
+            let sub = data.extract(&block.region);
+            let sub_dims = block.region.dims();
+            let sub_grid = Grid::from_vec(sub_dims, sub);
+            let mut out = Vec::with_capacity(num_levels * cands.len());
+            for level in 1..=num_levels {
+                let s = 1usize << (level - 1);
+                for (ci, cand) in cands.iter().enumerate() {
+                    let err = trial_error(&sub_grid, s, cand.scheme, cand.spline);
+                    out.push((level, ci, err));
+                }
+            }
+            out
+        })
+        .collect();
+
+    let mut errors = vec![[0.0f64; 4]; num_levels];
+    for (level, ci, err) in trials {
+        errors[level - 1][ci] += err;
+    }
+
+    let levels: Vec<LevelConfig> = errors
+        .iter()
+        .map(|errs| {
+            let best = errs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            cands[best]
+        })
+        .collect();
+
+    let tuned = InterpConfig {
+        anchor_stride: base.anchor_stride,
+        block_span: base.block_span,
+        levels: levels.clone(),
+    };
+    (tuned, TuneResult { levels, errors, sampled_blocks: sampled.len() })
+}
+
+/// Aggregated absolute prediction error of one trial: interpolate every
+/// target of level stride `s` inside `block` from the original values.
+fn trial_error(block: &Grid<f32>, s: usize, scheme: Scheme, spline: Spline) -> f64 {
+    let dims = block.dims();
+    let span = [dims.nz().max(1), dims.ny().max(1), dims.nx().max(1)];
+    let mut err = 0.0f64;
+    for step in steps(dims, s, scheme) {
+        for (z, y, x) in step.targets(dims) {
+            let pred = predict_point(block.as_slice(), dims, (z, y, x), &step.interp_axes, s, spline, span);
+            err += (pred as f64 - block.get(z, y, x) as f64).abs();
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_field(dims: Dims) -> Grid<f32> {
+        Grid::from_fn(dims, |z, y, x| {
+            let (fz, fy, fx) = (z as f32 * 0.05, y as f32 * 0.045, x as f32 * 0.035);
+            (fx + fy * 0.7).sin() * 5.0 + (fz - fx * 0.2).cos() * 3.0
+        })
+    }
+
+    #[test]
+    fn tuning_returns_one_config_per_level() {
+        let g = smooth_field(Dims::d3(48, 48, 48));
+        let (cfg, result) = tune(&g, &InterpConfig::cusz_hi());
+        assert_eq!(cfg.levels.len(), 4);
+        assert_eq!(result.errors.len(), 4);
+        assert!(result.sampled_blocks >= 1);
+        cfg.validate();
+    }
+
+    #[test]
+    fn tuning_prefers_cubic_on_smooth_data() {
+        let g = smooth_field(Dims::d3(64, 64, 64));
+        let (cfg, _) = tune(&g, &InterpConfig::cusz_hi());
+        // The finest levels should pick cubic splines on smooth trigonometric
+        // data; level 1 has by far the most points so check it specifically.
+        assert_eq!(cfg.levels[0].spline, Spline::Cubic, "level 1 should prefer cubic on smooth data");
+    }
+
+    #[test]
+    fn tuning_prefers_linear_on_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        let dims = Dims::d3(48, 48, 48);
+        let g = Grid::from_fn(dims, |_, _, _| rng.gen_range(-1.0f32..1.0));
+        let (_, result) = tune(&g, &InterpConfig::cusz_hi());
+        // On white noise no spline helps; the tuner must still make a valid
+        // choice and the cubic error must not be dramatically *better*.
+        for errs in &result.errors {
+            assert!(errs.iter().all(|e| e.is_finite() && *e >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sample_count_tracks_fraction() {
+        let g = smooth_field(Dims::d3(96, 96, 96));
+        let (_, result) = tune(&g, &InterpConfig::cusz_hi());
+        let total_blocks = BlockGrid::new(g.dims(), 16).len();
+        assert!(result.sampled_blocks <= total_blocks);
+        assert!(result.sampled_blocks >= 1);
+    }
+
+    #[test]
+    fn trial_error_is_zero_on_linear_ramps_with_linear_spline() {
+        let dims = Dims::d3(17, 17, 17);
+        let g = Grid::from_fn(dims, |z, y, x| (2 * x + 3 * y + z) as f32);
+        let err = trial_error(&g, 1, Scheme::MultiDim, Spline::Linear);
+        assert!(err < 1e-2, "linear interpolation must reproduce a linear ramp, err {err}");
+    }
+
+    #[test]
+    fn tuning_respects_base_partition() {
+        let g = smooth_field(Dims::d3(40, 40, 40));
+        let base = InterpConfig::cusz_i();
+        let (cfg, _) = tune(&g, &base);
+        assert_eq!(cfg.anchor_stride, 8);
+        assert_eq!(cfg.block_span, base.block_span);
+        assert_eq!(cfg.levels.len(), 3);
+    }
+}

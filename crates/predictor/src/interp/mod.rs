@@ -1,0 +1,462 @@
+//! Spline-interpolation-based lossy decomposition.
+//!
+//! This module implements the data predictor at the heart of cuSZ-I and
+//! cuSZ-Hi (§3.2, §5.1). The field is predicted hierarchically from a sparse,
+//! losslessly stored anchor grid: at each level `ℓ` (stride `s = 2^(ℓ-1)`),
+//! points on the `s`-grid that are not on the `2s`-grid are predicted by
+//! spline interpolation from already-reconstructed points, the prediction
+//! error is quantized to a one-byte code, and the reconstructed value is fed
+//! into the next (finer) level.
+//!
+//! Two interpolation *schemes* are supported (§5.1.2): the dimension-sequence
+//! scheme of cuSZ-I (1D interpolation along x, then y, then z at every level)
+//! and the multi-dimensional scheme of cuSZ-Hi (edge centres by 1D, face
+//! centres by averaged 2D, body centres by averaged 3D interpolation, using
+//! only the predictions of the highest available spline order). Two *splines*
+//! are supported: linear and cubic.
+//!
+//! The per-thread-block tiling of the GPU implementation appears here as the
+//! *block confinement span*: predictions may only use neighbours inside the
+//! same tile, which reproduces the block-boundary behaviour (and therefore
+//! the compression-ratio differences) of the 33×9×9 cuSZ-I partition versus
+//! the 17³ cuSZ-Hi partition studied in the paper's ablation (Table 5).
+
+mod kernel;
+
+pub use kernel::{predict_point, steps, Step};
+
+use crate::quantize::{Outlier, Quantizer, OUTLIER_CODE, ZERO_CODE};
+use rayon::prelude::*;
+use szhi_ndgrid::{BlockGrid, Dims, Grid};
+
+/// Interpolation spline order (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spline {
+    /// Two-point linear interpolation.
+    Linear,
+    /// Four-point cubic interpolation (falls back to linear near block and
+    /// domain boundaries).
+    Cubic,
+}
+
+/// Interpolation scheme (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// cuSZ-I style: one-dimensional interpolation along each axis in
+    /// sequence (x, then y, then z).
+    DimSequence,
+    /// cuSZ-Hi style: isotropic multi-dimensional interpolation
+    /// (1D → 2D → 3D within each level), averaging the highest-order
+    /// predictions.
+    MultiDim,
+}
+
+/// Per-level interpolation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Which scheme to use at this level.
+    pub scheme: Scheme,
+    /// Which spline to use at this level.
+    pub spline: Spline,
+}
+
+/// Full configuration of the interpolation predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpConfig {
+    /// Stride of the losslessly stored anchor grid (16 for cuSZ-Hi, 8 for
+    /// cuSZ-I). Must be a power of two.
+    pub anchor_stride: usize,
+    /// Block confinement span per axis `(z, y, x)`: interpolation neighbours
+    /// must lie in the same span-aligned tile as the target.
+    pub block_span: [usize; 3],
+    /// Per-level configuration, indexed by `level − 1` (level 1 has stride 1).
+    pub levels: Vec<LevelConfig>,
+}
+
+impl InterpConfig {
+    /// The cuSZ-Hi configuration: anchor stride 16, isotropic 17³ tiles, four
+    /// levels of multi-dimensional cubic interpolation (§5.1.1).
+    pub fn cusz_hi() -> Self {
+        InterpConfig {
+            anchor_stride: 16,
+            block_span: [16, 16, 16],
+            levels: vec![LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic }; 4],
+        }
+    }
+
+    /// The cuSZ-I configuration: anchor stride 8, anisotropic 33×9×9 tiles,
+    /// three levels of dimension-sequence cubic interpolation (§3.2).
+    pub fn cusz_i() -> Self {
+        InterpConfig {
+            anchor_stride: 8,
+            block_span: [8, 8, 32],
+            levels: vec![LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic }; 3],
+        }
+    }
+
+    /// An intermediate configuration used by the ablation study (Table 5):
+    /// cuSZ-Hi's partition and anchor stride, but cuSZ-I's dimension-sequence
+    /// interpolation.
+    pub fn cusz_hi_partition_only() -> Self {
+        InterpConfig {
+            anchor_stride: 16,
+            block_span: [16, 16, 16],
+            levels: vec![LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic }; 4],
+        }
+    }
+
+    /// Number of interpolation levels (`log2(anchor_stride)`).
+    pub fn num_levels(&self) -> usize {
+        self.anchor_stride.trailing_zeros() as usize
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) {
+        assert!(self.anchor_stride.is_power_of_two() && self.anchor_stride >= 2,
+            "anchor stride must be a power of two ≥ 2");
+        assert_eq!(self.levels.len(), self.num_levels(),
+            "expected {} level configs for anchor stride {}, got {}",
+            self.num_levels(), self.anchor_stride, self.levels.len());
+        assert!(self.block_span.iter().all(|&s| s >= self.anchor_stride),
+            "block span must be at least the anchor stride");
+    }
+}
+
+/// Output of the interpolation lossy decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpOutput {
+    /// Losslessly stored anchor values, in row-major anchor-lattice order.
+    pub anchors: Vec<f32>,
+    /// One quantization code per point (same layout as the field); anchors
+    /// carry [`ZERO_CODE`], outliers carry [`OUTLIER_CODE`].
+    pub codes: Vec<u8>,
+    /// Points whose prediction error exceeded the one-byte code range,
+    /// stored exactly, ordered by index.
+    pub outliers: Vec<Outlier>,
+}
+
+impl InterpOutput {
+    /// Fraction of points stored as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.outliers.len() as f64 / self.codes.len() as f64
+        }
+    }
+}
+
+/// The interpolation predictor.
+#[derive(Debug, Clone)]
+pub struct InterpPredictor {
+    cfg: InterpConfig,
+}
+
+/// Number of row tasks dispatched per parallel batch; bounds the temporary
+/// prediction buffers while keeping every core busy.
+const ROWS_PER_BATCH: usize = 8192;
+
+impl InterpPredictor {
+    /// Creates a predictor with the given configuration.
+    pub fn new(cfg: InterpConfig) -> Self {
+        cfg.validate();
+        InterpPredictor { cfg }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &InterpConfig {
+        &self.cfg
+    }
+
+    /// Runs the lossy decomposition of `data` under the absolute error bound
+    /// `eb`, returning anchors, quantization codes and outliers.
+    pub fn compress(&self, data: &Grid<f32>, eb: f64) -> InterpOutput {
+        let dims = data.dims();
+        let quantizer = Quantizer::new(eb);
+        let block_grid = BlockGrid::new(dims, self.cfg.anchor_stride);
+
+        let mut recon = vec![0.0f32; dims.len()];
+        let mut codes = vec![ZERO_CODE; dims.len()];
+        let mut outliers: Vec<Outlier> = Vec::new();
+
+        // Anchors are stored losslessly and seed the reconstruction.
+        let anchor_coords = block_grid.anchor_coords();
+        let mut anchors = Vec::with_capacity(anchor_coords.len());
+        for &(z, y, x) in &anchor_coords {
+            let idx = dims.index(z, y, x);
+            let v = data.as_slice()[idx];
+            anchors.push(v);
+            recon[idx] = v;
+        }
+
+        let data_slice = data.as_slice();
+        self.walk_levels(dims, |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+            // Phase 1 (parallel, read-only): predictions for this batch of rows.
+            Self::predict_batch(dims, step, s, spline, self.cfg.block_span, recon_ref, results);
+        }, &mut recon, |idx, pred, recon_ref, codes_ref: &mut Vec<u8>, outliers_ref: &mut Vec<Outlier>| {
+            // Phase 2 (sequential): quantize and commit the reconstruction.
+            let (code, value) = quantizer.quantize(data_slice[idx], pred);
+            codes_ref[idx] = code;
+            if code == OUTLIER_CODE {
+                outliers_ref.push(Outlier { index: idx as u64, value });
+            }
+            recon_ref[idx] = value;
+        }, &mut codes, &mut outliers);
+
+        outliers.sort_by_key(|o| o.index);
+        InterpOutput { anchors, codes, outliers }
+    }
+
+    /// Reconstructs the field from an [`InterpOutput`] under the same
+    /// configuration and error bound used for compression.
+    pub fn decompress(&self, dims: Dims, eb: f64, output: &InterpOutput) -> Grid<f32> {
+        assert_eq!(output.codes.len(), dims.len(), "code array does not match the field shape");
+        let quantizer = Quantizer::new(eb);
+        let block_grid = BlockGrid::new(dims, self.cfg.anchor_stride);
+
+        let mut recon = vec![0.0f32; dims.len()];
+        // Outliers are consulted by index during the sweep.
+        let outlier_map: std::collections::HashMap<u64, f32> =
+            output.outliers.iter().map(|o| (o.index, o.value)).collect();
+
+        let anchor_coords = block_grid.anchor_coords();
+        assert_eq!(anchor_coords.len(), output.anchors.len(), "anchor count mismatch");
+        for (&(z, y, x), &v) in anchor_coords.iter().zip(&output.anchors) {
+            recon[dims.index(z, y, x)] = v;
+        }
+
+        let codes = &output.codes;
+        let mut dummy_codes: Vec<u8> = Vec::new();
+        let mut dummy_outliers: Vec<Outlier> = Vec::new();
+        self.walk_levels(dims, |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+            Self::predict_batch(dims, step, s, spline, self.cfg.block_span, recon_ref, results);
+        }, &mut recon, |idx, pred, recon_ref, _codes_ref, _outliers_ref| {
+            let code = codes[idx];
+            recon_ref[idx] = if code == OUTLIER_CODE {
+                *outlier_map.get(&(idx as u64)).expect("missing outlier record")
+            } else {
+                quantizer.reconstruct(code, pred)
+            };
+        }, &mut dummy_codes, &mut dummy_outliers);
+
+        Grid::from_vec(dims, recon)
+    }
+
+    /// Shared level/step traversal: for every level (coarse to fine) and every
+    /// step of the level's scheme, predictions are computed in parallel
+    /// batches and committed sequentially through `commit`.
+    fn walk_levels<P, C>(
+        &self,
+        dims: Dims,
+        predict: P,
+        recon: &mut Vec<f32>,
+        mut commit: C,
+        codes: &mut Vec<u8>,
+        outliers: &mut Vec<Outlier>,
+    ) where
+        P: Fn(&Step, usize, Spline, &[f32], &mut Vec<(usize, f32)>) + Sync,
+        C: FnMut(usize, f32, &mut [f32], &mut Vec<u8>, &mut Vec<Outlier>),
+    {
+        let num_levels = self.cfg.num_levels();
+        let mut results: Vec<(usize, f32)> = Vec::new();
+        for level in (1..=num_levels).rev() {
+            let s = 1usize << (level - 1);
+            let lc = self.cfg.levels[level - 1];
+            for step in steps(dims, s, lc.scheme) {
+                // Enumerate the (z, y) rows of this step and process them in
+                // bounded batches.
+                let zs: Vec<usize> = (step.z.0..dims.nz()).step_by(step.z.1).collect();
+                let ys: Vec<usize> = (step.y.0..dims.ny()).step_by(step.y.1).collect();
+                if zs.is_empty() || ys.is_empty() {
+                    continue;
+                }
+                let rows: Vec<(usize, usize)> =
+                    zs.iter().flat_map(|&z| ys.iter().map(move |&y| (z, y))).collect();
+                for batch in rows.chunks(ROWS_PER_BATCH) {
+                    results.clear();
+                    let batch_step = Step { rows: Some(batch.to_vec()), ..step.clone() };
+                    predict(&batch_step, s, lc.spline, recon, &mut results);
+                    for &(idx, pred) in results.iter() {
+                        commit(idx, pred, recon.as_mut_slice(), codes, outliers);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the predictions of every target in `step` (restricted to its
+    /// `rows` batch) in parallel.
+    fn predict_batch(
+        dims: Dims,
+        step: &Step,
+        s: usize,
+        spline: Spline,
+        block_span: [usize; 3],
+        recon: &[f32],
+        results: &mut Vec<(usize, f32)>,
+    ) {
+        let rows = step.rows.as_ref().expect("predict_batch requires a row batch");
+        let per_row: Vec<Vec<(usize, f32)>> = rows
+            .par_iter()
+            .map(|&(z, y)| {
+                let mut row_out = Vec::new();
+                let mut x = step.x.0;
+                while x < dims.nx() {
+                    let pred = predict_point(recon, dims, (z, y, x), &step.interp_axes, s, spline, block_span);
+                    row_out.push((dims.index(z, y, x), pred));
+                    x += step.x.1;
+                }
+                row_out
+            })
+            .collect();
+        for row in per_row {
+            results.extend(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szhi_ndgrid::Dims;
+
+    fn smooth_field(dims: Dims) -> Grid<f32> {
+        Grid::from_fn(dims, |z, y, x| {
+            let (fz, fy, fx) = (z as f32 * 0.045, y as f32 * 0.06, x as f32 * 0.03);
+            10.0 * ((fx).sin() + (fy).cos() + (fz + fx * 0.5).sin())
+        })
+    }
+
+    fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, eb: f64) {
+        for (i, (a, b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= eb + 1e-12,
+                "bound violated at {i}: {a} vs {b} (eb {eb})"
+            );
+        }
+    }
+
+    #[test]
+    fn cusz_hi_roundtrip_3d() {
+        let g = smooth_field(Dims::d3(40, 37, 50));
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let p = InterpPredictor::new(InterpConfig::cusz_hi());
+            let out = p.compress(&g, eb);
+            let recon = p.decompress(g.dims(), eb, &out);
+            check_bound(&g, &recon, eb);
+        }
+    }
+
+    #[test]
+    fn cusz_i_roundtrip_3d() {
+        let g = smooth_field(Dims::d3(33, 40, 41));
+        let p = InterpPredictor::new(InterpConfig::cusz_i());
+        let out = p.compress(&g, 1e-2);
+        let recon = p.decompress(g.dims(), 1e-2, &out);
+        check_bound(&g, &recon, 1e-2);
+    }
+
+    #[test]
+    fn roundtrip_2d_and_1d() {
+        let g2 = smooth_field(Dims::d2(70, 85));
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&g2, 1e-3);
+        check_bound(&g2, &p.decompress(g2.dims(), 1e-3, &out), 1e-3);
+
+        let g1 = smooth_field(Dims::d1(300));
+        let out = p.compress(&g1, 1e-3);
+        check_bound(&g1, &p.decompress(g1.dims(), 1e-3, &out), 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_awkward_shapes() {
+        // Shapes that are not multiples of the anchor stride, smaller than a
+        // block, and with unit axes.
+        for dims in [Dims::d3(17, 17, 17), Dims::d3(5, 9, 13), Dims::d3(1, 40, 3), Dims::d2(15, 16)] {
+            let g = smooth_field(dims);
+            let p = InterpPredictor::new(InterpConfig::cusz_hi());
+            let out = p.compress(&g, 1e-3);
+            let recon = p.decompress(dims, 1e-3, &out);
+            check_bound(&g, &recon, 1e-3);
+        }
+    }
+
+    #[test]
+    fn smooth_fields_yield_concentrated_codes() {
+        let g = smooth_field(Dims::d3(64, 64, 64));
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&g, 1e-2);
+        assert!(out.outlier_fraction() < 0.005, "too many outliers: {}", out.outlier_fraction());
+        let near = out.codes.iter().filter(|&&c| (c as i32 - ZERO_CODE as i32).abs() <= 2).count();
+        assert!(near as f64 > 0.9 * out.codes.len() as f64, "codes not concentrated near zero error");
+    }
+
+    #[test]
+    fn multidim_beats_dimsequence_on_isotropic_data() {
+        // On smoothly varying isotropic data the multi-dimensional scheme
+        // should produce a lower total prediction error (more codes at the
+        // centre) than the 1D dimension-sequence scheme — the §5.1.2 claim.
+        let g = smooth_field(Dims::d3(48, 48, 48));
+        let eb = 1e-3;
+        let mut md_cfg = InterpConfig::cusz_hi();
+        let mut ds_cfg = InterpConfig::cusz_hi();
+        for l in md_cfg.levels.iter_mut() {
+            l.scheme = Scheme::MultiDim;
+        }
+        for l in ds_cfg.levels.iter_mut() {
+            l.scheme = Scheme::DimSequence;
+        }
+        let exact = |cfg: InterpConfig| {
+            let p = InterpPredictor::new(cfg);
+            let out = p.compress(&g, eb);
+            out.codes.iter().filter(|&&c| c == ZERO_CODE).count()
+        };
+        let md_exact = exact(md_cfg);
+        let ds_exact = exact(ds_cfg);
+        assert!(
+            md_exact as f64 >= 0.95 * ds_exact as f64,
+            "multi-dim scheme should not be much worse than dim-sequence: {md_exact} vs {ds_exact}"
+        );
+    }
+
+    #[test]
+    fn anchors_are_stored_exactly() {
+        let g = smooth_field(Dims::d3(33, 33, 33));
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&g, 1e-1);
+        let recon = p.decompress(g.dims(), 1e-1, &out);
+        for z in (0..33).step_by(16) {
+            for y in (0..33).step_by(16) {
+                for x in (0..33).step_by(16) {
+                    assert_eq!(recon.get(z, y, x), g.get(z, y, x), "anchor ({z},{y},{x}) not exact");
+                }
+            }
+        }
+        assert_eq!(out.anchors.len(), 27);
+    }
+
+    #[test]
+    fn rough_data_respects_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let dims = Dims::d3(24, 24, 24);
+        let g = Grid::from_fn(dims, |_, _, _| rng.gen_range(-100.0f32..100.0));
+        let eb = 1e-3;
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&g, eb);
+        let recon = p.decompress(dims, eb, &out);
+        check_bound(&g, &recon, eb);
+        assert!(out.outlier_fraction() > 0.1, "white noise must produce many outliers");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_is_rejected() {
+        let cfg = InterpConfig {
+            anchor_stride: 12,
+            block_span: [12, 12, 12],
+            levels: vec![LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic }; 3],
+        };
+        let _ = InterpPredictor::new(cfg);
+    }
+}

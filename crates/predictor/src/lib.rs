@@ -1,0 +1,32 @@
+//! Lossy decomposition substrate: predictors, quantization, reordering and
+//! auto-tuning.
+//!
+//! Error-bounded lossy compressors of the cuSZ family all follow the same
+//! two-phase design the paper formalises in Eq. 2: a *lossy decomposition*
+//! turns the floating-point field into an integer array of quantized
+//! prediction errors (plus a small lossless side channel), and a *lossless
+//! encoder* shrinks that integer array. This crate implements the first
+//! phase for every compressor in the workspace:
+//!
+//! * [`quantize`] — the error-bounded linear quantizer with one-byte codes
+//!   and an outlier side channel (§5.2.1);
+//! * [`lorenzo`] — the dual-quantization Lorenzo predictor used by the
+//!   cuSZ-L and FZ-GPU baselines;
+//! * [`interp`] — the spline-interpolation predictor: the cuSZ-I
+//!   configuration (anchor stride 8, dimension-sequence interpolation) and
+//!   the cuSZ-Hi configuration (anchor stride 16, multi-dimensional
+//!   interpolation, §5.1.1–§5.1.2);
+//! * [`reorder`] — the level-ordered quantization-code mapping (§5.1.4,
+//!   Eq. 3);
+//! * [`autotune`] — the sampled, workload-balanced interpolation auto-tuner
+//!   (§5.1.3).
+
+pub mod autotune;
+pub mod interp;
+pub mod lorenzo;
+pub mod quantize;
+pub mod reorder;
+
+pub use interp::{InterpConfig, InterpOutput, InterpPredictor, LevelConfig, Scheme, Spline};
+pub use quantize::{Outlier, Quantizer, OUTLIER_CODE, ZERO_CODE};
+pub use reorder::LevelOrder;

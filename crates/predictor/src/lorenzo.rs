@@ -1,0 +1,220 @@
+//! Dual-quantization Lorenzo prediction.
+//!
+//! The Lorenzo predictor estimates each point from its already-processed
+//! neighbours in the lower corner of the local cube (1st-order Lorenzo
+//! extrapolation). cuSZ and FZ-GPU use the *dual-quantization* variant:
+//! values are first pre-quantized to integers (`round(v / 2ε)`), and the
+//! Lorenzo differences are then computed exactly in the integer domain, so no
+//! prediction-error feedback loops can violate the bound. This module is the
+//! lossy decomposition used by the cuSZ-L and FZ-GPU baselines.
+
+use rayon::prelude::*;
+use szhi_ndgrid::{Dims, Grid};
+
+/// Default quantization-code radius (matching cuSZ's 1024-bin default).
+pub const DEFAULT_RADIUS: u32 = 512;
+
+/// Output of the Lorenzo lossy decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LorenzoOutput {
+    /// One code per point, centred at the radius; code 0 marks an outlier.
+    pub codes: Vec<u16>,
+    /// Pre-quantized integer values of the outlier points, in raster order.
+    pub outliers: Vec<(u64, i64)>,
+    /// The code-space radius used.
+    pub radius: u32,
+}
+
+impl LorenzoOutput {
+    /// Fraction of points stored as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.outliers.len() as f64 / self.codes.len() as f64
+        }
+    }
+}
+
+#[inline]
+fn prequant(v: f32, two_eb: f64) -> i64 {
+    (v as f64 / two_eb).round() as i64
+}
+
+#[inline]
+fn lorenzo_pred(q: &[i64], dims: Dims, z: usize, y: usize, x: usize) -> i64 {
+    let at = |z: isize, y: isize, x: isize| -> i64 {
+        if z < 0 || y < 0 || x < 0 {
+            0
+        } else {
+            q[dims.index(z as usize, y as usize, x as usize)]
+        }
+    };
+    let (zi, yi, xi) = (z as isize, y as isize, x as isize);
+    match dims.rank() {
+        1 => at(zi, yi, xi - 1),
+        2 => at(zi, yi - 1, xi) + at(zi, yi, xi - 1) - at(zi, yi - 1, xi - 1),
+        _ => {
+            at(zi - 1, yi, xi) + at(zi, yi - 1, xi) + at(zi, yi, xi - 1)
+                - at(zi - 1, yi - 1, xi)
+                - at(zi - 1, yi, xi - 1)
+                - at(zi, yi - 1, xi - 1)
+                + at(zi - 1, yi - 1, xi - 1)
+        }
+    }
+}
+
+/// Compresses `data` into Lorenzo quantization codes for the absolute error
+/// bound `eb`.
+pub fn compress(data: &Grid<f32>, eb: f64, radius: u32) -> LorenzoOutput {
+    assert!(eb > 0.0 && radius >= 2);
+    let dims = data.dims();
+    let two_eb = 2.0 * eb;
+    // Phase 1: pre-quantization (parallel).
+    let q: Vec<i64> = data.as_slice().par_iter().map(|&v| prequant(v, two_eb)).collect();
+    // Phase 2: Lorenzo differences in the integer domain. The prediction uses
+    // the exact pre-quantized neighbours, so every point is independent.
+    let max_code = (2 * radius - 1) as i64;
+    let codes: Vec<u16> = (0..dims.len())
+        .into_par_iter()
+        .map(|idx| {
+            let (z, y, x) = dims.coords(idx);
+            let pred = lorenzo_pred(&q, dims, z, y, x);
+            let delta = q[idx] - pred;
+            let code = delta + radius as i64;
+            if code >= 1 && code <= max_code {
+                code as u16
+            } else {
+                0
+            }
+        })
+        .collect();
+    let outliers: Vec<(u64, i64)> = codes
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(idx, _)| (idx as u64, q[idx]))
+        .collect();
+    LorenzoOutput { codes, outliers, radius }
+}
+
+/// Reconstructs the field from a [`LorenzoOutput`].
+pub fn decompress(out: &LorenzoOutput, dims: Dims, eb: f64) -> Grid<f32> {
+    assert_eq!(out.codes.len(), dims.len(), "code array does not match the field shape");
+    let two_eb = 2.0 * eb;
+    let radius = out.radius as i64;
+    let mut q = vec![0i64; dims.len()];
+    let mut outlier_iter = out.outliers.iter().peekable();
+    // The prediction of point i only uses neighbours with smaller raster
+    // index, so a sequential raster sweep reconstructs the exact integers.
+    for idx in 0..dims.len() {
+        let (z, y, x) = dims.coords(idx);
+        let code = out.codes[idx];
+        if code == 0 {
+            let (oidx, value) = **outlier_iter.peek().expect("missing outlier record");
+            assert_eq!(oidx as usize, idx, "outlier record out of order");
+            outlier_iter.next();
+            q[idx] = value;
+        } else {
+            let pred = lorenzo_pred(&q, dims, z, y, x);
+            q[idx] = pred + code as i64 - radius;
+        }
+    }
+    let values: Vec<f32> = q.par_iter().map(|&qi| (qi as f64 * two_eb) as f32).collect();
+    Grid::from_vec(dims, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szhi_ndgrid::Dims;
+
+    fn smooth_field(dims: Dims) -> Grid<f32> {
+        Grid::from_fn(dims, |z, y, x| {
+            ((x as f32 * 0.11).sin() + (y as f32 * 0.07).cos() + (z as f32 * 0.05).sin()) * 10.0
+        })
+    }
+
+    fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, eb: f64) {
+        // Dual quantization guarantees |v − q·2ε| ≤ ε in real arithmetic; the
+        // final cast of q·2ε to f32 can add at most one half-ulp of the
+        // reconstructed magnitude (the same guarantee cuSZ provides).
+        for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
+            let slack = (a.abs() as f64) * f32::EPSILON as f64;
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= eb + slack + 1e-12,
+                "bound violated: {a} vs {b} (eb {eb})"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d_within_bound() {
+        let g = smooth_field(Dims::d3(20, 24, 28));
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let out = compress(&g, eb, DEFAULT_RADIUS);
+            let recon = decompress(&out, g.dims(), eb);
+            check_bound(&g, &recon, eb);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_and_1d() {
+        let g2 = smooth_field(Dims::d2(50, 60));
+        let out = compress(&g2, 1e-3, DEFAULT_RADIUS);
+        check_bound(&g2, &decompress(&out, g2.dims(), 1e-3), 1e-3);
+
+        let g1 = smooth_field(Dims::d1(500));
+        let out = compress(&g1, 1e-3, DEFAULT_RADIUS);
+        check_bound(&g1, &decompress(&out, g1.dims(), 1e-3), 1e-3);
+    }
+
+    #[test]
+    fn smooth_fields_have_few_outliers_and_concentrated_codes() {
+        let g = smooth_field(Dims::d3(32, 32, 32));
+        let out = compress(&g, 1e-2, DEFAULT_RADIUS);
+        assert!(out.outlier_fraction() < 0.01, "outlier fraction {}", out.outlier_fraction());
+        let near_center = out
+            .codes
+            .iter()
+            .filter(|&&c| (c as i32 - DEFAULT_RADIUS as i32).abs() <= 2)
+            .count();
+        assert!(near_center as f64 > 0.8 * out.codes.len() as f64, "codes not concentrated");
+    }
+
+    #[test]
+    fn rough_data_still_respects_bound() {
+        // White noise: predictions are bad, many large codes/outliers, but the
+        // bound must hold regardless.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let dims = Dims::d3(16, 16, 16);
+        let g = Grid::from_fn(dims, |_, _, _| rng.gen_range(-1000.0f32..1000.0));
+        let eb = 1e-4;
+        let out = compress(&g, eb, DEFAULT_RADIUS);
+        let recon = decompress(&out, dims, eb);
+        check_bound(&g, &recon, eb);
+    }
+
+    #[test]
+    fn constant_field_produces_center_codes_only() {
+        let dims = Dims::d3(8, 8, 8);
+        let g = Grid::from_vec(dims, vec![3.75f32; dims.len()]);
+        let out = compress(&g, 1e-3, DEFAULT_RADIUS);
+        // Only the very first point (predicted from nothing) can exceed the
+        // code range; every other Lorenzo difference is exactly zero.
+        assert!(out.outliers.len() <= 1);
+        assert!(out.codes.iter().skip(1).all(|&c| c == DEFAULT_RADIUS as u16));
+    }
+
+    #[test]
+    fn large_magnitude_values_are_preserved() {
+        // Nyx-like magnitudes (1e9 .. 1e11) with a large absolute bound.
+        let dims = Dims::d3(8, 8, 8);
+        let g = Grid::from_fn(dims, |z, y, x| 1.0e9 * (1.0 + 0.1 * (z + y + x) as f32));
+        let eb = 1.0e6;
+        let out = compress(&g, eb, DEFAULT_RADIUS);
+        let recon = decompress(&out, dims, eb);
+        check_bound(&g, &recon, eb);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: compress and decompress a 3D scientific field with cuSZ-Hi.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small cosmology-like field, compresses it in both CR and TP
+//! modes under a value-range-relative error bound of 1e-3, verifies the
+//! point-wise bound and prints the resulting ratios.
+
+use szhi::prelude::*;
+
+fn main() {
+    // 1. A 64³ Nyx-like (cosmological density) field.
+    let dims = Dims::d3(64, 64, 64);
+    let field = DatasetKind::Nyx.generate(dims, 2024);
+    let abs_eb = 1e-3 * field.value_range() as f64;
+    println!("input: {} points ({} KiB), value range {:.3e}", field.len(), dims.nbytes_f32() / 1024, field.value_range());
+
+    for mode in [PipelineMode::Cr, PipelineMode::Tp] {
+        // 2. Compress with a value-range-relative error bound of 1e-3.
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_mode(mode);
+        let compressed = compress(&field, &cfg).expect("compression failed");
+
+        // 3. Decompress and verify.
+        let restored = decompress(&compressed).expect("decompression failed");
+        let report = QualityReport::compare(&field, &restored);
+        assert!(report.max_abs_error <= abs_eb + 1e-12, "error bound violated");
+
+        let ratio = dims.nbytes_f32() as f64 / compressed.len() as f64;
+        println!(
+            "cuSZ-Hi-{}: {} bytes, compression ratio {:.1}x, PSNR {:.1} dB, max error {:.3e} (bound {:.3e})",
+            mode.name(),
+            compressed.len(),
+            ratio,
+            report.psnr,
+            report.max_abs_error,
+            abs_eb
+        );
+    }
+}

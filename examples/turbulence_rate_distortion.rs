@@ -1,0 +1,49 @@
+//! Turbulence post-analysis scenario: rate-distortion comparison on a
+//! JHTDB-like field.
+//!
+//! ```bash
+//! cargo run --release --example turbulence_rate_distortion
+//! ```
+//!
+//! Turbulence snapshots (the paper's motivating 128-TB use case) are the
+//! hardest of the six dataset families — rough, multi-scale fields — and are
+//! where high-ratio compressors separate from throughput-oriented ones. This
+//! example sweeps the error bound for every error-bounded compressor in the
+//! workspace and prints the (bitrate, PSNR) points of Figure 8 for a
+//! turbulence-like field, so the crossovers between compressors can be
+//! inspected directly.
+
+use szhi::baselines::Compressor;
+use szhi::prelude::*;
+
+fn main() {
+    let field = DatasetKind::Jhtdb.generate(Dims::d3(96, 96, 96), 11);
+    println!("field: {} ({} MiB)\n", field.dims(), field.dims().nbytes_f32() >> 20);
+
+    let compressors = szhi::baselines::table4_compressors();
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "compressor", "rel. eb", "bitrate", "PSNR dB", "ratio");
+    for c in &compressors {
+        for rel_eb in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let bytes = match c.compress(&field, ErrorBound::Relative(rel_eb)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{} failed at {rel_eb:e}: {e}", c.name());
+                    continue;
+                }
+            };
+            let restored = c.decompress(&bytes).expect("decompress");
+            let q = QualityReport::compare(&field, &restored);
+            let bitrate = bytes.len() as f64 * 8.0 / field.len() as f64;
+            println!(
+                "{:<12} {:>10.0e} {:>10.3} {:>10.1} {:>10.1}",
+                c.name(),
+                rel_eb,
+                bitrate,
+                q.psnr,
+                field.dims().nbytes_f32() as f64 / bytes.len() as f64
+            );
+        }
+        println!();
+    }
+    println!("Lower bitrate at equal PSNR is better; cuSZ-Hi-CR should dominate the low-bitrate region.");
+}

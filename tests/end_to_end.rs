@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: every compressor in the workspace, on every
+//! dataset family, honours its error bound and reproduces the paper's
+//! qualitative orderings.
+
+use szhi::baselines::{table4_compressors, Compressor, CuZfp, SzhiCr, SzhiTp};
+use szhi::prelude::*;
+
+fn small_dims(kind: DatasetKind) -> Dims {
+    if kind == DatasetKind::CesmAtm {
+        Dims::d2(48, 72)
+    } else {
+        Dims::d3(33, 34, 36)
+    }
+}
+
+/// Dual-quantization compressors reconstruct `q·2ε` in `f32`, which can add
+/// up to half an ulp of the reconstructed magnitude on top of the bound.
+fn assert_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64, label: &str) {
+    for (i, (a, b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+        let slack = (a.abs() as f64) * f32::EPSILON as f64;
+        assert!(
+            ((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12,
+            "{label}: bound violated at point {i}: {a} vs {b} (eb {abs_eb})"
+        );
+    }
+}
+
+#[test]
+fn every_error_bounded_compressor_honours_its_bound_on_every_dataset() {
+    for kind in szhi::datagen::all_kinds() {
+        let data = kind.generate(small_dims(kind), 3);
+        for rel_eb in [1e-2, 1e-3] {
+            let abs_eb = rel_eb * data.value_range() as f64;
+            for c in table4_compressors() {
+                let bytes = c
+                    .compress(&data, ErrorBound::Relative(rel_eb))
+                    .unwrap_or_else(|e| panic!("{} failed on {kind}: {e}", c.name()));
+                let recon = c.decompress(&bytes).unwrap();
+                assert_eq!(recon.dims(), data.dims(), "{} changed the shape", c.name());
+                assert_bound(&data, &recon, abs_eb, &format!("{} on {kind} at {rel_eb:e}", c.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn cusz_hi_cr_wins_on_smooth_3d_data() {
+    // The headline claim (Table 4): on smooth 3D fields at moderate bounds the
+    // cuSZ-Hi modes compress better than every baseline.
+    for kind in [DatasetKind::Miranda, DatasetKind::Nyx, DatasetKind::Rtm] {
+        let data = kind.generate(kind.default_dims(), 3);
+        let eb = ErrorBound::Relative(1e-2);
+        let mut sizes: Vec<(String, usize)> = Vec::new();
+        for c in table4_compressors() {
+            let bytes = c.compress(&data, eb).unwrap();
+            sizes.push((c.name().to_string(), bytes.len()));
+        }
+        let best_hi = sizes.iter().filter(|(n, _)| n.starts_with("cuSZ-Hi")).map(|(_, s)| *s).min().unwrap();
+        let best_baseline = sizes.iter().filter(|(n, _)| !n.starts_with("cuSZ-Hi")).map(|(_, s)| *s).min().unwrap();
+        assert!(
+            best_hi < best_baseline,
+            "{kind}: best cuSZ-Hi size {best_hi} not better than best baseline {best_baseline}: {sizes:?}"
+        );
+    }
+}
+
+#[test]
+fn interpolation_beats_lorenzo_and_offset_prediction() {
+    // §4: interpolation-based decomposition should out-compress Lorenzo
+    // (cuSZ-L) and offset prediction (cuSZp2) at the same bound.
+    let data = DatasetKind::Miranda.generate(DatasetKind::Miranda.default_dims(), 5);
+    let eb = ErrorBound::Relative(1e-3);
+    let sizes: std::collections::HashMap<String, usize> = table4_compressors()
+        .iter()
+        .map(|c| (c.name().to_string(), c.compress(&data, eb).unwrap().len()))
+        .collect();
+    assert!(sizes["cuSZ-I"] < sizes["cuSZ-L"], "cuSZ-I should beat cuSZ-L: {sizes:?}");
+    assert!(sizes["cuSZ-I"] < sizes["cuSZp2"], "cuSZ-I should beat cuSZp2: {sizes:?}");
+    assert!(sizes["cuSZ-Hi-CR"] <= sizes["cuSZ-IB"], "cuSZ-Hi-CR should beat cuSZ-IB: {sizes:?}");
+}
+
+#[test]
+fn compression_is_deterministic() {
+    let data = DatasetKind::Qmcpack.generate(Dims::d3(30, 32, 34), 8);
+    for c in [&SzhiCr as &dyn Compressor, &SzhiTp] {
+        let a = c.compress(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let b = c.compress(&data, ErrorBound::Relative(1e-3)).unwrap();
+        assert_eq!(a, b, "{} is not deterministic", c.name());
+    }
+}
+
+#[test]
+fn cuzfp_rate_controls_size_and_quality() {
+    let data = DatasetKind::Miranda.generate(Dims::d3(32, 48, 48), 2);
+    let mut last_size = 0usize;
+    let mut last_psnr = 0.0f64;
+    for rate in [2.0, 8.0, 16.0] {
+        let c = CuZfp::with_rate(rate);
+        let bytes = c.compress(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let recon = c.decompress(&bytes).unwrap();
+        let q = QualityReport::compare(&data, &recon);
+        assert!(bytes.len() > data.dims().nbytes_f32() * rate as usize / 32 / 2, "size far below the configured rate");
+        assert!(bytes.len() > last_size, "compressed size must grow with the rate");
+        assert!(q.psnr > last_psnr, "PSNR must increase with rate");
+        last_size = bytes.len();
+        last_psnr = q.psnr;
+    }
+}
+
+#[test]
+fn streams_are_rejected_by_other_decompressors() {
+    // Feeding one compressor's stream into another must error, never panic or
+    // silently produce garbage data of the right shape.
+    let data = DatasetKind::Nyx.generate(Dims::d3(20, 20, 20), 1);
+    let compressors = table4_compressors();
+    let streams: Vec<(String, Vec<u8>)> = compressors
+        .iter()
+        .map(|c| (c.name().to_string(), c.compress(&data, ErrorBound::Relative(1e-2)).unwrap()))
+        .collect();
+    for c in &compressors {
+        for (src, bytes) in &streams {
+            // Variants that intentionally share a stream format can decode
+            // each other: the two cuSZ-Hi modes (self-describing pipeline id)
+            // and cuSZ-I / cuSZ-IB (a flag byte selects the Bitcomp pass).
+            if src == c.name()
+                || (src.starts_with("cuSZ-Hi") && c.name().starts_with("cuSZ-Hi"))
+                || (src.starts_with("cuSZ-I") && c.name().starts_with("cuSZ-I"))
+            {
+                continue;
+            }
+            assert!(
+                c.decompress(bytes).is_err(),
+                "{} accepted a stream produced by {src}",
+                c.name()
+            );
+        }
+    }
+}

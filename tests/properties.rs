@@ -1,0 +1,93 @@
+//! Property-based tests of the workspace's core invariants:
+//! error-bound preservation of the compressors, losslessness of every codec
+//! pipeline, and bijectivity of the reordering permutation.
+
+use proptest::prelude::*;
+use szhi::codec::PipelineSpec;
+use szhi::ndgrid::{Dims, Grid};
+use szhi::predictor::{InterpConfig, InterpPredictor, LevelOrder};
+use szhi::prelude::*;
+
+/// Strategy: a small 3D field with smooth structure plus bounded noise.
+fn field_strategy() -> impl Strategy<Value = (Grid<f32>, f64)> {
+    (
+        2usize..20,
+        2usize..20,
+        2usize..24,
+        0.0f32..10.0,
+        0.01f32..2.0,
+        proptest::collection::vec(-1.0f32..1.0, 1..64),
+        1e-4f64..1e-1,
+    )
+        .prop_map(|(nz, ny, nx, offset, amp, noise, rel_eb)| {
+            let dims = Dims::d3(nz, ny, nx);
+            let grid = Grid::from_fn(dims, |z, y, x| {
+                let idx = (z * 7 + y * 3 + x) % noise.len();
+                offset
+                    + amp * ((x as f32) * 0.21).sin()
+                    + amp * 0.5 * ((y as f32) * 0.13 + (z as f32) * 0.07).cos()
+                    + amp * 0.1 * noise[idx]
+            });
+            (grid, rel_eb)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fundamental contract of Eq. 1: every reconstructed point is within
+    /// the absolute bound, for arbitrary shapes, bounds and (mildly noisy)
+    /// fields, in both pipeline modes.
+    #[test]
+    fn szhi_always_honours_the_error_bound((data, rel_eb) in field_strategy(), cr_mode in any::<bool>()) {
+        let mode = if cr_mode { PipelineMode::Cr } else { PipelineMode::Tp };
+        let cfg = SzhiConfig::new(ErrorBound::Relative(rel_eb)).with_mode(mode);
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let bytes = compress(&data, &cfg).unwrap();
+        let recon = decompress(&bytes).unwrap();
+        prop_assert_eq!(recon.dims(), data.dims());
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "violated: {} vs {} (eb {})", a, b, abs_eb);
+        }
+    }
+
+    /// Every named lossless pipeline is exactly lossless on arbitrary bytes.
+    #[test]
+    fn all_pipelines_are_lossless(data in proptest::collection::vec(any::<u8>(), 0..6000), id in 0u8..18) {
+        let spec = PipelineSpec::from_id(id).unwrap();
+        let p = spec.build();
+        let encoded = p.encode(&data);
+        let decoded = p.decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// The level-ordered permutation is a bijection and restore ∘ reorder is
+    /// the identity for arbitrary shapes and strides.
+    #[test]
+    fn reorder_restore_roundtrip(nz in 1usize..24, ny in 1usize..24, nx in 1usize..24, stride_pow in 1u32..5) {
+        let dims = Dims::d3(nz, ny, nx);
+        let stride = 1usize << stride_pow;
+        let order = LevelOrder::new(dims, stride);
+        let codes: Vec<u8> = (0..dims.len()).map(|i| (i * 37 % 251) as u8).collect();
+        let reordered = order.reorder(&codes);
+        prop_assert_eq!(order.restore(&reordered), codes);
+    }
+
+    /// The interpolation predictor round-trips exactly (code-for-code) through
+    /// its own decompressor for arbitrary small fields.
+    #[test]
+    fn interp_predictor_reconstruction_matches_quantized_values((data, rel_eb) in field_strategy()) {
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let out = p.compress(&data, abs_eb);
+        let recon = p.decompress(data.dims(), abs_eb, &out);
+        // Compressing the reconstruction again must give zero error codes
+        // everywhere (the reconstruction is a fixed point of the predictor).
+        let out2 = p.compress(&recon, abs_eb);
+        let recon2 = p.decompress(data.dims(), abs_eb, &out2);
+        for (a, b) in recon.as_slice().iter().zip(recon2.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
+        }
+    }
+}
