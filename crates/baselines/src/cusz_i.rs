@@ -52,7 +52,11 @@ fn compress_interp(
 fn decompress_interp(bytes: &[u8], name: &str) -> Result<Grid<f32>, SzhiError> {
     let (mut cur, dims, abs_eb) = read_header(bytes, MAGIC, name)?;
     let bitcomp = cur.get_u8().map_err(SzhiError::from)?;
-    let pipeline = if bitcomp != 0 { PipelineSpec::HfBitcomp } else { PipelineSpec::Hf };
+    let pipeline = if bitcomp != 0 {
+        PipelineSpec::HfBitcomp
+    } else {
+        PipelineSpec::Hf
+    };
     let n_anchors = cur.get_u64().map_err(SzhiError::from)? as usize;
     let mut anchors = Vec::with_capacity(n_anchors);
     for _ in 0..n_anchors {
@@ -84,7 +88,15 @@ fn decompress_interp(bytes: &[u8], name: &str) -> Result<Grid<f32>, SzhiError> {
         )));
     }
     let predictor = InterpPredictor::new(cfg);
-    Ok(predictor.decompress(dims, abs_eb, &InterpOutput { anchors, codes, outliers }))
+    Ok(predictor.decompress(
+        dims,
+        abs_eb,
+        &InterpOutput {
+            anchors,
+            codes,
+            outliers,
+        },
+    ))
 }
 
 /// The cuSZ-I baseline (interpolation predictor + Huffman).
@@ -127,7 +139,10 @@ mod tests {
 
     fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
         for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
-            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12, "{a} vs {b}");
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -146,9 +161,18 @@ mod tests {
     #[test]
     fn bitcomp_variant_compresses_at_least_as_well() {
         let g = DatasetKind::Nyx.generate(Dims::d3(48, 48, 48), 5);
-        let plain = CuszI.compress(&g, ErrorBound::Relative(1e-2)).unwrap().len();
-        let ib = CuszIb.compress(&g, ErrorBound::Relative(1e-2)).unwrap().len();
-        assert!(ib as f64 <= plain as f64 * 1.02, "cuSZ-IB ({ib}) should not be larger than cuSZ-I ({plain})");
+        let plain = CuszI
+            .compress(&g, ErrorBound::Relative(1e-2))
+            .unwrap()
+            .len();
+        let ib = CuszIb
+            .compress(&g, ErrorBound::Relative(1e-2))
+            .unwrap()
+            .len();
+        assert!(
+            ib as f64 <= plain as f64 * 1.02,
+            "cuSZ-IB ({ib}) should not be larger than cuSZ-I ({plain})"
+        );
     }
 
     #[test]

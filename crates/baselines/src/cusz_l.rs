@@ -6,7 +6,10 @@
 //! byte planes before Huffman coding so the (almost constant) high bytes
 //! collapse.
 
-use crate::stream::{byte_planes_to_codes, codes_to_byte_planes, read_header, read_int_outliers, write_header, write_int_outliers};
+use crate::stream::{
+    byte_planes_to_codes, codes_to_byte_planes, read_header, read_int_outliers, write_header,
+    write_int_outliers,
+};
 use crate::Compressor;
 use szhi_codec::bitio::put_u64;
 use szhi_codec::huffman;
@@ -24,7 +27,9 @@ pub struct CuszL {
 
 impl Default for CuszL {
     fn default() -> Self {
-        CuszL { radius: DEFAULT_RADIUS }
+        CuszL {
+            radius: DEFAULT_RADIUS,
+        }
     }
 }
 
@@ -66,7 +71,11 @@ impl Compressor for CuszL {
         let encoded = cur.take(enc_len).map_err(SzhiError::from)?;
         let planes = huffman::decode(encoded)?;
         let codes = byte_planes_to_codes(&planes, dims.len())?;
-        let output = LorenzoOutput { codes, outliers, radius };
+        let output = LorenzoOutput {
+            codes,
+            outliers,
+            radius,
+        };
         Ok(lorenzo::decompress(&output, dims, abs_eb))
     }
 }
@@ -80,7 +89,10 @@ mod tests {
     fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
         for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
             let slack = (a.abs() as f64) * f32::EPSILON as f64;
-            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12, "{a} vs {b}");
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12,
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -88,7 +100,11 @@ mod tests {
     fn roundtrip_within_bound() {
         let c = CuszL::default();
         for kind in [DatasetKind::Miranda, DatasetKind::CesmAtm] {
-            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(60, 80) } else { Dims::d3(32, 32, 32) };
+            let dims = if kind == DatasetKind::CesmAtm {
+                Dims::d2(60, 80)
+            } else {
+                Dims::d3(32, 32, 32)
+            };
             let g = kind.generate(dims, 3);
             let rel = 1e-3;
             let bytes = c.compress(&g, ErrorBound::Relative(rel)).unwrap();

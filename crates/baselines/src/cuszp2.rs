@@ -8,13 +8,13 @@
 //! cuSZp2's "outlier mode": deltas that do not fit a 32-bit zig-zag code are
 //! escaped to a lossless side channel.
 
-use crate::stream::{read_header, write_header, write_int_outliers, read_int_outliers};
+use crate::stream::{read_header, read_int_outliers, write_header, write_int_outliers};
 use crate::Compressor;
+use rayon::prelude::*;
 use szhi_codec::bitio::put_u64;
 use szhi_codec::fixedlen::{pack_u32, unpack_u32, unzigzag_u32, zigzag_i32};
 use szhi_core::{ErrorBound, SzhiError};
 use szhi_ndgrid::Grid;
-use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"CZP2";
 /// Elements per prediction/packing block (cuSZp2's warp-sized blocks).
@@ -36,7 +36,11 @@ impl Compressor for Cuszp2 {
         let abs_eb = eb.absolute(data.value_range() as f64);
         let two_eb = 2.0 * abs_eb;
         // Pre-quantization (parallel).
-        let q: Vec<i64> = data.as_slice().par_iter().map(|&v| (v as f64 / two_eb).round() as i64).collect();
+        let q: Vec<i64> = data
+            .as_slice()
+            .par_iter()
+            .map(|&v| (v as f64 / two_eb).round() as i64)
+            .collect();
         // Per-block 1D offset prediction: delta against the previous element
         // inside the block, the block leader against zero.
         let mut deltas = vec![0u32; q.len()];
@@ -103,7 +107,10 @@ impl Compressor for Cuszp2 {
                 q[j] = prev;
             }
         }
-        let values: Vec<f32> = q.par_iter().map(|&qi| (qi as f64 * two_eb) as f32).collect();
+        let values: Vec<f32> = q
+            .par_iter()
+            .map(|&qi| (qi as f64 * two_eb) as f32)
+            .collect();
         Ok(Grid::from_vec(dims, values))
     }
 }
@@ -117,15 +124,26 @@ mod tests {
     fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
         for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
             let slack = (a.abs() as f64) * f32::EPSILON as f64;
-            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12, "{a} vs {b}");
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12,
+                "{a} vs {b}"
+            );
         }
     }
 
     #[test]
     fn roundtrip_within_bound() {
         let c = Cuszp2;
-        for kind in [DatasetKind::Miranda, DatasetKind::Jhtdb, DatasetKind::CesmAtm] {
-            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(50, 70) } else { Dims::d3(24, 28, 30) };
+        for kind in [
+            DatasetKind::Miranda,
+            DatasetKind::Jhtdb,
+            DatasetKind::CesmAtm,
+        ] {
+            let dims = if kind == DatasetKind::CesmAtm {
+                Dims::d2(50, 70)
+            } else {
+                Dims::d3(24, 28, 30)
+            };
             let g = kind.generate(dims, 9);
             let rel = 1e-3;
             let bytes = c.compress(&g, ErrorBound::Relative(rel)).unwrap();
@@ -149,7 +167,10 @@ mod tests {
         let eb = ErrorBound::Relative(1e-2);
         let p2 = Cuszp2.compress(&g, eb).unwrap().len();
         let hi = crate::SzhiCr.compress(&g, eb).unwrap().len();
-        assert!(hi < p2, "cuSZ-Hi ({hi}) must beat cuSZp2 ({p2}) on smooth 3D data");
+        assert!(
+            hi < p2,
+            "cuSZ-Hi ({hi}) must beat cuSZp2 ({p2}) on smooth 3D data"
+        );
     }
 
     #[test]

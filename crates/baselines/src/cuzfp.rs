@@ -43,7 +43,10 @@ impl Default for CuZfp {
 impl CuZfp {
     /// Creates a compressor with the given rate in bits per value.
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate >= 1.0 && rate <= 32.0, "rate must be within 1..=32 bits/value");
+        assert!(
+            (1.0..=32.0).contains(&rate),
+            "rate must be within 1..=32 bits/value"
+        );
         CuZfp { rate }
     }
 
@@ -174,9 +177,15 @@ impl BlockLattice {
 /// Applies the lifting along every axis of a block of `n` values (4, 16 or 64).
 fn transform(block: &mut [i64], forward: bool) {
     let n = block.len();
-    let lift = |group: &mut [i64; 4]| if forward { fwd_lift(group) } else { inv_lift(group) };
+    let lift = |group: &mut [i64; 4]| {
+        if forward {
+            fwd_lift(group)
+        } else {
+            inv_lift(group)
+        }
+    };
     // Along x: contiguous groups of 4.
-    let mut along_x = |block: &mut [i64]| {
+    let along_x = |block: &mut [i64]| {
         for chunk in block.chunks_exact_mut(EDGE) {
             let mut g = [chunk[0], chunk[1], chunk[2], chunk[3]];
             lift(&mut g);
@@ -184,7 +193,7 @@ fn transform(block: &mut [i64], forward: bool) {
         }
     };
     // Along y (stride 4) and z (stride 16) for higher ranks.
-    let mut along_stride = |block: &mut [i64], stride: usize| {
+    let along_stride = |block: &mut [i64], stride: usize| {
         let groups = block.len() / (EDGE * stride);
         for outer in 0..groups {
             for inner in 0..stride {
@@ -237,7 +246,10 @@ fn encode_block(values: &[f32], budget_bits: usize, bw: &mut BitWriter) {
     let emax = max_abs.log2().floor() as i32;
     bw.put_bits((emax + 256) as u64 + 1, 9); // +1 so 0 means "empty block"
     let scale = 2f64.powi(PRECISION - 1 - emax);
-    let mut q: Vec<i64> = values.iter().map(|&v| (v as f64 * scale).round() as i64).collect();
+    let mut q: Vec<i64> = values
+        .iter()
+        .map(|&v| (v as f64 * scale).round() as i64)
+        .collect();
     transform(&mut q, true);
     let zz: Vec<u64> = q.iter().map(|&v| int_to_negabinary(v)).collect();
     // Highest occupied bit plane.
@@ -263,7 +275,11 @@ fn pad_to(bw: &mut BitWriter, target_bits: usize) {
 }
 
 /// Decodes one block of `n` values from exactly `budget_bits` bits.
-fn decode_block(br: &mut BitReader<'_>, n: usize, budget_bits: usize) -> Result<Vec<f32>, SzhiError> {
+fn decode_block(
+    br: &mut BitReader<'_>,
+    n: usize,
+    budget_bits: usize,
+) -> Result<Vec<f32>, SzhiError> {
     let start = br.bits_consumed();
     let tag = br.get_bits(9).map_err(SzhiError::from)?;
     if tag == 0 {
@@ -395,7 +411,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(113);
         for n in [4usize, 16, 64] {
-            let orig: Vec<i64> = (0..n).map(|_| rng.gen_range(-100_000i64..100_000)).collect();
+            let orig: Vec<i64> = (0..n)
+                .map(|_| rng.gen_range(-100_000i64..100_000))
+                .collect();
             let mut v = orig.clone();
             transform(&mut v, true);
             transform(&mut v, false);
@@ -410,7 +428,10 @@ mod tests {
             let c = CuZfp::with_rate(rate);
             let bytes = c.compress(&g, ErrorBound::Relative(1e-3)).unwrap();
             let bits_per_value = bytes.len() as f64 * 8.0 / g.len() as f64;
-            assert!(bits_per_value < rate * 1.1 + 0.2, "rate {rate}: got {bits_per_value} bits/value");
+            assert!(
+                bits_per_value < rate * 1.1 + 0.2,
+                "rate {rate}: got {bits_per_value} bits/value"
+            );
             let recon = c.decompress(&bytes).unwrap();
             assert_eq!(recon.dims(), g.dims());
         }
@@ -422,17 +443,24 @@ mod tests {
         let mut psnrs = Vec::new();
         for rate in [2.0f64, 8.0, 16.0] {
             let c = CuZfp::with_rate(rate);
-            let recon = c.decompress(&c.compress(&g, ErrorBound::Relative(1e-3)).unwrap()).unwrap();
+            let recon = c
+                .decompress(&c.compress(&g, ErrorBound::Relative(1e-3)).unwrap())
+                .unwrap();
             psnrs.push(QualityReport::compare(&g, &recon).psnr);
         }
-        assert!(psnrs[0] < psnrs[1] && psnrs[1] < psnrs[2], "PSNR must grow with rate: {psnrs:?}");
+        assert!(
+            psnrs[0] < psnrs[1] && psnrs[1] < psnrs[2],
+            "PSNR must grow with rate: {psnrs:?}"
+        );
     }
 
     #[test]
     fn reconstruction_quality_is_reasonable_at_16_bits() {
         let g = DatasetKind::Miranda.generate(Dims::d3(32, 32, 32), 7);
         let c = CuZfp::with_rate(16.0);
-        let recon = c.decompress(&c.compress(&g, ErrorBound::Relative(1e-3)).unwrap()).unwrap();
+        let recon = c
+            .decompress(&c.compress(&g, ErrorBound::Relative(1e-3)).unwrap())
+            .unwrap();
         let q = QualityReport::compare(&g, &recon);
         assert!(q.psnr > 60.0, "16-bit cuZFP PSNR only {:.1} dB", q.psnr);
     }
@@ -441,13 +469,17 @@ mod tests {
     fn two_d_and_one_d_fields_roundtrip() {
         let g2 = DatasetKind::CesmAtm.generate(Dims::d2(50, 66), 1);
         let c = CuZfp::with_rate(12.0);
-        let recon = c.decompress(&c.compress(&g2, ErrorBound::Relative(1e-3)).unwrap()).unwrap();
+        let recon = c
+            .decompress(&c.compress(&g2, ErrorBound::Relative(1e-3)).unwrap())
+            .unwrap();
         assert_eq!(recon.dims(), g2.dims());
         let q = QualityReport::compare(&g2, &recon);
         assert!(q.psnr > 40.0, "2D PSNR only {:.1}", q.psnr);
 
         let g1 = Grid::from_fn(Dims::d1(1000), |_, _, x| (x as f32 * 0.01).sin());
-        let recon = c.decompress(&c.compress(&g1, ErrorBound::Relative(1e-3)).unwrap()).unwrap();
+        let recon = c
+            .decompress(&c.compress(&g1, ErrorBound::Relative(1e-3)).unwrap())
+            .unwrap();
         assert_eq!(recon.dims(), g1.dims());
     }
 
@@ -464,4 +496,3 @@ mod tests {
     use szhi_ndgrid::Dims;
     use szhi_ndgrid::Grid;
 }
-

@@ -6,7 +6,10 @@
 //! resulting stream is de-duplicated by zero-block elimination — the
 //! `P1 → LE2` (bit-shuffle + dictionary) pipeline of Figure 2.
 
-use crate::stream::{byte_planes_to_codes, codes_to_byte_planes, read_header, read_int_outliers, write_header, write_int_outliers};
+use crate::stream::{
+    byte_planes_to_codes, codes_to_byte_planes, read_header, read_int_outliers, write_header,
+    write_int_outliers,
+};
 use crate::Compressor;
 use szhi_codec::bitio::put_u64;
 use szhi_codec::components::{Bit, Rze};
@@ -34,7 +37,9 @@ pub struct FzGpu {
 
 impl Default for FzGpu {
     fn default() -> Self {
-        FzGpu { radius: DEFAULT_RADIUS }
+        FzGpu {
+            radius: DEFAULT_RADIUS,
+        }
     }
 }
 
@@ -53,7 +58,11 @@ impl Compressor for FzGpu {
         // small ± errors become small magnitudes: the high byte plane and the
         // upper bit planes of the low bytes are then almost entirely zero and
         // collapse in the de-duplication stage.
-        let rebased: Vec<u16> = out.codes.iter().map(|&c| zigzag16(c as i32 - self.radius as i32)).collect();
+        let rebased: Vec<u16> = out
+            .codes
+            .iter()
+            .map(|&c| zigzag16(c as i32 - self.radius as i32))
+            .collect();
         let planes = codes_to_byte_planes(&rebased);
         let shuffled = Bit::new(1).encode_bytes(&planes);
         let dedup = Rze::new(8).encode_bytes(&shuffled);
@@ -76,8 +85,15 @@ impl Compressor for FzGpu {
         let shuffled = Rze::new(8).decode_bytes(encoded)?;
         let planes = Bit::new(1).decode_bytes(&shuffled)?;
         let rebased = byte_planes_to_codes(&planes, dims.len())?;
-        let codes: Vec<u16> = rebased.iter().map(|&c| (unzigzag16(c) + radius as i32) as u16).collect();
-        let output = LorenzoOutput { codes, outliers, radius };
+        let codes: Vec<u16> = rebased
+            .iter()
+            .map(|&c| (unzigzag16(c) + radius as i32) as u16)
+            .collect();
+        let output = LorenzoOutput {
+            codes,
+            outliers,
+            radius,
+        };
         Ok(lorenzo::decompress(&output, dims, abs_eb))
     }
 }
@@ -91,7 +107,10 @@ mod tests {
     fn check_bound(orig: &Grid<f32>, recon: &Grid<f32>, abs_eb: f64) {
         for (a, b) in orig.as_slice().iter().zip(recon.as_slice()) {
             let slack = (a.abs() as f64) * f32::EPSILON as f64;
-            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12, "{a} vs {b}");
+            assert!(
+                ((*a as f64) - (*b as f64)).abs() <= abs_eb + slack + 1e-12,
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -110,7 +129,9 @@ mod tests {
     #[test]
     fn smooth_data_compresses() {
         let g = DatasetKind::Rtm.generate(Dims::d3(48, 48, 30), 2);
-        let bytes = FzGpu::default().compress(&g, ErrorBound::Relative(1e-2)).unwrap();
+        let bytes = FzGpu::default()
+            .compress(&g, ErrorBound::Relative(1e-2))
+            .unwrap();
         let ratio = g.dims().nbytes_f32() as f64 / bytes.len() as f64;
         assert!(ratio > 3.0, "FZ-GPU ratio only {ratio:.2}");
     }

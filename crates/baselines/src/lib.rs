@@ -96,9 +96,9 @@ pub fn table4_compressors() -> Vec<Box<dyn Compressor>> {
         Box::new(SzhiCr),
         Box::new(SzhiTp),
         Box::new(CuszL::default()),
-        Box::new(CuszI::default()),
-        Box::new(CuszIb::default()),
-        Box::new(Cuszp2::default()),
+        Box::new(CuszI),
+        Box::new(CuszIb),
+        Box::new(Cuszp2),
         Box::new(FzGpu::default()),
     ]
 }

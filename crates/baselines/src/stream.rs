@@ -19,7 +19,11 @@ pub fn write_header(out: &mut Vec<u8>, magic: &[u8; 4], dims: Dims, abs_eb: f64)
 }
 
 /// Reads the common baseline header, checking the magic bytes.
-pub fn read_header<'a>(bytes: &'a [u8], magic: &[u8; 4], name: &str) -> Result<(ByteCursor<'a>, Dims, f64), SzhiError> {
+pub fn read_header<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    name: &str,
+) -> Result<(ByteCursor<'a>, Dims, f64), SzhiError> {
     let mut cur = ByteCursor::new(bytes);
     let found = cur
         .take(4)
@@ -35,7 +39,11 @@ pub fn read_header<'a>(bytes: &'a [u8], magic: &[u8; 4], name: &str) -> Result<(
         1 => Dims::d1(nx),
         2 => Dims::d2(ny, nx),
         3 => Dims::d3(nz, ny, nx),
-        _ => return Err(SzhiError::InvalidStream(format!("{name}: unsupported rank {rank}"))),
+        _ => {
+            return Err(SzhiError::InvalidStream(format!(
+                "{name}: unsupported rank {rank}"
+            )))
+        }
     };
     let abs_eb = cur.get_f64().map_err(SzhiError::from)?;
     Ok((cur, dims, abs_eb))
@@ -59,7 +67,9 @@ pub fn byte_planes_to_codes(bytes: &[u8], n: usize) -> Result<Vec<u16>, SzhiErro
             bytes.len()
         )));
     }
-    Ok((0..n).map(|i| bytes[i] as u16 | ((bytes[n + i] as u16) << 8)).collect())
+    Ok((0..n)
+        .map(|i| bytes[i] as u16 | ((bytes[n + i] as u16) << 8))
+        .collect())
 }
 
 /// Serialises an outlier list `(index, i64 value)` used by the

@@ -3,7 +3,7 @@
 //! measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use szhi_baselines::{Compressor, Cuszp2, CuszI, CuszIb, CuszL, FzGpu, SzhiCr, SzhiTp};
+use szhi_baselines::{Compressor, CuszI, CuszIb, CuszL, Cuszp2, FzGpu, SzhiCr, SzhiTp};
 use szhi_bench::dataset;
 use szhi_core::ErrorBound;
 use szhi_datagen::DatasetKind;
@@ -24,13 +24,17 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.throughput(Throughput::Bytes(data.dims().nbytes_f32() as u64));
     for comp in &compressors {
-        group.bench_with_input(BenchmarkId::new("compress", comp.name()), &data, |b, data| {
-            b.iter(|| comp.compress(data, eb).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", comp.name()),
+            &data,
+            |b, data| b.iter(|| comp.compress(data, eb).unwrap()),
+        );
         let bytes = comp.compress(&data, eb).unwrap();
-        group.bench_with_input(BenchmarkId::new("decompress", comp.name()), &bytes, |b, bytes| {
-            b.iter(|| comp.decompress(bytes).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", comp.name()),
+            &bytes,
+            |b, bytes| b.iter(|| comp.decompress(bytes).unwrap()),
+        );
     }
     group.finish();
 }

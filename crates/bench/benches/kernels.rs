@@ -34,6 +34,9 @@ fn bench_predictors(c: &mut Criterion) {
     group.finish();
 }
 
+/// A named byte-oriented encoder under benchmark.
+type NamedEncoder = (&'static str, Box<dyn Fn(&[u8]) -> Vec<u8>>);
+
 fn bench_codecs(c: &mut Criterion) {
     let data = dataset(DatasetKind::Miranda, 0.6);
     let codes = quant_codes(&data, 1e-3, true);
@@ -42,18 +45,22 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("huffman_encode", |b| b.iter(|| huffman::encode(&codes)));
     {
         let encoded = huffman::encode(&codes);
-        group.bench_function("huffman_decode", |b| b.iter(|| huffman::decode(&encoded).unwrap()));
+        group.bench_function("huffman_decode", |b| {
+            b.iter(|| huffman::decode(&encoded).unwrap())
+        });
     }
-    let components: Vec<(&str, Box<dyn Fn(&[u8]) -> Vec<u8>>)> = vec![
+    let components: Vec<NamedEncoder> = vec![
         ("rre1", Box::new(|d: &[u8]| Rre::new(1).encode_bytes(d))),
         ("rze1", Box::new(|d: &[u8]| Rze::new(1).encode_bytes(d))),
         ("tcms1", Box::new(|d: &[u8]| Tcms::new(1).encode_bytes(d))),
         ("bit1", Box::new(|d: &[u8]| Bit::new(1).encode_bytes(d))),
     ];
     for (name, encode) in &components {
-        group.bench_with_input(BenchmarkId::new("component_encode", *name), &codes, |b, codes| {
-            b.iter(|| encode(codes))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("component_encode", *name),
+            &codes,
+            |b, codes| b.iter(|| encode(codes)),
+        );
     }
     group.finish();
 }

@@ -24,13 +24,17 @@ fn bench_pipelines(c: &mut Criterion) {
     ];
     for spec in specs {
         let pipeline = spec.build();
-        group.bench_with_input(BenchmarkId::new("encode", spec.name()), &codes, |b, codes| {
-            b.iter(|| pipeline.encode(codes))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode", spec.name()),
+            &codes,
+            |b, codes| b.iter(|| pipeline.encode(codes)),
+        );
         let encoded = pipeline.encode(&codes);
-        group.bench_with_input(BenchmarkId::new("decode", spec.name()), &encoded, |b, encoded| {
-            b.iter(|| pipeline.decode(encoded).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode", spec.name()),
+            &encoded,
+            |b, encoded| b.iter(|| pipeline.decode(encoded).unwrap()),
+        );
     }
     group.finish();
 }

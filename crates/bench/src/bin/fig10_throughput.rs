@@ -17,7 +17,11 @@ fn main() {
     let compressors = all_compressors(8.0);
     for kind in szhi_datagen::all_kinds() {
         let data = dataset(kind, scale);
-        eprintln!("# {kind}: {} ({} MiB)", data.dims(), data.dims().nbytes_f32() >> 20);
+        eprintln!(
+            "# {kind}: {} ({} MiB)",
+            data.dims(),
+            data.dims().nbytes_f32() >> 20
+        );
         let mut rows = Vec::new();
         for &eb in &PAPER_EBS {
             for c in &compressors {
@@ -30,13 +34,27 @@ fn main() {
                         szhi_bench::fmt_ms(r.compress_time),
                         szhi_bench::fmt_ms(r.decompress_time),
                     ]),
-                    Err(e) => rows.push(vec![format!("{eb:.0e}"), c.name().to_string(), format!("err({e})"), String::new(), String::new(), String::new()]),
+                    Err(e) => rows.push(vec![
+                        format!("{eb:.0e}"),
+                        c.name().to_string(),
+                        format!("err({e})"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]),
                 }
             }
         }
         print_table(
             &format!("Figure 10 — throughput on {kind} (scale {scale})"),
-            &["eb", "compressor", "comp GiB/s", "decomp GiB/s", "comp ms", "decomp ms"],
+            &[
+                "eb",
+                "compressor",
+                "comp GiB/s",
+                "decomp GiB/s",
+                "comp ms",
+                "decomp ms",
+            ],
             &rows,
         );
     }

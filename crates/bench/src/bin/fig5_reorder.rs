@@ -55,12 +55,29 @@ fn main() {
     }
 
     let rows = vec![
-        vec!["adjacent-code roughness (mean |Δ|)".to_string(), format!("{:.4}", roughness(&flat)), format!("{:.4}", roughness(&reordered))],
-        vec!["last |code−128| > 8 position (fraction of sequence)".to_string(), format!("{:.3}", last_large_position(&flat, 8)), format!("{:.3}", last_large_position(&reordered, 8))],
+        vec![
+            "adjacent-code roughness (mean |Δ|)".to_string(),
+            format!("{:.4}", roughness(&flat)),
+            format!("{:.4}", roughness(&reordered)),
+        ],
+        vec![
+            "last |code−128| > 8 position (fraction of sequence)".to_string(),
+            format!("{:.3}", last_large_position(&flat, 8)),
+            format!("{:.3}", last_large_position(&reordered, 8)),
+        ],
         vec![
             "CR-pipeline encoded size (bytes)".to_string(),
-            format!("{}", szhi_codec::PipelineSpec::CR.build().encode(&flat).len()),
-            format!("{}", szhi_codec::PipelineSpec::CR.build().encode(&reordered).len()),
+            format!(
+                "{}",
+                szhi_codec::PipelineSpec::CR.build().encode(&flat).len()
+            ),
+            format!(
+                "{}",
+                szhi_codec::PipelineSpec::CR
+                    .build()
+                    .encode(&reordered)
+                    .len()
+            ),
         ],
     ];
     print_table(

@@ -42,13 +42,16 @@ fn main() {
             // "Overall throughput" as in the paper: total data moved over the
             // sum of compression and decompression time.
             let overall = throughput_gibps(codes.len() * 2, enc_t + dec_t);
-            rows.push((ratio, vec![
-                spec.name().to_string(),
-                format!("{ratio:.2}"),
-                format!("{:.3}", throughput_gibps(codes.len(), enc_t)),
-                format!("{:.3}", throughput_gibps(codes.len(), dec_t)),
-                format!("{overall:.3}"),
-            ]));
+            rows.push((
+                ratio,
+                vec![
+                    spec.name().to_string(),
+                    format!("{ratio:.2}"),
+                    format!("{:.3}", throughput_gibps(codes.len(), enc_t)),
+                    format!("{:.3}", throughput_gibps(codes.len(), dec_t)),
+                    format!("{overall:.3}"),
+                ],
+            ));
         }
         rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         print_table(

@@ -49,7 +49,9 @@ fn main() {
                     continue;
                 }
             };
-            let restored = c.decompress(&bytes).expect("cuZFP must decompress its own stream");
+            let restored = c
+                .decompress(&bytes)
+                .expect("cuZFP must decompress its own stream");
             let q = QualityReport::compare(&data, &restored);
             let bitrate = bytes.len() as f64 * 8.0 / data.len() as f64;
             println!(

@@ -29,10 +29,12 @@ fn match_ratio(c: &dyn Compressor, data: &Grid<f32>, target: f64) -> Option<(f64
     for _ in 0..18 {
         // Geometric midpoint of the current error-bound bracket.
         let eb = (lo * hi).sqrt();
-        let Ok(bytes) = c.compress(data, ErrorBound::Relative(eb)) else { return None };
+        let Ok(bytes) = c.compress(data, ErrorBound::Relative(eb)) else {
+            return None;
+        };
         let ratio = bytes_in / bytes.len() as f64;
         let err = (ratio - target).abs();
-        if best.as_ref().map_or(true, |(_, _, e)| err < *e) {
+        if best.as_ref().is_none_or(|(_, _, e)| err < *e) {
             best = Some((eb, bytes.clone(), err));
         }
         if ratio < target {
@@ -46,11 +48,18 @@ fn match_ratio(c: &dyn Compressor, data: &Grid<f32>, target: f64) -> Option<(f64
 
 /// Writes a 2D slice as an 8-bit PGM image, normalised to the slice range.
 fn write_pgm(path: &Path, slice: &[f32], ny: usize, nx: usize) -> std::io::Result<()> {
-    let (lo, hi) = slice.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    let (lo, hi) = slice
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     let range = if hi > lo { hi - lo } else { 1.0 };
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "P5\n{nx} {ny}\n255")?;
-    let pixels: Vec<u8> = slice.iter().map(|&v| (((v - lo) / range) * 255.0) as u8).collect();
+    let pixels: Vec<u8> = slice
+        .iter()
+        .map(|&v| (((v - lo) / range) * 255.0) as u8)
+        .collect();
     f.write_all(&pixels)
 }
 
@@ -66,7 +75,13 @@ fn main() {
         let data = dataset(kind, scale);
         let mid_z = data.dims().nz() / 2;
         let (ny, nx) = (data.dims().ny(), data.dims().nx());
-        write_pgm(&out_dir.join(format!("{}_original.pgm", kind.name())), &data.plane_z(mid_z), ny, nx).unwrap();
+        write_pgm(
+            &out_dir.join(format!("{}_original.pgm", kind.name())),
+            &data.plane_z(mid_z),
+            ny,
+            nx,
+        )
+        .unwrap();
 
         let compressors: Vec<Box<dyn Compressor>> = vec![
             Box::new(SzhiCr),
@@ -77,14 +92,23 @@ fn main() {
         let mut rows = Vec::new();
         for c in &compressors {
             let Some((eb, bytes)) = match_ratio(c.as_ref(), &data, target) else {
-                rows.push(vec![c.name().to_string(), "failed".into(), String::new(), String::new()]);
+                rows.push(vec![
+                    c.name().to_string(),
+                    "failed".into(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             };
             let restored = c.decompress(&bytes).expect("decompress");
             let q = QualityReport::compare(&data, &restored);
             let ratio = data.dims().nbytes_f32() as f64 / bytes.len() as f64;
             write_pgm(
-                &out_dir.join(format!("{}_{}.pgm", kind.name(), c.name().replace('/', "_"))),
+                &out_dir.join(format!(
+                    "{}_{}.pgm",
+                    kind.name(),
+                    c.name().replace('/', "_")
+                )),
                 &restored.plane_z(mid_z),
                 ny,
                 nx,
@@ -104,11 +128,24 @@ fn main() {
             let restored = zfp.decompress(&bytes).unwrap();
             let q = QualityReport::compare(&data, &restored);
             let ratio = data.dims().nbytes_f32() as f64 / bytes.len() as f64;
-            write_pgm(&out_dir.join(format!("{}_cuZFP.pgm", kind.name())), &restored.plane_z(mid_z), ny, nx).unwrap();
-            rows.push(vec![format!("cuZFP (rate {rate})"), "-".into(), format!("{ratio:.1}"), format!("{:.1}", q.psnr)]);
+            write_pgm(
+                &out_dir.join(format!("{}_cuZFP.pgm", kind.name())),
+                &restored.plane_z(mid_z),
+                ny,
+                nx,
+            )
+            .unwrap();
+            rows.push(vec![
+                format!("cuZFP (rate {rate})"),
+                "-".into(),
+                format!("{ratio:.1}"),
+                format!("{:.1}", q.psnr),
+            ]);
         }
         print_table(
-            &format!("Figure 9 — matched-CR quality on {kind} (target CR ≈ {target}, scale {scale})"),
+            &format!(
+                "Figure 9 — matched-CR quality on {kind} (target CR ≈ {target}, scale {scale})"
+            ),
             &["compressor", "rel. eb used", "achieved CR", "PSNR (dB)"],
             &rows,
         );

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run -p szhi-bench --release --bin table1_bitcomp_residual`.
 
-use szhi_baselines::{Compressor, Cuszp2, CuszI, CuszL, FzGpu, SzhiCr, SzhiTp};
+use szhi_baselines::{Compressor, CuszI, CuszL, Cuszp2, FzGpu, SzhiCr, SzhiTp};
 use szhi_bench::{dataset, print_table, scale_from_args};
 use szhi_codec::bitcomp_sim;
 use szhi_core::ErrorBound;
@@ -31,7 +31,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for c in &compressors {
-        let name = if c.name() == "cuSZ-I" { "cuSZ-I (w/o Bitcomp)".to_string() } else { c.name().to_string() };
+        let name = if c.name() == "cuSZ-I" {
+            "cuSZ-I (w/o Bitcomp)".to_string()
+        } else {
+            c.name().to_string()
+        };
         match c.compress(&data, ErrorBound::Relative(eb)) {
             Ok(bytes) => {
                 let residual = bitcomp_sim::residual_ratio(&bytes);

@@ -8,7 +8,9 @@
 //! Run with `cargo run -p szhi-bench --release --bin table4_compression_ratio
 //! [-- --scale <f>]`.
 
-use szhi_bench::{dataset, error_bounded_compressors, print_table, run_cell, scale_from_args, PAPER_EBS};
+use szhi_bench::{
+    dataset, error_bounded_compressors, print_table, run_cell, scale_from_args, PAPER_EBS,
+};
 
 fn main() {
     let scale = scale_from_args();
@@ -25,7 +27,11 @@ fn main() {
     let mut rows = Vec::new();
     for kind in szhi_datagen::all_kinds() {
         let data = dataset(kind, scale);
-        eprintln!("# {kind}: {} ({} MiB)", data.dims(), data.dims().nbytes_f32() >> 20);
+        eprintln!(
+            "# {kind}: {} ({} MiB)",
+            data.dims(),
+            data.dims().nbytes_f32() >> 20
+        );
         for &eb in &PAPER_EBS {
             let mut row = vec![kind.name().to_string(), format!("{eb:.0e}")];
             let mut ratios = Vec::new();
@@ -51,7 +57,11 @@ fn main() {
                 .filter(|(n, _)| !n.starts_with("cuSZ-Hi"))
                 .map(|(_, r)| *r)
                 .fold(0.0f64, f64::max);
-            let adv = if best_base > 0.0 { (best_hi / best_base - 1.0) * 100.0 } else { f64::NAN };
+            let adv = if best_base > 0.0 {
+                (best_hi / best_base - 1.0) * 100.0
+            } else {
+                f64::NAN
+            };
             row.push(format!("{best_hi:.1}"));
             row.push(format!("{best_base:.1}"));
             row.push(format!("{adv:+.0}%"));

@@ -16,7 +16,12 @@ use szhi_predictor::InterpConfig;
 
 fn main() {
     let scale = scale_from_args();
-    let datasets = [DatasetKind::Jhtdb, DatasetKind::Miranda, DatasetKind::Nyx, DatasetKind::Rtm];
+    let datasets = [
+        DatasetKind::Jhtdb,
+        DatasetKind::Miranda,
+        DatasetKind::Nyx,
+        DatasetKind::Rtm,
+    ];
     let ebs = [1e-2, 1e-3];
 
     let mut rows = Vec::new();
@@ -27,17 +32,58 @@ fn main() {
         for &eb in &ebs {
             // Stage A: cuSZ-IB — stride-8 anisotropic partition, 1D
             // interpolation, no reorder, Huffman + Bitcomp-sim.
-            let a = ablation_compressed_size(&data, eb, &InterpConfig::cusz_i(), false, false, PipelineSpec::HfBitcomp);
+            let a = ablation_compressed_size(
+                &data,
+                eb,
+                &InterpConfig::cusz_i(),
+                false,
+                false,
+                PipelineSpec::HfBitcomp,
+            );
             // Stage B: + new data partition & anchor stride (17³, stride 16).
-            let b = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi_partition_only(), false, false, PipelineSpec::HfBitcomp);
+            let b = ablation_compressed_size(
+                &data,
+                eb,
+                &InterpConfig::cusz_hi_partition_only(),
+                false,
+                false,
+                PipelineSpec::HfBitcomp,
+            );
             // Stage C: + quantization-code reordering.
-            let c = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi_partition_only(), false, true, PipelineSpec::HfBitcomp);
+            let c = ablation_compressed_size(
+                &data,
+                eb,
+                &InterpConfig::cusz_hi_partition_only(),
+                false,
+                true,
+                PipelineSpec::HfBitcomp,
+            );
             // Stage D: + multi-dimensional interpolation with auto-tuning.
-            let d = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi(), true, true, PipelineSpec::HfBitcomp);
+            let d = ablation_compressed_size(
+                &data,
+                eb,
+                &InterpConfig::cusz_hi(),
+                true,
+                true,
+                PipelineSpec::HfBitcomp,
+            );
             // Stage E: + the optimized CR lossless pipeline = cuSZ-Hi-CR.
-            let e = ablation_compressed_size(&data, eb, &InterpConfig::cusz_hi(), true, true, PipelineSpec::CR);
+            let e = ablation_compressed_size(
+                &data,
+                eb,
+                &InterpConfig::cusz_hi(),
+                true,
+                true,
+                PipelineSpec::CR,
+            );
 
-            let crs = [input / a as f64, input / b as f64, input / c as f64, input / d as f64, input / e as f64];
+            let crs = [
+                input / a as f64,
+                input / b as f64,
+                input / c as f64,
+                input / d as f64,
+                input / e as f64,
+            ];
             let pct = |from: f64, to: f64| format!("{:+.0}%", (to / from - 1.0) * 100.0);
             rows.push(vec![
                 kind.name().to_string(),

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use szhi_baselines::{Compressor, CuZfp, Cuszp2, CuszI, CuszIb, CuszL, FzGpu, SzhiCr, SzhiTp};
+use szhi_baselines::{Compressor, CuZfp, CuszI, CuszIb, CuszL, Cuszp2, FzGpu, SzhiCr, SzhiTp};
 use szhi_codec::PipelineSpec;
 use szhi_core::{ErrorBound, SzhiError};
 use szhi_datagen::DatasetKind;
@@ -35,7 +35,11 @@ pub fn scale_from_args() -> f64 {
         }
     }
     scale
-        .or_else(|| std::env::var("SZHI_SCALE").ok().and_then(|v| v.parse().ok()))
+        .or_else(|| {
+            std::env::var("SZHI_SCALE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(1.0)
 }
 
@@ -113,7 +117,12 @@ pub struct RunResult {
 
 /// Runs one (compressor, dataset, error-bound) cell: compress, decompress,
 /// verify and measure.
-pub fn run_cell(c: &dyn Compressor, data: &Grid<f32>, name: &str, rel_eb: f64) -> Result<RunResult, SzhiError> {
+pub fn run_cell(
+    c: &dyn Compressor,
+    data: &Grid<f32>,
+    name: &str,
+    rel_eb: f64,
+) -> Result<RunResult, SzhiError> {
     let bytes_in = data.dims().nbytes_f32();
     let sw = Stopwatch::start();
     let compressed = c.compress(data, ErrorBound::Relative(rel_eb))?;
@@ -141,7 +150,10 @@ pub fn run_cell(c: &dyn Compressor, data: &Grid<f32>, name: &str, rel_eb: f64) -
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -231,8 +243,25 @@ mod tests {
     #[test]
     fn ablation_size_decreases_with_better_configs() {
         let g = dataset(DatasetKind::Nyx, 0.35);
-        let base = ablation_compressed_size(&g, 1e-2, &InterpConfig::cusz_i(), false, false, PipelineSpec::HfBitcomp);
-        let full = ablation_compressed_size(&g, 1e-2, &InterpConfig::cusz_hi(), true, true, PipelineSpec::CR);
-        assert!(full < base, "full cuSZ-Hi ({full}) must beat the cuSZ-IB ablation baseline ({base})");
+        let base = ablation_compressed_size(
+            &g,
+            1e-2,
+            &InterpConfig::cusz_i(),
+            false,
+            false,
+            PipelineSpec::HfBitcomp,
+        );
+        let full = ablation_compressed_size(
+            &g,
+            1e-2,
+            &InterpConfig::cusz_hi(),
+            true,
+            true,
+            PipelineSpec::CR,
+        );
+        assert!(
+            full < base,
+            "full cuSZ-Hi ({full}) must beat the cuSZ-IB ablation baseline ({base})"
+        );
     }
 }

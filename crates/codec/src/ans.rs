@@ -8,7 +8,7 @@
 //! close to Huffman's while its throughput profile differs from the
 //! dictionary and bit-packing codecs.
 
-use crate::bitio::{put_u16, put_u64, ByteCursor};
+use crate::bitio::{decode_capacity, put_u16, put_u64, ByteCursor};
 use crate::CodecError;
 
 /// Log2 of the frequency normalisation total.
@@ -75,8 +75,8 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
     let mut out = Vec::with_capacity(data.len() / 2 + 512 + 16);
     put_u64(&mut out, data.len() as u64);
-    for s in 0..256 {
-        put_u16(&mut out, freqs[s] as u16);
+    for &f in freqs.iter() {
+        put_u16(&mut out, f as u16);
     }
     if data.is_empty() {
         return out;
@@ -104,8 +104,23 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
 /// Decodes a stream produced by [`encode`].
 pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decode_limited(data, usize::MAX)
+}
+
+/// Like [`decode`], but rejects streams whose claimed symbol count exceeds
+/// `max_out` before any decoding work. Unlike Huffman there is no sound
+/// input-derived bound on the symbol count — a degenerate single-symbol
+/// frequency table emits symbols without consuming bits — so untrusted
+/// callers must supply the bound.
+pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
     let mut cur = ByteCursor::new(data);
     let n = cur.get_u64()? as usize;
+    if n > max_out {
+        return Err(CodecError::corrupt(
+            "ans",
+            format!("claimed {n} symbols, limit {max_out}"),
+        ));
+    }
     let mut freqs = [0u32; 256];
     for f in freqs.iter_mut() {
         *f = cur.get_u16()? as u32;
@@ -115,7 +130,10 @@ pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
     let total: u32 = freqs.iter().sum();
     if total != SCALE {
-        return Err(CodecError::header("ans", format!("frequencies sum to {total}, expected {SCALE}")));
+        return Err(CodecError::header(
+            "ans",
+            format!("frequencies sum to {total}, expected {SCALE}"),
+        ));
     }
     let cum = cumulative(&freqs);
     // Slot → symbol lookup table.
@@ -129,7 +147,7 @@ pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     let mut x = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
     let stream = cur.take_rest();
     let mut pos = 0usize;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(decode_capacity(n));
     for _ in 0..n {
         let slot = x & (SCALE - 1);
         let s = slot_to_symbol[slot as usize];
@@ -182,17 +200,25 @@ mod tests {
             })
             .collect();
         let size = roundtrip(&skewed);
-        assert!(size < skewed.len() / 2, "skewed data must compress ≥2x, got {size}");
+        assert!(
+            size < skewed.len() / 2,
+            "skewed data must compress ≥2x, got {size}"
+        );
     }
 
     #[test]
     fn compression_close_to_entropy() {
         // Two symbols, p = 0.25 / 0.75 → H ≈ 0.811 bits/symbol.
         let mut rng = rand::rngs::StdRng::seed_from_u64(61);
-        let data: Vec<u8> = (0..200_000).map(|_| if rng.gen::<f64>() < 0.25 { 1u8 } else { 2u8 }).collect();
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| if rng.gen::<f64>() < 0.25 { 1u8 } else { 2u8 })
+            .collect();
         let size = roundtrip(&data);
         let bits_per_symbol = size as f64 * 8.0 / data.len() as f64;
-        assert!(bits_per_symbol < 0.9, "rANS should be near entropy (0.81), got {bits_per_symbol}");
+        assert!(
+            bits_per_symbol < 0.9,
+            "rANS should be near entropy (0.81), got {bits_per_symbol}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! expand by more than the per-block header. The substitution is documented
 //! in `DESIGN.md`.
 
-use crate::bitio::{put_u64, BitReader, BitWriter, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, BitReader, BitWriter, ByteCursor};
 use crate::CodecError;
 
 /// Bytes per packing block.
@@ -67,10 +67,22 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decompress_limited(input, usize::MAX)
+}
+
+/// Like [`decompress`], but rejects streams whose claimed output length
+/// exceeds `max_out` before any decoding work, for use on untrusted input.
+pub fn decompress_limited(input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
     let mut cur = ByteCursor::new(input);
     let orig_len = cur.get_u64()? as usize;
+    if orig_len > max_out {
+        return Err(CodecError::corrupt(
+            "bitcomp",
+            format!("claimed {orig_len} bytes, limit {max_out}"),
+        ));
+    }
     let mut br = BitReader::new(cur.take_rest());
-    let mut out = Vec::with_capacity(orig_len);
+    let mut out = Vec::with_capacity(decode_capacity(orig_len));
     let mut prev_last = 0u8;
     let mut remaining = orig_len;
     while remaining > 0 {
@@ -85,11 +97,18 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
         } else {
             let bits = br.get_bits(4)? as u32;
             if bits > 8 {
-                return Err(CodecError::corrupt("bitcomp_sim", format!("invalid width {bits}")));
+                return Err(CodecError::corrupt(
+                    "bitcomp_sim",
+                    format!("invalid width {bits}"),
+                ));
             }
             let mut prev = prev_last;
             for _ in 0..n {
-                let zz = if bits == 0 { 0 } else { br.get_bits(bits)? as u8 };
+                let zz = if bits == 0 {
+                    0
+                } else {
+                    br.get_bits(bits)? as u8
+                };
                 let d = ((zz >> 1) ^ (zz & 1).wrapping_neg()) as i8;
                 let b = prev.wrapping_add(d as u8);
                 out.push(b);
@@ -136,7 +155,10 @@ mod tests {
     fn smooth_data_compresses_well() {
         let data: Vec<u8> = (0..100_000u32).map(|i| ((i / 37) % 256) as u8).collect();
         let size = roundtrip(&data);
-        assert!(size < data.len() / 3, "smooth ramps must compress ≥3x, got {size}");
+        assert!(
+            size < data.len() / 3,
+            "smooth ramps must compress ≥3x, got {size}"
+        );
     }
 
     #[test]
@@ -150,7 +172,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(47);
         let data: Vec<u8> = (0..(1usize << 20)).map(|_| rng.gen()).collect();
         let size = roundtrip(&data);
-        assert!(size <= data.len() + data.len() / 1000 + 64, "incompressible data expanded to {size}");
+        assert!(
+            size <= data.len() + data.len() / 1000 + 64,
+            "incompressible data expanded to {size}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl BitWriter {
 
     /// Creates an empty writer with capacity for roughly `bits` bits.
     pub fn with_capacity_bits(bits: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bits / 8 + 8), nbits: 0, acc: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bits / 8 + 8),
+            nbits: 0,
+            acc: 0,
+        }
     }
 
     /// Appends the lowest `n` bits of `value` (MSB of the field first).
@@ -87,7 +91,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        BitReader { buf, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            buf,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Total number of bits available in the underlying buffer.
@@ -142,7 +151,11 @@ impl<'a> BitReader<'a> {
             (self.acc >> (self.nbits - n)) & (u64::MAX >> (64 - n.max(1)))
         } else {
             let avail = self.nbits;
-            let v = if avail == 0 { 0 } else { self.acc & (u64::MAX >> (64 - avail)) };
+            let v = if avail == 0 {
+                0
+            } else {
+                self.acc & (u64::MAX >> (64 - avail))
+            };
             v << (n - avail)
         }
     }
@@ -261,6 +274,18 @@ impl<'a> ByteCursor<'a> {
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+}
+
+/// Caps a `Vec` pre-allocation hint derived from an untrusted length field.
+///
+/// Decoders read the claimed output length before decoding; trusting it for
+/// `with_capacity` would let a single corrupted length byte demand a
+/// multi-gigabyte allocation up front — an uncatchable abort, not a typed
+/// error. Capping affects only the hint: the vector still grows to the true
+/// decoded length, and truncated input fails with a typed error first.
+pub fn decode_capacity(claimed: usize) -> usize {
+    const MAX_PREALLOC: usize = 1 << 24; // 16 MiB
+    claimed.min(MAX_PREALLOC)
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ pub struct Bit {
 impl Bit {
     /// Creates a bit-shuffle component for `width`-byte symbols.
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported BIT symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported BIT symbol width {width}"
+        );
         Bit { width }
     }
 
@@ -123,7 +126,10 @@ mod tests {
         let data: Vec<u8> = (0..640).map(|i| (i % 16) as u8).collect();
         let enc = Bit::new(1).encode_bytes(&data);
         for block in enc.chunks_exact(64) {
-            assert!(block[32..].iter().all(|&b| b == 0), "high planes must be empty");
+            assert!(
+                block[32..].iter().all(|&b| b == 0),
+                "high planes must be empty"
+            );
         }
     }
 

@@ -7,7 +7,7 @@
 //! original width; blocks containing one large value pay for it only locally.
 
 use super::{read_symbol, symbol_count, write_symbol};
-use crate::bitio::{put_u64, BitReader, BitWriter, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, BitReader, BitWriter, ByteCursor};
 use crate::CodecError;
 
 /// Symbols per fixed-length block.
@@ -22,7 +22,10 @@ pub struct Clog {
 impl Clog {
     /// Creates a CLOG component for `width`-byte symbols.
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4), "unsupported CLOG symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4),
+            "unsupported CLOG symbol width {width}"
+        );
         Clog { width }
     }
 
@@ -48,7 +51,11 @@ impl Clog {
             for k in 0..count {
                 max = max.max(read_symbol(input, i + k, width));
             }
-            let bits = if max == 0 { 0 } else { 64 - max.leading_zeros() };
+            let bits = if max == 0 {
+                0
+            } else {
+                64 - max.leading_zeros()
+            };
             bw.put_bits(bits as u64, 6);
             if bits > 0 {
                 for k in 0..count {
@@ -68,13 +75,16 @@ impl Clog {
         let orig_len = cur.get_u64()? as usize;
         let n_sym = symbol_count(orig_len, width);
         let mut br = BitReader::new(cur.take_rest());
-        let mut out = Vec::with_capacity(orig_len);
+        let mut out = Vec::with_capacity(decode_capacity(orig_len));
         let mut i = 0usize;
         while i < n_sym {
             let count = BLOCK_SYMBOLS.min(n_sym - i);
             let bits = br.get_bits(6)? as u32;
             if bits > 64 {
-                return Err(CodecError::corrupt("clog", format!("invalid block width {bits}")));
+                return Err(CodecError::corrupt(
+                    "clog",
+                    format!("invalid block width {bits}"),
+                ));
             }
             for k in 0..count {
                 let v = if bits == 0 { 0 } else { br.get_bits(bits)? };
@@ -115,14 +125,20 @@ mod tests {
         let data: Vec<u8> = (0..100_000).map(|i| (i % 4) as u8).collect();
         let size = roundtrip(1, &data);
         // 2 bits per symbol plus headers → about a quarter of the input.
-        assert!(size < data.len() / 3, "2-bit values should pack to ~25%, got {size}");
+        assert!(
+            size < data.len() / 3,
+            "2-bit values should pack to ~25%, got {size}"
+        );
     }
 
     #[test]
     fn all_zero_blocks_cost_almost_nothing() {
         let data = vec![0u8; 65_536];
         let size = roundtrip(1, &data);
-        assert!(size < 300, "zero blocks should cost only the per-block widths, got {size}");
+        assert!(
+            size < 300,
+            "zero blocks should cost only the per-block widths, got {size}"
+        );
     }
 
     #[test]
@@ -131,7 +147,10 @@ mod tests {
         data[100] = 255;
         let size_with = roundtrip(1, &data);
         let size_without = roundtrip(1, &vec![1u8; 4096]);
-        assert!(size_with < size_without + 300, "an outlier must only widen its own block");
+        assert!(
+            size_with < size_without + 300,
+            "an outlier must only widen its own block"
+        );
     }
 
     #[test]

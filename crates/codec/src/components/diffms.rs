@@ -20,7 +20,10 @@ pub struct DiffMs {
 impl DiffMs {
     /// Creates a DIFFMS component for `width`-byte symbols.
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported DIFFMS symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported DIFFMS symbol width {width}"
+        );
         DiffMs { width }
     }
 
@@ -123,7 +126,10 @@ mod tests {
         // A ramp: consecutive differences are 1 → zig-zag value 2 everywhere.
         let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
         let enc = DiffMs::new(1).encode_bytes(&data);
-        assert!(enc[1..].iter().all(|&b| b == 2), "ramp should become constant 2s");
+        assert!(
+            enc[1..].iter().all(|&b| b == 2),
+            "ramp should become constant 2s"
+        );
     }
 
     #[test]

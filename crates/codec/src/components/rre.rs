@@ -8,7 +8,7 @@
 //! compression" of §5.2.3.
 
 use super::{read_symbol, symbol_count, write_symbol};
-use crate::bitio::{put_u64, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, ByteCursor};
 use crate::CodecError;
 
 /// Produces `(bitmap, kept)` for a single repeat-elimination pass: bit `i` of
@@ -38,9 +38,14 @@ fn rre_pass(input: &[u8], width: usize) -> (Vec<u8>, Vec<u8>) {
 }
 
 /// Reverses a single repeat-elimination pass.
-fn rre_unpass(bitmap: &[u8], kept: &[u8], width: usize, orig_len: usize) -> Result<Vec<u8>, CodecError> {
+fn rre_unpass(
+    bitmap: &[u8],
+    kept: &[u8],
+    width: usize,
+    orig_len: usize,
+) -> Result<Vec<u8>, CodecError> {
     let n_sym = symbol_count(orig_len, width);
-    let mut out = Vec::with_capacity(orig_len);
+    let mut out = Vec::with_capacity(decode_capacity(orig_len));
     let mut kept_pos = 0usize;
     let mut prev = 0u64;
     for i in 0..n_sym {
@@ -77,7 +82,10 @@ pub struct Rre {
 impl Rre {
     /// Creates an RRE component for `width`-byte symbols (1, 2, 4 or 8).
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported RRE symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported RRE symbol width {width}"
+        );
         Rre { width }
     }
 
@@ -151,7 +159,11 @@ mod tests {
         let mut data = vec![7u8; 4096];
         data.extend_from_slice(&[9u8; 4096]);
         let size = roundtrip(4, &data);
-        assert!(size < data.len() / 8, "runs should collapse, got {size} bytes for {}", data.len());
+        assert!(
+            size < data.len() / 8,
+            "runs should collapse, got {size} bytes for {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -176,7 +188,10 @@ mod tests {
         }
         let size4 = roundtrip(4, &data);
         let size1 = roundtrip(1, &data);
-        assert!(size4 < size1, "width-4 RRE should beat width-1 on repeated 4-byte patterns");
+        assert!(
+            size4 < size1,
+            "width-4 RRE should beat width-1 on repeated 4-byte patterns"
+        );
         assert!(size4 < 200);
     }
 

@@ -7,7 +7,7 @@
 //! clusters of zero bytes which RZE removes.
 
 use super::{read_symbol, symbol_count, write_symbol};
-use crate::bitio::{put_u64, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, ByteCursor};
 use crate::CodecError;
 
 fn rze_pass(input: &[u8], width: usize) -> (Vec<u8>, Vec<u8>) {
@@ -26,9 +26,14 @@ fn rze_pass(input: &[u8], width: usize) -> (Vec<u8>, Vec<u8>) {
     (bitmap, kept)
 }
 
-fn rze_unpass(bitmap: &[u8], kept: &[u8], width: usize, orig_len: usize) -> Result<Vec<u8>, CodecError> {
+fn rze_unpass(
+    bitmap: &[u8],
+    kept: &[u8],
+    width: usize,
+    orig_len: usize,
+) -> Result<Vec<u8>, CodecError> {
     let n_sym = symbol_count(orig_len, width);
-    let mut out = Vec::with_capacity(orig_len);
+    let mut out = Vec::with_capacity(decode_capacity(orig_len));
     let mut kept_pos = 0usize;
     for i in 0..n_sym {
         if i / 8 >= bitmap.len() {
@@ -60,7 +65,10 @@ pub struct Rze {
 impl Rze {
     /// Creates an RZE component for `width`-byte symbols (1, 2, 4 or 8).
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported RZE symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported RZE symbol width {width}"
+        );
         Rze { width }
     }
 
@@ -134,7 +142,10 @@ mod tests {
         }
         let size = roundtrip(1, &data);
         // ~100 nonzero bytes + double-compressed bitmap: far below 5 % of input.
-        assert!(size < data.len() / 20, "mostly-zero data should collapse, got {size}");
+        assert!(
+            size < data.len() / 20,
+            "mostly-zero data should collapse, got {size}"
+        );
     }
 
     #[test]
@@ -142,7 +153,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let data: Vec<u8> = (0..10_000).map(|_| rng.gen_range(1..=255u8)).collect();
         let size = roundtrip(1, &data);
-        assert!(size >= data.len(), "no zero symbols — nothing can be dropped");
+        assert!(
+            size >= data.len(),
+            "no zero symbols — nothing can be dropped"
+        );
         assert!(size <= data.len() + data.len() / 8 + 256);
     }
 
@@ -150,7 +164,9 @@ mod tests {
     fn non_multiple_lengths() {
         for w in [2, 4, 8] {
             for len in [1usize, 3, 7, 9, 17, 1001] {
-                let data: Vec<u8> = (0..len).map(|i| if i % 3 == 0 { 0 } else { (i % 200) as u8 }).collect();
+                let data: Vec<u8> = (0..len)
+                    .map(|i| if i % 3 == 0 { 0 } else { (i % 200) as u8 })
+                    .collect();
                 roundtrip(w, &data);
             }
         }

@@ -20,7 +20,10 @@ pub struct Tcms {
 impl Tcms {
     /// Creates a TCMS component for `width`-byte symbols (1, 2, 4 or 8).
     pub fn new(width: usize) -> Self {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported TCMS symbol width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported TCMS symbol width {width}"
+        );
         Tcms { width }
     }
 
@@ -31,8 +34,7 @@ impl Tcms {
 
     #[inline]
     fn forward(v: u64, bits: u32) -> u64 {
-        let shifted = ((v << 1) ^ (((v as i64) << (64 - bits)) >> 63) as u64) & mask(bits);
-        shifted
+        ((v << 1) ^ (((v as i64) << (64 - bits)) >> 63) as u64) & mask(bits)
     }
 
     #[inline]
@@ -61,7 +63,11 @@ impl Tcms {
             // The (possibly zero-padded) tail symbol is passed through
             // untouched so the transform stays exactly invertible on inputs
             // whose length is not a multiple of the width.
-            let mapped = if remaining >= width { f(sym, bits) } else { sym };
+            let mapped = if remaining >= width {
+                f(sym, bits)
+            } else {
+                sym
+            };
             write_symbol(&mut out, mapped, width, remaining);
         }
         out

@@ -43,7 +43,10 @@ impl TuplQ {
         let orig_len = cur.get_u64()? as usize;
         let body = cur.take_rest();
         if body.len() != orig_len {
-            return Err(CodecError::corrupt("tuplq", format!("expected {orig_len} bytes, got {}", body.len())));
+            return Err(CodecError::corrupt(
+                "tuplq",
+                format!("expected {orig_len} bytes, got {}", body.len()),
+            ));
         }
         let mut out = vec![0u8; orig_len];
         let mut pos = 0usize;
@@ -84,7 +87,10 @@ impl TuplD {
         let orig_len = cur.get_u64()? as usize;
         let body = cur.take_rest();
         if body.len() != orig_len {
-            return Err(CodecError::corrupt("tupld", format!("expected {orig_len} bytes, got {}", body.len())));
+            return Err(CodecError::corrupt(
+                "tupld",
+                format!("expected {orig_len} bytes, got {}", body.len()),
+            ));
         }
         let low_len = orig_len.div_ceil(2);
         let mut out = vec![0u8; orig_len];
@@ -109,7 +115,11 @@ mod tests {
         for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 1023, 4096] {
             let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
             let t = TuplQ::new();
-            assert_eq!(t.decode_bytes(&t.encode_bytes(&data)).unwrap(), data, "len {len}");
+            assert_eq!(
+                t.decode_bytes(&t.encode_bytes(&data)).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 
@@ -119,7 +129,11 @@ mod tests {
         for len in [0usize, 1, 2, 3, 5, 8, 1023, 4096] {
             let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
             let t = TuplD::new();
-            assert_eq!(t.decode_bytes(&t.encode_bytes(&data)).unwrap(), data, "len {len}");
+            assert_eq!(
+                t.decode_bytes(&t.encode_bytes(&data)).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 
@@ -132,7 +146,10 @@ mod tests {
         }
         let enc = TuplQ::new().encode_bytes(&data);
         let body = &enc[8..];
-        assert!(body[100..].iter().all(|&b| b == 0), "lanes 1..3 must be zero");
+        assert!(
+            body[100..].iter().all(|&b| b == 0),
+            "lanes 1..3 must be zero"
+        );
     }
 
     #[test]
@@ -144,7 +161,10 @@ mod tests {
         }
         let enc = TuplD::new().encode_bytes(&data);
         let body = &enc[8..];
-        assert!(body[100..].iter().all(|&b| b == 0), "high-byte lane must be zero");
+        assert!(
+            body[100..].iter().all(|&b| b == 0),
+            "high-byte lane must be zero"
+        );
     }
 
     #[test]

@@ -32,21 +32,33 @@ impl CodecError {
 
     /// Shorthand for an [`CodecError::InvalidHeader`].
     pub fn header(context: &'static str, detail: impl Into<String>) -> Self {
-        CodecError::InvalidHeader { context, detail: detail.into() }
+        CodecError::InvalidHeader {
+            context,
+            detail: detail.into(),
+        }
     }
 
     /// Shorthand for a [`CodecError::Corrupt`].
     pub fn corrupt(context: &'static str, detail: impl Into<String>) -> Self {
-        CodecError::Corrupt { context, detail: detail.into() }
+        CodecError::Corrupt {
+            context,
+            detail: detail.into(),
+        }
     }
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::UnexpectedEof { context } => write!(f, "unexpected end of stream in {context}"),
-            CodecError::InvalidHeader { context, detail } => write!(f, "invalid header in {context}: {detail}"),
-            CodecError::Corrupt { context, detail } => write!(f, "corrupt stream in {context}: {detail}"),
+            CodecError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of stream in {context}")
+            }
+            CodecError::InvalidHeader { context, detail } => {
+                write!(f, "invalid header in {context}: {detail}")
+            }
+            CodecError::Corrupt { context, detail } => {
+                write!(f, "corrupt stream in {context}: {detail}")
+            }
         }
     }
 }

@@ -7,7 +7,7 @@
 //! works on `u32` values (the baselines' quantization codes are re-biased
 //! into unsigned space first).
 
-use crate::bitio::{put_u32, put_u64, BitReader, BitWriter, ByteCursor};
+use crate::bitio::{decode_capacity, put_u32, put_u64, BitReader, BitWriter, ByteCursor};
 use crate::CodecError;
 
 /// Packs `values` in blocks of `block_len` values: each block stores a 6-bit
@@ -22,7 +22,11 @@ pub fn pack_u32(values: &[u32], block_len: usize) -> Vec<u8> {
     let mut bw = BitWriter::with_capacity_bits(values.len() * 8);
     for block in values.chunks(block_len) {
         let max = block.iter().copied().max().unwrap_or(0);
-        let bits = if max == 0 { 0 } else { 32 - max.leading_zeros() };
+        let bits = if max == 0 {
+            0
+        } else {
+            32 - max.leading_zeros()
+        };
         bw.put_bits(bits as u64, 6);
         if bits > 0 {
             for &v in block {
@@ -43,16 +47,23 @@ pub fn unpack_u32(data: &[u8]) -> Result<Vec<u32>, CodecError> {
         return Err(CodecError::header("fixedlen", "zero block length"));
     }
     let mut br = BitReader::new(cur.take_rest());
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(decode_capacity(count));
     let mut remaining = count;
     while remaining > 0 {
         let n = block_len.min(remaining);
         let bits = br.get_bits(6)? as u32;
         if bits > 32 {
-            return Err(CodecError::corrupt("fixedlen", format!("invalid block width {bits}")));
+            return Err(CodecError::corrupt(
+                "fixedlen",
+                format!("invalid block width {bits}"),
+            ));
         }
         for _ in 0..n {
-            let v = if bits == 0 { 0 } else { br.get_bits(bits)? as u32 };
+            let v = if bits == 0 {
+                0
+            } else {
+                br.get_bits(bits)? as u32
+            };
             out.push(v);
         }
         remaining -= n;
@@ -86,7 +97,11 @@ mod tests {
             for len in [0usize, 1, 31, 32, 33, 1000] {
                 let values: Vec<u32> = (0..len).map(|_| rng.gen_range(0..1_000_000)).collect();
                 let packed = pack_u32(&values, block);
-                assert_eq!(unpack_u32(&packed).unwrap(), values, "block {block} len {len}");
+                assert_eq!(
+                    unpack_u32(&packed).unwrap(),
+                    values,
+                    "block {block} len {len}"
+                );
             }
         }
     }
@@ -96,14 +111,21 @@ mod tests {
         let values: Vec<u32> = (0..10_000).map(|i| (i % 3) as u32).collect();
         let packed = pack_u32(&values, 32);
         // 2 bits per value + 6 bits per 32-value block ≈ 0.28 bytes/value.
-        assert!(packed.len() < 3200, "packed size {} too large", packed.len());
+        assert!(
+            packed.len() < 3200,
+            "packed size {} too large",
+            packed.len()
+        );
     }
 
     #[test]
     fn zero_blocks_store_only_widths() {
         let values = vec![0u32; 4096];
         let packed = pack_u32(&values, 32);
-        assert!(packed.len() < 32 + 4096 / 32, "zero blocks must cost ≤1 byte each");
+        assert!(
+            packed.len() < 32 + 4096 / 32,
+            "zero blocks must cost ≤1 byte each"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * decoding uses a 12-bit prefix lookup table with a canonical fallback for
 //!   longer codes.
 
-use crate::bitio::{put_u64, BitReader, BitWriter, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, BitReader, BitWriter, ByteCursor};
 use crate::CodecError;
 
 /// Maximum code length in bits. 32 is far above the entropy of quantization
@@ -48,7 +48,12 @@ fn code_lengths(hist: &[u64; 256]) -> [u32; 256] {
     }
     let mut nodes: Vec<Node> = symbols
         .iter()
-        .map(|&s| Node { weight: hist[s], left: -1, right: -1, symbol: s as i32 })
+        .map(|&s| Node {
+            weight: hist[s],
+            left: -1,
+            right: -1,
+            symbol: s as i32,
+        })
         .collect();
     nodes.sort_by_key(|n| n.weight);
     let mut leaves: std::collections::VecDeque<usize> = (0..nodes.len()).collect();
@@ -114,7 +119,10 @@ fn limit_lengths(lengths: &mut [u32; 256]) {
     }
     // Kraft sum in units of 2^-MAX_CODE_LEN.
     let unit = 1u64 << MAX_CODE_LEN;
-    let mut kraft: u64 = (0..256).filter(|&s| lengths[s] > 0).map(|s| unit >> lengths[s]).sum();
+    let mut kraft: u64 = (0..256)
+        .filter(|&s| lengths[s] > 0)
+        .map(|s| unit >> lengths[s])
+        .sum();
     // While over-subscribed, lengthen the shortest-coded low-frequency symbols.
     while kraft > unit {
         // Find a symbol with the largest length < MAX_CODE_LEN and grow it.
@@ -136,11 +144,11 @@ fn limit_lengths(lengths: &mut [u32; 256]) {
     // If under-subscribed (possible after clamping), shorten symbols greedily.
     loop {
         let mut changed = false;
-        for s in 0..256 {
-            if lengths[s] > 1 {
-                let gain = (unit >> (lengths[s] - 1)) - (unit >> lengths[s]);
+        for len in lengths.iter_mut() {
+            if *len > 1 {
+                let gain = (unit >> (*len - 1)) - (unit >> *len);
                 if kraft + gain <= unit {
-                    lengths[s] -= 1;
+                    *len -= 1;
                     kraft += gain;
                     changed = true;
                 }
@@ -227,8 +235,20 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
 /// Decodes a stream produced by [`encode`].
 pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decode_limited(data, usize::MAX)
+}
+
+/// Like [`decode`], but rejects streams whose claimed symbol count exceeds
+/// `max_out` before any decoding work, for use on untrusted input.
+pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
     let mut cur = ByteCursor::new(data);
     let n = cur.get_u64()? as usize;
+    if n > max_out {
+        return Err(CodecError::corrupt(
+            "huffman",
+            format!("claimed {n} symbols, limit {max_out}"),
+        ));
+    }
     let lengths_bytes = cur.take(192)?; // 256 * 6 bits = 192 bytes
     let mut lr = BitReader::new(lengths_bytes);
     let mut lengths = [0u32; 256];
@@ -239,7 +259,21 @@ pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         return Ok(Vec::new());
     }
     if lengths.iter().all(|&l| l == 0) {
-        return Err(CodecError::header("huffman", "no symbols in code book for non-empty payload"));
+        return Err(CodecError::header(
+            "huffman",
+            "no symbols in code book for non-empty payload",
+        ));
+    }
+    // Reject code books that violate the Kraft inequality: canonical code
+    // assignment for an over-subscribed book overflows the codes' bit
+    // lengths, and with them the LUT index space.
+    let unit = 1u64 << 32;
+    let kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
+    if kraft > unit {
+        return Err(CodecError::corrupt(
+            "huffman",
+            "code book violates the Kraft inequality",
+        ));
     }
     let codes = canonical_codes(&lengths);
 
@@ -284,8 +318,17 @@ pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
 
     let payload = cur.take_rest();
+    // Every decoded symbol consumes at least one bit, so a symbol count
+    // beyond the payload's bit count is corrupt. Without this check the
+    // decode loop would read the final byte's zero padding indefinitely.
+    if n > payload.len() * 8 {
+        return Err(CodecError::corrupt(
+            "huffman",
+            format!("claimed {n} symbols from a {}-byte payload", payload.len()),
+        ));
+    }
     let mut br = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(decode_capacity(n));
     for _ in 0..n {
         let peek = br.peek_bits(LUT_BITS) as usize;
         let len = lut_length[peek];
@@ -301,7 +344,10 @@ pub fn decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         loop {
             l += 1;
             if l > max_len {
-                return Err(CodecError::corrupt("huffman", "code longer than the longest code length"));
+                return Err(CodecError::corrupt(
+                    "huffman",
+                    "code longer than the longest code length",
+                ));
             }
             code = (code << 1) | br.get_bit()? as u64;
             let li = l as usize;
@@ -324,6 +370,34 @@ mod tests {
         let enc = encode(data);
         let dec = decode(&enc).expect("decode failed");
         assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn oversubscribed_code_book_is_rejected() {
+        // A book claiming length 1 for three symbols violates the Kraft
+        // inequality; canonical code assignment would overflow the LUT.
+        let mut stream = Vec::new();
+        crate::bitio::put_u64(&mut stream, 8);
+        let mut bw = BitWriter::new();
+        for s in 0..256u32 {
+            bw.put_bits(if s < 3 { 1 } else { 0 }, 6);
+        }
+        stream.extend_from_slice(&bw.finish());
+        stream.extend_from_slice(&[0xAA; 16]);
+        assert!(decode(&stream).is_err());
+    }
+
+    #[test]
+    fn symbol_count_beyond_payload_bits_is_rejected() {
+        // Each symbol consumes at least one bit; inflating the count must
+        // fail upfront instead of decoding the final byte's padding forever.
+        let mut enc = encode(&[1u8, 2, 3, 4, 5, 6, 7, 8]);
+        enc[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&enc).is_err());
+        // And decode_limited rejects counts beyond the caller's bound.
+        let mut enc = encode(&[9u8; 100]);
+        enc[0..8].copy_from_slice(&400u64.to_le_bytes());
+        assert!(decode_limited(&enc, 100).is_err());
     }
 
     #[test]
@@ -360,7 +434,12 @@ mod tests {
             })
             .collect();
         let enc = encode(&data);
-        assert!(enc.len() < data.len() / 2, "skewed data should compress at least 2x, got {} -> {}", data.len(), enc.len());
+        assert!(
+            enc.len() < data.len() / 2,
+            "skewed data should compress at least 2x, got {} -> {}",
+            data.len(),
+            enc.len()
+        );
         roundtrip(&data);
     }
 
@@ -379,8 +458,8 @@ mod tests {
         // Fibonacci-ish weights force long codes.
         let mut a = 1u64;
         let mut b = 1u64;
-        for s in 0..64 {
-            hist[s] = a;
+        for h in hist.iter_mut().take(64) {
+            *h = a;
             let c = a + b;
             a = b;
             b = c;
@@ -413,6 +492,9 @@ mod tests {
         let bits = book.encoded_bits(&hist);
         let enc = encode(&data);
         let payload_bytes = enc.len() as u64 - 8 - 192;
-        assert!(payload_bytes >= bits / 8 && payload_bytes <= bits / 8 + 1, "payload {payload_bytes} vs predicted bits {bits}");
+        assert!(
+            payload_bytes >= bits / 8 && payload_bytes <= bits / 8 + 1,
+            "payload {payload_bytes} vs predicted bits {bits}"
+        );
     }
 }

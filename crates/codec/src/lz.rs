@@ -7,7 +7,7 @@
 //! the originals: [`Effort::Fast`] (single hash probe, GPULZ/LZ4-like) and
 //! [`Effort::Thorough`] (longer chains, GDeflate/Zstd-like).
 
-use crate::bitio::{put_u64, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, ByteCursor};
 use crate::CodecError;
 
 const MIN_MATCH: usize = 4;
@@ -150,9 +150,21 @@ pub fn compress(input: &[u8], effort: Effort) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decompress_limited(input, usize::MAX)
+}
+
+/// Like [`decompress`], but rejects streams whose claimed output length
+/// exceeds `max_out` before any decoding work, for use on untrusted input.
+pub fn decompress_limited(input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
     let mut cur = ByteCursor::new(input);
     let orig_len = cur.get_u64()? as usize;
-    let mut out = Vec::with_capacity(orig_len);
+    if orig_len > max_out {
+        return Err(CodecError::corrupt(
+            "lz",
+            format!("claimed {orig_len} bytes, limit {max_out}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(decode_capacity(orig_len));
     while out.len() < orig_len {
         let token = cur.get_u8()?;
         let lit_len = read_len(&mut cur, (token >> 4) as usize)?;
@@ -166,7 +178,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
         let offset = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
         if offset == 0 || offset > out.len() {
-            return Err(CodecError::corrupt("lz", format!("invalid offset {offset} at output length {}", out.len())));
+            return Err(CodecError::corrupt(
+                "lz",
+                format!("invalid offset {offset} at output length {}", out.len()),
+            ));
         }
         let match_len = read_len(&mut cur, (token & 0x0f) as usize)? + MIN_MATCH;
         let start = out.len() - offset;
@@ -176,7 +191,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
     }
     if out.len() != orig_len {
-        return Err(CodecError::corrupt("lz", format!("decoded {} bytes, expected {orig_len}", out.len())));
+        return Err(CodecError::corrupt(
+            "lz",
+            format!("decoded {} bytes, expected {orig_len}", out.len()),
+        ));
     }
     Ok(out)
 }
@@ -188,7 +206,12 @@ mod tests {
 
     fn roundtrip(data: &[u8], effort: Effort) -> usize {
         let enc = compress(data, effort);
-        assert_eq!(decompress(&enc).unwrap(), data, "effort {effort:?} len {}", data.len());
+        assert_eq!(
+            decompress(&enc).unwrap(),
+            data,
+            "effort {effort:?} len {}",
+            data.len()
+        );
         enc.len()
     }
 
@@ -210,7 +233,10 @@ mod tests {
         }
         for effort in [Effort::Fast, Effort::Thorough] {
             let size = roundtrip(&data, effort);
-            assert!(size < data.len() / 10, "periodic data must compress >10x, got {size}");
+            assert!(
+                size < data.len() / 10,
+                "periodic data must compress >10x, got {size}"
+            );
         }
     }
 
@@ -243,7 +269,10 @@ mod tests {
         }
         let fast = compress(&data, Effort::Fast).len();
         let thorough = compress(&data, Effort::Thorough).len();
-        assert!(thorough <= fast, "thorough ({thorough}) must not be worse than fast ({fast})");
+        assert!(
+            thorough <= fast,
+            "thorough ({thorough}) must not be worse than fast ({fast})"
+        );
     }
 
     #[test]
@@ -255,7 +284,10 @@ mod tests {
 
     #[test]
     fn corrupt_offset_is_rejected() {
-        let enc = compress(&[1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8], Effort::Fast);
+        let enc = compress(
+            &[1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8],
+            Effort::Fast,
+        );
         // Truncating usually produces an EOF or invalid-offset error.
         assert!(decompress(&enc[..enc.len() - 2]).is_err());
     }

@@ -17,6 +17,21 @@ pub trait Stage: Send + Sync {
     fn encode(&self, input: &[u8]) -> Vec<u8>;
     /// Decodes a stream produced by [`Stage::encode`].
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+    /// Decodes with an output-size bound for untrusted streams. The default
+    /// checks the produced length after the fact, which is enough for the
+    /// input-bounded component transforms; stages whose decoders trust a
+    /// claimed output count (entropy coders, LZ, Bitcomp) override this to
+    /// reject the count before doing any work.
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        let out = self.decode(input)?;
+        if out.len() > max_out {
+            return Err(CodecError::corrupt(
+                self.name(),
+                format!("decoded {} bytes, limit {max_out}", out.len()),
+            ));
+        }
+        Ok(out)
+    }
 }
 
 macro_rules! component_stage {
@@ -78,6 +93,9 @@ impl Stage for HuffmanStage {
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         huffman::decode(input)
     }
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        huffman::decode_limited(input, max_out)
+    }
 }
 
 /// Static rANS entropy coding stage (stand-in for nvCOMP ANS).
@@ -93,6 +111,9 @@ impl Stage for AnsStage {
     }
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         ans::decode(input)
+    }
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        ans::decode_limited(input, max_out)
     }
 }
 
@@ -110,6 +131,9 @@ impl Stage for BitcompStage {
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         bitcomp_sim::decompress(input)
     }
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        bitcomp_sim::decompress_limited(input, max_out)
+    }
 }
 
 /// Fast LZ stage (stand-in for GPULZ / nvCOMP LZ4).
@@ -125,6 +149,9 @@ impl Stage for LzFastStage {
     }
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         lz::decompress(input)
+    }
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        lz::decompress_limited(input, max_out)
     }
 }
 
@@ -142,6 +169,9 @@ impl Stage for LzThoroughStage {
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         lz::decompress(input)
     }
+    fn decode_limited(&self, input: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+        lz::decompress_limited(input, max_out)
+    }
 }
 
 /// An ordered composition of lossless stages.
@@ -153,7 +183,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Builds a pipeline from stages applied left to right on encode.
     pub fn new(name: impl Into<String>, stages: Vec<Box<dyn Stage>>) -> Self {
-        Pipeline { name: name.into(), stages }
+        Pipeline {
+            name: name.into(),
+            stages,
+        }
     }
 
     /// The pipeline's display name, e.g. `"HF-RRE4-TCMS8-RZE1"`.
@@ -185,6 +218,21 @@ impl Pipeline {
         let mut data = input.to_vec();
         for stage in self.stages.iter().rev() {
             data = stage.decode(&data)?;
+        }
+        Ok(data)
+    }
+
+    /// Decodes an **untrusted** stream whose final decoded size is known to
+    /// be `expected_len`. Every intermediate stage output is bounded by
+    /// `2 * expected_len + 4096` — generous for any stream this pipeline's
+    /// own encoder can produce (stages grow their input by at most ~9/8
+    /// plus a constant header) — so a corrupted length field inside a stage
+    /// fails with a typed error instead of decoding gigabytes.
+    pub fn decode_bounded(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+        let max_interm = expected_len.saturating_mul(2).saturating_add(4096);
+        let mut data = input.to_vec();
+        for stage in self.stages.iter().rev() {
+            data = stage.decode_limited(&data, max_interm)?;
         }
         Ok(data)
     }
@@ -419,7 +467,9 @@ mod tests {
         for spec in PipelineSpec::all() {
             let p = spec.build();
             let enc = p.encode(&data);
-            let dec = p.decode(&enc).unwrap_or_else(|e| panic!("{spec} failed to decode: {e}"));
+            let dec = p
+                .decode(&enc)
+                .unwrap_or_else(|e| panic!("{spec} failed to decode: {e}"));
             assert_eq!(dec, data, "{spec} round-trip mismatch");
         }
     }
@@ -428,9 +478,19 @@ mod tests {
     fn every_named_pipeline_roundtrips_tiny_inputs() {
         for spec in PipelineSpec::all() {
             let p = spec.build();
-            for data in [vec![], vec![128u8], vec![0u8; 7], (0..64u8).collect::<Vec<_>>()] {
+            for data in [
+                vec![],
+                vec![128u8],
+                vec![0u8; 7],
+                (0..64u8).collect::<Vec<_>>(),
+            ] {
                 let enc = p.encode(&data);
-                assert_eq!(p.decode(&enc).unwrap(), data, "{spec} on {} bytes", data.len());
+                assert_eq!(
+                    p.decode(&enc).unwrap(),
+                    data,
+                    "{spec} on {} bytes",
+                    data.len()
+                );
             }
         }
     }
@@ -442,7 +502,10 @@ mod tests {
             let p = spec.build();
             let enc = p.encode(&data);
             let ratio = data.len() as f64 / enc.len() as f64;
-            assert!(ratio > 2.5, "{spec} achieved only {ratio:.2}x on quant-code-like data");
+            assert!(
+                ratio > 2.5,
+                "{spec} achieved only {ratio:.2}x on quant-code-like data"
+            );
         }
     }
 
@@ -451,7 +514,10 @@ mod tests {
         let data = quant_like(400_000, 83);
         let cr = PipelineSpec::CR.build().encode(&data).len();
         let tp = PipelineSpec::TP.build().encode(&data).len();
-        assert!(cr < tp, "CR pipeline ({cr} bytes) must beat TP pipeline ({tp} bytes) on ratio");
+        assert!(
+            cr < tp,
+            "CR pipeline ({cr} bytes) must beat TP pipeline ({tp} bytes) on ratio"
+        );
     }
 
     #[test]

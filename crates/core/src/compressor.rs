@@ -37,12 +37,16 @@ pub fn compress_with_stats(
     cfg: &SzhiConfig,
 ) -> Result<(Vec<u8>, CompressionStats), SzhiError> {
     if data.is_empty() {
-        return Err(SzhiError::InvalidInput("cannot compress an empty field".into()));
+        return Err(SzhiError::InvalidInput(
+            "cannot compress an empty field".into(),
+        ));
     }
     let dims = data.dims();
     let abs_eb = cfg.error_bound.absolute(data.value_range() as f64);
     if !(abs_eb.is_finite() && abs_eb > 0.0) {
-        return Err(SzhiError::InvalidInput(format!("invalid error bound {abs_eb}")));
+        return Err(SzhiError::InvalidInput(format!(
+            "invalid error bound {abs_eb}"
+        )));
     }
 
     // 1. Select the interpolation configuration, optionally auto-tuned on a
@@ -94,7 +98,10 @@ pub fn compress_with_stats(
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     let (header, anchors, outliers, payload) = read_stream(bytes)?;
-    let codes = header.pipeline.build().decode(&payload)?;
+    let codes = header
+        .pipeline
+        .build()
+        .decode_bounded(&payload, header.dims.len())?;
     if codes.len() != header.dims.len() {
         return Err(SzhiError::InvalidStream(format!(
             "decoded {} quantization codes for a field of {} points",
@@ -108,7 +115,31 @@ pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     } else {
         codes
     };
-    let output = szhi_predictor::InterpOutput { anchors, codes, outliers };
+    // The predictor asserts these invariants; a parseable-but-inconsistent
+    // stream must fail with a typed error before reaching them.
+    let expected_anchors =
+        szhi_ndgrid::BlockGrid::new(header.dims, header.interp.anchor_stride).anchor_count();
+    if anchors.len() != expected_anchors {
+        return Err(SzhiError::InvalidStream(format!(
+            "stream carries {} anchors, the {} field needs {expected_anchors}",
+            anchors.len(),
+            header.dims
+        )));
+    }
+    let outlier_indices: std::collections::HashSet<u64> =
+        outliers.iter().map(|o| o.index).collect();
+    for (idx, &code) in codes.iter().enumerate() {
+        if code == szhi_predictor::OUTLIER_CODE && !outlier_indices.contains(&(idx as u64)) {
+            return Err(SzhiError::InvalidStream(format!(
+                "point {idx} is coded as an outlier but has no outlier record"
+            )));
+        }
+    }
+    let output = szhi_predictor::InterpOutput {
+        anchors,
+        codes,
+        outliers,
+    };
     let predictor = InterpPredictor::new(header.interp.clone());
     Ok(predictor.decompress(header.dims, header.abs_eb, &output))
 }
@@ -137,16 +168,65 @@ mod tests {
     }
 
     #[test]
+    fn inconsistent_but_parseable_streams_error_instead_of_panicking() {
+        // Streams that pass header parsing but violate the predictor's
+        // invariants must surface as typed errors, not asserts: a corrupted
+        // block_span, a wrong anchor count, and an outlier code with no
+        // outlier record.
+        let g = DatasetKind::Nyx.generate(Dims::d3(20, 22, 24), 13);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        let bytes = compress(&g, &cfg).unwrap();
+
+        // Corrupt one low byte of the 3×u16 block_span field (stream offsets
+        // 42/44/46: magic 4 + ver 1 + rank 1 + dims 24 + eb 8 + pid 1
+        // + reorder 1 + stride 2).
+        for offset in [42usize, 44, 46] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] = 1;
+            corrupt[offset + 1] = 0;
+            assert!(
+                matches!(decompress(&corrupt), Err(SzhiError::InvalidStream(_))),
+                "corrupt block_span at {offset} did not yield a typed error"
+            );
+        }
+
+        // Re-serialise with one anchor dropped.
+        let (header, anchors, outliers, payload) = crate::format::read_stream(&bytes).unwrap();
+        let fewer = crate::format::write_stream(&header, &anchors[1..], &outliers, &payload);
+        assert!(
+            matches!(decompress(&fewer), Err(SzhiError::InvalidStream(_))),
+            "anchor count mismatch did not yield a typed error"
+        );
+
+        // Re-serialise with the outlier records dropped while their codes
+        // remain. (Skip if this field produced no outliers.)
+        if !outliers.is_empty() {
+            let no_records = crate::format::write_stream(&header, &anchors, &[], &payload);
+            assert!(
+                matches!(decompress(&no_records), Err(SzhiError::InvalidStream(_))),
+                "missing outlier records did not yield a typed error"
+            );
+        }
+    }
+
+    #[test]
     fn roundtrip_all_dataset_families_cr_mode() {
         for kind in szhi_datagen::all_kinds() {
-            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(60, 90) } else { Dims::d3(33, 30, 35) };
+            let dims = if kind == DatasetKind::CesmAtm {
+                Dims::d2(60, 90)
+            } else {
+                Dims::d3(33, 30, 35)
+            };
             let g = kind.generate(dims, 5);
             let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
             let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
             let recon = decompress(&bytes).unwrap();
             assert_eq!(recon.dims(), dims);
             check_bound(&g, &recon, stats.abs_eb);
-            assert!(stats.compression_ratio > 1.0, "{kind}: no compression achieved");
+            assert!(
+                stats.compression_ratio > 1.0,
+                "{kind}: no compression achieved"
+            );
         }
     }
 
@@ -177,8 +257,10 @@ mod tests {
             let (_, stats) = compress_with_stats(&g, &cfg).unwrap();
             ratios.push(stats.compression_ratio);
         }
-        assert!(ratios[0] > ratios[1] && ratios[1] > ratios[2],
-            "compression ratio must decrease with tighter bounds: {ratios:?}");
+        assert!(
+            ratios[0] > ratios[1] && ratios[1] > ratios[2],
+            "compression ratio must decrease with tighter bounds: {ratios:?}"
+        );
     }
 
     #[test]
@@ -191,7 +273,10 @@ mod tests {
             let recon = decompress(&bytes).unwrap();
             psnrs.push(QualityReport::compare(&g, &recon).psnr);
         }
-        assert!(psnrs[1] > psnrs[0] + 10.0, "PSNR should rise sharply with a 10x tighter bound: {psnrs:?}");
+        assert!(
+            psnrs[1] > psnrs[0] + 10.0,
+            "PSNR should rise sharply with a 10x tighter bound: {psnrs:?}"
+        );
     }
 
     #[test]
@@ -224,7 +309,11 @@ mod tests {
         let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
         let recon = decompress(&bytes).unwrap();
         assert_eq!(recon.as_slice(), g.as_slice());
-        assert!(stats.compression_ratio > 50.0, "constant field ratio only {}", stats.compression_ratio);
+        assert!(
+            stats.compression_ratio > 50.0,
+            "constant field ratio only {}",
+            stats.compression_ratio
+        );
         assert!(bytes.len() < dims.nbytes_f32());
     }
 
@@ -236,7 +325,10 @@ mod tests {
         let bytes = compress(&g, &SzhiConfig::new(ErrorBound::Relative(1e-2))).unwrap();
         // Truncations anywhere must error, never panic.
         for cut in [5usize, 50, bytes.len() / 2, bytes.len() - 3] {
-            assert!(decompress(&bytes[..cut]).is_err(), "cut at {cut} not detected");
+            assert!(
+                decompress(&bytes[..cut]).is_err(),
+                "cut at {cut} not detected"
+            );
         }
     }
 

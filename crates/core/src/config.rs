@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn mode_pipelines_match_paper() {
-        assert_eq!(PipelineMode::Cr.pipeline_spec().name(), "HF-RRE4-TCMS8-RZE1");
+        assert_eq!(
+            PipelineMode::Cr.pipeline_spec().name(),
+            "HF-RRE4-TCMS8-RZE1"
+        );
         assert_eq!(PipelineMode::Tp.pipeline_spec().name(), "TCMS1-BIT1-RRE1");
     }
 }

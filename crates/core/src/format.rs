@@ -115,21 +115,70 @@ pub fn write_stream(
     out
 }
 
+/// Reads a u64 element count and checks that `count * elem_size` bytes can
+/// still be present in the stream, so corrupted counts fail cleanly instead
+/// of driving a huge `Vec::with_capacity`.
+fn checked_count(
+    cur: &mut ByteCursor<'_>,
+    elem_size: usize,
+    what: &str,
+) -> Result<usize, SzhiError> {
+    let count = cur.get_u64().map_err(SzhiError::from)?;
+    let need = count.checked_mul(elem_size as u64);
+    match need {
+        Some(bytes) if bytes <= cur.remaining() as u64 => Ok(count as usize),
+        _ => Err(SzhiError::InvalidStream(format!(
+            "{what} count {count} exceeds the {} bytes left in the stream",
+            cur.remaining()
+        ))),
+    }
+}
+
+/// The sections of a parsed stream: header, anchors, outliers, payload.
+pub type StreamSections = (Header, Vec<f32>, Vec<Outlier>, Vec<u8>);
+
 /// Parses a stream back into its header and sections.
-pub fn read_stream(bytes: &[u8]) -> Result<(Header, Vec<f32>, Vec<Outlier>, Vec<u8>), SzhiError> {
+pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
     let mut cur = ByteCursor::new(bytes);
-    let magic = cur.take(4).map_err(|_| SzhiError::InvalidStream("stream too short for magic".into()))?;
+    let magic = cur
+        .take(4)
+        .map_err(|_| SzhiError::InvalidStream("stream too short for magic".into()))?;
     if magic != MAGIC {
-        return Err(SzhiError::InvalidStream("not a szhi stream (bad magic)".into()));
+        return Err(SzhiError::InvalidStream(
+            "not a szhi stream (bad magic)".into(),
+        ));
     }
     let version = cur.get_u8().map_err(SzhiError::from)?;
     if version != VERSION {
-        return Err(SzhiError::InvalidStream(format!("unsupported version {version}")));
+        return Err(SzhiError::InvalidStream(format!(
+            "unsupported version {version}"
+        )));
     }
     let rank = cur.get_u8().map_err(SzhiError::from)? as usize;
     let nz = cur.get_u64().map_err(SzhiError::from)? as usize;
     let ny = cur.get_u64().map_err(SzhiError::from)? as usize;
     let nx = cur.get_u64().map_err(SzhiError::from)? as usize;
+    // Validate the shape before handing it to the `Dims` constructors, whose
+    // non-zero asserts would otherwise turn a corrupt stream into a panic.
+    // The element-count cap (2^40 points = 4 TiB of f32) rejects absurd
+    // corrupt shapes before any decompressor tries to allocate the output.
+    const MAX_POINTS: u64 = 1 << 40;
+    if nz == 0 || ny == 0 || nx == 0 {
+        return Err(SzhiError::InvalidStream(format!(
+            "zero dimension in header: {nz}x{ny}x{nx}"
+        )));
+    }
+    match (nz as u64)
+        .checked_mul(ny as u64)
+        .and_then(|p| p.checked_mul(nx as u64))
+    {
+        Some(points) if points <= MAX_POINTS => {}
+        _ => {
+            return Err(SzhiError::InvalidStream(format!(
+                "implausible field size {nz}x{ny}x{nx}"
+            )))
+        }
+    }
     let dims = match rank {
         1 => Dims::d1(nx),
         2 => Dims::d2(ny, nx),
@@ -137,6 +186,12 @@ pub fn read_stream(bytes: &[u8]) -> Result<(Header, Vec<f32>, Vec<Outlier>, Vec<
         _ => return Err(SzhiError::InvalidStream(format!("unsupported rank {rank}"))),
     };
     let abs_eb = cur.get_f64().map_err(SzhiError::from)?;
+    // A corrupt bound would otherwise fail asserts deep in the quantizer.
+    if !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(SzhiError::InvalidStream(format!(
+            "invalid error bound {abs_eb}"
+        )));
+    }
     let pipeline_id = cur.get_u8().map_err(SzhiError::from)?;
     let pipeline = PipelineSpec::from_id(pipeline_id)
         .ok_or_else(|| SzhiError::InvalidStream(format!("unknown pipeline id {pipeline_id}")))?;
@@ -153,31 +208,54 @@ pub fn read_stream(bytes: &[u8]) -> Result<(Header, Vec<f32>, Vec<Outlier>, Vec<
         let spline = spline_from(cur.get_u8().map_err(SzhiError::from)?)?;
         levels.push(LevelConfig { scheme, spline });
     }
-    if !anchor_stride.is_power_of_two() || anchor_stride < 2 || levels.len() != anchor_stride.trailing_zeros() as usize {
+    // Mirror every invariant `InterpConfig::validate` asserts, so a corrupt
+    // header surfaces as a typed error here instead of a panic downstream.
+    if !anchor_stride.is_power_of_two()
+        || anchor_stride < 2
+        || levels.len() != anchor_stride.trailing_zeros() as usize
+    {
         return Err(SzhiError::InvalidStream(format!(
             "inconsistent predictor configuration: stride {anchor_stride}, {} levels",
             levels.len()
         )));
     }
-    let interp = InterpConfig { anchor_stride, block_span, levels };
+    if block_span.iter().any(|&s| s < anchor_stride) {
+        return Err(SzhiError::InvalidStream(format!(
+            "block span {block_span:?} smaller than anchor stride {anchor_stride}"
+        )));
+    }
+    let interp = InterpConfig {
+        anchor_stride,
+        block_span,
+        levels,
+    };
 
-    let n_anchors = cur.get_u64().map_err(SzhiError::from)? as usize;
+    // Validate every untrusted count against the bytes actually present
+    // before allocating: a corrupted count must produce a typed error, not
+    // an allocation abort or OOM.
+    let n_anchors = checked_count(&mut cur, 4, "anchors")?;
     let mut anchors = Vec::with_capacity(n_anchors);
     for _ in 0..n_anchors {
         anchors.push(cur.get_f32().map_err(SzhiError::from)?);
     }
-    let n_outliers = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let n_outliers = checked_count(&mut cur, 12, "outliers")?;
     let mut outliers = Vec::with_capacity(n_outliers);
     for _ in 0..n_outliers {
         let index = cur.get_u64().map_err(SzhiError::from)?;
         let value = cur.get_f32().map_err(SzhiError::from)?;
         outliers.push(Outlier { index, value });
     }
-    let payload_len = cur.get_u64().map_err(SzhiError::from)? as usize;
+    let payload_len = checked_count(&mut cur, 1, "payload")?;
     let payload = cur.take(payload_len).map_err(SzhiError::from)?.to_vec();
 
     Ok((
-        Header { dims, abs_eb, pipeline, reorder, interp },
+        Header {
+            dims,
+            abs_eb,
+            pipeline,
+            reorder,
+            interp,
+        },
         anchors,
         outliers,
         payload,
@@ -202,7 +280,16 @@ mod tests {
     fn stream_roundtrips() {
         let header = sample_header();
         let anchors = vec![1.0f32, -2.5, 3.25];
-        let outliers = vec![Outlier { index: 7, value: 9.5 }, Outlier { index: 1000, value: -0.125 }];
+        let outliers = vec![
+            Outlier {
+                index: 7,
+                value: 9.5,
+            },
+            Outlier {
+                index: 1000,
+                value: -0.125,
+            },
+        ];
         let payload = vec![1u8, 2, 3, 4, 5];
         let bytes = write_stream(&header, &anchors, &outliers, &payload);
         let (h, a, o, p) = read_stream(&bytes).unwrap();
@@ -217,7 +304,10 @@ mod tests {
         let header = sample_header();
         let mut bytes = write_stream(&header, &[], &[], &[]);
         bytes[0] = b'X';
-        assert!(matches!(read_stream(&bytes), Err(SzhiError::InvalidStream(_))));
+        assert!(matches!(
+            read_stream(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
     }
 
     #[test]
@@ -225,7 +315,10 @@ mod tests {
         let header = sample_header();
         let mut bytes = write_stream(&header, &[], &[], &[]);
         bytes[4] = 99;
-        assert!(matches!(read_stream(&bytes), Err(SzhiError::InvalidStream(_))));
+        assert!(matches!(
+            read_stream(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
     }
 
     #[test]
@@ -233,7 +326,10 @@ mod tests {
         let header = sample_header();
         let bytes = write_stream(&header, &[1.0; 10], &[], &[7u8; 100]);
         for cut in [3usize, 20, bytes.len() - 1] {
-            assert!(read_stream(&bytes[..cut]).is_err(), "cut at {cut} not detected");
+            assert!(
+                read_stream(&bytes[..cut]).is_err(),
+                "cut at {cut} not detected"
+            );
         }
     }
 
@@ -249,6 +345,142 @@ mod tests {
         let bytes = write_stream(&header, &[], &[], &[]);
         let (h, _, _, _) = read_stream(&bytes).unwrap();
         assert_eq!(h, header);
+    }
+
+    #[test]
+    fn header_fields_roundtrip_exactly() {
+        // The satellite contract: magic, version, dims, pipeline mode and
+        // error bound all survive a serialise/parse cycle bit-exactly.
+        for (dims, pipeline, reorder, abs_eb) in [
+            (Dims::d1(1_000_000), PipelineSpec::CR, false, 1e-9),
+            (Dims::d2(1800, 3600), PipelineSpec::TP, true, 0.5),
+            (
+                Dims::d3(512, 512, 512),
+                PipelineSpec::CR,
+                true,
+                f64::MIN_POSITIVE,
+            ),
+        ] {
+            let header = Header {
+                dims,
+                abs_eb,
+                pipeline,
+                reorder,
+                interp: InterpConfig::cusz_hi(),
+            };
+            let bytes = write_stream(&header, &[], &[], &[]);
+            assert_eq!(&bytes[..4], &MAGIC);
+            assert_eq!(bytes[4], VERSION);
+            let (h, _, _, _) = read_stream(&bytes).unwrap();
+            assert_eq!(h, header);
+            assert_eq!(
+                h.abs_eb.to_bits(),
+                abs_eb.to_bits(),
+                "error bound must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_yields_a_typed_error_not_a_panic() {
+        let header = sample_header();
+        let anchors = [0.5f32; 9];
+        let outliers = [Outlier {
+            index: 3,
+            value: 1.5,
+        }];
+        let bytes = write_stream(&header, &anchors, &outliers, &[0xAB; 33]);
+        for cut in 0..bytes.len() {
+            let result = std::panic::catch_unwind(|| read_stream(&bytes[..cut]));
+            let parsed = result.unwrap_or_else(|_| panic!("read_stream panicked at cut {cut}"));
+            assert!(
+                parsed.is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_section_counts_error_instead_of_allocating() {
+        // A flipped length field must not drive `Vec::with_capacity` into an
+        // allocation abort: it has to surface as `SzhiError::InvalidStream`.
+        let header = sample_header();
+        let bytes = write_stream(&header, &[1.0; 4], &[], &[9u8; 16]);
+        // n_anchors lives right after the fixed header; find it by locating
+        // the known count (4) and stamping u64::MAX over it.
+        let fixed = bytes.len() - (8 + 4 * 4) - 8 - (8 + 16);
+        for (offset, label) in [
+            (fixed, "anchors"),
+            (fixed + 8 + 16, "outliers"),
+            (fixed + 8 + 16 + 8, "payload"),
+        ] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset..offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            match read_stream(&corrupt) {
+                Err(SzhiError::InvalidStream(msg)) => {
+                    assert!(msg.contains("count"), "{label}: unexpected message {msg}")
+                }
+                other => panic!("{label}: corrupt count not rejected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dims_and_corrupt_bounds_error_instead_of_panicking() {
+        // Layout: magic 4 | version 1 | rank 1 | nz u64 @6 | ny u64 @14
+        // | nx u64 @22 | abs_eb f64 @30. Zeroed dimensions and non-finite
+        // or non-positive bounds must all surface as typed errors: the
+        // `Dims` constructors and the quantizer assert on them.
+        let bytes = write_stream(&sample_header(), &[], &[], &[]);
+        for dim_offset in [6usize, 14, 22] {
+            let mut corrupt = bytes.clone();
+            corrupt[dim_offset..dim_offset + 8].copy_from_slice(&0u64.to_le_bytes());
+            assert!(
+                matches!(read_stream(&corrupt), Err(SzhiError::InvalidStream(_))),
+                "zero dim at offset {dim_offset} not rejected"
+            );
+            corrupt[dim_offset..dim_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(
+                matches!(read_stream(&corrupt), Err(SzhiError::InvalidStream(_))),
+                "absurd dim at offset {dim_offset} not rejected"
+            );
+        }
+        for bad_eb in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let mut corrupt = bytes.clone();
+            corrupt[30..38].copy_from_slice(&bad_eb.to_le_bytes());
+            assert!(
+                matches!(read_stream(&corrupt), Err(SzhiError::InvalidStream(_))),
+                "bad error bound {bad_eb} not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        let header = sample_header();
+        let bytes = write_stream(
+            &header,
+            &[2.0; 3],
+            &[Outlier {
+                index: 1,
+                value: 0.5,
+            }],
+            &[7u8; 20],
+        );
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    let _ = read_stream(&corrupt);
+                });
+                assert!(
+                    result.is_ok(),
+                    "read_stream panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
     }
 
     #[test]

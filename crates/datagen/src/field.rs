@@ -90,7 +90,11 @@ impl DatasetKind {
 
     /// Generates a synthetic field of this family.
     pub fn generate(&self, dims: Dims, seed: u64) -> Grid<f32> {
-        let spec = FieldSpec { kind: *self, dims, seed };
+        let spec = FieldSpec {
+            kind: *self,
+            dims,
+            seed,
+        };
         spec.generate()
     }
 }
@@ -123,16 +127,30 @@ impl FieldSpec {
         let mut data = vec![0.0f32; dims.len()];
         // One z-plane per parallel task: planes are large enough to amortise
         // scheduling and small enough to balance.
-        data.par_chunks_mut(ny * nx).enumerate().for_each(|(z, plane)| {
-            let fz = if nz > 1 { z as f32 / (nz - 1) as f32 } else { 0.0 };
-            for y in 0..ny {
-                let fy = if ny > 1 { y as f32 / (ny - 1) as f32 } else { 0.0 };
-                for x in 0..nx {
-                    let fx = if nx > 1 { x as f32 / (nx - 1) as f32 } else { 0.0 };
-                    plane[y * nx + x] = point(fz, fy, fx);
+        data.par_chunks_mut(ny * nx)
+            .enumerate()
+            .for_each(|(z, plane)| {
+                let fz = if nz > 1 {
+                    z as f32 / (nz - 1) as f32
+                } else {
+                    0.0
+                };
+                for y in 0..ny {
+                    let fy = if ny > 1 {
+                        y as f32 / (ny - 1) as f32
+                    } else {
+                        0.0
+                    };
+                    for x in 0..nx {
+                        let fx = if nx > 1 {
+                            x as f32 / (nx - 1) as f32
+                        } else {
+                            0.0
+                        };
+                        plane[y * nx + x] = point(fz, fy, fx);
+                    }
                 }
-            }
-        });
+            });
         Grid::from_vec(dims, data)
     }
 
@@ -150,7 +168,10 @@ impl FieldSpec {
                 let detail = ValueNoise::new(seed ^ 0x9e37_79b9, 24, 2, 0.5, false);
                 Box::new(move |_z, y, x| {
                     let lat = (std::f32::consts::PI * y).sin();
-                    240.0 + 60.0 * lat + 18.0 * broad.sample(0.0, y, x) + 0.8 * detail.sample(0.0, y, x)
+                    240.0
+                        + 60.0 * lat
+                        + 18.0 * broad.sample(0.0, y, x)
+                        + 0.8 * detail.sample(0.0, y, x)
                 })
             }
             DatasetKind::Jhtdb => {
@@ -160,9 +181,7 @@ impl FieldSpec {
                 // highest wavenumbers), zero mean.
                 let turb = ValueNoise::new(seed, 3, 6, 0.33, three_d);
                 let sweep = ValueNoise::new(seed ^ 0xabcd_ef01, 2, 2, 0.5, three_d);
-                Box::new(move |z, y, x| {
-                    2.4 * turb.sample(z, y, x) + 0.8 * sweep.sample(z, y, x)
-                })
+                Box::new(move |z, y, x| 2.4 * turb.sample(z, y, x) + 0.8 * sweep.sample(z, y, x))
             }
             DatasetKind::Miranda => {
                 // Two-fluid hydrodynamics: densities around 1 and 3 separated
@@ -225,7 +244,8 @@ impl FieldSpec {
                     let front_center = 0.45 + 0.1 * fronts.sample(0.0, y, x);
                     let t = (depth - front_center) / 0.09;
                     let ricker = (1.0 - 2.0 * t * t) * (-t * t).exp();
-                    let bands = (10.0 * std::f32::consts::PI * depth).sin() * (-((depth - 0.5) * 3.0).powi(2)).exp();
+                    let bands = (10.0 * std::f32::consts::PI * depth).sin()
+                        * (-((depth - 0.5) * 3.0).powi(2)).exp();
                     1.0e3 * (ricker + 0.35 * bands) + 25.0 * layering.sample(z, y, x)
                 })
             }
@@ -252,9 +272,16 @@ mod tests {
     #[test]
     fn fields_are_finite_and_nonconstant() {
         for kind in crate::all_kinds() {
-            let dims = if kind == DatasetKind::CesmAtm { Dims::d2(48, 64) } else { Dims::d3(24, 24, 24) };
+            let dims = if kind == DatasetKind::CesmAtm {
+                Dims::d2(48, 64)
+            } else {
+                Dims::d3(24, 24, 24)
+            };
             let g = kind.generate(dims, 11);
-            assert!(g.as_slice().iter().all(|v| v.is_finite()), "{kind} produced non-finite values");
+            assert!(
+                g.as_slice().iter().all(|v| v.is_finite()),
+                "{kind} produced non-finite values"
+            );
             let (lo, hi) = g.min_max();
             assert!(hi > lo, "{kind} produced a constant field");
         }
@@ -271,7 +298,10 @@ mod tests {
                 max_step = max_step.max((g.get(0, y, x + 1) - g.get(0, y, x)).abs());
             }
         }
-        assert!(max_step < 0.2 * range, "CESM field not smooth: step {max_step} range {range}");
+        assert!(
+            max_step < 0.2 * range,
+            "CESM field not smooth: step {max_step} range {range}"
+        );
     }
 
     #[test]
@@ -285,8 +315,16 @@ mod tests {
     #[test]
     fn miranda_has_two_material_levels() {
         let g = DatasetKind::Miranda.generate(Dims::d3(32, 48, 48), 2);
-        let near_low = g.as_slice().iter().filter(|&&v| (v - 1.0).abs() < 0.3).count();
-        let near_high = g.as_slice().iter().filter(|&&v| (v - 3.0).abs() < 0.3).count();
+        let near_low = g
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 1.0).abs() < 0.3)
+            .count();
+        let near_high = g
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 3.0).abs() < 0.3)
+            .count();
         assert!(near_low > g.len() / 20, "no light-fluid region");
         assert!(near_high > g.len() / 20, "no dense-fluid region");
     }
@@ -296,7 +334,10 @@ mod tests {
         let g = DatasetKind::Jhtdb.generate(Dims::d3(32, 32, 32), 13);
         let mean: f32 = g.as_slice().iter().sum::<f32>() / g.len() as f32;
         let range = g.value_range();
-        assert!(mean.abs() < 0.35 * range, "JHTDB mean {mean} not near zero for range {range}");
+        assert!(
+            mean.abs() < 0.35 * range,
+            "JHTDB mean {mean} not near zero for range {range}"
+        );
     }
 
     #[test]
@@ -319,7 +360,10 @@ mod tests {
     #[test]
     fn default_dims_are_laptop_sized() {
         for kind in crate::all_kinds() {
-            assert!(kind.default_dims().nbytes_f32() <= 32 << 20, "{kind} default too large");
+            assert!(
+                kind.default_dims().nbytes_f32() <= 32 << 20,
+                "{kind} default too large"
+            );
         }
     }
 }

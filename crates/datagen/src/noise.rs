@@ -28,13 +28,16 @@ struct Lattice {
 
 impl Lattice {
     fn new(nz: usize, ny: usize, nx: usize, rng: &mut StdRng) -> Self {
-        let values = (0..nz * ny * nx).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let values = (0..nz * ny * nx)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         Lattice { nz, ny, nx, values }
     }
 
     #[inline(always)]
     fn at(&self, z: usize, y: usize, x: usize) -> f32 {
-        self.values[(z.min(self.nz - 1) * self.ny + y.min(self.ny - 1)) * self.nx + x.min(self.nx - 1)]
+        self.values
+            [(z.min(self.nz - 1) * self.ny + y.min(self.ny - 1)) * self.nx + x.min(self.nx - 1)]
     }
 
     /// Tri-linear (smooth-stepped) interpolation of the lattice at fractional
@@ -98,7 +101,10 @@ impl ValueNoise {
             norm += amp;
             amp *= persistence;
         }
-        ValueNoise { octaves: layers, norm }
+        ValueNoise {
+            octaves: layers,
+            norm,
+        }
     }
 
     /// Samples the noise at normalised coordinates in `[0, 1]³`, returning a
@@ -148,7 +154,10 @@ mod tests {
             let t1 = (i + 1) as f32 / 1000.0;
             max_step = max_step.max((n.sample(0.5, 0.5, t0) - n.sample(0.5, 0.5, t1)).abs());
         }
-        assert!(max_step < 0.2, "noise jumps by {max_step} between adjacent fine samples");
+        assert!(
+            max_step < 0.2,
+            "noise jumps by {max_step} between adjacent fine samples"
+        );
     }
 
     #[test]

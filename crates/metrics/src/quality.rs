@@ -27,7 +27,11 @@ impl QualityReport {
     /// Panics if the two fields have different shapes.
     pub fn compare(original: &Grid<f32>, restored: &Grid<f32>) -> Self {
         assert_eq!(original.dims(), restored.dims(), "field shapes differ");
-        Self::compare_slices(original.as_slice(), restored.as_slice(), original.value_range() as f64)
+        Self::compare_slices(
+            original.as_slice(),
+            restored.as_slice(),
+            original.value_range() as f64,
+        )
     }
 
     /// Computes distortion metrics between two raw buffers given the value
@@ -59,7 +63,11 @@ impl QualityReport {
         } else {
             20.0 * (value_range / rmse).log10()
         };
-        let nrmse = if value_range == 0.0 { 0.0 } else { rmse / value_range };
+        let nrmse = if value_range == 0.0 {
+            0.0
+        } else {
+            rmse / value_range
+        };
         QualityReport {
             mse,
             psnr,
@@ -73,12 +81,16 @@ impl QualityReport {
 
 /// Returns `Ok(())` when every reconstructed point is within `bound` of the
 /// original, otherwise the index and magnitude of the worst violation.
-pub fn verify_error_bound(original: &[f32], restored: &[f32], bound: f64) -> Result<(), (usize, f64)> {
+pub fn verify_error_bound(
+    original: &[f32],
+    restored: &[f32],
+    bound: f64,
+) -> Result<(), (usize, f64)> {
     assert_eq!(original.len(), restored.len());
     let mut worst: Option<(usize, f64)> = None;
     for (i, (a, b)) in original.iter().zip(restored.iter()).enumerate() {
         let err = ((*a as f64) - (*b as f64)).abs();
-        if err > bound && worst.map_or(true, |(_, w)| err > w) {
+        if err > bound && worst.is_none_or(|(_, w)| err > w) {
             worst = Some((i, err));
         }
     }

@@ -17,7 +17,11 @@ pub struct ThroughputReport {
 impl ThroughputReport {
     /// Builds a report for `bytes` processed in `elapsed`.
     pub fn new(bytes: usize, elapsed: Duration) -> Self {
-        ThroughputReport { bytes, elapsed, gibps: throughput_gibps(bytes, elapsed) }
+        ThroughputReport {
+            bytes,
+            elapsed,
+            gibps: throughput_gibps(bytes, elapsed),
+        }
     }
 }
 
@@ -39,7 +43,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since the stopwatch was started.

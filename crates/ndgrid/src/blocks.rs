@@ -83,14 +83,32 @@ impl BlockGrid {
 
     /// The block with lattice coordinates `(bz, by, bx)`.
     pub fn block(&self, bz: usize, by: usize, bx: usize) -> Block {
-        assert!(bz < self.nbz && by < self.nby && bx < self.nbx, "block coordinate out of range");
+        assert!(
+            bz < self.nbz && by < self.nby && bx < self.nbx,
+            "block coordinate out of range"
+        );
         let z0 = bz * self.stride;
         let y0 = by * self.stride;
         let x0 = bx * self.stride;
-        let nz = if self.dims.nz() == 1 { 1 } else { (self.stride + 1).min(self.dims.nz() - z0) };
-        let ny = if self.dims.ny() == 1 { 1 } else { (self.stride + 1).min(self.dims.ny() - y0) };
-        let nx = if self.dims.nx() == 1 { 1 } else { (self.stride + 1).min(self.dims.nx() - x0) };
-        Block { block_coord: (bz, by, bx), region: Region::new(z0, y0, x0, nz, ny, nx) }
+        let nz = if self.dims.nz() == 1 {
+            1
+        } else {
+            (self.stride + 1).min(self.dims.nz() - z0)
+        };
+        let ny = if self.dims.ny() == 1 {
+            1
+        } else {
+            (self.stride + 1).min(self.dims.ny() - y0)
+        };
+        let nx = if self.dims.nx() == 1 {
+            1
+        } else {
+            (self.stride + 1).min(self.dims.nx() - x0)
+        };
+        Block {
+            block_coord: (bz, by, bx),
+            region: Region::new(z0, y0, x0, nz, ny, nx),
+        }
     }
 
     /// The block with flat index `i` (row-major over the block lattice).
@@ -140,7 +158,13 @@ impl BlockGrid {
 
     /// Number of anchor points of the field.
     pub fn anchor_count(&self) -> usize {
-        let axis = |extent: usize| if extent == 1 { 1 } else { extent.div_ceil(self.stride) };
+        let axis = |extent: usize| {
+            if extent == 1 {
+                1
+            } else {
+                extent.div_ceil(self.stride)
+            }
+        };
         axis(self.dims.nz()) * axis(self.dims.ny()) * axis(self.dims.nx())
     }
 }
@@ -237,7 +261,11 @@ mod tests {
         for dims in [Dims::d3(33, 20, 17), Dims::d2(100, 90), Dims::d1(50)] {
             for stride in [8, 16] {
                 let bg = BlockGrid::new(dims, stride);
-                assert_eq!(bg.anchor_coords().len(), bg.anchor_count(), "dims {dims} stride {stride}");
+                assert_eq!(
+                    bg.anchor_coords().len(),
+                    bg.anchor_count(),
+                    "dims {dims} stride {stride}"
+                );
             }
         }
     }

@@ -5,10 +5,8 @@
 //! `1`, so a 2D field of `1800 × 3600` is stored as `(1, 1800, 3600)` and a 1D
 //! field of length `n` as `(1, 1, n)`. `x` is the fastest-varying axis.
 
-use serde::{Deserialize, Serialize};
-
 /// The shape of a scalar field (up to three dimensions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dims {
     nz: usize,
     ny: usize,
@@ -20,19 +18,34 @@ impl Dims {
     /// A one-dimensional field of `nx` points.
     pub fn d1(nx: usize) -> Self {
         assert!(nx > 0, "dimensions must be non-zero");
-        Dims { nz: 1, ny: 1, nx, rank: 1 }
+        Dims {
+            nz: 1,
+            ny: 1,
+            nx,
+            rank: 1,
+        }
     }
 
     /// A two-dimensional field of `ny × nx` points (`x` fastest).
     pub fn d2(ny: usize, nx: usize) -> Self {
         assert!(ny > 0 && nx > 0, "dimensions must be non-zero");
-        Dims { nz: 1, ny, nx, rank: 2 }
+        Dims {
+            nz: 1,
+            ny,
+            nx,
+            rank: 2,
+        }
     }
 
     /// A three-dimensional field of `nz × ny × nx` points (`x` fastest).
     pub fn d3(nz: usize, ny: usize, nx: usize) -> Self {
         assert!(nz > 0 && ny > 0 && nx > 0, "dimensions must be non-zero");
-        Dims { nz, ny, nx, rank: 3 }
+        Dims {
+            nz,
+            ny,
+            nx,
+            rank: 3,
+        }
     }
 
     /// Builds a shape from a slice ordered slowest-to-fastest, e.g.
@@ -42,7 +55,10 @@ impl Dims {
             [nx] => Dims::d1(*nx),
             [ny, nx] => Dims::d2(*ny, *nx),
             [nz, ny, nx] => Dims::d3(*nz, *ny, *nx),
-            _ => panic!("Dims::from_slice supports 1..=3 dimensions, got {}", dims.len()),
+            _ => panic!(
+                "Dims::from_slice supports 1..=3 dimensions, got {}",
+                dims.len()
+            ),
         }
     }
 

@@ -16,7 +16,10 @@ pub struct Grid<T> {
 impl<T: Copy + Default> Grid<T> {
     /// A grid of the given shape filled with `T::default()`.
     pub fn zeros(dims: Dims) -> Self {
-        Grid { dims, data: vec![T::default(); dims.len()] }
+        Grid {
+            dims,
+            data: vec![T::default(); dims.len()],
+        }
     }
 
     /// Wraps an existing buffer. Panics if the buffer length does not match

@@ -18,8 +18,18 @@ pub struct Region {
 impl Region {
     /// Creates a region with the given origin and extents.
     pub fn new(z0: usize, y0: usize, x0: usize, nz: usize, ny: usize, nx: usize) -> Self {
-        assert!(nz > 0 && ny > 0 && nx > 0, "region extents must be non-zero");
-        Region { z0, y0, x0, nz, ny, nx }
+        assert!(
+            nz > 0 && ny > 0 && nx > 0,
+            "region extents must be non-zero"
+        );
+        Region {
+            z0,
+            y0,
+            x0,
+            nz,
+            ny,
+            nx,
+        }
     }
 
     /// The region covering an entire field.

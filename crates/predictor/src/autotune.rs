@@ -14,9 +14,9 @@
 
 use crate::interp::{predict_point, steps, InterpConfig, LevelConfig, Scheme, Spline};
 use rayon::prelude::*;
-use szhi_ndgrid::{BlockGrid, Grid};
 #[cfg(test)]
 use szhi_ndgrid::Dims;
+use szhi_ndgrid::{BlockGrid, Grid};
 
 /// Fraction of the field sampled for the trials (the paper's 0.2 %).
 pub const SAMPLE_FRACTION: f64 = 0.002;
@@ -24,10 +24,22 @@ pub const SAMPLE_FRACTION: f64 = 0.002;
 /// The candidate (scheme, spline) pairs evaluated per level.
 pub fn candidates() -> [LevelConfig; 4] {
     [
-        LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic },
-        LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Linear },
-        LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic },
-        LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Linear },
+        LevelConfig {
+            scheme: Scheme::MultiDim,
+            spline: Spline::Cubic,
+        },
+        LevelConfig {
+            scheme: Scheme::MultiDim,
+            spline: Spline::Linear,
+        },
+        LevelConfig {
+            scheme: Scheme::DimSequence,
+            spline: Spline::Cubic,
+        },
+        LevelConfig {
+            scheme: Scheme::DimSequence,
+            spline: Spline::Linear,
+        },
     ]
 }
 
@@ -55,7 +67,8 @@ pub fn tune(data: &Grid<f32>, base: &InterpConfig) -> (InterpConfig, TuneResult)
     let blocks = block_grid.to_vec();
 
     // Uniformly sample ~SAMPLE_FRACTION of the volume, at least one block.
-    let n_samples = ((blocks.len() as f64 * SAMPLE_FRACTION).ceil() as usize).clamp(1, blocks.len());
+    let n_samples =
+        ((blocks.len() as f64 * SAMPLE_FRACTION).ceil() as usize).clamp(1, blocks.len());
     let stride = (blocks.len() / n_samples).max(1);
     let sampled: Vec<_> = blocks.iter().step_by(stride).take(n_samples).collect();
 
@@ -104,7 +117,14 @@ pub fn tune(data: &Grid<f32>, base: &InterpConfig) -> (InterpConfig, TuneResult)
         block_span: base.block_span,
         levels: levels.clone(),
     };
-    (tuned, TuneResult { levels, errors, sampled_blocks: sampled.len() })
+    (
+        tuned,
+        TuneResult {
+            levels,
+            errors,
+            sampled_blocks: sampled.len(),
+        },
+    )
 }
 
 /// Aggregated absolute prediction error of one trial: interpolate every
@@ -115,7 +135,15 @@ fn trial_error(block: &Grid<f32>, s: usize, scheme: Scheme, spline: Spline) -> f
     let mut err = 0.0f64;
     for step in steps(dims, s, scheme) {
         for (z, y, x) in step.targets(dims) {
-            let pred = predict_point(block.as_slice(), dims, (z, y, x), &step.interp_axes, s, spline, span);
+            let pred = predict_point(
+                block.as_slice(),
+                dims,
+                (z, y, x),
+                &step.interp_axes,
+                s,
+                spline,
+                span,
+            );
             err += (pred as f64 - block.get(z, y, x) as f64).abs();
         }
     }
@@ -149,7 +177,11 @@ mod tests {
         let (cfg, _) = tune(&g, &InterpConfig::cusz_hi());
         // The finest levels should pick cubic splines on smooth trigonometric
         // data; level 1 has by far the most points so check it specifically.
-        assert_eq!(cfg.levels[0].spline, Spline::Cubic, "level 1 should prefer cubic on smooth data");
+        assert_eq!(
+            cfg.levels[0].spline,
+            Spline::Cubic,
+            "level 1 should prefer cubic on smooth data"
+        );
     }
 
     #[test]
@@ -180,7 +212,10 @@ mod tests {
         let dims = Dims::d3(17, 17, 17);
         let g = Grid::from_fn(dims, |z, y, x| (2 * x + 3 * y + z) as f32);
         let err = trial_error(&g, 1, Scheme::MultiDim, Spline::Linear);
-        assert!(err < 1e-2, "linear interpolation must reproduce a linear ramp, err {err}");
+        assert!(
+            err < 1e-2,
+            "linear interpolation must reproduce a linear ramp, err {err}"
+        );
     }
 
     #[test]

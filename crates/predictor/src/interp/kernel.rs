@@ -29,8 +29,19 @@ pub struct Step {
 }
 
 impl Step {
-    fn new(z: (usize, usize), y: (usize, usize), x: (usize, usize), interp_axes: Vec<usize>) -> Self {
-        Step { z, y, x, interp_axes, rows: None }
+    fn new(
+        z: (usize, usize),
+        y: (usize, usize),
+        x: (usize, usize),
+        interp_axes: Vec<usize>,
+    ) -> Self {
+        Step {
+            z,
+            y,
+            x,
+            interp_axes,
+            rows: None,
+        }
     }
 
     /// Iterates every target coordinate of the step (ignoring `rows`).
@@ -39,9 +50,9 @@ impl Step {
         let (y0, ys) = self.y;
         let (x0, xs) = self.x;
         (z0..dims.nz()).step_by(zs).flat_map(move |z| {
-            (y0..dims.ny()).step_by(ys).flat_map(move |y| {
-                (x0..dims.nx()).step_by(xs).map(move |x| (z, y, x))
-            })
+            (y0..dims.ny())
+                .step_by(ys)
+                .flat_map(move |y| (x0..dims.nx()).step_by(xs).map(move |x| (z, y, x)))
         })
     }
 }
@@ -216,12 +227,21 @@ mod tests {
 
     #[test]
     fn every_point_is_covered_exactly_once() {
-        for dims in [Dims::d3(33, 20, 17), Dims::d3(16, 16, 16), Dims::d2(40, 50), Dims::d1(100), Dims::d3(5, 3, 70)] {
+        for dims in [
+            Dims::d3(33, 20, 17),
+            Dims::d3(16, 16, 16),
+            Dims::d2(40, 50),
+            Dims::d1(100),
+            Dims::d3(5, 3, 70),
+        ] {
             for scheme in [Scheme::DimSequence, Scheme::MultiDim] {
                 for stride in [8usize, 16] {
                     let cov = coverage_of(dims, stride, scheme);
                     for (i, &c) in cov.iter().enumerate() {
-                        assert_eq!(c, 1, "point {i} of {dims} covered {c} times (stride {stride}, {scheme:?})");
+                        assert_eq!(
+                            c, 1,
+                            "point {i} of {dims} covered {c} times (stride {stride}, {scheme:?})"
+                        );
                     }
                 }
             }
@@ -233,7 +253,15 @@ mod tests {
         let dims = Dims::d1(65);
         let g = Grid::from_fn(dims, |_, _, x| 3.0 * x as f32 + 1.0);
         for s in [1usize, 2, 4, 8] {
-            let pred = predict_point(g.as_slice(), dims, (0, 0, 16), &[2], s, Spline::Linear, [64, 64, 64]);
+            let pred = predict_point(
+                g.as_slice(),
+                dims,
+                (0, 0, 16),
+                &[2],
+                s,
+                Spline::Linear,
+                [64, 64, 64],
+            );
             assert!((pred - g.get(0, 0, 16)).abs() < 1e-4, "stride {s}: {pred}");
         }
     }
@@ -246,8 +274,20 @@ mod tests {
             t * t * t - 2.0 * t * t + 0.5 * t + 3.0
         });
         // Interior point with all four neighbours available inside the block.
-        let pred = predict_point(g.as_slice(), dims, (0, 0, 64), &[2], 4, Spline::Cubic, [128, 128, 128]);
-        assert!((pred - g.get(0, 0, 64)).abs() < 1e-3, "cubic not exact: {pred} vs {}", g.get(0, 0, 64));
+        let pred = predict_point(
+            g.as_slice(),
+            dims,
+            (0, 0, 64),
+            &[2],
+            4,
+            Spline::Cubic,
+            [128, 128, 128],
+        );
+        assert!(
+            (pred - g.get(0, 0, 64)).abs() < 1e-3,
+            "cubic not exact: {pred} vs {}",
+            g.get(0, 0, 64)
+        );
     }
 
     #[test]
@@ -256,9 +296,28 @@ mod tests {
         let g = Grid::from_fn(dims, |_, _, x| ((x as f32) * 0.1).sin());
         let target = 64;
         let exact = g.get(0, 0, target);
-        let lin = predict_point(g.as_slice(), dims, (0, 0, target), &[2], 8, Spline::Linear, [128, 128, 128]);
-        let cub = predict_point(g.as_slice(), dims, (0, 0, target), &[2], 8, Spline::Cubic, [128, 128, 128]);
-        assert!((cub - exact).abs() < (lin - exact).abs(), "cubic {cub} should beat linear {lin} (exact {exact})");
+        let lin = predict_point(
+            g.as_slice(),
+            dims,
+            (0, 0, target),
+            &[2],
+            8,
+            Spline::Linear,
+            [128, 128, 128],
+        );
+        let cub = predict_point(
+            g.as_slice(),
+            dims,
+            (0, 0, target),
+            &[2],
+            8,
+            Spline::Cubic,
+            [128, 128, 128],
+        );
+        assert!(
+            (cub - exact).abs() < (lin - exact).abs(),
+            "cubic {cub} should beat linear {lin} (exact {exact})"
+        );
     }
 
     #[test]
@@ -272,9 +331,20 @@ mod tests {
         values[32] = 3.0;
         values[0] = 100.0;
         values[48] = 100.0;
-        let pred = predict_point(&values, dims, (0, 0, 24), &[2], 8, Spline::Cubic, [16, 16, 16]);
+        let pred = predict_point(
+            &values,
+            dims,
+            (0, 0, 24),
+            &[2],
+            8,
+            Spline::Cubic,
+            [16, 16, 16],
+        );
         // Only the linear neighbours are inside the tile → (1 + 3) / 2.
-        assert!((pred - 2.0).abs() < 1e-6, "confined prediction should be 2.0, got {pred}");
+        assert!(
+            (pred - 2.0).abs() < 1e-6,
+            "confined prediction should be 2.0, got {pred}"
+        );
     }
 
     #[test]
@@ -284,8 +354,24 @@ mod tests {
         let dims = Dims::d2(3, 65);
         let g = Grid::from_fn(dims, |_, y, x| (x as f32 * 0.17).sin() + y as f32 * 10.0);
         let coord = (0usize, 1usize, 32usize);
-        let only_x = predict_point(g.as_slice(), dims, coord, &[2], 1, Spline::Cubic, [64, 64, 64]);
-        let joint = predict_point(g.as_slice(), dims, coord, &[1, 2], 1, Spline::Cubic, [64, 64, 64]);
+        let only_x = predict_point(
+            g.as_slice(),
+            dims,
+            coord,
+            &[2],
+            1,
+            Spline::Cubic,
+            [64, 64, 64],
+        );
+        let joint = predict_point(
+            g.as_slice(),
+            dims,
+            coord,
+            &[1, 2],
+            1,
+            Spline::Cubic,
+            [64, 64, 64],
+        );
         assert_eq!(only_x, joint);
     }
 
@@ -295,7 +381,15 @@ mod tests {
         let g = Grid::from_fn(dims, |_, y, x| (y + x) as f32);
         // Interpolating "along z" on 2D data must not panic and falls back to
         // the remaining axes.
-        let p = predict_point(g.as_slice(), dims, (0, 1, 1), &[0, 1, 2], 1, Spline::Cubic, [16, 16, 16]);
+        let p = predict_point(
+            g.as_slice(),
+            dims,
+            (0, 1, 1),
+            &[0, 1, 2],
+            1,
+            Spline::Cubic,
+            [16, 16, 16],
+        );
         assert!(p.is_finite());
     }
 }

@@ -80,7 +80,13 @@ impl InterpConfig {
         InterpConfig {
             anchor_stride: 16,
             block_span: [16, 16, 16],
-            levels: vec![LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic }; 4],
+            levels: vec![
+                LevelConfig {
+                    scheme: Scheme::MultiDim,
+                    spline: Spline::Cubic
+                };
+                4
+            ],
         }
     }
 
@@ -90,7 +96,13 @@ impl InterpConfig {
         InterpConfig {
             anchor_stride: 8,
             block_span: [8, 8, 32],
-            levels: vec![LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic }; 3],
+            levels: vec![
+                LevelConfig {
+                    scheme: Scheme::DimSequence,
+                    spline: Spline::Cubic
+                };
+                3
+            ],
         }
     }
 
@@ -101,7 +113,13 @@ impl InterpConfig {
         InterpConfig {
             anchor_stride: 16,
             block_span: [16, 16, 16],
-            levels: vec![LevelConfig { scheme: Scheme::DimSequence, spline: Spline::Cubic }; 4],
+            levels: vec![
+                LevelConfig {
+                    scheme: Scheme::DimSequence,
+                    spline: Spline::Cubic
+                };
+                4
+            ],
         }
     }
 
@@ -112,13 +130,22 @@ impl InterpConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) {
-        assert!(self.anchor_stride.is_power_of_two() && self.anchor_stride >= 2,
-            "anchor stride must be a power of two ≥ 2");
-        assert_eq!(self.levels.len(), self.num_levels(),
+        assert!(
+            self.anchor_stride.is_power_of_two() && self.anchor_stride >= 2,
+            "anchor stride must be a power of two ≥ 2"
+        );
+        assert_eq!(
+            self.levels.len(),
+            self.num_levels(),
             "expected {} level configs for anchor stride {}, got {}",
-            self.num_levels(), self.anchor_stride, self.levels.len());
-        assert!(self.block_span.iter().all(|&s| s >= self.anchor_stride),
-            "block span must be at least the anchor stride");
+            self.num_levels(),
+            self.anchor_stride,
+            self.levels.len()
+        );
+        assert!(
+            self.block_span.iter().all(|&s| s >= self.anchor_stride),
+            "block span must be at least the anchor stride"
+        );
     }
 }
 
@@ -190,27 +217,53 @@ impl InterpPredictor {
         }
 
         let data_slice = data.as_slice();
-        self.walk_levels(dims, |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
-            // Phase 1 (parallel, read-only): predictions for this batch of rows.
-            Self::predict_batch(dims, step, s, spline, self.cfg.block_span, recon_ref, results);
-        }, &mut recon, |idx, pred, recon_ref, codes_ref: &mut Vec<u8>, outliers_ref: &mut Vec<Outlier>| {
-            // Phase 2 (sequential): quantize and commit the reconstruction.
-            let (code, value) = quantizer.quantize(data_slice[idx], pred);
-            codes_ref[idx] = code;
-            if code == OUTLIER_CODE {
-                outliers_ref.push(Outlier { index: idx as u64, value });
-            }
-            recon_ref[idx] = value;
-        }, &mut codes, &mut outliers);
+        self.walk_levels(
+            dims,
+            |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+                // Phase 1 (parallel, read-only): predictions for this batch of rows.
+                Self::predict_batch(
+                    dims,
+                    step,
+                    s,
+                    spline,
+                    self.cfg.block_span,
+                    recon_ref,
+                    results,
+                );
+            },
+            &mut recon,
+            |idx, pred, recon_ref, codes_ref: &mut Vec<u8>, outliers_ref: &mut Vec<Outlier>| {
+                // Phase 2 (sequential): quantize and commit the reconstruction.
+                let (code, value) = quantizer.quantize(data_slice[idx], pred);
+                codes_ref[idx] = code;
+                if code == OUTLIER_CODE {
+                    outliers_ref.push(Outlier {
+                        index: idx as u64,
+                        value,
+                    });
+                }
+                recon_ref[idx] = value;
+            },
+            &mut codes,
+            &mut outliers,
+        );
 
         outliers.sort_by_key(|o| o.index);
-        InterpOutput { anchors, codes, outliers }
+        InterpOutput {
+            anchors,
+            codes,
+            outliers,
+        }
     }
 
     /// Reconstructs the field from an [`InterpOutput`] under the same
     /// configuration and error bound used for compression.
     pub fn decompress(&self, dims: Dims, eb: f64, output: &InterpOutput) -> Grid<f32> {
-        assert_eq!(output.codes.len(), dims.len(), "code array does not match the field shape");
+        assert_eq!(
+            output.codes.len(),
+            dims.len(),
+            "code array does not match the field shape"
+        );
         let quantizer = Quantizer::new(eb);
         let block_grid = BlockGrid::new(dims, self.cfg.anchor_stride);
 
@@ -220,7 +273,11 @@ impl InterpPredictor {
             output.outliers.iter().map(|o| (o.index, o.value)).collect();
 
         let anchor_coords = block_grid.anchor_coords();
-        assert_eq!(anchor_coords.len(), output.anchors.len(), "anchor count mismatch");
+        assert_eq!(
+            anchor_coords.len(),
+            output.anchors.len(),
+            "anchor count mismatch"
+        );
         for (&(z, y, x), &v) in anchor_coords.iter().zip(&output.anchors) {
             recon[dims.index(z, y, x)] = v;
         }
@@ -228,16 +285,33 @@ impl InterpPredictor {
         let codes = &output.codes;
         let mut dummy_codes: Vec<u8> = Vec::new();
         let mut dummy_outliers: Vec<Outlier> = Vec::new();
-        self.walk_levels(dims, |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
-            Self::predict_batch(dims, step, s, spline, self.cfg.block_span, recon_ref, results);
-        }, &mut recon, |idx, pred, recon_ref, _codes_ref, _outliers_ref| {
-            let code = codes[idx];
-            recon_ref[idx] = if code == OUTLIER_CODE {
-                *outlier_map.get(&(idx as u64)).expect("missing outlier record")
-            } else {
-                quantizer.reconstruct(code, pred)
-            };
-        }, &mut dummy_codes, &mut dummy_outliers);
+        self.walk_levels(
+            dims,
+            |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+                Self::predict_batch(
+                    dims,
+                    step,
+                    s,
+                    spline,
+                    self.cfg.block_span,
+                    recon_ref,
+                    results,
+                );
+            },
+            &mut recon,
+            |idx, pred, recon_ref, _codes_ref, _outliers_ref| {
+                let code = codes[idx];
+                recon_ref[idx] = if code == OUTLIER_CODE {
+                    *outlier_map
+                        .get(&(idx as u64))
+                        .expect("missing outlier record")
+                } else {
+                    quantizer.reconstruct(code, pred)
+                };
+            },
+            &mut dummy_codes,
+            &mut dummy_outliers,
+        );
 
         Grid::from_vec(dims, recon)
     }
@@ -270,11 +344,16 @@ impl InterpPredictor {
                 if zs.is_empty() || ys.is_empty() {
                     continue;
                 }
-                let rows: Vec<(usize, usize)> =
-                    zs.iter().flat_map(|&z| ys.iter().map(move |&y| (z, y))).collect();
+                let rows: Vec<(usize, usize)> = zs
+                    .iter()
+                    .flat_map(|&z| ys.iter().map(move |&y| (z, y)))
+                    .collect();
                 for batch in rows.chunks(ROWS_PER_BATCH) {
                     results.clear();
-                    let batch_step = Step { rows: Some(batch.to_vec()), ..step.clone() };
+                    let batch_step = Step {
+                        rows: Some(batch.to_vec()),
+                        ..step.clone()
+                    };
                     predict(&batch_step, s, lc.spline, recon, &mut results);
                     for &(idx, pred) in results.iter() {
                         commit(idx, pred, recon.as_mut_slice(), codes, outliers);
@@ -295,14 +374,25 @@ impl InterpPredictor {
         recon: &[f32],
         results: &mut Vec<(usize, f32)>,
     ) {
-        let rows = step.rows.as_ref().expect("predict_batch requires a row batch");
+        let rows = step
+            .rows
+            .as_ref()
+            .expect("predict_batch requires a row batch");
         let per_row: Vec<Vec<(usize, f32)>> = rows
             .par_iter()
             .map(|&(z, y)| {
                 let mut row_out = Vec::new();
                 let mut x = step.x.0;
                 while x < dims.nx() {
-                    let pred = predict_point(recon, dims, (z, y, x), &step.interp_axes, s, spline, block_span);
+                    let pred = predict_point(
+                        recon,
+                        dims,
+                        (z, y, x),
+                        &step.interp_axes,
+                        s,
+                        spline,
+                        block_span,
+                    );
                     row_out.push((dims.index(z, y, x), pred));
                     x += step.x.1;
                 }
@@ -372,7 +462,12 @@ mod tests {
     fn roundtrip_awkward_shapes() {
         // Shapes that are not multiples of the anchor stride, smaller than a
         // block, and with unit axes.
-        for dims in [Dims::d3(17, 17, 17), Dims::d3(5, 9, 13), Dims::d3(1, 40, 3), Dims::d2(15, 16)] {
+        for dims in [
+            Dims::d3(17, 17, 17),
+            Dims::d3(5, 9, 13),
+            Dims::d3(1, 40, 3),
+            Dims::d2(15, 16),
+        ] {
             let g = smooth_field(dims);
             let p = InterpPredictor::new(InterpConfig::cusz_hi());
             let out = p.compress(&g, 1e-3);
@@ -386,9 +481,20 @@ mod tests {
         let g = smooth_field(Dims::d3(64, 64, 64));
         let p = InterpPredictor::new(InterpConfig::cusz_hi());
         let out = p.compress(&g, 1e-2);
-        assert!(out.outlier_fraction() < 0.005, "too many outliers: {}", out.outlier_fraction());
-        let near = out.codes.iter().filter(|&&c| (c as i32 - ZERO_CODE as i32).abs() <= 2).count();
-        assert!(near as f64 > 0.9 * out.codes.len() as f64, "codes not concentrated near zero error");
+        assert!(
+            out.outlier_fraction() < 0.005,
+            "too many outliers: {}",
+            out.outlier_fraction()
+        );
+        let near = out
+            .codes
+            .iter()
+            .filter(|&&c| (c as i32 - ZERO_CODE as i32).abs() <= 2)
+            .count();
+        assert!(
+            near as f64 > 0.9 * out.codes.len() as f64,
+            "codes not concentrated near zero error"
+        );
     }
 
     #[test]
@@ -428,7 +534,11 @@ mod tests {
         for z in (0..33).step_by(16) {
             for y in (0..33).step_by(16) {
                 for x in (0..33).step_by(16) {
-                    assert_eq!(recon.get(z, y, x), g.get(z, y, x), "anchor ({z},{y},{x}) not exact");
+                    assert_eq!(
+                        recon.get(z, y, x),
+                        g.get(z, y, x),
+                        "anchor ({z},{y},{x}) not exact"
+                    );
                 }
             }
         }
@@ -446,7 +556,10 @@ mod tests {
         let out = p.compress(&g, eb);
         let recon = p.decompress(dims, eb, &out);
         check_bound(&g, &recon, eb);
-        assert!(out.outlier_fraction() > 0.1, "white noise must produce many outliers");
+        assert!(
+            out.outlier_fraction() > 0.1,
+            "white noise must produce many outliers"
+        );
     }
 
     #[test]
@@ -455,7 +568,13 @@ mod tests {
         let cfg = InterpConfig {
             anchor_stride: 12,
             block_span: [12, 12, 12],
-            levels: vec![LevelConfig { scheme: Scheme::MultiDim, spline: Spline::Cubic }; 3],
+            levels: vec![
+                LevelConfig {
+                    scheme: Scheme::MultiDim,
+                    spline: Spline::Cubic
+                };
+                3
+            ],
         };
         let _ = InterpPredictor::new(cfg);
     }

@@ -71,7 +71,11 @@ pub fn compress(data: &Grid<f32>, eb: f64, radius: u32) -> LorenzoOutput {
     let dims = data.dims();
     let two_eb = 2.0 * eb;
     // Phase 1: pre-quantization (parallel).
-    let q: Vec<i64> = data.as_slice().par_iter().map(|&v| prequant(v, two_eb)).collect();
+    let q: Vec<i64> = data
+        .as_slice()
+        .par_iter()
+        .map(|&v| prequant(v, two_eb))
+        .collect();
     // Phase 2: Lorenzo differences in the integer domain. The prediction uses
     // the exact pre-quantized neighbours, so every point is independent.
     let max_code = (2 * radius - 1) as i64;
@@ -95,12 +99,20 @@ pub fn compress(data: &Grid<f32>, eb: f64, radius: u32) -> LorenzoOutput {
         .filter(|(_, &c)| c == 0)
         .map(|(idx, _)| (idx as u64, q[idx]))
         .collect();
-    LorenzoOutput { codes, outliers, radius }
+    LorenzoOutput {
+        codes,
+        outliers,
+        radius,
+    }
 }
 
 /// Reconstructs the field from a [`LorenzoOutput`].
 pub fn decompress(out: &LorenzoOutput, dims: Dims, eb: f64) -> Grid<f32> {
-    assert_eq!(out.codes.len(), dims.len(), "code array does not match the field shape");
+    assert_eq!(
+        out.codes.len(),
+        dims.len(),
+        "code array does not match the field shape"
+    );
     let two_eb = 2.0 * eb;
     let radius = out.radius as i64;
     let mut q = vec![0i64; dims.len()];
@@ -120,7 +132,10 @@ pub fn decompress(out: &LorenzoOutput, dims: Dims, eb: f64) -> Grid<f32> {
             q[idx] = pred + code as i64 - radius;
         }
     }
-    let values: Vec<f32> = q.par_iter().map(|&qi| (qi as f64 * two_eb) as f32).collect();
+    let values: Vec<f32> = q
+        .par_iter()
+        .map(|&qi| (qi as f64 * two_eb) as f32)
+        .collect();
     Grid::from_vec(dims, values)
 }
 
@@ -173,13 +188,20 @@ mod tests {
     fn smooth_fields_have_few_outliers_and_concentrated_codes() {
         let g = smooth_field(Dims::d3(32, 32, 32));
         let out = compress(&g, 1e-2, DEFAULT_RADIUS);
-        assert!(out.outlier_fraction() < 0.01, "outlier fraction {}", out.outlier_fraction());
+        assert!(
+            out.outlier_fraction() < 0.01,
+            "outlier fraction {}",
+            out.outlier_fraction()
+        );
         let near_center = out
             .codes
             .iter()
             .filter(|&&c| (c as i32 - DEFAULT_RADIUS as i32).abs() <= 2)
             .count();
-        assert!(near_center as f64 > 0.8 * out.codes.len() as f64, "codes not concentrated");
+        assert!(
+            near_center as f64 > 0.8 * out.codes.len() as f64,
+            "codes not concentrated"
+        );
     }
 
     #[test]
@@ -204,7 +226,11 @@ mod tests {
         // Only the very first point (predicted from nothing) can exceed the
         // code range; every other Lorenzo difference is exactly zero.
         assert!(out.outliers.len() <= 1);
-        assert!(out.codes.iter().skip(1).all(|&c| c == DEFAULT_RADIUS as u16));
+        assert!(out
+            .codes
+            .iter()
+            .skip(1)
+            .all(|&c| c == DEFAULT_RADIUS as u16));
     }
 
     #[test]

@@ -40,8 +40,14 @@ impl Quantizer {
     /// Creates a quantizer for the absolute error bound `eb` (must be
     /// positive and finite).
     pub fn new(eb: f64) -> Self {
-        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite, got {eb}");
-        Quantizer { eb, two_eb: 2.0 * eb }
+        assert!(
+            eb.is_finite() && eb > 0.0,
+            "error bound must be positive and finite, got {eb}"
+        );
+        Quantizer {
+            eb,
+            two_eb: 2.0 * eb,
+        }
     }
 
     /// The absolute error bound.
@@ -111,8 +117,10 @@ mod tests {
             let pred: f32 = rng.gen_range(-100.0..100.0);
             let value = pred + rng.gen_range(-2.0f32..2.0);
             let (code, recon) = q.quantize(value, pred);
-            assert!((recon as f64 - value as f64).abs() <= q.error_bound() + 1e-12,
-                "bound violated: value {value} recon {recon}");
+            assert!(
+                (recon as f64 - value as f64).abs() <= q.error_bound() + 1e-12,
+                "bound violated: value {value} recon {recon}"
+            );
             if code != OUTLIER_CODE {
                 assert_eq!(q.reconstruct(code, pred), recon);
             }

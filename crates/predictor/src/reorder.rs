@@ -91,7 +91,12 @@ impl LevelOrder {
             dest[idx] = cursor[bucket] as u32;
             cursor[bucket] += 1;
         }
-        LevelOrder { dims, max_level, dest, level_counts }
+        LevelOrder {
+            dims,
+            max_level,
+            dest,
+            level_counts,
+        }
     }
 
     /// The field shape this permutation was built for.
@@ -118,7 +123,11 @@ impl LevelOrder {
 
     /// Applies the permutation: `out[dest[i]] = codes[i]`.
     pub fn reorder(&self, codes: &[u8]) -> Vec<u8> {
-        assert_eq!(codes.len(), self.dest.len(), "code array does not match the permutation");
+        assert_eq!(
+            codes.len(),
+            self.dest.len(),
+            "code array does not match the permutation"
+        );
         let mut out = vec![0u8; codes.len()];
         for (i, &d) in self.dest.iter().enumerate() {
             out[d as usize] = codes[i];
@@ -128,7 +137,11 @@ impl LevelOrder {
 
     /// Inverts the permutation: `out[i] = reordered[dest[i]]`.
     pub fn restore(&self, reordered: &[u8]) -> Vec<u8> {
-        assert_eq!(reordered.len(), self.dest.len(), "code array does not match the permutation");
+        assert_eq!(
+            reordered.len(),
+            self.dest.len(),
+            "code array does not match the permutation"
+        );
         let mut out = vec![0u8; reordered.len()];
         for (i, &d) in self.dest.iter().enumerate() {
             out[i] = reordered[d as usize];
@@ -166,7 +179,10 @@ mod tests {
         let codes: Vec<u8> = (0..dims.len()).map(|_| rng.gen()).collect();
         let reordered = order.reorder(&codes);
         assert_eq!(order.restore(&reordered), codes);
-        assert_ne!(reordered, codes, "permutation should not be the identity on 3D data");
+        assert_ne!(
+            reordered, codes,
+            "permutation should not be the identity on 3D data"
+        );
     }
 
     #[test]
@@ -182,7 +198,10 @@ mod tests {
             .collect();
         let reordered = order.reorder(&levels);
         for w in reordered.windows(2) {
-            assert!(w[0] >= w[1], "levels must be non-increasing in the reordered sequence");
+            assert!(
+                w[0] >= w[1],
+                "levels must be non-increasing in the reordered sequence"
+            );
         }
         // The first entries are the anchors (level 4).
         assert_eq!(reordered[0], 4);

@@ -18,7 +18,11 @@ fn main() {
     // A 450×900 atmospheric field (a 1:4-scale CESM-ATM snapshot).
     let field = DatasetKind::CesmAtm.generate(Dims::d2(450, 900), 7);
     let snapshot_bytes = field.dims().nbytes_f32();
-    println!("snapshot: {} ({} KiB)\n", field.dims(), snapshot_bytes / 1024);
+    println!(
+        "snapshot: {} ({} KiB)\n",
+        field.dims(),
+        snapshot_bytes / 1024
+    );
 
     let compressors: Vec<Box<dyn Compressor>> = vec![
         Box::new(SzhiCr),
@@ -26,10 +30,15 @@ fn main() {
         Box::new(CuszL::default()),
     ];
 
-    println!("{:<12} {:>10} {:>12} {:>12} {:>10}", "compressor", "rel. eb", "ratio", "KiB/snapshot", "PSNR dB");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "compressor", "rel. eb", "ratio", "KiB/snapshot", "PSNR dB"
+    );
     for rel_eb in [1e-2, 1e-3, 1e-4] {
         for c in &compressors {
-            let bytes = c.compress(&field, ErrorBound::Relative(rel_eb)).expect("compress");
+            let bytes = c
+                .compress(&field, ErrorBound::Relative(rel_eb))
+                .expect("compress");
             let restored = c.decompress(&bytes).expect("decompress");
             let q = QualityReport::compare(&field, &restored);
             assert!(q.max_abs_error <= rel_eb * field.value_range() as f64 * (1.0 + 1e-6) + 1e-12);
@@ -44,5 +53,7 @@ fn main() {
         }
         println!();
     }
-    println!("A year of daily snapshots at eb=1e-3 fits in roughly the space of a week of raw output.");
+    println!(
+        "A year of daily snapshots at eb=1e-3 fits in roughly the space of a week of raw output."
+    );
 }

@@ -15,7 +15,12 @@ fn main() {
     let dims = Dims::d3(64, 64, 64);
     let field = DatasetKind::Nyx.generate(dims, 2024);
     let abs_eb = 1e-3 * field.value_range() as f64;
-    println!("input: {} points ({} KiB), value range {:.3e}", field.len(), dims.nbytes_f32() / 1024, field.value_range());
+    println!(
+        "input: {} points ({} KiB), value range {:.3e}",
+        field.len(),
+        dims.nbytes_f32() / 1024,
+        field.value_range()
+    );
 
     for mode in [PipelineMode::Cr, PipelineMode::Tp] {
         // 2. Compress with a value-range-relative error bound of 1e-3.
@@ -25,7 +30,10 @@ fn main() {
         // 3. Decompress and verify.
         let restored = decompress(&compressed).expect("decompression failed");
         let report = QualityReport::compare(&field, &restored);
-        assert!(report.max_abs_error <= abs_eb + 1e-12, "error bound violated");
+        assert!(
+            report.max_abs_error <= abs_eb + 1e-12,
+            "error bound violated"
+        );
 
         let ratio = dims.nbytes_f32() as f64 / compressed.len() as f64;
         println!(

@@ -20,7 +20,10 @@ fn main() {
     let rel_eb = 1e-3;
     let cfg = SzhiConfig::new(ErrorBound::Relative(rel_eb)).with_mode(PipelineMode::Tp);
 
-    println!("streaming {n_snapshots} RTM-like snapshots of {} each\n", dims);
+    println!(
+        "streaming {n_snapshots} RTM-like snapshots of {} each\n",
+        dims
+    );
     let mut archived: Vec<Vec<u8>> = Vec::new();
     let mut originals = Vec::new();
     let mut total_in = 0usize;
@@ -49,9 +52,15 @@ fn main() {
         let restored = decompress(bytes).expect("decompress");
         let q = QualityReport::compare(original, &restored);
         let abs_eb = rel_eb * original.value_range() as f64;
-        assert!(q.max_abs_error <= abs_eb + 1e-9, "snapshot {step} violated its bound");
+        assert!(
+            q.max_abs_error <= abs_eb + 1e-9,
+            "snapshot {step} violated its bound"
+        );
         if step == 0 || step == n_snapshots - 1 {
-            println!("snapshot {step}: PSNR {:.1} dB, max error {:.3e} ≤ bound {:.3e}", q.psnr, q.max_abs_error, abs_eb);
+            println!(
+                "snapshot {step}: PSNR {:.1} dB, max error {:.3e} ≤ bound {:.3e}",
+                q.psnr, q.max_abs_error, abs_eb
+            );
         }
     }
     println!("all snapshots verified within the error bound (reverse replay order).");

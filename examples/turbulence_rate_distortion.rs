@@ -13,15 +13,21 @@
 //! turbulence-like field, so the crossovers between compressors can be
 //! inspected directly.
 
-use szhi::baselines::Compressor;
 use szhi::prelude::*;
 
 fn main() {
     let field = DatasetKind::Jhtdb.generate(Dims::d3(96, 96, 96), 11);
-    println!("field: {} ({} MiB)\n", field.dims(), field.dims().nbytes_f32() >> 20);
+    println!(
+        "field: {} ({} MiB)\n",
+        field.dims(),
+        field.dims().nbytes_f32() >> 20
+    );
 
     let compressors = szhi::baselines::table4_compressors();
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "compressor", "rel. eb", "bitrate", "PSNR dB", "ratio");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "compressor", "rel. eb", "bitrate", "PSNR dB", "ratio"
+    );
     for c in &compressors {
         for rel_eb in [1e-1, 1e-2, 1e-3, 1e-4] {
             let bytes = match c.compress(&field, ErrorBound::Relative(rel_eb)) {
@@ -45,5 +51,7 @@ fn main() {
         }
         println!();
     }
-    println!("Lower bitrate at equal PSNR is better; cuSZ-Hi-CR should dominate the low-bitrate region.");
+    println!(
+        "Lower bitrate at equal PSNR is better; cuSZ-Hi-CR should dominate the low-bitrate region."
+    );
 }

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of proptest this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`any`], the [`proptest!`] macro (including the
+//! `#![proptest_config(...)]` header) and the `prop_assert*` macros.
+//!
+//! Semantics versus the real crate:
+//! - Sampling is **deterministic**: case `i` of every test derives its RNG
+//!   seed from `i`, so failures reproduce exactly across runs.
+//! - There is **no shrinking** — a failing case reports the panic from the
+//!   test body (with the generated values via the assertion message) but is
+//!   not minimised.
+//! - `prop_assert!`/`prop_assert_eq!` panic immediately instead of returning
+//!   a `TestCaseResult`.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Wraps the vendored `StdRng`.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Deterministic per-case RNG: the same `(test, case)` pair always
+    /// replays the same values.
+    pub fn deterministic(case: u64) -> Self {
+        TestRng(rand::rngs::StdRng::seed_from_u64(
+            0xC0FF_EE11_D00D_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run-time configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values: the shim's `Strategy` produces a value directly
+/// (no value tree, hence no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + Copy + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform + Copy + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+/// Types with a canonical whole-domain strategy, as produced by [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Floats cover the whole *finite* domain (both signs, all magnitudes,
+// subnormals) by sampling bit patterns, mirroring real proptest's default of
+// excluding NaN and the infinities. Plain `rng.gen()` would only yield
+// `[0, 1)`, silently gutting any property test over `any::<f32>()`.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            let v = f32::from_bits(rng.next_u64() as u32);
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `collection::vec(elem, 0..100)` — mirrors proptest's signature for
+    /// `Range<usize>` sizes (the only form this workspace uses).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// The test-definition macro. Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_test(x in 0u32..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let ( $($pat,)+ ) = {
+                        let mut rng = $crate::TestRng::deterministic(case);
+                        ( $( $crate::Strategy::new_value(&($strat), &mut rng), )+ )
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Immediate-panic analogue of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Immediate-panic analogue of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Immediate-panic analogue of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((len, scaled) in (1usize..9, 0.0f32..1.0).prop_map(|(n, f)| (n, f * 10.0))) {
+            prop_assert!((1..9).contains(&len));
+            prop_assert!((0.0..10.0).contains(&scaled));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0u8..255, 2..40)) {
+            prop_assert!(v.len() >= 2 && v.len() < 40);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = (0u64..u64::MAX, crate::collection::vec(any::<u8>(), 1..50));
+        let a = strat.new_value(&mut TestRng::deterministic(5));
+        let b = strat.new_value(&mut TestRng::deterministic(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! rayon's API *shape* for the subset this workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`, and the
+//! [`ParIter`] adaptors (`map`, `zip`, `enumerate`, `reduce(identity, op)`,
+//! `flat_map_iter`, `with_min_len`, ...) — implemented **sequentially** on
+//! top of the standard iterators. Call sites compile unchanged against
+//! either this shim or the real rayon; swapping in the real crate (one line
+//! in the workspace manifest) is the designated perf upgrade once the
+//! registry is reachable, and is tracked in ROADMAP.md.
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`: a thin wrapper over a
+/// standard iterator exposing rayon's method signatures (notably
+/// `reduce(identity, op)` and `fold(identity, op)`, which differ from std).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Rayon's `flat_map_iter`: the inner iterator is consumed serially.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Sequentially `flat_map` and `flat_map_iter` coincide.
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.cloned())
+    }
+
+    /// Granularity hint — a no-op sequentially.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Granularity hint — a no-op sequentially.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon's two-argument `reduce`: `identity` seeds each (here: the only)
+    /// partial, `op` combines.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.any(&mut f)
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.all(&mut f)
+    }
+}
+
+/// Owned conversion: mirrors `rayon::iter::IntoParallelIterator`, backed by
+/// the type's ordinary `IntoIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+/// Shared-reference conversion: `data.par_iter()` for anything whose
+/// reference is iterable (slices, `Vec`, arrays, maps, ...).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: 'a,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Mutable-reference conversion: `data.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+    <&'a mut C as IntoIterator>::Item: 'a,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Slice chunking: `data.par_chunks(n)`.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable slice chunking: `data.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Sequential shim: there is exactly one "thread".
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential shim of `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u32 = (0..10u32).into_par_iter().with_min_len(4).sum();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn par_chunks_cover_slice() {
+        let v: Vec<u8> = (0..10).collect();
+        let chunks: Vec<&[u8]> = v.par_chunks(4).collect();
+        assert_eq!(chunks, vec![&v[0..4], &v[4..8], &v[8..10]]);
+        let mut w = vec![0u8; 6];
+        w.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn rayon_style_reduce_and_zip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 1.0, 2.0];
+        let (sum, mx) = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| (x + y, x * y))
+            .reduce(|| (0.0, 0.0), |l, r| (l.0 + r.0, l.1.max(r.1)));
+        assert_eq!(sum, 13.0);
+        assert_eq!(mx, 6.0);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 3]
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x, x + 1])
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}
