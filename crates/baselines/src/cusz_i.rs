@@ -12,7 +12,7 @@ use crate::Compressor;
 use szhi_codec::bitio::{put_f32, put_u64, put_u8};
 use szhi_codec::PipelineSpec;
 use szhi_core::{ErrorBound, SzhiError};
-use szhi_ndgrid::{BlockGrid, Grid};
+use szhi_ndgrid::Grid;
 use szhi_predictor::{InterpConfig, InterpOutput, InterpPredictor, Outlier};
 
 const MAGIC: &[u8; 4] = b"CZI1";
@@ -28,7 +28,7 @@ fn compress_interp(
     }
     let abs_eb = eb.absolute(data.value_range() as f64);
     let cfg = InterpConfig::cusz_i();
-    let predictor = InterpPredictor::new(cfg);
+    let predictor = InterpPredictor::new(cfg).expect("the cuSZ-I configuration is valid");
     let out = predictor.compress(data, abs_eb);
 
     let mut bytes = Vec::new();
@@ -79,24 +79,21 @@ fn decompress_interp(bytes: &[u8], name: &str) -> Result<Grid<f32>, SzhiError> {
             dims.len()
         )));
     }
+    // The predictor owns the consistency checks (anchor count, outlier
+    // completeness) and reports violations as typed errors.
     let cfg = InterpConfig::cusz_i();
-    let expected_anchors = BlockGrid::new(dims, cfg.anchor_stride).anchor_count();
-    if anchors.len() != expected_anchors {
-        return Err(SzhiError::InvalidStream(format!(
-            "{name}: expected {expected_anchors} anchors, found {}",
-            anchors.len()
-        )));
-    }
-    let predictor = InterpPredictor::new(cfg);
-    Ok(predictor.decompress(
-        dims,
-        abs_eb,
-        &InterpOutput {
-            anchors,
-            codes,
-            outliers,
-        },
-    ))
+    let predictor = InterpPredictor::new(cfg).expect("the cuSZ-I configuration is valid");
+    predictor
+        .decompress(
+            dims,
+            abs_eb,
+            &InterpOutput {
+                anchors,
+                codes,
+                outliers,
+            },
+        )
+        .map_err(|e| SzhiError::InvalidStream(format!("{name}: {e}")))
 }
 
 /// The cuSZ-I baseline (interpolation predictor + Huffman).

@@ -16,17 +16,17 @@ fn bench_predictors(c: &mut Criterion) {
     let mut group = c.benchmark_group("predictor");
     group.throughput(Throughput::Bytes(data.dims().nbytes_f32() as u64));
     group.bench_function("interp_cusz_hi_compress", |b| {
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         b.iter(|| p.compress(&data, abs_eb))
     });
     group.bench_function("interp_cusz_i_compress", |b| {
-        let p = InterpPredictor::new(InterpConfig::cusz_i());
+        let p = InterpPredictor::new(InterpConfig::cusz_i()).unwrap();
         b.iter(|| p.compress(&data, abs_eb))
     });
     group.bench_function("interp_cusz_hi_decompress", |b| {
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&data, abs_eb);
-        b.iter(|| p.decompress(data.dims(), abs_eb, &out))
+        b.iter(|| p.decompress(data.dims(), abs_eb, &out).unwrap())
     });
     group.bench_function("lorenzo_compress", |b| {
         b.iter(|| lorenzo::compress(&data, abs_eb, lorenzo::DEFAULT_RADIUS))

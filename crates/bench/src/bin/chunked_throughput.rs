@@ -1,0 +1,107 @@
+//! Chunked vs monolithic compression throughput.
+//!
+//! Measures the wall-clock speedup of the chunk-parallel engine over the
+//! monolithic pipeline on a large 3D field: the monolithic (v1) path, the
+//! chunked (v2) path pinned to one worker thread, and the chunked path at
+//! the configured thread count. The headline number is the last row's
+//! speedup over chunked-at-1-thread — with ≥ 4 hardware threads on a
+//! ≥ 256³ field it should exceed 1.5×.
+//!
+//! Run with `cargo run -p szhi-bench --release --bin chunked_throughput`.
+//! `--scale <f>` (or `SZHI_SCALE`) scales the 256³ default field;
+//! `SZHI_NUM_THREADS` caps the multi-threaded row.
+
+use szhi_bench::{fmt_ms, print_table, SEED};
+use szhi_core::{compress_with_stats, decompress, ErrorBound, SzhiConfig};
+use szhi_datagen::DatasetKind;
+use szhi_metrics::Stopwatch;
+use szhi_ndgrid::{Dims, Grid};
+
+fn measure(data: &Grid<f32>, cfg: &SzhiConfig, threads: usize) -> (f64, f64, f64, f64) {
+    rayon::set_num_threads(threads);
+    let bytes_in = data.dims().nbytes_f32();
+    let sw = Stopwatch::start();
+    let (bytes, stats) = compress_with_stats(data, cfg).expect("compression failed");
+    let comp = sw.finish(bytes_in);
+    let sw = Stopwatch::start();
+    let recon = decompress(&bytes).expect("decompression failed");
+    let decomp = sw.finish(bytes_in);
+    assert_eq!(recon.dims(), data.dims());
+    rayon::set_num_threads(0);
+    (
+        comp.elapsed.as_secs_f64(),
+        decomp.elapsed.as_secs_f64(),
+        comp.gibps,
+        stats.compression_ratio,
+    )
+}
+
+fn main() {
+    let scale = szhi_bench::scale_from_args();
+    let n = ((256.0 * scale).round() as usize).max(64);
+    let dims = Dims::d3(n, n, n);
+    let threads = rayon::current_num_threads().max(1);
+    eprintln!(
+        "# generating a {dims} Miranda-like field ({} MiB), {threads} worker threads",
+        dims.nbytes_f32() >> 20
+    );
+    let data = DatasetKind::Miranda.generate(dims, SEED);
+
+    let base = SzhiConfig::new(ErrorBound::Relative(1e-3));
+    let chunked = base.clone().with_chunk_span(SzhiConfig::DEFAULT_CHUNK_SPAN);
+
+    let mut rows = Vec::new();
+    let (mono_c, mono_d, mono_gibps, mono_ratio) = measure(&data, &base, threads);
+    rows.push(vec![
+        "monolithic (v1)".into(),
+        threads.to_string(),
+        fmt_ms(std::time::Duration::from_secs_f64(mono_c)),
+        fmt_ms(std::time::Duration::from_secs_f64(mono_d)),
+        format!("{mono_gibps:.3}"),
+        format!("{mono_ratio:.2}"),
+        String::from("1.00"),
+    ]);
+    let (one_c, one_d, one_gibps, one_ratio) = measure(&data, &chunked, 1);
+    rows.push(vec![
+        "chunked (v2)".into(),
+        "1".into(),
+        fmt_ms(std::time::Duration::from_secs_f64(one_c)),
+        fmt_ms(std::time::Duration::from_secs_f64(one_d)),
+        format!("{one_gibps:.3}"),
+        format!("{one_ratio:.2}"),
+        String::from("1.00"),
+    ]);
+    let (multi_c, multi_d, multi_gibps, multi_ratio) = measure(&data, &chunked, threads);
+    let speedup = one_c / multi_c;
+    rows.push(vec![
+        "chunked (v2)".into(),
+        threads.to_string(),
+        fmt_ms(std::time::Duration::from_secs_f64(multi_c)),
+        fmt_ms(std::time::Duration::from_secs_f64(multi_d)),
+        format!("{multi_gibps:.3}"),
+        format!("{multi_ratio:.2}"),
+        format!("{speedup:.2}"),
+    ]);
+
+    print_table(
+        &format!("Chunked vs monolithic throughput on {dims} (chunk span 64³)"),
+        &[
+            "engine",
+            "threads",
+            "comp ms",
+            "decomp ms",
+            "comp GiB/s",
+            "ratio",
+            "speedup vs chunked@1",
+        ],
+        &rows,
+    );
+    println!(
+        "\nchunked compression speedup at {threads} threads: {speedup:.2}x \
+         (vs monolithic: {:.2}x)",
+        mono_c / multi_c
+    );
+    if threads >= 4 && n >= 256 && speedup <= 1.5 {
+        eprintln!("WARNING: expected a wall-clock speedup > 1.5x with >= 4 threads");
+    }
+}

@@ -165,7 +165,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 pub fn quant_codes(data: &Grid<f32>, rel_eb: f64, reorder: bool) -> Vec<u8> {
     let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
     let (cfg, _) = autotune::tune(data, &InterpConfig::cusz_hi());
-    let predictor = InterpPredictor::new(cfg.clone());
+    let predictor = InterpPredictor::new(cfg.clone()).expect("tuned configurations are valid");
     let out = predictor.compress(data, abs_eb);
     if reorder {
         LevelOrder::new(data.dims(), cfg.anchor_stride).reorder(&out.codes)
@@ -191,7 +191,7 @@ pub fn ablation_compressed_size(
     } else {
         interp.clone()
     };
-    let predictor = InterpPredictor::new(cfg.clone());
+    let predictor = InterpPredictor::new(cfg.clone()).expect("tuned configurations are valid");
     let out = predictor.compress(data, abs_eb);
     let codes = if reorder {
         LevelOrder::new(data.dims(), cfg.anchor_stride).reorder(&out.codes)

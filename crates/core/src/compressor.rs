@@ -1,11 +1,30 @@
 //! The end-to-end cuSZ-Hi compression and decompression pipelines.
+//!
+//! Two engines share the predictor and pipeline layers:
+//!
+//! * the **monolithic** engine compresses the whole grid into one v1
+//!   stream (one predictor pass, one pipeline payload);
+//! * the **chunked** engine ([`compress_chunked`]) splits the grid into
+//!   independent anchor-aligned chunks ([`szhi_ndgrid::ChunkPlan`]) and
+//!   compresses each into its own body of a v2 stream, in parallel over
+//!   chunks. Chunks decompress independently too — [`decompress`] fans the
+//!   work out again, and [`decompress_chunk`] random-accesses a single
+//!   chunk without touching the rest of the stream.
+//!
+//! Chunked streams are byte-identical regardless of the worker-thread count:
+//! every chunk is a pure function of (its sub-field, the config), and the
+//! container assembles them in chunk order.
 
 use crate::config::{PipelineMode, SzhiConfig};
 use crate::error::SzhiError;
-use crate::format::{read_stream, write_stream, Header};
-use szhi_ndgrid::Grid;
+use crate::format::{
+    read_chunk_sections, read_stream, read_stream_v2, stream_version, write_sections, write_stream,
+    write_stream_v2, Header, VERSION,
+};
+use rayon::prelude::*;
+use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
 use szhi_predictor::autotune;
-use szhi_predictor::{InterpPredictor, LevelOrder};
+use szhi_predictor::{InterpConfig, InterpOutput, InterpPredictor, LevelOrder};
 
 /// Statistics of one compression run, returned by [`compress_with_stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,7 +45,9 @@ pub struct CompressionStats {
     pub encoded_codes_bytes: usize,
 }
 
-/// Compresses `data` under `cfg`, returning the self-describing byte stream.
+/// Compresses `data` under `cfg`, returning the self-describing byte
+/// stream. With `cfg.chunk_span` set this produces a chunked (v2) stream,
+/// otherwise a monolithic (v1) stream.
 pub fn compress(data: &Grid<f32>, cfg: &SzhiConfig) -> Result<Vec<u8>, SzhiError> {
     compress_with_stats(data, cfg).map(|(bytes, _)| bytes)
 }
@@ -36,31 +57,15 @@ pub fn compress_with_stats(
     data: &Grid<f32>,
     cfg: &SzhiConfig,
 ) -> Result<(Vec<u8>, CompressionStats), SzhiError> {
-    if data.is_empty() {
-        return Err(SzhiError::InvalidInput(
-            "cannot compress an empty field".into(),
-        ));
+    if let Some(span) = cfg.chunk_span {
+        return compress_chunked_with_stats(data, cfg, span);
     }
+    let (abs_eb, interp_cfg) = prepare(data, cfg)?;
     let dims = data.dims();
-    let abs_eb = cfg.error_bound.absolute(data.value_range() as f64);
-    if !(abs_eb.is_finite() && abs_eb > 0.0) {
-        return Err(SzhiError::InvalidInput(format!(
-            "invalid error bound {abs_eb}"
-        )));
-    }
-
-    // 1. Select the interpolation configuration, optionally auto-tuned on a
-    //    0.2 % sample (§5.1.3).
-    let interp_cfg = if cfg.auto_tune {
-        let (tuned, _) = autotune::tune(data, &cfg.interp);
-        tuned
-    } else {
-        cfg.interp.clone()
-    };
 
     // 2. Lossy decomposition: anchors + one-byte quantization codes +
     //    outliers (§5.1).
-    let predictor = InterpPredictor::new(interp_cfg.clone());
+    let predictor = predictor_for(&interp_cfg)?;
     let output = predictor.compress(data, abs_eb);
 
     // 3. Level-ordered reordering of the codes (§5.1.4).
@@ -95,53 +100,254 @@ pub fn compress_with_stats(
     Ok((bytes, stats))
 }
 
-/// Decompresses a stream produced by [`compress`].
+/// Compresses `data` into a chunked (v2) stream with the given chunk span,
+/// regardless of `cfg.chunk_span`.
+pub fn compress_chunked(
+    data: &Grid<f32>,
+    cfg: &SzhiConfig,
+    span: [usize; 3],
+) -> Result<Vec<u8>, SzhiError> {
+    compress_chunked_with_stats(data, cfg, span).map(|(bytes, _)| bytes)
+}
+
+/// Compresses `data` into a chunked (v2) stream, returning the stream and
+/// its aggregated statistics.
+///
+/// The error bound is resolved and the interpolation configuration is
+/// auto-tuned **once, globally**, then every chunk is compressed as an
+/// independent sub-field (its own anchors, codes and outliers) in parallel.
+/// The span must obey the chunk-alignment rule: a positive multiple of the
+/// anchor stride along every non-degenerate axis (spans larger than the
+/// grid are clamped to one whole-field chunk).
+pub fn compress_chunked_with_stats(
+    data: &Grid<f32>,
+    cfg: &SzhiConfig,
+    span: [usize; 3],
+) -> Result<(Vec<u8>, CompressionStats), SzhiError> {
+    // Validate the span up front — it only needs the (validated) anchor
+    // stride, and auto-tuning samples the whole field, so an invalid span
+    // must fail before that work. Tuning never changes the stride.
+    cfg.interp
+        .validate()
+        .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+    let dims = data.dims();
+    if span.contains(&0) {
+        return Err(SzhiError::InvalidInput(format!(
+            "chunk span {span:?} has a zero axis"
+        )));
+    }
+    let plan = ChunkPlan::new(dims, span);
+    if !plan.is_aligned(cfg.interp.anchor_stride) {
+        return Err(SzhiError::InvalidInput(format!(
+            "chunk span {span:?} is not a multiple of the anchor stride {}",
+            cfg.interp.anchor_stride
+        )));
+    }
+    if plan.span().iter().any(|&s| s > u32::MAX as usize) {
+        // The container stores the span as 3×u32; a silent `as u32`
+        // truncation would produce a stream the reader must reject.
+        return Err(SzhiError::InvalidInput(format!(
+            "chunk span {:?} does not fit the container's u32 span fields",
+            plan.span()
+        )));
+    }
+    let (abs_eb, interp_cfg) = prepare(data, cfg)?;
+    let predictor = predictor_for(&interp_cfg)?;
+    let pipeline = cfg.mode.pipeline_spec();
+
+    // Each chunk is a pure function of (sub-field, config): the par_iter
+    // result order is fixed, so the assembled stream is byte-identical at
+    // every thread count.
+    struct ChunkResult {
+        body: Vec<u8>,
+        anchors: usize,
+        outliers: usize,
+        payload_bytes: usize,
+    }
+    let chunks: Vec<ChunkResult> = (0..plan.len())
+        .into_par_iter()
+        .map(|i| {
+            let region = plan.chunk_at(i);
+            let chunk_dims = plan.chunk_dims(i);
+            let sub = Grid::from_vec(chunk_dims, data.extract(&region));
+            let output = predictor.compress(&sub, abs_eb);
+            let codes = if cfg.reorder {
+                LevelOrder::new(chunk_dims, interp_cfg.anchor_stride).reorder(&output.codes)
+            } else {
+                output.codes
+            };
+            let payload = pipeline.build().encode(&codes);
+            let mut body = Vec::new();
+            write_sections(&mut body, &output.anchors, &output.outliers, &payload);
+            ChunkResult {
+                body,
+                anchors: output.anchors.len(),
+                outliers: output.outliers.len(),
+                payload_bytes: payload.len(),
+            }
+        })
+        .collect();
+
+    let header = Header {
+        dims,
+        abs_eb,
+        pipeline,
+        reorder: cfg.reorder,
+        interp: interp_cfg,
+    };
+    let anchors = chunks.iter().map(|c| c.anchors).sum();
+    let outliers = chunks.iter().map(|c| c.outliers).sum();
+    let encoded_codes_bytes = chunks.iter().map(|c| c.payload_bytes).sum();
+    let bodies: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.body).collect();
+    let bytes = write_stream_v2(&header, plan.span(), &bodies);
+    let stats = CompressionStats {
+        original_bytes: dims.nbytes_f32(),
+        compressed_bytes: bytes.len(),
+        compression_ratio: dims.nbytes_f32() as f64 / bytes.len() as f64,
+        abs_eb,
+        anchors,
+        outliers,
+        encoded_codes_bytes,
+    };
+    Ok((bytes, stats))
+}
+
+/// Shared input validation: resolves the error bound and selects the
+/// (optionally auto-tuned) interpolation configuration.
+fn prepare(data: &Grid<f32>, cfg: &SzhiConfig) -> Result<(f64, InterpConfig), SzhiError> {
+    if data.is_empty() {
+        return Err(SzhiError::InvalidInput(
+            "cannot compress an empty field".into(),
+        ));
+    }
+    cfg.interp
+        .validate()
+        .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+    let abs_eb = cfg.error_bound.absolute(data.value_range() as f64);
+    if !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(SzhiError::InvalidInput(format!(
+            "invalid error bound {abs_eb}"
+        )));
+    }
+    // Select the interpolation configuration, optionally auto-tuned on a
+    // 0.2 % sample (§5.1.3). For chunked streams the tuning runs once on
+    // the whole field, so every chunk shares one configuration.
+    let interp_cfg = if cfg.auto_tune {
+        let (tuned, _) = autotune::tune(data, &cfg.interp);
+        tuned
+    } else {
+        cfg.interp.clone()
+    };
+    Ok((abs_eb, interp_cfg))
+}
+
+fn predictor_for(interp: &InterpConfig) -> Result<InterpPredictor, SzhiError> {
+    InterpPredictor::new(interp.clone()).map_err(|e| SzhiError::InvalidInput(e.to_string()))
+}
+
+/// Decompresses a stream produced by [`compress`] or [`compress_chunked`]
+/// (both container versions are self-describing; chunked streams decompress
+/// their chunks in parallel).
 pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
+    if stream_version(bytes)? == VERSION {
+        return decompress_monolithic(bytes);
+    }
+    let (header, table) = read_stream_v2(bytes)?;
+    let plan = ChunkPlan::new(header.dims, table.span);
+    let chunks: Vec<Result<Grid<f32>, SzhiError>> = (0..plan.len())
+        .into_par_iter()
+        .map(|i| decompress_chunk_body(&header, plan.chunk_dims(i), table.chunk_slice(bytes, i)))
+        .collect();
+    let mut out = Grid::zeros(header.dims);
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        out.insert(&plan.chunk_at(i), chunk?.as_slice());
+    }
+    Ok(out)
+}
+
+/// Randomly accesses one chunk of a chunked (v2) stream: decompresses only
+/// chunk `index`, returning the region of the original field it covers and
+/// the reconstructed sub-field. Only the header and chunk table are parsed
+/// besides the chunk body itself.
+pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
+    let (header, table) = read_stream_v2(bytes)?;
+    let plan = ChunkPlan::new(header.dims, table.span);
+    if index >= plan.len() {
+        return Err(SzhiError::InvalidInput(format!(
+            "chunk index {index} out of range for a stream of {} chunks",
+            plan.len()
+        )));
+    }
+    let grid = decompress_chunk_body(
+        &header,
+        plan.chunk_dims(index),
+        table.chunk_slice(bytes, index),
+    )?;
+    Ok((plan.chunk_at(index), grid))
+}
+
+/// Number of chunks of a chunked (v2) stream.
+pub fn chunk_count(bytes: &[u8]) -> Result<usize, SzhiError> {
+    let (_, table) = read_stream_v2(bytes)?;
+    Ok(table.entries.len())
+}
+
+/// Decodes and reconstructs one chunk body (also the whole field of a v1
+/// stream, which is a single chunk in this sense).
+fn decompress_chunk_body(
+    header: &Header,
+    chunk_dims: Dims,
+    body: &[u8],
+) -> Result<Grid<f32>, SzhiError> {
+    let (anchors, outliers, payload) = read_chunk_sections(body)?;
+    reconstruct(header, chunk_dims, anchors, outliers, payload)
+}
+
+fn decompress_monolithic(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     let (header, anchors, outliers, payload) = read_stream(bytes)?;
+    reconstruct(&header, header.dims, anchors, outliers, payload)
+}
+
+/// The shared decode-restore-reconstruct tail of both engines. The
+/// predictor owns the consistency checks (anchor count, outlier
+/// completeness): a parseable-but-inconsistent stream surfaces as its typed
+/// error, mapped to [`SzhiError::InvalidStream`].
+fn reconstruct(
+    header: &Header,
+    dims: Dims,
+    anchors: Vec<f32>,
+    outliers: Vec<szhi_predictor::Outlier>,
+    payload: Vec<u8>,
+) -> Result<Grid<f32>, SzhiError> {
     let codes = header
         .pipeline
         .build()
-        .decode_bounded(&payload, header.dims.len())?;
-    if codes.len() != header.dims.len() {
+        .decode_bounded(&payload, dims.len())?;
+    if codes.len() != dims.len() {
         return Err(SzhiError::InvalidStream(format!(
             "decoded {} quantization codes for a field of {} points",
             codes.len(),
-            header.dims.len()
+            dims.len()
         )));
     }
     let codes = if header.reorder {
-        let order = LevelOrder::new(header.dims, header.interp.anchor_stride);
-        order.restore(&codes)
+        let order = LevelOrder::new(dims, header.interp.anchor_stride);
+        order
+            .restore(&codes)
+            .map_err(|e| SzhiError::InvalidStream(e.to_string()))?
     } else {
         codes
     };
-    // The predictor asserts these invariants; a parseable-but-inconsistent
-    // stream must fail with a typed error before reaching them.
-    let expected_anchors =
-        szhi_ndgrid::BlockGrid::new(header.dims, header.interp.anchor_stride).anchor_count();
-    if anchors.len() != expected_anchors {
-        return Err(SzhiError::InvalidStream(format!(
-            "stream carries {} anchors, the {} field needs {expected_anchors}",
-            anchors.len(),
-            header.dims
-        )));
-    }
-    let outlier_indices: std::collections::HashSet<u64> =
-        outliers.iter().map(|o| o.index).collect();
-    for (idx, &code) in codes.iter().enumerate() {
-        if code == szhi_predictor::OUTLIER_CODE && !outlier_indices.contains(&(idx as u64)) {
-            return Err(SzhiError::InvalidStream(format!(
-                "point {idx} is coded as an outlier but has no outlier record"
-            )));
-        }
-    }
-    let output = szhi_predictor::InterpOutput {
+    let output = InterpOutput {
         anchors,
         codes,
         outliers,
     };
-    let predictor = InterpPredictor::new(header.interp.clone());
-    Ok(predictor.decompress(header.dims, header.abs_eb, &output))
+    let predictor = InterpPredictor::new(header.interp.clone())
+        .map_err(|e| SzhiError::InvalidStream(e.to_string()))?;
+    predictor
+        .decompress(dims, header.abs_eb, &output)
+        .map_err(|e| SzhiError::InvalidStream(e.to_string()))
 }
 
 /// Convenience: the mode name the paper uses for a configuration
@@ -336,5 +542,120 @@ mod tests {
     fn mode_labels_match_paper() {
         assert_eq!(mode_label(PipelineMode::Cr), "cuSZ-Hi-CR");
         assert_eq!(mode_label(PipelineMode::Tp), "cuSZ-Hi-TP");
+    }
+
+    // -----------------------------------------------------------------
+    // Chunked (v2) engine
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn chunked_roundtrip_matches_bound_on_all_dataset_families() {
+        for kind in szhi_datagen::all_kinds() {
+            let dims = if kind == DatasetKind::CesmAtm {
+                Dims::d2(60, 90)
+            } else {
+                Dims::d3(40, 33, 35)
+            };
+            let g = kind.generate(dims, 5);
+            let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+            let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
+            assert_eq!(
+                crate::format::stream_version(&bytes).unwrap(),
+                crate::format::VERSION_CHUNKED
+            );
+            let recon = decompress(&bytes).unwrap();
+            assert_eq!(recon.dims(), dims);
+            check_bound(&g, &recon, stats.abs_eb);
+            assert!(stats.compression_ratio > 1.0, "{kind}: no compression");
+        }
+    }
+
+    #[test]
+    fn chunked_and_monolithic_reconstructions_honour_the_same_bound() {
+        let g = DatasetKind::Nyx.generate(Dims::d3(48, 40, 36), 11);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        let (mono, stats) = compress_with_stats(&g, &cfg).unwrap();
+        let chunked = compress_chunked(&g, &cfg, [16, 16, 16]).unwrap();
+        check_bound(&g, &decompress(&mono).unwrap(), stats.abs_eb);
+        check_bound(&g, &decompress(&chunked).unwrap(), stats.abs_eb);
+        // More chunks cost boundary anchors; the overhead must stay small.
+        assert!(chunked.len() < mono.len() * 2);
+    }
+
+    #[test]
+    fn every_chunk_decompresses_independently() {
+        let g = DatasetKind::Rtm.generate(Dims::d3(40, 40, 24), 13);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        let bytes = compress_chunked(&g, &cfg, [16, 16, 16]).unwrap();
+        let n = chunk_count(&bytes).unwrap();
+        assert_eq!(n, 3 * 3 * 2);
+        let abs_eb = ErrorBound::Relative(1e-3).absolute(g.value_range() as f64);
+        let mut covered = vec![false; g.dims().len()];
+        for i in 0..n {
+            let (region, sub) = decompress_chunk(&bytes, i).unwrap();
+            assert_eq!(sub.len(), region.len());
+            for ((z, y, x), (expect, got)) in region
+                .z_range()
+                .flat_map(|z| {
+                    region
+                        .y_range()
+                        .flat_map(move |y| region.x_range().map(move |x| (z, y, x)))
+                })
+                .zip(
+                    g.extract(&region)
+                        .into_iter()
+                        .zip(sub.as_slice().iter().copied()),
+                )
+            {
+                assert!(
+                    ((expect as f64) - (got as f64)).abs() <= abs_eb + 1e-12,
+                    "chunk {i} bound violated at ({z},{y},{x})"
+                );
+                covered[g.dims().index(z, y, x)] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "chunks did not cover the field");
+        assert!(decompress_chunk(&bytes, n).is_err());
+    }
+
+    #[test]
+    fn misaligned_chunk_span_is_rejected_with_typed_error() {
+        let g = DatasetKind::Nyx.generate(Dims::d3(40, 40, 40), 1);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+        assert!(matches!(
+            compress_chunked(&g, &cfg, [12, 16, 16]),
+            Err(SzhiError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            compress_chunked(&g, &cfg, [0, 16, 16]),
+            Err(SzhiError::InvalidInput(_))
+        ));
+        // A span larger than the field clamps to one whole-field chunk.
+        let bytes = compress_chunked(&g, &cfg, [512, 512, 512]).unwrap();
+        assert_eq!(chunk_count(&bytes).unwrap(), 1);
+    }
+
+    #[test]
+    fn chunked_stream_byte_flips_never_panic() {
+        let g = DatasetKind::Qmcpack.generate(Dims::d3(20, 20, 20), 2);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-2)).with_chunk_span([16, 16, 16]);
+        let bytes = compress(&g, &cfg).unwrap();
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    let _ = decompress(&corrupt);
+                });
+                assert!(
+                    result.is_ok(),
+                    "decompress panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+        // Truncations anywhere must error, never panic.
+        for cut in [5usize, 60, bytes.len() / 2, bytes.len() - 3] {
+            assert!(decompress(&bytes[..cut]).is_err());
+        }
     }
 }

@@ -77,6 +77,12 @@ pub struct SzhiConfig {
     /// per-level scheme/spline defaults). Defaults to
     /// [`InterpConfig::cusz_hi`].
     pub interp: InterpConfig,
+    /// Chunked compression: `Some((z, y, x))` splits the field into
+    /// independent chunks of that span (each a multiple of the anchor
+    /// stride on non-degenerate axes — the chunk-alignment rule) and emits
+    /// the chunked (v2) container, compressing chunks in parallel. `None`
+    /// (the default) emits the monolithic (v1) container.
+    pub chunk_span: Option<[usize; 3]>,
 }
 
 impl SzhiConfig {
@@ -89,6 +95,7 @@ impl SzhiConfig {
             auto_tune: true,
             reorder: true,
             interp: InterpConfig::cusz_hi(),
+            chunk_span: None,
         }
     }
 
@@ -115,6 +122,19 @@ impl SzhiConfig {
         self.interp = interp;
         self
     }
+
+    /// Enables chunked compression with the given chunk span `(z, y, x)`.
+    /// The default span [`SzhiConfig::DEFAULT_CHUNK_SPAN`] is a reasonable
+    /// starting point for large 3D fields.
+    pub fn with_chunk_span(mut self, span: [usize; 3]) -> Self {
+        self.chunk_span = Some(span);
+        self
+    }
+
+    /// A balanced default chunk span: 64³ points (1 MiB of f32) keeps tens
+    /// of chunks in flight on a ≥256³ field while the per-chunk anchor
+    /// overhead stays below 0.1 %.
+    pub const DEFAULT_CHUNK_SPAN: [usize; 3] = [64, 64, 64];
 }
 
 #[cfg(test)]

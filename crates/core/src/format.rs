@@ -1,33 +1,59 @@
 //! The self-describing compressed stream format.
 //!
-//! A szhi stream consists of a fixed header followed by three sections:
-//! the losslessly stored anchor values, the outlier side channel, and the
+//! Two container versions share the same magic and header layout:
+//!
+//! **v1 (monolithic)** — a fixed header followed by three sections: the
+//! losslessly stored anchor values, the outlier side channel, and the
 //! lossless-pipeline-encoded quantization codes. Everything needed to
 //! decompress (shape, error bound, predictor configuration, pipeline
 //! identifier, reorder flag) lives in the header, so `decompress` takes only
 //! the byte stream.
 //!
-//! Layout (little-endian):
-//!
 //! ```text
-//! magic "SZHI" | version u8 | rank u8 | nz u64 | ny u64 | nx u64
+//! magic "SZHI" | version=1 u8 | rank u8 | nz u64 | ny u64 | nx u64
 //! | abs_eb f64 | pipeline_id u8 | reorder u8 | anchor_stride u16
 //! | block_span 3×u16 | n_levels u8 | n_levels × (scheme u8, spline u8)
 //! | n_anchors u64 | n_anchors × f32
 //! | n_outliers u64 | n_outliers × (index u64, value f32)
 //! | payload_len u64 | payload bytes
 //! ```
+//!
+//! **v2 (chunked)** — the same header (version byte 2), then the chunk span
+//! and a chunk table, then one v1-style section body per chunk. Each chunk
+//! is a completely independent sub-field (its own anchors, outliers and
+//! pipeline payload, with chunk-local outlier indices), so chunks compress,
+//! decompress and random-access independently:
+//!
+//! ```text
+//! <v1 header with version=2>
+//! | chunk_span 3×u32 | n_chunks u64
+//! | n_chunks × (offset u64, length u64)      ← into the chunk data area
+//! | chunk data area: n_chunks × chunk body
+//! chunk body := n_anchors u64 | n_anchors × f32
+//!             | n_outliers u64 | n_outliers × (index u64, value f32)
+//!             | payload_len u64 | payload bytes
+//! ```
+//!
+//! The chunk span must obey the *chunk-alignment rule*
+//! ([`szhi_ndgrid::ChunkPlan::is_aligned`]): a positive multiple of the
+//! anchor stride along every non-degenerate axis (or the whole axis).
+//! Offsets are relative to the start of the chunk data area, must be
+//! non-decreasing and non-overlapping, and every `(offset, length)` extent
+//! must lie inside the data area — all of which [`read_stream_v2`] enforces
+//! with typed errors before any chunk is touched.
 
 use crate::error::SzhiError;
-use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u64, put_u8, ByteCursor};
+use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u32, put_u64, put_u8, ByteCursor};
 use szhi_codec::PipelineSpec;
-use szhi_ndgrid::Dims;
+use szhi_ndgrid::{ChunkPlan, Dims};
 use szhi_predictor::{InterpConfig, LevelConfig, Outlier, Scheme, Spline};
 
 /// Magic bytes identifying a szhi stream.
 pub const MAGIC: [u8; 4] = *b"SZHI";
-/// Stream format version.
+/// Stream format version of the monolithic (single-chunk) container.
 pub const VERSION: u8 = 1;
+/// Stream format version of the chunked container.
+pub const VERSION_CHUNKED: u8 = 2;
 
 /// The decoded header of a compressed stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +100,48 @@ fn spline_from(id: u8) -> Result<Spline, SzhiError> {
     }
 }
 
+/// Serialises the shared header fields (shape, bound, pipeline, predictor
+/// configuration) with the given version byte.
+fn write_header(out: &mut Vec<u8>, header: &Header, version: u8) {
+    out.extend_from_slice(&MAGIC);
+    put_u8(out, version);
+    put_u8(out, header.dims.rank() as u8);
+    put_u64(out, header.dims.nz() as u64);
+    put_u64(out, header.dims.ny() as u64);
+    put_u64(out, header.dims.nx() as u64);
+    put_f64(out, header.abs_eb);
+    put_u8(out, header.pipeline.id());
+    put_u8(out, header.reorder as u8);
+    put_u16(out, header.interp.anchor_stride as u16);
+    for &s in &header.interp.block_span {
+        put_u16(out, s as u16);
+    }
+    put_u8(out, header.interp.levels.len() as u8);
+    for lc in &header.interp.levels {
+        put_u8(out, scheme_id(lc.scheme));
+        put_u8(out, spline_id(lc.spline));
+    }
+}
+
+/// Serialises one anchor/outlier/payload section body (the v1 stream body;
+/// also the per-chunk body of the v2 container).
+pub fn write_sections(out: &mut Vec<u8>, anchors: &[f32], outliers: &[Outlier], payload: &[u8]) {
+    out.reserve(24 + anchors.len() * 4 + outliers.len() * 12 + payload.len());
+    put_u64(out, anchors.len() as u64);
+    for &a in anchors {
+        put_f32(out, a);
+    }
+    put_u64(out, outliers.len() as u64);
+    for o in outliers {
+        put_u64(out, o.index);
+        put_f32(out, o.value);
+    }
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
 /// Serialises the header and the anchor/outlier/payload sections into a
-/// complete stream.
+/// complete monolithic (v1) stream.
 pub fn write_stream(
     header: &Header,
     anchors: &[f32],
@@ -83,35 +149,31 @@ pub fn write_stream(
     payload: &[u8],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + anchors.len() * 4 + outliers.len() * 12 + payload.len());
-    out.extend_from_slice(&MAGIC);
-    put_u8(&mut out, VERSION);
-    put_u8(&mut out, header.dims.rank() as u8);
-    put_u64(&mut out, header.dims.nz() as u64);
-    put_u64(&mut out, header.dims.ny() as u64);
-    put_u64(&mut out, header.dims.nx() as u64);
-    put_f64(&mut out, header.abs_eb);
-    put_u8(&mut out, header.pipeline.id());
-    put_u8(&mut out, header.reorder as u8);
-    put_u16(&mut out, header.interp.anchor_stride as u16);
-    for &s in &header.interp.block_span {
-        put_u16(&mut out, s as u16);
+    write_header(&mut out, header, VERSION);
+    write_sections(&mut out, anchors, outliers, payload);
+    out
+}
+
+/// Serialises a chunked (v2) stream: the header, the chunk span, the chunk
+/// table and the concatenated per-chunk bodies. `chunk_bodies` must be in
+/// [`ChunkPlan`] row-major chunk order, each produced by [`write_sections`].
+pub fn write_stream_v2(header: &Header, span: [usize; 3], chunk_bodies: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = chunk_bodies.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(80 + chunk_bodies.len() * 16 + total);
+    write_header(&mut out, header, VERSION_CHUNKED);
+    for s in span {
+        put_u32(&mut out, s as u32);
     }
-    put_u8(&mut out, header.interp.levels.len() as u8);
-    for lc in &header.interp.levels {
-        put_u8(&mut out, scheme_id(lc.scheme));
-        put_u8(&mut out, spline_id(lc.spline));
+    put_u64(&mut out, chunk_bodies.len() as u64);
+    let mut offset = 0u64;
+    for body in chunk_bodies {
+        put_u64(&mut out, offset);
+        put_u64(&mut out, body.len() as u64);
+        offset += body.len() as u64;
     }
-    put_u64(&mut out, anchors.len() as u64);
-    for &a in anchors {
-        put_f32(&mut out, a);
+    for body in chunk_bodies {
+        out.extend_from_slice(body);
     }
-    put_u64(&mut out, outliers.len() as u64);
-    for o in outliers {
-        put_u64(&mut out, o.index);
-        put_f32(&mut out, o.value);
-    }
-    put_u64(&mut out, payload.len() as u64);
-    out.extend_from_slice(payload);
     out
 }
 
@@ -137,9 +199,11 @@ fn checked_count(
 /// The sections of a parsed stream: header, anchors, outliers, payload.
 pub type StreamSections = (Header, Vec<f32>, Vec<Outlier>, Vec<u8>);
 
-/// Parses a stream back into its header and sections.
-pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
-    let mut cur = ByteCursor::new(bytes);
+/// One section body: anchors, outliers, pipeline payload.
+pub type SectionBody = (Vec<f32>, Vec<Outlier>, Vec<u8>);
+
+/// Checks the magic and consumes the version byte.
+fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiError> {
     let magic = cur
         .take(4)
         .map_err(|_| SzhiError::InvalidStream("stream too short for magic".into()))?;
@@ -148,12 +212,38 @@ pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
             "not a szhi stream (bad magic)".into(),
         ));
     }
-    let version = cur.get_u8().map_err(SzhiError::from)?;
+    cur.get_u8().map_err(SzhiError::from)
+}
+
+/// The container version of a stream (1 = monolithic, 2 = chunked), after
+/// validating the magic. Top-level `decompress` dispatches on this.
+pub fn stream_version(bytes: &[u8]) -> Result<u8, SzhiError> {
+    let version = read_magic_version(&mut ByteCursor::new(bytes))?;
+    if version == VERSION || version == VERSION_CHUNKED {
+        Ok(version)
+    } else {
+        Err(SzhiError::InvalidStream(format!(
+            "unsupported version {version}"
+        )))
+    }
+}
+
+/// Parses a monolithic (v1) stream back into its header and sections.
+pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
+    let mut cur = ByteCursor::new(bytes);
+    let version = read_magic_version(&mut cur)?;
     if version != VERSION {
         return Err(SzhiError::InvalidStream(format!(
-            "unsupported version {version}"
+            "expected a monolithic (v{VERSION}) stream, found version {version}"
         )));
     }
+    let header = read_header_fields(&mut cur)?;
+    let (anchors, outliers, payload) = read_sections(&mut cur)?;
+    Ok((header, anchors, outliers, payload))
+}
+
+/// Parses the shared header fields following the version byte.
+fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, SzhiError> {
     let rank = cur.get_u8().map_err(SzhiError::from)? as usize;
     let nz = cur.get_u64().map_err(SzhiError::from)? as usize;
     let ny = cur.get_u64().map_err(SzhiError::from)? as usize;
@@ -230,35 +320,154 @@ pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
         levels,
     };
 
-    // Validate every untrusted count against the bytes actually present
-    // before allocating: a corrupted count must produce a typed error, not
-    // an allocation abort or OOM.
-    let n_anchors = checked_count(&mut cur, 4, "anchors")?;
+    Ok(Header {
+        dims,
+        abs_eb,
+        pipeline,
+        reorder,
+        interp,
+    })
+}
+
+/// Parses one anchor/outlier/payload section body (the v1 stream body; also
+/// the per-chunk body of the v2 container). Every untrusted count is
+/// validated against the bytes actually present before allocating: a
+/// corrupted count must produce a typed error, not an allocation abort or
+/// OOM.
+fn read_sections(cur: &mut ByteCursor<'_>) -> Result<SectionBody, SzhiError> {
+    let n_anchors = checked_count(cur, 4, "anchors")?;
     let mut anchors = Vec::with_capacity(n_anchors);
     for _ in 0..n_anchors {
         anchors.push(cur.get_f32().map_err(SzhiError::from)?);
     }
-    let n_outliers = checked_count(&mut cur, 12, "outliers")?;
+    let n_outliers = checked_count(cur, 12, "outliers")?;
     let mut outliers = Vec::with_capacity(n_outliers);
     for _ in 0..n_outliers {
         let index = cur.get_u64().map_err(SzhiError::from)?;
         let value = cur.get_f32().map_err(SzhiError::from)?;
         outliers.push(Outlier { index, value });
     }
-    let payload_len = checked_count(&mut cur, 1, "payload")?;
+    let payload_len = checked_count(cur, 1, "payload")?;
     let payload = cur.take(payload_len).map_err(SzhiError::from)?.to_vec();
+    Ok((anchors, outliers, payload))
+}
 
+/// Parses one chunk body of a v2 stream. The slice must contain exactly one
+/// section body (the chunk table's length field delimits it), so trailing
+/// bytes are rejected.
+pub fn read_chunk_sections(chunk: &[u8]) -> Result<SectionBody, SzhiError> {
+    let mut cur = ByteCursor::new(chunk);
+    let sections = read_sections(&mut cur)?;
+    if cur.remaining() != 0 {
+        return Err(SzhiError::InvalidStream(format!(
+            "{} trailing bytes after a chunk body",
+            cur.remaining()
+        )));
+    }
+    Ok(sections)
+}
+
+/// The parsed chunk table of a v2 stream: the chunk span plus one
+/// `(offset, length)` extent per chunk, both relative to the chunk data
+/// area, whose absolute stream offset is `data_start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTable {
+    /// Chunk span per axis `(z, y, x)`, normalised as by
+    /// [`ChunkPlan::new`].
+    pub span: [usize; 3],
+    /// Per-chunk `(offset, length)` into the data area, in
+    /// [`ChunkPlan`] row-major chunk order.
+    pub entries: Vec<(usize, usize)>,
+    /// Absolute offset of the chunk data area in the stream.
+    pub data_start: usize,
+}
+
+impl ChunkTable {
+    /// The byte slice of chunk `i` within `bytes` (the full stream).
+    pub fn chunk_slice<'a>(&self, bytes: &'a [u8], i: usize) -> &'a [u8] {
+        let (offset, len) = self.entries[i];
+        &bytes[self.data_start + offset..self.data_start + offset + len]
+    }
+}
+
+/// Parses the header and chunk table of a chunked (v2) stream, validating
+/// the chunk span (alignment rule, plan consistency) and every table extent
+/// (in-bounds, non-overlapping, non-decreasing) before any chunk data is
+/// touched.
+pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
+    let mut cur = ByteCursor::new(bytes);
+    let version = read_magic_version(&mut cur)?;
+    if version != VERSION_CHUNKED {
+        return Err(SzhiError::InvalidStream(format!(
+            "expected a chunked (v{VERSION_CHUNKED}) stream, found version {version}"
+        )));
+    }
+    let header = read_header_fields(&mut cur)?;
+    let mut span = [0usize; 3];
+    for s in span.iter_mut() {
+        *s = cur.get_u32().map_err(SzhiError::from)? as usize;
+    }
+    if span.contains(&0) {
+        return Err(SzhiError::InvalidStream(format!(
+            "zero chunk span {span:?}"
+        )));
+    }
+    let plan = ChunkPlan::new(header.dims, span);
+    if plan.span() != span {
+        return Err(SzhiError::InvalidStream(format!(
+            "chunk span {span:?} is not normalised for a {} field (expected {:?})",
+            header.dims,
+            plan.span()
+        )));
+    }
+    if !plan.is_aligned(header.interp.anchor_stride) {
+        return Err(SzhiError::InvalidStream(format!(
+            "chunk span {span:?} violates the alignment rule for anchor stride {}",
+            header.interp.anchor_stride
+        )));
+    }
+    let n_chunks = checked_count(&mut cur, 16, "chunk table")?;
+    if n_chunks != plan.len() {
+        return Err(SzhiError::InvalidStream(format!(
+            "chunk table lists {n_chunks} chunks, the {} field at span {span:?} has {}",
+            header.dims,
+            plan.len()
+        )));
+    }
+    let mut raw = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let offset = cur.get_u64().map_err(SzhiError::from)?;
+        let len = cur.get_u64().map_err(SzhiError::from)?;
+        raw.push((offset, len));
+    }
+    let data_start = cur.position();
+    let data_len = cur.remaining() as u64;
+    let mut entries = Vec::with_capacity(n_chunks);
+    let mut prev_end = 0u64;
+    for (i, (offset, len)) in raw.into_iter().enumerate() {
+        if offset < prev_end {
+            return Err(SzhiError::InvalidStream(format!(
+                "chunk {i} at offset {offset} overlaps the previous chunk ending at {prev_end}"
+            )));
+        }
+        let end = offset.checked_add(len).ok_or_else(|| {
+            SzhiError::InvalidStream(format!("chunk {i} extent {offset}+{len} overflows"))
+        })?;
+        if end > data_len {
+            return Err(SzhiError::InvalidStream(format!(
+                "chunk {i} extent {offset}+{len} exceeds the {data_len}-byte data area"
+            )));
+        }
+        prev_end = end;
+        entries.push((offset as usize, len as usize));
+    }
     Ok((
-        Header {
-            dims,
-            abs_eb,
-            pipeline,
-            reorder,
-            interp,
+        header,
+        ChunkTable {
+            span,
+            entries,
+            data_start,
         },
-        anchors,
-        outliers,
-        payload,
     ))
 }
 
@@ -491,5 +700,204 @@ mod tests {
         bytes[40] = 12;
         bytes[41] = 0;
         assert!(read_stream(&bytes).is_err());
+    }
+
+    // -----------------------------------------------------------------
+    // v2 (chunked) container
+    // -----------------------------------------------------------------
+
+    /// A v2 header whose dims/span produce a 2×2×2 = 8-chunk plan.
+    fn sample_v2_header() -> (Header, [usize; 3]) {
+        (
+            Header {
+                dims: Dims::d3(20, 18, 24),
+                abs_eb: 2.5e-3,
+                pipeline: PipelineSpec::CR,
+                reorder: true,
+                interp: InterpConfig::cusz_hi(),
+            },
+            [16, 16, 16],
+        )
+    }
+
+    /// Small synthetic chunk bodies of distinct sizes.
+    fn sample_bodies(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let anchors = vec![i as f32 + 0.5; (i % 3) + 1];
+                let outliers = [Outlier {
+                    index: i as u64,
+                    value: -1.5,
+                }];
+                let payload = vec![i as u8; 5 + i];
+                let mut body = Vec::new();
+                write_sections(&mut body, &anchors, &outliers, &payload);
+                body
+            })
+            .collect()
+    }
+
+    /// Stream offset of the chunk span field: fixed header (49 bytes) plus
+    /// two bytes per interpolation level.
+    fn span_offset(header: &Header) -> usize {
+        49 + 2 * header.interp.levels.len()
+    }
+
+    #[test]
+    fn v2_stream_roundtrips_chunk_table_and_bodies() {
+        let (header, span) = sample_v2_header();
+        let bodies = sample_bodies(8);
+        let bytes = write_stream_v2(&header, span, &bodies);
+        assert_eq!(stream_version(&bytes).unwrap(), VERSION_CHUNKED);
+        let (h, table) = read_stream_v2(&bytes).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(table.span, span);
+        assert_eq!(table.entries.len(), 8);
+        for (i, body) in bodies.iter().enumerate() {
+            assert_eq!(table.chunk_slice(&bytes, i), &body[..]);
+            let (anchors, outliers, payload) = read_chunk_sections(body).unwrap();
+            assert_eq!(anchors.len(), (i % 3) + 1);
+            assert_eq!(outliers.len(), 1);
+            assert_eq!(payload.len(), 5 + i);
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_readers_reject_each_others_streams() {
+        let (header, span) = sample_v2_header();
+        let v2 = write_stream_v2(&header, span, &sample_bodies(8));
+        assert!(matches!(read_stream(&v2), Err(SzhiError::InvalidStream(_))));
+        let v1 = write_stream(&header, &[], &[], &[]);
+        assert!(matches!(
+            read_stream_v2(&v1),
+            Err(SzhiError::InvalidStream(_))
+        ));
+        assert_eq!(stream_version(&v1).unwrap(), VERSION);
+    }
+
+    #[test]
+    fn v2_chunk_count_overflow_errors_instead_of_allocating() {
+        // A corrupted chunk count must fail before `Vec::with_capacity`
+        // can abort the process, and a plausible-but-wrong count must fail
+        // against the plan.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v2(&header, span, &sample_bodies(8));
+        let count_at = span_offset(&header) + 12;
+        for bad in [u64::MAX, u64::MAX / 16, 7, 9, 0] {
+            let mut corrupt = bytes.clone();
+            corrupt[count_at..count_at + 8].copy_from_slice(&bad.to_le_bytes());
+            match read_stream_v2(&corrupt) {
+                Err(SzhiError::InvalidStream(msg)) => assert!(
+                    msg.contains("chunk table") || msg.contains("chunks"),
+                    "count {bad}: unexpected message {msg}"
+                ),
+                other => panic!("chunk count {bad} not rejected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v2_misaligned_or_denormalised_span_is_rejected() {
+        let (header, _) = sample_v2_header();
+        let bodies = sample_bodies(8);
+        let at = span_offset(&header);
+        // Alignment violation: span 12 is not a multiple of stride 16.
+        let bytes = write_stream_v2(&header, [16, 16, 16], &bodies);
+        let mut corrupt = bytes.clone();
+        corrupt[at + 8..at + 12].copy_from_slice(&12u32.to_le_bytes());
+        assert!(matches!(
+            read_stream_v2(&corrupt),
+            Err(SzhiError::InvalidStream(_))
+        ));
+        // Zero span.
+        let mut corrupt = bytes.clone();
+        corrupt[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_stream_v2(&corrupt),
+            Err(SzhiError::InvalidStream(_))
+        ));
+        // Denormalised span (32 > the 20-point z-axis would clamp to 20,
+        // so the stored span no longer matches its own plan).
+        let mut corrupt = bytes;
+        corrupt[at..at + 4].copy_from_slice(&32u32.to_le_bytes());
+        assert!(matches!(
+            read_stream_v2(&corrupt),
+            Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v2_overlapping_and_truncated_extents_are_rejected() {
+        let (header, span) = sample_v2_header();
+        let bodies = sample_bodies(8);
+        let bytes = write_stream_v2(&header, span, &bodies);
+        let table_at = span_offset(&header) + 12 + 8;
+        let entry = |i: usize| table_at + 16 * i;
+
+        // Overlap: chunk 1 rewound onto chunk 0.
+        let mut corrupt = bytes.clone();
+        corrupt[entry(1)..entry(1) + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_stream_v2(&corrupt),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("overlap")
+        ));
+
+        // Truncation: the last chunk's length runs past the data area.
+        let mut corrupt = bytes.clone();
+        corrupt[entry(7) + 8..entry(7) + 16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(
+            read_stream_v2(&corrupt),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("exceeds")
+        ));
+
+        // Offset + length overflow of u64 must not wrap around the bound
+        // check.
+        let mut corrupt = bytes.clone();
+        corrupt[entry(7)..entry(7) + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        corrupt[entry(7) + 8..entry(7) + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_stream_v2(&corrupt).is_err());
+
+        // A truncated stream cutting through the table itself.
+        for cut in [table_at + 3, table_at + 16 * 4 + 1] {
+            assert!(read_stream_v2(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_single_byte_corruption_never_panics() {
+        // Byte-flip fuzz of the whole v2 stream — header, span, chunk table
+        // and bodies: parsing plus every chunk-section read must produce
+        // typed errors only, never a panic or allocation abort.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v2(&header, span, &sample_bodies(8));
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok((_, table)) = read_stream_v2(&corrupt) {
+                        for i in 0..table.entries.len() {
+                            let _ = read_chunk_sections(table.chunk_slice(&corrupt, i));
+                        }
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "v2 parsing panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bodies_reject_trailing_bytes() {
+        let mut body = Vec::new();
+        write_sections(&mut body, &[1.0], &[], &[7u8; 4]);
+        assert!(read_chunk_sections(&body).is_ok());
+        body.push(0xAB);
+        assert!(matches!(
+            read_chunk_sections(&body),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("trailing")
+        ));
     }
 }

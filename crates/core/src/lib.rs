@@ -29,13 +29,63 @@
 //!     assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb);
 //! }
 //! ```
+//!
+//! ## Chunked streams (the v2 container)
+//!
+//! [`SzhiConfig::with_chunk_span`] switches the engine from "one grid, one
+//! stream" to "one grid, N independent chunks": the field is partitioned
+//! into non-overlapping chunks ([`szhi_ndgrid::ChunkPlan`]), each chunk is
+//! compressed as a self-contained sub-field (its own anchors, quantization
+//! codes and outliers), and the stream carries a chunk table of
+//! `(offset, length)` extents, so chunks compress **and** decompress in
+//! parallel and any single chunk can be reconstructed without touching the
+//! rest of the stream ([`decompress_chunk`]):
+//!
+//! ```text
+//! <header, version = 2>
+//! | chunk_span 3×u32 | n_chunks u64 | n_chunks × (offset u64, length u64)
+//! | n_chunks × chunk body (anchors | outliers | pipeline payload)
+//! ```
+//!
+//! The **chunk-alignment rule**: the span must be a positive multiple of
+//! the predictor's anchor stride (16 for cuSZ-Hi) along every
+//! non-degenerate axis; spans larger than the field clamp to one
+//! whole-field chunk. Chunk origins then sit on the global anchor lattice,
+//! and the only compression cost of chunking is the duplicated anchor
+//! plane at each chunk boundary.
+//!
+//! Chunked streams are **byte-identical at every worker-thread count**:
+//! each chunk is a pure function of its sub-field and the (globally
+//! resolved) configuration, and the container assembles chunks in plan
+//! order. The thread count comes from the `SZHI_NUM_THREADS` environment
+//! variable (default: all hardware threads); `1` forces fully sequential
+//! execution with the same output bytes.
+//!
+//! ```
+//! use szhi_core::{compress, decompress, decompress_chunk, ErrorBound, SzhiConfig};
+//! use szhi_ndgrid::{Dims, Grid};
+//!
+//! let field = Grid::from_fn(Dims::d3(40, 40, 40), |z, y, x| {
+//!     ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+//! });
+//! let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+//! let bytes = compress(&field, &cfg).unwrap();
+//! // Whole-field decompression fans out over chunks...
+//! assert_eq!(decompress(&bytes).unwrap().dims(), field.dims());
+//! // ...or reconstruct a single chunk by random access.
+//! let (region, sub) = decompress_chunk(&bytes, 0).unwrap();
+//! assert_eq!(sub.len(), region.len());
+//! ```
 
 pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
 
-pub use compressor::{compress, compress_with_stats, decompress, CompressionStats};
+pub use compressor::{
+    chunk_count, compress, compress_chunked, compress_chunked_with_stats, compress_with_stats,
+    decompress, decompress_chunk, CompressionStats,
+};
 pub use config::{ErrorBound, PipelineMode, SzhiConfig};
 pub use error::SzhiError;
-pub use format::{Header, MAGIC, VERSION};
+pub use format::{Header, MAGIC, VERSION, VERSION_CHUNKED};

@@ -9,6 +9,9 @@
 //! * [`Grid`] — an owned, contiguous scalar field over a [`Dims`].
 //! * [`blocks`] — the thread-block-style tiling used by the interpolation
 //!   predictors: overlapping cubic tiles whose faces lie on the anchor grid.
+//! * [`chunks`] — the non-overlapping, anchor-aligned chunk partition used
+//!   by the chunk-parallel compression engine (one independent sub-field
+//!   per chunk).
 //! * [`Region`] — a rectangular sub-region of a grid (origin + extent).
 //!
 //! The cuSZ-Hi paper partitions data into 17×17×17 tiles whose corners are
@@ -18,11 +21,13 @@
 //! its sides.
 
 pub mod blocks;
+pub mod chunks;
 pub mod dims;
 pub mod grid;
 pub mod region;
 
 pub use blocks::{Block, BlockGrid};
+pub use chunks::ChunkPlan;
 pub use dims::Dims;
 pub use grid::Grid;
 pub use region::Region;

@@ -61,7 +61,8 @@ pub struct TuneResult {
 /// The returned configuration keeps the anchor stride and block span of
 /// `base` and replaces its per-level scheme/spline selections.
 pub fn tune(data: &Grid<f32>, base: &InterpConfig) -> (InterpConfig, TuneResult) {
-    base.validate();
+    base.validate()
+        .expect("auto-tuning requires a structurally valid base configuration");
     let dims = data.dims();
     let block_grid = BlockGrid::new(dims, base.anchor_stride);
     let blocks = block_grid.to_vec();
@@ -168,7 +169,7 @@ mod tests {
         assert_eq!(cfg.levels.len(), 4);
         assert_eq!(result.errors.len(), 4);
         assert!(result.sampled_blocks >= 1);
-        cfg.validate();
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Error type of the lossy-decomposition layer.
+//!
+//! The predictor used to `assert!` its invariants, which forced the stream
+//! layer in `szhi-core` to mirror every check at a distance before calling
+//! in. With typed errors the predictor is the single owner of its
+//! invariants: callers hand it untrusted (parsed) input and map the error
+//! into their own domain.
+
+/// Errors produced by the predictor layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictorError {
+    /// The interpolation configuration violates a structural invariant
+    /// (anchor stride, level count, block span).
+    InvalidConfig(String),
+    /// The decomposition data handed to `decompress`/`restore` is
+    /// inconsistent with the field shape or with itself (wrong code count,
+    /// wrong anchor count, outlier code without an outlier record, ...).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictorError::InvalidConfig(msg) => {
+                write!(f, "invalid predictor configuration: {msg}")
+            }
+            PredictorError::Inconsistent(msg) => {
+                write!(f, "inconsistent decomposition data: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = PredictorError::InvalidConfig("stride 12".into());
+        assert!(e.to_string().contains("stride 12"));
+        let e = PredictorError::Inconsistent("27 anchors".into());
+        assert!(e.to_string().contains("27 anchors"));
+    }
+}

@@ -25,6 +25,7 @@ mod kernel;
 
 pub use kernel::{predict_point, steps, Step};
 
+use crate::error::PredictorError;
 use crate::quantize::{Outlier, Quantizer, OUTLIER_CODE, ZERO_CODE};
 use rayon::prelude::*;
 use szhi_ndgrid::{BlockGrid, Dims, Grid};
@@ -128,24 +129,29 @@ impl InterpConfig {
         self.anchor_stride.trailing_zeros() as usize
     }
 
-    /// Validates the configuration.
-    pub fn validate(&self) {
-        assert!(
-            self.anchor_stride.is_power_of_two() && self.anchor_stride >= 2,
-            "anchor stride must be a power of two ≥ 2"
-        );
-        assert_eq!(
-            self.levels.len(),
-            self.num_levels(),
-            "expected {} level configs for anchor stride {}, got {}",
-            self.num_levels(),
-            self.anchor_stride,
-            self.levels.len()
-        );
-        assert!(
-            self.block_span.iter().all(|&s| s >= self.anchor_stride),
-            "block span must be at least the anchor stride"
-        );
+    /// Validates the configuration's structural invariants.
+    pub fn validate(&self) -> Result<(), PredictorError> {
+        if !(self.anchor_stride.is_power_of_two() && self.anchor_stride >= 2) {
+            return Err(PredictorError::InvalidConfig(format!(
+                "anchor stride {} is not a power of two ≥ 2",
+                self.anchor_stride
+            )));
+        }
+        if self.levels.len() != self.num_levels() {
+            return Err(PredictorError::InvalidConfig(format!(
+                "expected {} level configs for anchor stride {}, got {}",
+                self.num_levels(),
+                self.anchor_stride,
+                self.levels.len()
+            )));
+        }
+        if self.block_span.iter().any(|&s| s < self.anchor_stride) {
+            return Err(PredictorError::InvalidConfig(format!(
+                "block span {:?} smaller than anchor stride {}",
+                self.block_span, self.anchor_stride
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -184,10 +190,11 @@ pub struct InterpPredictor {
 const ROWS_PER_BATCH: usize = 8192;
 
 impl InterpPredictor {
-    /// Creates a predictor with the given configuration.
-    pub fn new(cfg: InterpConfig) -> Self {
-        cfg.validate();
-        InterpPredictor { cfg }
+    /// Creates a predictor with the given configuration, rejecting
+    /// structurally invalid configurations with a typed error.
+    pub fn new(cfg: InterpConfig) -> Result<Self, PredictorError> {
+        cfg.validate()?;
+        Ok(InterpPredictor { cfg })
     }
 
     /// The predictor's configuration.
@@ -243,10 +250,12 @@ impl InterpPredictor {
                     });
                 }
                 recon_ref[idx] = value;
+                Ok(())
             },
             &mut codes,
             &mut outliers,
-        );
+        )
+        .expect("the compression sweep commits infallibly");
 
         outliers.sort_by_key(|o| o.index);
         InterpOutput {
@@ -258,12 +267,24 @@ impl InterpPredictor {
 
     /// Reconstructs the field from an [`InterpOutput`] under the same
     /// configuration and error bound used for compression.
-    pub fn decompress(&self, dims: Dims, eb: f64, output: &InterpOutput) -> Grid<f32> {
-        assert_eq!(
-            output.codes.len(),
-            dims.len(),
-            "code array does not match the field shape"
-        );
+    ///
+    /// The output is untrusted (it usually comes from a parsed stream):
+    /// a code array that does not match the field shape, a wrong anchor
+    /// count, or an outlier code without a matching outlier record all
+    /// surface as [`PredictorError::Inconsistent`].
+    pub fn decompress(
+        &self,
+        dims: Dims,
+        eb: f64,
+        output: &InterpOutput,
+    ) -> Result<Grid<f32>, PredictorError> {
+        if output.codes.len() != dims.len() {
+            return Err(PredictorError::Inconsistent(format!(
+                "{} quantization codes for a {dims} field of {} points",
+                output.codes.len(),
+                dims.len()
+            )));
+        }
         let quantizer = Quantizer::new(eb);
         let block_grid = BlockGrid::new(dims, self.cfg.anchor_stride);
 
@@ -273,13 +294,24 @@ impl InterpPredictor {
             output.outliers.iter().map(|o| (o.index, o.value)).collect();
 
         let anchor_coords = block_grid.anchor_coords();
-        assert_eq!(
-            anchor_coords.len(),
-            output.anchors.len(),
-            "anchor count mismatch"
-        );
+        if anchor_coords.len() != output.anchors.len() {
+            return Err(PredictorError::Inconsistent(format!(
+                "{} anchors supplied, the {dims} field needs {}",
+                output.anchors.len(),
+                anchor_coords.len()
+            )));
+        }
         for (&(z, y, x), &v) in anchor_coords.iter().zip(&output.anchors) {
-            recon[dims.index(z, y, x)] = v;
+            let idx = dims.index(z, y, x);
+            // The interpolation sweep below never visits anchor positions,
+            // so their outlier-code consistency must be checked here: every
+            // point coded as an outlier needs a record, anchors included.
+            if output.codes[idx] == OUTLIER_CODE && !outlier_map.contains_key(&(idx as u64)) {
+                return Err(PredictorError::Inconsistent(format!(
+                    "anchor point {idx} is coded as an outlier but has no outlier record"
+                )));
+            }
+            recon[idx] = v;
         }
 
         let codes = &output.codes;
@@ -302,23 +334,27 @@ impl InterpPredictor {
             |idx, pred, recon_ref, _codes_ref, _outliers_ref| {
                 let code = codes[idx];
                 recon_ref[idx] = if code == OUTLIER_CODE {
-                    *outlier_map
-                        .get(&(idx as u64))
-                        .expect("missing outlier record")
+                    *outlier_map.get(&(idx as u64)).ok_or_else(|| {
+                        PredictorError::Inconsistent(format!(
+                            "point {idx} is coded as an outlier but has no outlier record"
+                        ))
+                    })?
                 } else {
                     quantizer.reconstruct(code, pred)
                 };
+                Ok(())
             },
             &mut dummy_codes,
             &mut dummy_outliers,
-        );
+        )?;
 
-        Grid::from_vec(dims, recon)
+        Ok(Grid::from_vec(dims, recon))
     }
 
     /// Shared level/step traversal: for every level (coarse to fine) and every
     /// step of the level's scheme, predictions are computed in parallel
-    /// batches and committed sequentially through `commit`.
+    /// batches and committed sequentially through `commit`. A failing commit
+    /// (decompression over inconsistent input) aborts the sweep.
     fn walk_levels<P, C>(
         &self,
         dims: Dims,
@@ -327,9 +363,16 @@ impl InterpPredictor {
         mut commit: C,
         codes: &mut Vec<u8>,
         outliers: &mut Vec<Outlier>,
-    ) where
+    ) -> Result<(), PredictorError>
+    where
         P: Fn(&Step, usize, Spline, &[f32], &mut Vec<(usize, f32)>) + Sync,
-        C: FnMut(usize, f32, &mut [f32], &mut Vec<u8>, &mut Vec<Outlier>),
+        C: FnMut(
+            usize,
+            f32,
+            &mut [f32],
+            &mut Vec<u8>,
+            &mut Vec<Outlier>,
+        ) -> Result<(), PredictorError>,
     {
         let num_levels = self.cfg.num_levels();
         let mut results: Vec<(usize, f32)> = Vec::new();
@@ -356,11 +399,12 @@ impl InterpPredictor {
                     };
                     predict(&batch_step, s, lc.spline, recon, &mut results);
                     for &(idx, pred) in results.iter() {
-                        commit(idx, pred, recon.as_mut_slice(), codes, outliers);
+                        commit(idx, pred, recon.as_mut_slice(), codes, outliers)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Computes the predictions of every target in `step` (restricted to its
@@ -430,9 +474,9 @@ mod tests {
     fn cusz_hi_roundtrip_3d() {
         let g = smooth_field(Dims::d3(40, 37, 50));
         for eb in [1e-1, 1e-2, 1e-3] {
-            let p = InterpPredictor::new(InterpConfig::cusz_hi());
+            let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
             let out = p.compress(&g, eb);
-            let recon = p.decompress(g.dims(), eb, &out);
+            let recon = p.decompress(g.dims(), eb, &out).unwrap();
             check_bound(&g, &recon, eb);
         }
     }
@@ -440,22 +484,22 @@ mod tests {
     #[test]
     fn cusz_i_roundtrip_3d() {
         let g = smooth_field(Dims::d3(33, 40, 41));
-        let p = InterpPredictor::new(InterpConfig::cusz_i());
+        let p = InterpPredictor::new(InterpConfig::cusz_i()).unwrap();
         let out = p.compress(&g, 1e-2);
-        let recon = p.decompress(g.dims(), 1e-2, &out);
+        let recon = p.decompress(g.dims(), 1e-2, &out).unwrap();
         check_bound(&g, &recon, 1e-2);
     }
 
     #[test]
     fn roundtrip_2d_and_1d() {
         let g2 = smooth_field(Dims::d2(70, 85));
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&g2, 1e-3);
-        check_bound(&g2, &p.decompress(g2.dims(), 1e-3, &out), 1e-3);
+        check_bound(&g2, &p.decompress(g2.dims(), 1e-3, &out).unwrap(), 1e-3);
 
         let g1 = smooth_field(Dims::d1(300));
         let out = p.compress(&g1, 1e-3);
-        check_bound(&g1, &p.decompress(g1.dims(), 1e-3, &out), 1e-3);
+        check_bound(&g1, &p.decompress(g1.dims(), 1e-3, &out).unwrap(), 1e-3);
     }
 
     #[test]
@@ -469,9 +513,9 @@ mod tests {
             Dims::d2(15, 16),
         ] {
             let g = smooth_field(dims);
-            let p = InterpPredictor::new(InterpConfig::cusz_hi());
+            let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
             let out = p.compress(&g, 1e-3);
-            let recon = p.decompress(dims, 1e-3, &out);
+            let recon = p.decompress(dims, 1e-3, &out).unwrap();
             check_bound(&g, &recon, 1e-3);
         }
     }
@@ -479,7 +523,7 @@ mod tests {
     #[test]
     fn smooth_fields_yield_concentrated_codes() {
         let g = smooth_field(Dims::d3(64, 64, 64));
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&g, 1e-2);
         assert!(
             out.outlier_fraction() < 0.005,
@@ -513,7 +557,7 @@ mod tests {
             l.scheme = Scheme::DimSequence;
         }
         let exact = |cfg: InterpConfig| {
-            let p = InterpPredictor::new(cfg);
+            let p = InterpPredictor::new(cfg).unwrap();
             let out = p.compress(&g, eb);
             out.codes.iter().filter(|&&c| c == ZERO_CODE).count()
         };
@@ -528,9 +572,9 @@ mod tests {
     #[test]
     fn anchors_are_stored_exactly() {
         let g = smooth_field(Dims::d3(33, 33, 33));
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&g, 1e-1);
-        let recon = p.decompress(g.dims(), 1e-1, &out);
+        let recon = p.decompress(g.dims(), 1e-1, &out).unwrap();
         for z in (0..33).step_by(16) {
             for y in (0..33).step_by(16) {
                 for x in (0..33).step_by(16) {
@@ -552,9 +596,9 @@ mod tests {
         let dims = Dims::d3(24, 24, 24);
         let g = Grid::from_fn(dims, |_, _, _| rng.gen_range(-100.0f32..100.0));
         let eb = 1e-3;
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&g, eb);
-        let recon = p.decompress(dims, eb, &out);
+        let recon = p.decompress(dims, eb, &out).unwrap();
         check_bound(&g, &recon, eb);
         assert!(
             out.outlier_fraction() > 0.1,
@@ -563,8 +607,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn invalid_config_is_rejected() {
+    fn invalid_config_is_rejected_with_typed_error() {
+        // Non-power-of-two stride.
         let cfg = InterpConfig {
             anchor_stride: 12,
             block_span: [12, 12, 12],
@@ -576,6 +620,67 @@ mod tests {
                 3
             ],
         };
-        let _ = InterpPredictor::new(cfg);
+        assert!(matches!(
+            InterpPredictor::new(cfg),
+            Err(PredictorError::InvalidConfig(_))
+        ));
+        // Wrong level count.
+        let mut cfg = InterpConfig::cusz_hi();
+        cfg.levels.pop();
+        assert!(matches!(
+            InterpPredictor::new(cfg),
+            Err(PredictorError::InvalidConfig(_))
+        ));
+        // Block span below the anchor stride.
+        let mut cfg = InterpConfig::cusz_hi();
+        cfg.block_span = [8, 16, 16];
+        assert!(matches!(
+            cfg.validate(),
+            Err(PredictorError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_decompression_input_yields_typed_errors() {
+        let g = smooth_field(Dims::d3(20, 22, 24));
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
+        let out = p.compress(&g, 1e-3);
+
+        // Code array shorter than the field.
+        let mut short = out.clone();
+        short.codes.pop();
+        assert!(matches!(
+            p.decompress(g.dims(), 1e-3, &short),
+            Err(PredictorError::Inconsistent(_))
+        ));
+
+        // Wrong anchor count.
+        let mut fewer = out.clone();
+        fewer.anchors.pop();
+        assert!(matches!(
+            p.decompress(g.dims(), 1e-3, &fewer),
+            Err(PredictorError::Inconsistent(_))
+        ));
+
+        // An outlier code with its record removed. Force one outlier by
+        // marking a non-anchor point directly.
+        let mut orphan = out.clone();
+        orphan.codes[1] = OUTLIER_CODE;
+        orphan.outliers.retain(|o| o.index != 1);
+        assert!(matches!(
+            p.decompress(g.dims(), 1e-3, &orphan),
+            Err(PredictorError::Inconsistent(_))
+        ));
+
+        // The same at an anchor position (index 0 = the (0,0,0) anchor):
+        // the sweep never visits anchors, so this exercises the dedicated
+        // anchor-side completeness check.
+        let mut anchor_orphan = out.clone();
+        anchor_orphan.codes[0] = OUTLIER_CODE;
+        anchor_orphan.outliers.retain(|o| o.index != 0);
+        assert!(matches!(
+            p.decompress(g.dims(), 1e-3, &anchor_orphan),
+            Err(PredictorError::Inconsistent(_))
+        ));
     }
 }

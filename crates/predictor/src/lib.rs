@@ -22,11 +22,13 @@
 //!   (§5.1.3).
 
 pub mod autotune;
+pub mod error;
 pub mod interp;
 pub mod lorenzo;
 pub mod quantize;
 pub mod reorder;
 
+pub use error::PredictorError;
 pub use interp::{InterpConfig, InterpOutput, InterpPredictor, LevelConfig, Scheme, Spline};
 pub use quantize::{Outlier, Quantizer, OUTLIER_CODE, ZERO_CODE};
 pub use reorder::LevelOrder;

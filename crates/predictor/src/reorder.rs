@@ -14,6 +14,7 @@
 //! are ordered by descending level with raster order inside each level —
 //! exactly the grouping Eq. 3 produces.
 
+use crate::error::PredictorError;
 use rayon::prelude::*;
 use szhi_ndgrid::Dims;
 
@@ -135,18 +136,22 @@ impl LevelOrder {
         out
     }
 
-    /// Inverts the permutation: `out[i] = reordered[dest[i]]`.
-    pub fn restore(&self, reordered: &[u8]) -> Vec<u8> {
-        assert_eq!(
-            reordered.len(),
-            self.dest.len(),
-            "code array does not match the permutation"
-        );
+    /// Inverts the permutation: `out[i] = reordered[dest[i]]`. The input is
+    /// untrusted (it comes from a decoded stream payload), so a length
+    /// mismatch surfaces as a typed error rather than a panic.
+    pub fn restore(&self, reordered: &[u8]) -> Result<Vec<u8>, PredictorError> {
+        if reordered.len() != self.dest.len() {
+            return Err(PredictorError::Inconsistent(format!(
+                "{} reordered codes for a permutation over {} points",
+                reordered.len(),
+                self.dest.len()
+            )));
+        }
         let mut out = vec![0u8; reordered.len()];
         for (i, &d) in self.dest.iter().enumerate() {
             out[i] = reordered[d as usize];
         }
-        out
+        Ok(out)
     }
 }
 
@@ -178,7 +183,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(103);
         let codes: Vec<u8> = (0..dims.len()).map(|_| rng.gen()).collect();
         let reordered = order.reorder(&codes);
-        assert_eq!(order.restore(&reordered), codes);
+        assert_eq!(order.restore(&reordered).unwrap(), codes);
+        assert!(matches!(
+            order.restore(&reordered[1..]),
+            Err(crate::PredictorError::Inconsistent(_))
+        ));
         assert_ne!(
             reordered, codes,
             "permutation should not be the identity on 3D data"

@@ -160,6 +160,43 @@ fn cuzfp_rate_controls_size_and_quality() {
 }
 
 #[test]
+fn chunked_streams_are_bit_identical_across_thread_counts() {
+    // The acceptance contract of the chunked engine: for a fixed
+    // seed/config, chunked compression at 1 thread and at N threads
+    // produces byte-identical streams, and each chunk decompresses
+    // independently through the chunk-table offsets.
+    let data = DatasetKind::Miranda.generate(Dims::d3(70, 66, 50), 9);
+    let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+    let abs_eb = ErrorBound::Relative(1e-3).absolute(data.value_range() as f64);
+
+    rayon::set_num_threads(1);
+    let single = compress(&data, &cfg).unwrap();
+    rayon::set_num_threads(4);
+    let multi = compress(&data, &cfg).unwrap();
+    let decompressed_multi = decompress(&multi).unwrap();
+    rayon::set_num_threads(0);
+    assert_eq!(
+        single, multi,
+        "chunked streams must be byte-identical at 1 and 4 threads"
+    );
+    assert_bound(&data, &decompressed_multi, abs_eb, "chunked 4-thread");
+
+    // Random access: every chunk individually, straight off the table.
+    let n = szhi::core::chunk_count(&single).unwrap();
+    assert_eq!(n, 3 * 3 * 2);
+    for i in 0..n {
+        let (region, sub) = szhi::core::decompress_chunk(&single, i).unwrap();
+        let expect = data.extract(&region);
+        for (e, g) in expect.iter().zip(sub.as_slice()) {
+            assert!(
+                ((*e as f64) - (*g as f64)).abs() <= abs_eb + 1e-12,
+                "chunk {i} violated the bound"
+            );
+        }
+    }
+}
+
+#[test]
 fn streams_are_rejected_by_other_decompressors() {
     // Feeding one compressor's stream into another must error, never panic or
     // silently produce garbage data of the right shape.

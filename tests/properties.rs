@@ -71,7 +71,33 @@ proptest! {
         let order = LevelOrder::new(dims, stride);
         let codes: Vec<u8> = (0..dims.len()).map(|i| (i * 37 % 251) as u8).collect();
         let reordered = order.reorder(&codes);
-        prop_assert_eq!(order.restore(&reordered), codes);
+        prop_assert_eq!(order.restore(&reordered).unwrap(), codes);
+    }
+
+    /// Chunked and monolithic compression of the same field both decompress
+    /// within the error bound, for arbitrary shapes and chunk spans —
+    /// including spans larger than the grid (which clamp to one chunk).
+    #[test]
+    fn chunked_and_monolithic_both_honour_the_bound(
+        (data, rel_eb) in field_strategy(),
+        cz in 1usize..4, cy in 1usize..4, cx in 1usize..4,
+    ) {
+        // The chunk-alignment rule: spans are multiples of the anchor
+        // stride (16), from 16 up to 48 — the 2..24-point grids of the
+        // strategy make spans larger than the field the common case.
+        let span = [16 * cz, 16 * cy, 16 * cx];
+        let cfg = SzhiConfig::new(ErrorBound::Relative(rel_eb));
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let mono = compress(&data, &cfg).unwrap();
+        let chunked = compress(&data, &cfg.clone().with_chunk_span(span)).unwrap();
+        for (label, bytes) in [("monolithic", &mono), ("chunked", &chunked)] {
+            let recon = decompress(bytes).unwrap();
+            prop_assert_eq!(recon.dims(), data.dims());
+            for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+                prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                    "{} violated: {} vs {} (eb {})", label, a, b, abs_eb);
+            }
+        }
     }
 
     /// The interpolation predictor round-trips exactly (code-for-code) through
@@ -79,13 +105,13 @@ proptest! {
     #[test]
     fn interp_predictor_reconstruction_matches_quantized_values((data, rel_eb) in field_strategy()) {
         let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
-        let p = InterpPredictor::new(InterpConfig::cusz_hi());
+        let p = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
         let out = p.compress(&data, abs_eb);
-        let recon = p.decompress(data.dims(), abs_eb, &out);
+        let recon = p.decompress(data.dims(), abs_eb, &out).unwrap();
         // Compressing the reconstruction again must give zero error codes
         // everywhere (the reconstruction is a fixed point of the predictor).
         let out2 = p.compress(&recon, abs_eb);
-        let recon2 = p.decompress(data.dims(), abs_eb, &out2);
+        let recon2 = p.decompress(data.dims(), abs_eb, &out2).unwrap();
         for (a, b) in recon.as_slice().iter().zip(recon2.as_slice()) {
             prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
         }

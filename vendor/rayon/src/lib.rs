@@ -1,14 +1,39 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, with real scoped-thread
+//! parallelism.
 //!
 //! The build environment has no access to crates.io, so this shim provides
 //! rayon's API *shape* for the subset this workspace uses — `par_iter`,
 //! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`, and the
 //! [`ParIter`] adaptors (`map`, `zip`, `enumerate`, `reduce(identity, op)`,
-//! `flat_map_iter`, `with_min_len`, ...) — implemented **sequentially** on
-//! top of the standard iterators. Call sites compile unchanged against
-//! either this shim or the real rayon; swapping in the real crate (one line
-//! in the workspace manifest) is the designated perf upgrade once the
-//! registry is reachable, and is tracked in ROADMAP.md.
+//! `flat_map_iter`, `with_min_len`, ...). Unlike the original sequential
+//! shim, terminal operations now genuinely execute on multiple OS threads:
+//! the input positions are split into contiguous ranges, each range is driven
+//! on its own `std::thread::scope` thread, and the per-range outputs are
+//! recombined **in input order**, so order-sensitive terminals (`collect`,
+//! `for_each` over disjoint chunks) observe exactly the sequential result.
+//!
+//! Thread count control:
+//!
+//! * `SZHI_NUM_THREADS=<n>` caps the worker count for the whole process
+//!   (read once; `1` forces fully sequential execution);
+//! * [`set_num_threads`] overrides it at runtime (tests and benches use this
+//!   to compare thread counts inside one process; `0` clears the override);
+//! * the default is [`std::thread::available_parallelism`].
+//!
+//! Nested parallelism is serialised: a terminal running inside a worker
+//! thread executes its range sequentially instead of spawning another level
+//! of threads, which keeps the thread count bounded by the configured value.
+//!
+//! Call sites compile unchanged against either this shim or the real rayon;
+//! swapping in the real crate (one line in the workspace manifest) remains
+//! the designated upgrade once the registry is reachable. The only extra
+//! symbol this shim exposes beyond rayon's surface is [`set_num_threads`].
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 pub mod prelude {
     pub use crate::{
@@ -17,225 +42,774 @@ pub mod prelude {
     };
 }
 
-/// Sequential stand-in for rayon's `ParallelIterator`: a thin wrapper over a
-/// standard iterator exposing rayon's method signatures (notably
-/// `reduce(identity, op)` and `fold(identity, op)`, which differ from std).
-pub struct ParIter<I>(I);
+// ---------------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------------
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+/// Runtime override installed by [`set_num_threads`] (0 = none).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn configured_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SZHI_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads terminals may use: the [`set_num_threads`]
+/// override if set, else `SZHI_NUM_THREADS`, else the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker-thread count for subsequent terminal operations in
+/// this process; `0` clears the override (falling back to
+/// `SZHI_NUM_THREADS` / the machine default). Not part of rayon's API —
+/// tests and benches use it to compare thread counts within one process.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// True while this thread is executing a range on behalf of a parallel
+    /// terminal; nested terminals then run sequentially.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII set/reset of [`IN_PARALLEL`]: the reset must also happen when a
+/// user closure panics and the panic is later caught (e.g. fuzz tests
+/// wrapping terminals in `catch_unwind`), or the thread would silently run
+/// every subsequent terminal sequentially.
+struct NestedFlagGuard;
+
+impl NestedFlagGuard {
+    fn engage() -> Self {
+        IN_PARALLEL.with(|f| f.set(true));
+        NestedFlagGuard
+    }
+}
+
+impl Drop for NestedFlagGuard {
+    fn drop(&mut self) {
+        IN_PARALLEL.with(|f| f.set(false));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline model
+// ---------------------------------------------------------------------------
+
+/// A deferred parallel computation: `positions()` independent input slots
+/// that can be executed over any sub-range, emitting output items **in
+/// position order** through a sink. Adaptors compose by wrapping the drive;
+/// terminals split `0..positions()` across scoped threads and recombine the
+/// per-range outputs in order.
+///
+/// Drives over disjoint ranges must be independent (the mutable sources rely
+/// on this for soundness), and terminals only ever drive a partition of the
+/// full range.
+pub trait Pipeline: Sync {
+    /// The items this pipeline emits.
+    type Item: Send;
+    /// Number of independent input positions.
+    fn positions(&self) -> usize;
+    /// Granularity hint: the minimum number of positions per worker range.
+    fn min_len(&self) -> usize {
+        1
+    }
+    /// Executes positions `range`, emitting outputs in order into `sink`.
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item));
+}
+
+/// Marker for pipelines that emit exactly one item per position (sources,
+/// `map`, `zip`, `enumerate`) — the shim's analogue of rayon's
+/// `IndexedParallelIterator`, required by `zip` and `enumerate`.
+pub trait IndexedPipeline: Pipeline {}
+
+/// Output of [`ParIter::copied`] / [`ParIter::cloned`]: a map by a plain
+/// function pointer.
+pub type FnMapped<'a, P, T> = ParIter<MapPipe<P, fn(&'a T) -> T>>;
+
+/// Splits `0..n` into at most `current_num_threads()` contiguous ranges of
+/// at least `min_len` positions each.
+fn partition(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    let threads = current_num_threads();
+    let max_parts = n / min_len.max(1);
+    let parts = threads.min(max_parts).max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs the pipeline over its full range, splitting across scoped threads,
+/// and returns one ordered output vector per range.
+fn run_parts<P: Pipeline>(pipe: &P) -> Vec<Vec<P::Item>> {
+    let n = pipe.positions();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Nested terminals (inside a worker) run sequentially, as does any
+    // partition that collapses to a single range.
+    let nested = IN_PARALLEL.with(|f| f.get());
+    let ranges = partition(n, pipe.min_len());
+    if nested || ranges.len() == 1 {
+        let mut out = Vec::new();
+        pipe.drive(0..n, &mut |item| out.push(item));
+        return vec![out];
+    }
+    let mut results: Vec<Vec<P::Item>> = ranges.iter().map(|_| Vec::new()).collect();
+    std::thread::scope(|scope| {
+        let mut slots = results.iter_mut();
+        let first_slot = slots.next().expect("at least one range");
+        for (range, slot) in ranges[1..].iter().cloned().zip(slots) {
+            scope.spawn(move || {
+                let _guard = NestedFlagGuard::engage();
+                pipe.drive(range, &mut |item| slot.push(item));
+            });
+        }
+        // The calling thread executes the first range itself.
+        let _guard = NestedFlagGuard::engage();
+        pipe.drive(ranges[0].clone(), &mut |item| first_slot.push(item));
+    });
+    results
+}
+
+/// Runs the pipeline and returns all items flattened in input order.
+fn run_flat<P: Pipeline>(pipe: &P) -> impl Iterator<Item = P::Item> {
+    run_parts(pipe).into_iter().flatten()
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `slice.par_iter()`: one `&T` per position.
+pub struct SlicePipe<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Pipeline for SlicePipe<'a, T> {
+    type Item = &'a T;
+    fn positions(&self) -> usize {
+        self.0.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for item in &self.0[range] {
+            sink(item);
+        }
+    }
+}
+impl<T: Sync> IndexedPipeline for SlicePipe<'_, T> {}
+
+/// `slice.par_chunks(n)`: one `&[T]` per position.
+pub struct ChunksPipe<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> Pipeline for ChunksPipe<'a, T> {
+    type Item = &'a [T];
+    fn positions(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for c in range {
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.slice.len());
+            sink(&self.slice[start..end]);
+        }
+    }
+}
+impl<T: Sync> IndexedPipeline for ChunksPipe<'_, T> {}
+
+/// Shared raw base pointer for the mutable sources. Sound because terminals
+/// drive disjoint position ranges, so no two threads ever touch the same
+/// element.
+struct SharedMut<T>(*mut T);
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+/// `slice.par_iter_mut()`: one `&mut T` per position.
+pub struct SliceMutPipe<'a, T> {
+    base: SharedMut<T>,
+    len: usize,
+    _marker: PhantomData<fn(&'a ()) -> &'a ()>,
+}
+
+impl<'a, T: Send + 'a> Pipeline for SliceMutPipe<'a, T> {
+    type Item = &'a mut T;
+    fn positions(&self) -> usize {
+        self.len
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for i in range {
+            debug_assert!(i < self.len);
+            // SAFETY: `i < len`, and disjoint drive ranges guarantee each
+            // element is borrowed at most once across all threads.
+            sink(unsafe { &mut *self.base.0.add(i) });
+        }
+    }
+}
+impl<'a, T: Send + 'a> IndexedPipeline for SliceMutPipe<'a, T> {}
+
+/// `slice.par_chunks_mut(n)`: one `&mut [T]` per position.
+pub struct ChunksMutPipe<'a, T> {
+    base: SharedMut<T>,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<fn(&'a ()) -> &'a ()>,
+}
+
+impl<'a, T: Send + 'a> Pipeline for ChunksMutPipe<'a, T> {
+    type Item = &'a mut [T];
+    fn positions(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for c in range {
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.len);
+            // SAFETY: chunks are disjoint sub-slices of the base allocation,
+            // and disjoint drive ranges guarantee each chunk is borrowed at
+            // most once across all threads.
+            sink(unsafe { std::slice::from_raw_parts_mut(self.base.0.add(start), end - start) });
+        }
+    }
+}
+impl<'a, T: Send + 'a> IndexedPipeline for ChunksMutPipe<'a, T> {}
+
+/// `(a..b).into_par_iter()`: one integer per position.
+pub struct RangePipe<T> {
+    start: T,
+    len: usize,
+}
+
+/// Integer types usable as `into_par_iter` ranges.
+pub trait RangeItem: Copy + Send + Sync {
+    fn offset(self, by: usize) -> Self;
+    fn distance(self, to: Self) -> usize;
+}
+
+macro_rules! range_item {
+    ($($t:ty),*) => {$(
+        impl RangeItem for $t {
+            fn offset(self, by: usize) -> Self {
+                self + by as $t
+            }
+            fn distance(self, to: Self) -> usize {
+                to.saturating_sub(self) as usize
+            }
+        }
+    )*};
+}
+range_item!(usize, u64, u32, u16, u8);
+
+impl<T: RangeItem> Pipeline for RangePipe<T> {
+    type Item = T;
+    fn positions(&self) -> usize {
+        self.len
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for i in range {
+            sink(self.start.offset(i));
+        }
+    }
+}
+impl<T: RangeItem> IndexedPipeline for RangePipe<T> {}
+
+/// `vec.into_par_iter()`: one cloned element per position. (The owned
+/// source clones because the pipeline is shared by reference across worker
+/// threads; every workspace use is over cheap `Copy` data.)
+pub struct VecPipe<T>(Vec<T>);
+
+impl<T: Clone + Send + Sync> Pipeline for VecPipe<T> {
+    type Item = T;
+    fn positions(&self) -> usize {
+        self.0.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        for item in &self.0[range] {
+            sink(item.clone());
+        }
+    }
+}
+impl<T: Clone + Send + Sync> IndexedPipeline for VecPipe<T> {}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// Output of [`ParIter::map`].
+pub struct MapPipe<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: Pipeline, O: Send, F: Fn(P::Item) -> O + Sync> Pipeline for MapPipe<P, F> {
+    type Item = O;
+    fn positions(&self) -> usize {
+        self.base.positions()
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(range, &mut |item| sink((self.f)(item)));
+    }
+}
+impl<P: IndexedPipeline, O: Send, F: Fn(P::Item) -> O + Sync> IndexedPipeline for MapPipe<P, F> {}
+
+/// Output of [`ParIter::filter`].
+pub struct FilterPipe<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: Pipeline, F: Fn(&P::Item) -> bool + Sync> Pipeline for FilterPipe<P, F> {
+    type Item = P::Item;
+    fn positions(&self) -> usize {
+        self.base.positions()
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(range, &mut |item| {
+            if (self.f)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+/// Output of [`ParIter::flat_map_iter`] (and `flat_map`, which coincides
+/// here because the inner iterator is always consumed serially).
+pub struct FlatMapPipe<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: Pipeline, U: IntoIterator, F: Fn(P::Item) -> U + Sync> Pipeline for FlatMapPipe<P, F>
+where
+    U::Item: Send,
+{
+    type Item = U::Item;
+    fn positions(&self) -> usize {
+        self.base.positions()
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(range, &mut |item| {
+            for out in (self.f)(item) {
+                sink(out);
+            }
+        });
+    }
+}
+
+/// Output of [`ParIter::enumerate`]. Position index == item index because
+/// the base is an [`IndexedPipeline`].
+pub struct EnumeratePipe<P>(P);
+
+impl<P: IndexedPipeline> Pipeline for EnumeratePipe<P> {
+    type Item = (usize, P::Item);
+    fn positions(&self) -> usize {
+        self.0.positions()
+    }
+    fn min_len(&self) -> usize {
+        self.0.min_len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        let mut idx = range.start;
+        self.0.drive(range, &mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+    }
+}
+impl<P: IndexedPipeline> IndexedPipeline for EnumeratePipe<P> {}
+
+/// Output of [`ParIter::zip`]. Both sides are [`IndexedPipeline`]s, so
+/// position `i` pairs the `i`-th items of each.
+pub struct ZipPipe<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedPipeline, B: IndexedPipeline> Pipeline for ZipPipe<A, B> {
+    type Item = (A::Item, B::Item);
+    fn positions(&self) -> usize {
+        self.a.positions().min(self.b.positions())
+    }
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        let mut left = Vec::with_capacity(range.len());
+        self.a.drive(range.clone(), &mut |item| left.push(item));
+        let mut iter = left.into_iter();
+        self.b.drive(range, &mut |item| {
+            if let Some(l) = iter.next() {
+                sink((l, item));
+            }
+        });
+    }
+}
+impl<A: IndexedPipeline, B: IndexedPipeline> IndexedPipeline for ZipPipe<A, B> {}
+
+/// Output of [`ParIter::with_min_len`] / [`ParIter::with_max_len`].
+pub struct MinLenPipe<P> {
+    base: P,
+    min_len: usize,
+}
+
+impl<P: Pipeline> Pipeline for MinLenPipe<P> {
+    type Item = P::Item;
+    fn positions(&self) -> usize {
+        self.base.positions()
+    }
+    fn min_len(&self) -> usize {
+        self.min_len.max(self.base.min_len())
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(range, sink);
+    }
+}
+impl<P: IndexedPipeline> IndexedPipeline for MinLenPipe<P> {}
+
+// ---------------------------------------------------------------------------
+// The public iterator wrapper
+// ---------------------------------------------------------------------------
+
+/// Stand-in for rayon's `ParallelIterator`: a deferred [`Pipeline`] whose
+/// adaptors mirror rayon's method signatures (notably `reduce(identity, op)`
+/// and two-phase `fold`, which differ from std) and whose terminals execute
+/// on scoped worker threads.
+pub struct ParIter<P>(P);
+
+impl<P: Pipeline> ParIter<P> {
+    pub fn map<O: Send, F: Fn(P::Item) -> O + Sync>(self, f: F) -> ParIter<MapPipe<P, F>> {
+        ParIter(MapPipe { base: self.0, f })
     }
 
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    pub fn filter<F: Fn(&P::Item) -> bool + Sync>(self, f: F) -> ParIter<FilterPipe<P, F>> {
+        ParIter(FilterPipe { base: self.0, f })
     }
 
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    pub fn enumerate(self) -> ParIter<EnumeratePipe<P>>
+    where
+        P: IndexedPipeline,
+    {
+        ParIter(EnumeratePipe(self.0))
     }
 
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<ZipPipe<P, Z::Pipe>>
+    where
+        P: IndexedPipeline,
+        Z::Pipe: IndexedPipeline,
+    {
+        ParIter(ZipPipe {
+            a: self.0,
+            b: other.into_par_iter().0,
+        })
     }
 
     /// Rayon's `flat_map_iter`: the inner iterator is consumed serially.
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapPipe<P, F>>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        F: Fn(P::Item) -> U + Sync,
     {
-        ParIter(self.0.flat_map(f))
+        ParIter(FlatMapPipe { base: self.0, f })
     }
 
-    /// Sequentially `flat_map` and `flat_map_iter` coincide.
-    pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    /// With a serial inner iterator `flat_map` and `flat_map_iter` coincide.
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<FlatMapPipe<P, F>>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        F: Fn(P::Item) -> U + Sync,
     {
-        ParIter(self.0.flat_map(f))
+        ParIter(FlatMapPipe { base: self.0, f })
     }
 
-    pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
+    pub fn copied<'a, T: 'a + Copy + Send + Sync>(self) -> FnMapped<'a, P, T>
     where
-        I: Iterator<Item = &'a T>,
+        P: Pipeline<Item = &'a T>,
     {
-        ParIter(self.0.copied())
+        self.map(|r: &T| *r)
     }
 
-    pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
+    pub fn cloned<'a, T: 'a + Clone + Send + Sync>(self) -> FnMapped<'a, P, T>
     where
-        I: Iterator<Item = &'a T>,
+        P: Pipeline<Item = &'a T>,
     {
-        ParIter(self.0.cloned())
+        self.map(|r: &T| r.clone())
     }
 
-    /// Granularity hint — a no-op sequentially.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+    /// Granularity hint: worker ranges will span at least `min` positions.
+    pub fn with_min_len(self, min: usize) -> ParIter<MinLenPipe<P>> {
+        ParIter(MinLenPipe {
+            base: self.0,
+            min_len: min.max(1),
+        })
     }
 
-    /// Granularity hint — a no-op sequentially.
+    /// Granularity hint — a no-op in this shim (ranges are already at most
+    /// one per worker thread).
     pub fn with_max_len(self, _max: usize) -> Self {
         self
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F: Fn(P::Item) + Sync>(self, f: F) {
+        let pipe = MapPipe { base: self.0, f };
+        for part in run_parts(&pipe) {
+            drop(part);
+        }
     }
 
-    /// Rayon's two-argument `reduce`: `identity` seeds each (here: the only)
-    /// partial, `op` combines.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon's two-argument `reduce`: `identity` seeds every partial, `op`
+    /// combines. The expensive upstream work runs on the worker threads; the
+    /// final combine is a cheap sequential fold in input order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Item,
+        OP: Fn(P::Item, P::Item) -> P::Item,
     {
-        self.0.fold(identity(), op)
+        run_flat(&self.0).fold(identity(), op)
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        run_flat(&self.0).collect()
     }
 
     pub fn count(self) -> usize {
-        self.0.count()
+        run_parts(&self.0).iter().map(Vec::len).sum()
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    pub fn sum<S: std::iter::Sum<P::Item>>(self) -> S {
+        run_flat(&self.0).sum()
     }
 
-    pub fn min(self) -> Option<I::Item>
+    pub fn min(self) -> Option<P::Item>
     where
-        I::Item: Ord,
+        P::Item: Ord,
     {
-        self.0.min()
+        run_flat(&self.0).min()
     }
 
-    pub fn max(self) -> Option<I::Item>
+    pub fn max(self) -> Option<P::Item>
     where
-        I::Item: Ord,
+        P::Item: Ord,
     {
-        self.0.max()
+        run_flat(&self.0).max()
     }
 
-    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut iter = self.0;
-        let mut f = f;
-        iter.any(&mut f)
+    pub fn any<F: Fn(P::Item) -> bool + Sync>(self, f: F) -> bool {
+        self.map(f).collect::<Vec<bool>>().into_iter().any(|b| b)
     }
 
-    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut iter = self.0;
-        let mut f = f;
-        iter.all(&mut f)
+    pub fn all<F: Fn(P::Item) -> bool + Sync>(self, f: F) -> bool {
+        self.map(f).collect::<Vec<bool>>().into_iter().all(|b| b)
     }
 }
 
-/// Owned conversion: mirrors `rayon::iter::IntoParallelIterator`, backed by
-/// the type's ordinary `IntoIterator`.
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Owned conversion: mirrors `rayon::iter::IntoParallelIterator` for the
+/// source types the workspace uses (integer ranges, vectors, and `ParIter`
+/// itself, which `zip` relies on).
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    type Pipe: Pipeline<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Pipe>;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+impl<T: RangeItem> IntoParallelIterator for Range<T> {
+    type Item = T;
+    type Pipe = RangePipe<T>;
+    fn into_par_iter(self) -> ParIter<RangePipe<T>> {
+        ParIter(RangePipe {
+            start: self.start,
+            len: self.start.distance(self.end),
+        })
     }
 }
 
-impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-    type Item = I::Item;
-    type Iter = I;
-    fn into_par_iter(self) -> ParIter<I> {
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Pipe = VecPipe<T>;
+    fn into_par_iter(self) -> ParIter<VecPipe<T>> {
+        ParIter(VecPipe(self))
+    }
+}
+
+impl<P: Pipeline> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Pipe = P;
+    fn into_par_iter(self) -> ParIter<P> {
         self
     }
 }
 
-/// Shared-reference conversion: `data.par_iter()` for anything whose
-/// reference is iterable (slices, `Vec`, arrays, maps, ...).
+/// Shared-reference conversion: `data.par_iter()` for slices, vectors and
+/// arrays.
 pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    type Item: Send + 'a;
+    type Pipe: Pipeline<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Pipe>;
 }
 
-impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
-where
-    &'a C: IntoIterator,
-    <&'a C as IntoIterator>::Item: 'a,
-{
-    type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Pipe = SlicePipe<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SlicePipe<'a, T>> {
+        ParIter(SlicePipe(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Pipe = SlicePipe<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SlicePipe<'a, T>> {
+        ParIter(SlicePipe(self))
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    type Pipe = SlicePipe<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SlicePipe<'a, T>> {
+        ParIter(SlicePipe(self))
     }
 }
 
 /// Mutable-reference conversion: `data.par_iter_mut()`.
 pub trait IntoParallelRefMutIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    type Item: Send + 'a;
+    type Pipe: Pipeline<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Pipe>;
 }
 
-impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
-where
-    &'a mut C: IntoIterator,
-    <&'a mut C as IntoIterator>::Item: 'a,
-{
-    type Item = <&'a mut C as IntoIterator>::Item;
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Pipe = SliceMutPipe<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutPipe<'a, T>> {
+        ParIter(SliceMutPipe {
+            len: self.len(),
+            base: SharedMut(self.as_mut_ptr()),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Pipe = SliceMutPipe<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutPipe<'a, T>> {
+        self.as_mut_slice().par_iter_mut()
     }
 }
 
 /// Slice chunking: `data.par_chunks(n)`.
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksPipe<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksPipe<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter(ChunksPipe {
+            slice: self,
+            chunk: chunk_size,
+        })
     }
 }
 
 /// Mutable slice chunking: `data.par_chunks_mut(n)`.
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutPipe<'_, T>>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutPipe<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter(ChunksMutPipe {
+            len: self.len(),
+            chunk: chunk_size,
+            base: SharedMut(self.as_mut_ptr()),
+            _marker: PhantomData,
+        })
     }
 }
 
-/// Sequential shim: there is exactly one "thread".
-pub fn current_num_threads() -> usize {
-    1
-}
-
-/// Sequential shim of `rayon::join`: runs `a` then `b`.
+/// `rayon::join`: runs `a` and `b`, potentially on two threads.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if IN_PARALLEL.with(|f| f.get()) || current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let _guard = NestedFlagGuard::engage();
+            b()
+        });
+        let ra = a();
+        (ra, handle.join().expect("rayon-shim join worker panicked"))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Tests that mutate the process-global thread override must not
+    /// interleave with each other under the parallel test harness.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds the override lock and restores the default on drop (also when
+    /// the test body panics).
+    fn override_threads(n: usize) -> impl Drop {
+        struct Reset<'a>(Option<std::sync::MutexGuard<'a, ()>>);
+        impl Drop for Reset<'_> {
+            fn drop(&mut self) {
+                super::set_num_threads(0);
+                self.0.take();
+            }
+        }
+        let guard = OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        super::set_num_threads(n);
+        Reset(Some(guard))
+    }
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -278,5 +852,105 @@ mod tests {
             .flat_map_iter(|x| vec![x, x + 1])
             .collect();
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        // Order-sensitive terminals must produce the sequential result at
+        // every thread count; this is the backbone of the compressor's
+        // bit-identical-streams guarantee.
+        let input: Vec<u64> = (0..10_000).collect();
+        let reference: Vec<u64> = input.iter().map(|&x| x * x % 1013).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let _reset = override_threads(threads);
+            let got: Vec<u64> = input.par_iter().map(|&x| x * x % 1013).collect();
+            assert_eq!(got, reference, "collect diverged at {threads} threads");
+            let total: u64 = input.par_iter().copied().sum();
+            assert_eq!(total, input.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn parallel_for_each_really_uses_worker_threads() {
+        use std::collections::HashSet;
+        let _reset = override_threads(4);
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let mut data = vec![0u64; 64];
+        data.par_chunks_mut(4).for_each(|chunk| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work on more than one thread"
+        );
+    }
+
+    #[test]
+    fn nested_parallelism_is_serialised() {
+        let _reset = override_threads(4);
+        let outer: Vec<usize> = (0..4usize)
+            .into_par_iter()
+            .map(|i| {
+                // Inner terminal runs while IN_PARALLEL is set: it must not
+                // spawn another level of threads, just produce the result.
+                let inner: usize = (0..100usize).into_par_iter().sum();
+                i + inner
+            })
+            .collect();
+        assert_eq!(outer, vec![4950, 4951, 4952, 4953]);
+    }
+
+    #[test]
+    fn nested_flag_is_reset_after_a_caught_panic() {
+        // A panic inside a parallel closure, caught by the caller, must not
+        // leave the thread permanently serialised (the byte-flip fuzz tests
+        // wrap terminals in catch_unwind exactly like this).
+        let _reset = override_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let v = vec![1u32, 2, 3, 4];
+            let _: Vec<u32> = v
+                .par_iter()
+                .map(|&x| if x == 1 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(result.is_err());
+        // The next terminal on this thread must spawn workers again.
+        use std::collections::HashSet;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let data = vec![0u64; 64];
+        let _: Vec<u64> = data
+            .par_iter()
+            .with_min_len(4)
+            .map(|&v| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                v
+            })
+            .collect();
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "thread stayed serialised after a caught panic"
+        );
+    }
+
+    #[test]
+    fn filter_and_enumerate_preserve_order() {
+        let v: Vec<u32> = (0..100).collect();
+        let odd: Vec<u32> = v.par_iter().copied().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd, (0..100).filter(|x| x % 2 == 1).collect::<Vec<_>>());
+        let pairs: Vec<(usize, u32)> = v.par_iter().copied().enumerate().collect();
+        for (i, x) in pairs {
+            assert_eq!(i as u32, x);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
     }
 }
