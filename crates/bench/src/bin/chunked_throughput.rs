@@ -2,17 +2,26 @@
 //!
 //! Measures the wall-clock speedup of the chunk-parallel engine over the
 //! monolithic pipeline on a large 3D field: the monolithic (v1) path, the
-//! chunked (v2) path pinned to one worker thread, and the chunked path at
+//! chunked (v3) path pinned to one worker thread, and the chunked path at
 //! the configured thread count. The headline number is the last row's
 //! speedup over chunked-at-1-thread — with ≥ 4 hardware threads on a
 //! ≥ 256³ field it should exceed 1.5×.
+//!
+//! A second section measures **per-chunk pipeline-mode selection** on a
+//! mixed smooth/noisy field: the compressed size under each global mode,
+//! the size with `ModeTuning::PerChunk`, the CR delta, and the histogram
+//! of chosen modes straight from the v3 chunk table.
 //!
 //! Run with `cargo run -p szhi-bench --release --bin chunked_throughput`.
 //! `--scale <f>` (or `SZHI_SCALE`) scales the 256³ default field;
 //! `SZHI_NUM_THREADS` caps the multi-threaded row.
 
+use std::collections::BTreeMap;
 use szhi_bench::{fmt_ms, print_table, SEED};
-use szhi_core::{compress_with_stats, decompress, ErrorBound, SzhiConfig};
+use szhi_core::{
+    compress, compress_with_stats, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader,
+    SzhiConfig,
+};
 use szhi_datagen::DatasetKind;
 use szhi_metrics::Stopwatch;
 use szhi_ndgrid::{Dims, Grid};
@@ -63,7 +72,7 @@ fn main() {
     ]);
     let (one_c, one_d, one_gibps, one_ratio) = measure(&data, &chunked, 1);
     rows.push(vec![
-        "chunked (v2)".into(),
+        "chunked (v3)".into(),
         "1".into(),
         fmt_ms(std::time::Duration::from_secs_f64(one_c)),
         fmt_ms(std::time::Duration::from_secs_f64(one_d)),
@@ -74,7 +83,7 @@ fn main() {
     let (multi_c, multi_d, multi_gibps, multi_ratio) = measure(&data, &chunked, threads);
     let speedup = one_c / multi_c;
     rows.push(vec![
-        "chunked (v2)".into(),
+        "chunked (v3)".into(),
         threads.to_string(),
         fmt_ms(std::time::Duration::from_secs_f64(multi_c)),
         fmt_ms(std::time::Duration::from_secs_f64(multi_d)),
@@ -104,4 +113,69 @@ fn main() {
     if threads >= 4 && n >= 256 && speedup <= 1.5 {
         eprintln!("WARNING: expected a wall-clock speedup > 1.5x with >= 4 threads");
     }
+
+    per_chunk_mode_section(n);
+}
+
+/// Measures per-chunk pipeline-mode selection against both global modes on
+/// a mixed smooth/noisy field and reports the chosen-mode histogram.
+fn per_chunk_mode_section(n: usize) {
+    let dims = Dims::d3((n / 2).max(32), (n / 2).max(32), n.max(64));
+    let data = szhi_datagen::mixed_smooth_noisy(dims);
+    // A fixed absolute bound that keeps the noisy half's quantization codes
+    // inside the u8 code range (no outlier saturation): the regime where
+    // the noisy chunks genuinely prefer the TP pipeline.
+    let abs_eb = 2e-3;
+    let base = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32]);
+    let original = dims.nbytes_f32() as f64;
+
+    let mut rows = Vec::new();
+    let mut sizes = BTreeMap::new();
+    for (label, cfg) in [
+        ("global CR", base.clone().with_mode(PipelineMode::Cr)),
+        ("global TP", base.clone().with_mode(PipelineMode::Tp)),
+        (
+            "per-chunk",
+            base.clone().with_mode_tuning(ModeTuning::PerChunk),
+        ),
+    ] {
+        let sw = Stopwatch::start();
+        let bytes = compress(&data, &cfg).expect("compression failed");
+        let comp = sw.finish(dims.nbytes_f32());
+        let reader = StreamReader::new(&bytes).expect("v3 stream");
+        let mut histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for i in 0..reader.chunk_count() {
+            *histogram
+                .entry(reader.chunk_pipeline(i).name())
+                .or_insert(0) += 1;
+        }
+        let modes = histogram
+            .iter()
+            .map(|(name, count)| format!("{count}×{name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        sizes.insert(label, bytes.len());
+        rows.push(vec![
+            label.into(),
+            format!("{:.2}", original / bytes.len() as f64),
+            bytes.len().to_string(),
+            fmt_ms(comp.elapsed),
+            modes,
+        ]);
+    }
+    print_table(
+        &format!("Per-chunk vs global pipeline-mode tuning on a mixed smooth/noisy {dims} field"),
+        &["tuning", "ratio", "bytes", "comp ms", "chosen modes"],
+        &rows,
+    );
+    let best_global = sizes["global CR"].min(sizes["global TP"]);
+    let tuned = sizes["per-chunk"];
+    println!(
+        "\nper-chunk tuning CR delta: {:+.2}% vs best global mode ({} B -> {} B)",
+        100.0 * (best_global as f64 / tuned as f64 - 1.0),
+        best_global,
+        tuned,
+    );
 }

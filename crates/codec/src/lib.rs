@@ -27,6 +27,8 @@
 //!   GPULZ / nvCOMP LZ4.
 //! * [`fixedlen`] — per-block fixed-length bit packing (used by the cuSZp2
 //!   and FZ-GPU baselines).
+//! * [`checksum`] — CRC32 (IEEE) integrity checksums for the chunked
+//!   stream containers.
 //!
 //! Every encoder in this crate is strictly lossless and exposes an
 //! `encode`/`decode` pair; round-trip behaviour is covered by unit tests and
@@ -35,6 +37,7 @@
 pub mod ans;
 pub mod bitcomp_sim;
 pub mod bitio;
+pub mod checksum;
 pub mod components;
 pub mod error;
 pub mod fixedlen;

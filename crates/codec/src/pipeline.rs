@@ -379,6 +379,48 @@ impl PipelineSpec {
         Self::all()
     }
 
+    /// Per-invocation pipeline selection: encodes `input` with every
+    /// candidate and returns the winner — the `(spec, payload)` pair with
+    /// the smallest payload. Ties break toward the earlier candidate, so
+    /// putting a preferred default first makes the choice deterministic.
+    ///
+    /// This is the primitive behind per-chunk mode selection in the chunked
+    /// stream containers: each chunk's quantization codes are offered to a
+    /// small candidate set and the stream records the chosen pipeline id per
+    /// chunk, so smooth and noisy regions of one field can use different
+    /// lossless pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    ///
+    /// ```
+    /// use szhi_codec::PipelineSpec;
+    ///
+    /// let codes = vec![128u8; 4096];
+    /// let (spec, payload) = PipelineSpec::encode_select(
+    ///     &[PipelineSpec::CR, PipelineSpec::TP],
+    ///     &codes,
+    /// );
+    /// // The winner's payload decodes back to the input.
+    /// assert_eq!(spec.build().decode(&payload).unwrap(), codes);
+    /// ```
+    pub fn encode_select(candidates: &[PipelineSpec], input: &[u8]) -> (PipelineSpec, Vec<u8>) {
+        assert!(
+            !candidates.is_empty(),
+            "encode_select requires at least one candidate pipeline"
+        );
+        let mut best: Option<(PipelineSpec, Vec<u8>)> = None;
+        for &spec in candidates {
+            let payload = spec.build().encode(input);
+            // Strictly smaller only: on ties the earliest candidate wins.
+            if best.as_ref().is_none_or(|(_, b)| payload.len() < b.len()) {
+                best = Some((spec, payload));
+            }
+        }
+        best.expect("candidates is non-empty")
+    }
+
     /// Materialises the pipeline.
     pub fn build(&self) -> Pipeline {
         let stages: Vec<Box<dyn Stage>> = match self {
@@ -529,6 +571,34 @@ mod tests {
             assert_eq!(PipelineSpec::from_id(spec.id()), Some(*spec));
         }
         assert_eq!(PipelineSpec::from_id(200), None);
+    }
+
+    #[test]
+    fn encode_select_picks_the_smallest_payload() {
+        let data = quant_like(100_000, 91);
+        let (spec, payload) =
+            PipelineSpec::encode_select(&[PipelineSpec::CR, PipelineSpec::TP], &data);
+        let cr = PipelineSpec::CR.build().encode(&data).len();
+        let tp = PipelineSpec::TP.build().encode(&data).len();
+        assert_eq!(payload.len(), cr.min(tp));
+        let expected = if cr <= tp {
+            PipelineSpec::CR
+        } else {
+            PipelineSpec::TP
+        };
+        assert_eq!(spec, expected);
+        assert_eq!(spec.build().decode(&payload).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_select_breaks_ties_toward_the_first_candidate() {
+        // Two copies of the same spec always tie; the first must win.
+        let data = quant_like(5_000, 97);
+        let (spec, _) = PipelineSpec::encode_select(&[PipelineSpec::TP, PipelineSpec::TP], &data);
+        assert_eq!(spec, PipelineSpec::TP);
+        let (spec, payload) = PipelineSpec::encode_select(&[PipelineSpec::Hf], &data);
+        assert_eq!(spec, PipelineSpec::Hf);
+        assert_eq!(spec.build().decode(&payload).unwrap(), data);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //!   stream (one predictor pass, one pipeline payload);
 //! * the **chunked** engine ([`compress_chunked`]) splits the grid into
 //!   independent anchor-aligned chunks ([`szhi_ndgrid::ChunkPlan`]) and
-//!   compresses each into its own body of a v2 stream, in parallel over
-//!   chunks. Chunks decompress independently too — [`decompress`] fans the
-//!   work out again, and [`decompress_chunk`] random-accesses a single
-//!   chunk without touching the rest of the stream.
+//!   compresses each into its own body of a streamed (v3) container. It is
+//!   a thin parallel loop over the incremental [`StreamWriter`]: chunks
+//!   are encoded in parallel ([`StreamWriter::encode_chunk`] is a pure
+//!   function) and pushed in plan order, so the batch output is
+//!   byte-identical to pushing the same chunks one at a time. Chunks
+//!   decompress independently too — [`decompress`] drains a
+//!   [`StreamReader`] eagerly, and [`decompress_chunk`] random-accesses a
+//!   single chunk without touching the rest of the stream.
 //!
 //! Chunked streams are byte-identical regardless of the worker-thread count:
 //! every chunk is a pure function of (its sub-field, the config), and the
@@ -18,10 +22,12 @@
 use crate::config::{PipelineMode, SzhiConfig};
 use crate::error::SzhiError;
 use crate::format::{
-    read_chunk_sections, read_stream, read_stream_v2, stream_version, write_sections, write_stream,
-    write_stream_v2, Header, VERSION,
+    read_chunk_sections, read_stream, read_stream_chunked, stream_version, write_stream, Header,
+    VERSION,
 };
+use crate::stream::{EncodedChunk, StreamReader, StreamWriter};
 use rayon::prelude::*;
+use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
 use szhi_predictor::autotune;
 use szhi_predictor::{InterpConfig, InterpOutput, InterpPredictor, LevelOrder};
@@ -46,8 +52,8 @@ pub struct CompressionStats {
 }
 
 /// Compresses `data` under `cfg`, returning the self-describing byte
-/// stream. With `cfg.chunk_span` set this produces a chunked (v2) stream,
-/// otherwise a monolithic (v1) stream.
+/// stream. With `cfg.chunk_span` set this produces a streamed (v3)
+/// container, otherwise a monolithic (v1) stream.
 pub fn compress(data: &Grid<f32>, cfg: &SzhiConfig) -> Result<Vec<u8>, SzhiError> {
     compress_with_stats(data, cfg).map(|(bytes, _)| bytes)
 }
@@ -100,8 +106,8 @@ pub fn compress_with_stats(
     Ok((bytes, stats))
 }
 
-/// Compresses `data` into a chunked (v2) stream with the given chunk span,
-/// regardless of `cfg.chunk_span`.
+/// Compresses `data` into a streamed (v3) container with the given chunk
+/// span, regardless of `cfg.chunk_span`.
 pub fn compress_chunked(
     data: &Grid<f32>,
     cfg: &SzhiConfig,
@@ -110,15 +116,20 @@ pub fn compress_chunked(
     compress_chunked_with_stats(data, cfg, span).map(|(bytes, _)| bytes)
 }
 
-/// Compresses `data` into a chunked (v2) stream, returning the stream and
-/// its aggregated statistics.
+/// Compresses `data` into a streamed (v3) container, returning the stream
+/// and its aggregated statistics.
 ///
 /// The error bound is resolved and the interpolation configuration is
 /// auto-tuned **once, globally**, then every chunk is compressed as an
-/// independent sub-field (its own anchors, codes and outliers) in parallel.
-/// The span must obey the chunk-alignment rule: a positive multiple of the
-/// anchor stride along every non-degenerate axis (spans larger than the
-/// grid are clamped to one whole-field chunk).
+/// independent sub-field (its own anchors, codes and outliers) in parallel
+/// and fed to a [`StreamWriter`] in plan order — this function is a thin
+/// loop over the incremental writer, so its output is byte-identical to
+/// pushing the same chunks one at a time. With
+/// [`ModeTuning::PerChunk`](crate::ModeTuning::PerChunk) each chunk's
+/// lossless pipeline is selected independently and recorded in the chunk
+/// table. The span must obey the chunk-alignment rule: a positive multiple
+/// of the anchor stride along every non-degenerate axis (spans larger than
+/// the grid are clamped to one whole-field chunk).
 pub fn compress_chunked_with_stats(
     data: &Grid<f32>,
     cfg: &SzhiConfig,
@@ -130,13 +141,12 @@ pub fn compress_chunked_with_stats(
     cfg.interp
         .validate()
         .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
-    let dims = data.dims();
     if span.contains(&0) {
         return Err(SzhiError::InvalidInput(format!(
             "chunk span {span:?} has a zero axis"
         )));
     }
-    let plan = ChunkPlan::new(dims, span);
+    let plan = ChunkPlan::new(data.dims(), span);
     if !plan.is_aligned(cfg.interp.anchor_stride) {
         return Err(SzhiError::InvalidInput(format!(
             "chunk span {span:?} is not a multiple of the anchor stride {}",
@@ -152,64 +162,31 @@ pub fn compress_chunked_with_stats(
         )));
     }
     let (abs_eb, interp_cfg) = prepare(data, cfg)?;
-    let predictor = predictor_for(&interp_cfg)?;
-    let pipeline = cfg.mode.pipeline_spec();
+    let mut writer = StreamWriter::with_params(
+        data.dims(),
+        span,
+        abs_eb,
+        interp_cfg,
+        cfg.reorder,
+        cfg.mode,
+        cfg.mode_tuning,
+    )?;
 
     // Each chunk is a pure function of (sub-field, config): the par_iter
     // result order is fixed, so the assembled stream is byte-identical at
-    // every thread count.
-    struct ChunkResult {
-        body: Vec<u8>,
-        anchors: usize,
-        outliers: usize,
-        payload_bytes: usize,
-    }
-    let chunks: Vec<ChunkResult> = (0..plan.len())
+    // every thread count — and identical to sequential push_chunk calls.
+    let plan = *writer.plan();
+    let encoded: Vec<Result<EncodedChunk, SzhiError>> = (0..plan.len())
         .into_par_iter()
         .map(|i| {
-            let region = plan.chunk_at(i);
-            let chunk_dims = plan.chunk_dims(i);
-            let sub = Grid::from_vec(chunk_dims, data.extract(&region));
-            let output = predictor.compress(&sub, abs_eb);
-            let codes = if cfg.reorder {
-                LevelOrder::new(chunk_dims, interp_cfg.anchor_stride).reorder(&output.codes)
-            } else {
-                output.codes
-            };
-            let payload = pipeline.build().encode(&codes);
-            let mut body = Vec::new();
-            write_sections(&mut body, &output.anchors, &output.outliers, &payload);
-            ChunkResult {
-                body,
-                anchors: output.anchors.len(),
-                outliers: output.outliers.len(),
-                payload_bytes: payload.len(),
-            }
+            let sub = Grid::from_vec(plan.chunk_dims(i), data.extract(&plan.chunk_at(i)));
+            writer.encode_chunk(i, &sub)
         })
         .collect();
-
-    let header = Header {
-        dims,
-        abs_eb,
-        pipeline,
-        reorder: cfg.reorder,
-        interp: interp_cfg,
-    };
-    let anchors = chunks.iter().map(|c| c.anchors).sum();
-    let outliers = chunks.iter().map(|c| c.outliers).sum();
-    let encoded_codes_bytes = chunks.iter().map(|c| c.payload_bytes).sum();
-    let bodies: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.body).collect();
-    let bytes = write_stream_v2(&header, plan.span(), &bodies);
-    let stats = CompressionStats {
-        original_bytes: dims.nbytes_f32(),
-        compressed_bytes: bytes.len(),
-        compression_ratio: dims.nbytes_f32() as f64 / bytes.len() as f64,
-        abs_eb,
-        anchors,
-        outliers,
-        encoded_codes_bytes,
-    };
-    Ok((bytes, stats))
+    for chunk in encoded {
+        writer.push_encoded(chunk?)?;
+    }
+    writer.finish_with_stats()
 }
 
 /// Shared input validation: resolves the error bound and selects the
@@ -246,66 +223,69 @@ fn predictor_for(interp: &InterpConfig) -> Result<InterpPredictor, SzhiError> {
 }
 
 /// Decompresses a stream produced by [`compress`] or [`compress_chunked`]
-/// (both container versions are self-describing; chunked streams decompress
-/// their chunks in parallel).
+/// (every container version is self-describing; chunked and streamed
+/// containers decompress their chunks in parallel, with v3 chunks verified
+/// against their checksums first).
 pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     if stream_version(bytes)? == VERSION {
         return decompress_monolithic(bytes);
     }
-    let (header, table) = read_stream_v2(bytes)?;
-    let plan = ChunkPlan::new(header.dims, table.span);
-    let chunks: Vec<Result<Grid<f32>, SzhiError>> = (0..plan.len())
-        .into_par_iter()
-        .map(|i| decompress_chunk_body(&header, plan.chunk_dims(i), table.chunk_slice(bytes, i)))
-        .collect();
-    let mut out = Grid::zeros(header.dims);
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        out.insert(&plan.chunk_at(i), chunk?.as_slice());
-    }
-    Ok(out)
+    StreamReader::new(bytes)?.read_all()
 }
 
-/// Randomly accesses one chunk of a chunked (v2) stream: decompresses only
-/// chunk `index`, returning the region of the original field it covers and
-/// the reconstructed sub-field. Only the header and chunk table are parsed
-/// besides the chunk body itself.
+/// Randomly accesses one chunk of a chunked (v2) or streamed (v3)
+/// container: decompresses only chunk `index`, returning the region of the
+/// original field it covers and the reconstructed sub-field. Only the
+/// header and chunk table are parsed besides the chunk body itself; a v3
+/// chunk is verified against its CRC32 before decoding.
+///
+/// ```
+/// use szhi_core::{compress, decompress_chunk, ErrorBound, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let field = Grid::from_fn(Dims::d3(40, 32, 32), |z, y, x| {
+///     (x as f32 * 0.1).sin() + (y + z) as f32 * 0.02
+/// });
+/// let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+/// let bytes = compress(&field, &cfg).unwrap();
+/// let (region, sub) = decompress_chunk(&bytes, 1).unwrap();
+/// assert_eq!(sub.len(), region.len());
+/// assert_eq!(region.z0(), 32); // the second chunk along z
+/// ```
 pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
-    let (header, table) = read_stream_v2(bytes)?;
-    let plan = ChunkPlan::new(header.dims, table.span);
-    if index >= plan.len() {
-        return Err(SzhiError::InvalidInput(format!(
-            "chunk index {index} out of range for a stream of {} chunks",
-            plan.len()
-        )));
-    }
-    let grid = decompress_chunk_body(
-        &header,
-        plan.chunk_dims(index),
-        table.chunk_slice(bytes, index),
-    )?;
-    Ok((plan.chunk_at(index), grid))
+    StreamReader::new(bytes)?.read_chunk(index)
 }
 
-/// Number of chunks of a chunked (v2) stream.
+/// Number of chunks of a chunked (v2) or streamed (v3) container.
 pub fn chunk_count(bytes: &[u8]) -> Result<usize, SzhiError> {
-    let (_, table) = read_stream_v2(bytes)?;
+    let (_, table) = read_stream_chunked(bytes)?;
     Ok(table.entries.len())
 }
 
 /// Decodes and reconstructs one chunk body (also the whole field of a v1
-/// stream, which is a single chunk in this sense).
-fn decompress_chunk_body(
+/// stream, which is a single chunk in this sense) with the pipeline that
+/// encoded it — for v3 streams the chunk's own table entry, which may
+/// differ from the header's global pipeline.
+pub(crate) fn decompress_chunk_body(
     header: &Header,
+    pipeline: PipelineSpec,
     chunk_dims: Dims,
     body: &[u8],
 ) -> Result<Grid<f32>, SzhiError> {
     let (anchors, outliers, payload) = read_chunk_sections(body)?;
-    reconstruct(header, chunk_dims, anchors, outliers, payload)
+    reconstruct(header, pipeline, chunk_dims, anchors, outliers, payload)
 }
 
 fn decompress_monolithic(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     let (header, anchors, outliers, payload) = read_stream(bytes)?;
-    reconstruct(&header, header.dims, anchors, outliers, payload)
+    reconstruct(
+        &header,
+        header.pipeline,
+        header.dims,
+        anchors,
+        outliers,
+        payload,
+    )
 }
 
 /// The shared decode-restore-reconstruct tail of both engines. The
@@ -314,15 +294,13 @@ fn decompress_monolithic(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
 /// error, mapped to [`SzhiError::InvalidStream`].
 fn reconstruct(
     header: &Header,
+    pipeline: PipelineSpec,
     dims: Dims,
     anchors: Vec<f32>,
     outliers: Vec<szhi_predictor::Outlier>,
     payload: Vec<u8>,
 ) -> Result<Grid<f32>, SzhiError> {
-    let codes = header
-        .pipeline
-        .build()
-        .decode_bounded(&payload, dims.len())?;
+    let codes = pipeline.build().decode_bounded(&payload, dims.len())?;
     if codes.len() != dims.len() {
         return Err(SzhiError::InvalidStream(format!(
             "decoded {} quantization codes for a field of {} points",
@@ -545,7 +523,7 @@ mod tests {
     }
 
     // -----------------------------------------------------------------
-    // Chunked (v2) engine
+    // Chunked (v3) engine
     // -----------------------------------------------------------------
 
     #[test]
@@ -561,7 +539,7 @@ mod tests {
             let (bytes, stats) = compress_with_stats(&g, &cfg).unwrap();
             assert_eq!(
                 crate::format::stream_version(&bytes).unwrap(),
-                crate::format::VERSION_CHUNKED
+                crate::format::VERSION_STREAMED
             );
             let recon = decompress(&bytes).unwrap();
             assert_eq!(recon.dims(), dims);
@@ -633,6 +611,57 @@ mod tests {
         // A span larger than the field clamps to one whole-field chunk.
         let bytes = compress_chunked(&g, &cfg, [512, 512, 512]).unwrap();
         assert_eq!(chunk_count(&bytes).unwrap(), 1);
+    }
+
+    #[test]
+    fn legacy_v2_streams_remain_readable() {
+        // A v2 stream (no mode bytes, no checksums) reassembled from a v3
+        // stream's bodies must decompress to the same field, support random
+        // access, and report the same chunk count.
+        let g = DatasetKind::Miranda.generate(Dims::d3(40, 36, 33), 7);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([16, 16, 16]);
+        let v3 = compress(&g, &cfg).unwrap();
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let bodies: Vec<Vec<u8>> = (0..table.entries.len())
+            .map(|i| table.chunk_slice(&v3, i).to_vec())
+            .collect();
+        let v2 = crate::format::write_stream_v2(&header, table.span, &bodies);
+        assert_eq!(
+            crate::format::stream_version(&v2).unwrap(),
+            crate::format::VERSION_CHUNKED
+        );
+        assert_eq!(chunk_count(&v2).unwrap(), chunk_count(&v3).unwrap());
+        assert_eq!(
+            decompress(&v2).unwrap().as_slice(),
+            decompress(&v3).unwrap().as_slice()
+        );
+        let (r2, s2) = decompress_chunk(&v2, 3).unwrap();
+        let (r3, s3) = decompress_chunk(&v3, 3).unwrap();
+        assert_eq!(r2, r3);
+        assert_eq!(s2.as_slice(), s3.as_slice());
+    }
+
+    #[test]
+    fn corrupted_v3_chunks_are_rejected_by_checksum_before_decoding() {
+        // Byte flips anywhere in the data area must surface as the typed
+        // ChunkChecksum error from `decompress` — the codec never sees the
+        // corrupt bytes. (Byte-flip fuzz over the *whole* stream, header
+        // included, lives in `chunked_stream_byte_flips_never_panic`.)
+        let g = DatasetKind::Qmcpack.generate(Dims::d3(20, 20, 20), 3);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-2)).with_chunk_span([16, 16, 16]);
+        let bytes = compress(&g, &cfg).unwrap();
+        let (_, table) = crate::format::read_stream_chunked(&bytes).unwrap();
+        let data_start = table.data_start;
+        for pos in (data_start..bytes.len()).step_by(7) {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                assert!(
+                    matches!(decompress(&corrupt), Err(SzhiError::ChunkChecksum { .. })),
+                    "data-area flip at {pos} xor {flip:#x} not caught by the checksum"
+                );
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,25 @@ impl PipelineMode {
     }
 }
 
+/// How the lossless pipeline mode is chosen for the chunks of a chunked or
+/// streamed container (per-chunk vs. global tuning policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModeTuning {
+    /// One global mode for every chunk: [`SzhiConfig::mode`] applies to the
+    /// whole stream. This is the default and mirrors the monolithic engine.
+    #[default]
+    Global,
+    /// Tune the mode per chunk: each chunk's quantization codes are encoded
+    /// with every candidate pipeline (the CR and TP production modes) and
+    /// the smallest payload wins, with ties broken toward
+    /// [`SzhiConfig::mode`]. The chosen pipeline id is recorded in the
+    /// chunk-table entry, so smooth and noisy regions of one field can use
+    /// different lossless pipelines — the per-region orchestration the
+    /// paper's synergistic design points at. Costs one extra encode per
+    /// chunk at compression time; decompression is unaffected.
+    PerChunk,
+}
+
 /// Full configuration of a cuSZ-Hi compression run.
 #[derive(Debug, Clone)]
 pub struct SzhiConfig {
@@ -80,9 +99,14 @@ pub struct SzhiConfig {
     /// Chunked compression: `Some((z, y, x))` splits the field into
     /// independent chunks of that span (each a multiple of the anchor
     /// stride on non-degenerate axes — the chunk-alignment rule) and emits
-    /// the chunked (v2) container, compressing chunks in parallel. `None`
+    /// the streamed (v3) container, compressing chunks in parallel. `None`
     /// (the default) emits the monolithic (v1) container.
     pub chunk_span: Option<[usize; 3]>,
+    /// Pipeline-mode tuning policy for chunked/streamed containers:
+    /// [`ModeTuning::Global`] (default) uses [`SzhiConfig::mode`] for every
+    /// chunk, [`ModeTuning::PerChunk`] selects each chunk's pipeline
+    /// independently by trial encoding. Ignored by the monolithic engine.
+    pub mode_tuning: ModeTuning,
 }
 
 impl SzhiConfig {
@@ -96,6 +120,7 @@ impl SzhiConfig {
             reorder: true,
             interp: InterpConfig::cusz_hi(),
             chunk_span: None,
+            mode_tuning: ModeTuning::Global,
         }
     }
 
@@ -131,6 +156,13 @@ impl SzhiConfig {
         self
     }
 
+    /// Selects the pipeline-mode tuning policy for chunked/streamed
+    /// containers.
+    pub fn with_mode_tuning(mut self, tuning: ModeTuning) -> Self {
+        self.mode_tuning = tuning;
+        self
+    }
+
     /// A balanced default chunk span: 64³ points (1 MiB of f32) keeps tens
     /// of chunks in flight on a ≥256³ field while the per-chunk anchor
     /// overhead stays below 0.1 %.
@@ -158,6 +190,14 @@ mod tests {
         assert!(!cfg.auto_tune);
         assert!(!cfg.reorder);
         assert_eq!(cfg.interp.anchor_stride, 16);
+    }
+
+    #[test]
+    fn mode_tuning_defaults_to_global() {
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(1.0));
+        assert_eq!(cfg.mode_tuning, ModeTuning::Global);
+        let cfg = cfg.with_mode_tuning(ModeTuning::PerChunk);
+        assert_eq!(cfg.mode_tuning, ModeTuning::PerChunk);
     }
 
     #[test]

@@ -10,6 +10,17 @@ pub enum SzhiError {
     /// The compressed stream is not a szhi stream or uses an unsupported
     /// version.
     InvalidStream(String),
+    /// A chunk of a streamed (v3) container failed its integrity checksum:
+    /// the chunk's bytes were corrupted after compression. Raised *before*
+    /// any lossless decoder touches the chunk body.
+    ChunkChecksum {
+        /// Index of the failing chunk in plan order.
+        index: usize,
+        /// The CRC32 recorded in the chunk table.
+        stored: u32,
+        /// The CRC32 of the bytes actually present.
+        computed: u32,
+    },
     /// A lossless decoding stage failed (truncated or corrupted payload).
     Codec(CodecError),
 }
@@ -19,6 +30,15 @@ impl std::fmt::Display for SzhiError {
         match self {
             SzhiError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SzhiError::InvalidStream(msg) => write!(f, "invalid compressed stream: {msg}"),
+            SzhiError::ChunkChecksum {
+                index,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {index} failed its integrity checksum \
+                 (stored {stored:#010x}, computed {computed:#010x})"
+            ),
             SzhiError::Codec(e) => write!(f, "lossless decoding failed: {e}"),
         }
     }

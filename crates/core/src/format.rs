@@ -1,6 +1,9 @@
 //! The self-describing compressed stream format.
 //!
-//! Two container versions share the same magic and header layout:
+//! The byte-level specification of every container version lives in
+//! `docs/FORMAT.md` at the repository root — that document is the
+//! authoritative reference the format fuzz tests link to. Three container
+//! versions share the same magic and header layout:
 //!
 //! **v1 (monolithic)** — a fixed header followed by three sections: the
 //! losslessly stored anchor values, the outlier side channel, and the
@@ -34,16 +37,36 @@
 //!             | payload_len u64 | payload bytes
 //! ```
 //!
+//! **v3 (streamed)** — the chunked layout with an *extended* chunk table:
+//! every entry additionally records the chunk's own lossless pipeline id
+//! (the *mode byte*, so different chunks of one stream can use different
+//! pipelines) and a CRC32 integrity checksum of the chunk body, verified
+//! before any lossless decoder touches the bytes:
+//!
+//! ```text
+//! <v1 header with version=3>
+//! | chunk_span 3×u32 | n_chunks u64
+//! | n_chunks × (offset u64, length u64, pipeline_id u8, crc32 u32)
+//! | chunk data area: n_chunks × chunk body     ← same body layout as v2
+//! ```
+//!
+//! The header's own pipeline id remains the stream's *default* mode (the
+//! configuration's global mode); each chunk decodes with the pipeline named
+//! by its table entry.
+//!
 //! The chunk span must obey the *chunk-alignment rule*
 //! ([`szhi_ndgrid::ChunkPlan::is_aligned`]): a positive multiple of the
 //! anchor stride along every non-degenerate axis (or the whole axis).
 //! Offsets are relative to the start of the chunk data area, must be
 //! non-decreasing and non-overlapping, and every `(offset, length)` extent
-//! must lie inside the data area — all of which [`read_stream_v2`] enforces
-//! with typed errors before any chunk is touched.
+//! must lie inside the data area — all of which [`read_stream_chunked`]
+//! enforces with typed errors before any chunk is touched. For v3 streams a
+//! chunk body whose CRC32 disagrees with its table entry is rejected with
+//! [`SzhiError::ChunkChecksum`] by [`ChunkTable::verified_chunk_slice`].
 
 use crate::error::SzhiError;
 use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u32, put_u64, put_u8, ByteCursor};
+use szhi_codec::checksum::crc32;
 use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims};
 use szhi_predictor::{InterpConfig, LevelConfig, Outlier, Scheme, Spline};
@@ -54,6 +77,10 @@ pub const MAGIC: [u8; 4] = *b"SZHI";
 pub const VERSION: u8 = 1;
 /// Stream format version of the chunked container.
 pub const VERSION_CHUNKED: u8 = 2;
+/// Stream format version of the streamed container (chunked layout with a
+/// per-chunk pipeline-mode byte and CRC32 checksum in every chunk-table
+/// entry).
+pub const VERSION_STREAMED: u8 = 3;
 
 /// The decoded header of a compressed stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +204,44 @@ pub fn write_stream_v2(header: &Header, span: [usize; 3], chunk_bodies: &[Vec<u8
     out
 }
 
+/// Serialises a streamed (v3) stream: the header, the chunk span, the
+/// extended chunk table (offset, length, per-chunk pipeline id, CRC32 of
+/// the body) and the concatenated per-chunk bodies. `chunks` must be in
+/// [`ChunkPlan`] row-major chunk order, each body produced by
+/// [`write_sections`] and paired with the pipeline that encoded its
+/// payload.
+pub fn write_stream_v3(
+    header: &Header,
+    span: [usize; 3],
+    chunks: &[(PipelineSpec, Vec<u8>)],
+) -> Vec<u8> {
+    let total: usize = chunks.iter().map(|(_, body)| body.len()).sum();
+    let mut out = Vec::with_capacity(80 + chunks.len() * V3_ENTRY_SIZE + total);
+    write_header(&mut out, header, VERSION_STREAMED);
+    for s in span {
+        put_u32(&mut out, s as u32);
+    }
+    put_u64(&mut out, chunks.len() as u64);
+    let mut offset = 0u64;
+    for (pipeline, body) in chunks {
+        put_u64(&mut out, offset);
+        put_u64(&mut out, body.len() as u64);
+        put_u8(&mut out, pipeline.id());
+        put_u32(&mut out, crc32(body));
+        offset += body.len() as u64;
+    }
+    for (_, body) in chunks {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Size in bytes of one v2 chunk-table entry (`offset u64, length u64`).
+const V2_ENTRY_SIZE: usize = 16;
+/// Size in bytes of one v3 chunk-table entry
+/// (`offset u64, length u64, pipeline_id u8, crc32 u32`).
+const V3_ENTRY_SIZE: usize = 21;
+
 /// Reads a u64 element count and checks that `count * elem_size` bytes can
 /// still be present in the stream, so corrupted counts fail cleanly instead
 /// of driving a huge `Vec::with_capacity`.
@@ -215,11 +280,12 @@ fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiError> {
     cur.get_u8().map_err(SzhiError::from)
 }
 
-/// The container version of a stream (1 = monolithic, 2 = chunked), after
-/// validating the magic. Top-level `decompress` dispatches on this.
+/// The container version of a stream (1 = monolithic, 2 = chunked,
+/// 3 = streamed), after validating the magic. Top-level `decompress`
+/// dispatches on this.
 pub fn stream_version(bytes: &[u8]) -> Result<u8, SzhiError> {
     let version = read_magic_version(&mut ByteCursor::new(bytes))?;
-    if version == VERSION || version == VERSION_CHUNKED {
+    if version == VERSION || version == VERSION_CHUNKED || version == VERSION_STREAMED {
         Ok(version)
     } else {
         Err(SzhiError::InvalidStream(format!(
@@ -367,39 +433,110 @@ pub fn read_chunk_sections(chunk: &[u8]) -> Result<SectionBody, SzhiError> {
     Ok(sections)
 }
 
-/// The parsed chunk table of a v2 stream: the chunk span plus one
-/// `(offset, length)` extent per chunk, both relative to the chunk data
-/// area, whose absolute stream offset is `data_start`.
+/// One entry of a parsed chunk table: the chunk's extent in the data area
+/// plus (for v3 streams) its pipeline and integrity checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of the chunk body, relative to the data area.
+    pub offset: usize,
+    /// Length of the chunk body in bytes.
+    pub len: usize,
+    /// The lossless pipeline that encoded this chunk's payload. For v2
+    /// streams (no per-chunk mode byte) this is the header's pipeline.
+    pub pipeline: PipelineSpec,
+    /// The CRC32 of the chunk body recorded in a v3 chunk table; `None`
+    /// for v2 streams, which carry no integrity checksums.
+    pub checksum: Option<u32>,
+}
+
+/// The parsed chunk table of a chunked (v2) or streamed (v3) stream: the
+/// chunk span plus one [`ChunkEntry`] per chunk, with extents relative to
+/// the chunk data area, whose absolute stream offset is `data_start`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkTable {
     /// Chunk span per axis `(z, y, x)`, normalised as by
     /// [`ChunkPlan::new`].
     pub span: [usize; 3],
-    /// Per-chunk `(offset, length)` into the data area, in
-    /// [`ChunkPlan`] row-major chunk order.
-    pub entries: Vec<(usize, usize)>,
+    /// Per-chunk entries, in [`ChunkPlan`] row-major chunk order.
+    pub entries: Vec<ChunkEntry>,
     /// Absolute offset of the chunk data area in the stream.
     pub data_start: usize,
 }
 
 impl ChunkTable {
-    /// The byte slice of chunk `i` within `bytes` (the full stream).
+    /// The byte slice of chunk `i` within `bytes` (the full stream),
+    /// **without** checksum verification. Prefer
+    /// [`ChunkTable::verified_chunk_slice`] for untrusted streams.
     pub fn chunk_slice<'a>(&self, bytes: &'a [u8], i: usize) -> &'a [u8] {
-        let (offset, len) = self.entries[i];
-        &bytes[self.data_start + offset..self.data_start + offset + len]
+        let e = &self.entries[i];
+        &bytes[self.data_start + e.offset..self.data_start + e.offset + e.len]
+    }
+
+    /// The byte slice of chunk `i`, verified against the chunk's CRC32
+    /// first when the stream carries one (v3). A mismatch — i.e. any
+    /// corruption of the chunk body after compression — surfaces as
+    /// [`SzhiError::ChunkChecksum`] *before* any lossless decoder sees the
+    /// bytes. For v2 streams (no checksums) this is [`Self::chunk_slice`].
+    pub fn verified_chunk_slice<'a>(
+        &self,
+        bytes: &'a [u8],
+        i: usize,
+    ) -> Result<&'a [u8], SzhiError> {
+        let slice = self.chunk_slice(bytes, i);
+        if let Some(stored) = self.entries[i].checksum {
+            let computed = crc32(slice);
+            if computed != stored {
+                return Err(SzhiError::ChunkChecksum {
+                    index: i,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(slice)
     }
 }
 
-/// Parses the header and chunk table of a chunked (v2) stream, validating
-/// the chunk span (alignment rule, plan consistency) and every table extent
-/// (in-bounds, non-overlapping, non-decreasing) before any chunk data is
-/// touched.
+/// Parses the header and chunk table of a chunked (v2) stream. A thin
+/// wrapper over [`read_stream_chunked`] that additionally rejects every
+/// other container version.
 pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
+    expect_chunked_version(bytes, VERSION_CHUNKED)?;
+    read_stream_chunked(bytes)
+}
+
+/// Parses the header and chunk table of a streamed (v3) stream. A thin
+/// wrapper over [`read_stream_chunked`] that additionally rejects every
+/// other container version.
+pub fn read_stream_v3(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
+    expect_chunked_version(bytes, VERSION_STREAMED)?;
+    read_stream_chunked(bytes)
+}
+
+fn expect_chunked_version(bytes: &[u8], expected: u8) -> Result<(), SzhiError> {
+    let version = read_magic_version(&mut ByteCursor::new(bytes))?;
+    if version != expected {
+        return Err(SzhiError::InvalidStream(format!(
+            "expected a v{expected} stream, found version {version}"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses the header and chunk table of a chunked (v2) or streamed (v3)
+/// stream, validating the chunk span (alignment rule, plan consistency)
+/// and every table extent (in-bounds, non-overlapping, non-decreasing)
+/// before any chunk data is touched. For v3 tables the per-chunk pipeline
+/// id must name a known pipeline; checksums are *recorded* here and
+/// verified lazily by [`ChunkTable::verified_chunk_slice`], so parsing the
+/// table stays O(table), not O(stream).
+pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
     let mut cur = ByteCursor::new(bytes);
     let version = read_magic_version(&mut cur)?;
-    if version != VERSION_CHUNKED {
+    if version != VERSION_CHUNKED && version != VERSION_STREAMED {
         return Err(SzhiError::InvalidStream(format!(
-            "expected a chunked (v{VERSION_CHUNKED}) stream, found version {version}"
+            "expected a chunked (v{VERSION_CHUNKED}) or streamed (v{VERSION_STREAMED}) \
+             stream, found version {version}"
         )));
     }
     let header = read_header_fields(&mut cur)?;
@@ -426,7 +563,12 @@ pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
             header.interp.anchor_stride
         )));
     }
-    let n_chunks = checked_count(&mut cur, 16, "chunk table")?;
+    let entry_size = if version == VERSION_STREAMED {
+        V3_ENTRY_SIZE
+    } else {
+        V2_ENTRY_SIZE
+    };
+    let n_chunks = checked_count(&mut cur, entry_size, "chunk table")?;
     if n_chunks != plan.len() {
         return Err(SzhiError::InvalidStream(format!(
             "chunk table lists {n_chunks} chunks, the {} field at span {span:?} has {}",
@@ -438,13 +580,22 @@ pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
     for _ in 0..n_chunks {
         let offset = cur.get_u64().map_err(SzhiError::from)?;
         let len = cur.get_u64().map_err(SzhiError::from)?;
-        raw.push((offset, len));
+        let (pipeline, checksum) = if version == VERSION_STREAMED {
+            let id = cur.get_u8().map_err(SzhiError::from)?;
+            let pipeline = PipelineSpec::from_id(id).ok_or_else(|| {
+                SzhiError::InvalidStream(format!("unknown per-chunk pipeline id {id}"))
+            })?;
+            (pipeline, Some(cur.get_u32().map_err(SzhiError::from)?))
+        } else {
+            (header.pipeline, None)
+        };
+        raw.push((offset, len, pipeline, checksum));
     }
     let data_start = cur.position();
     let data_len = cur.remaining() as u64;
     let mut entries = Vec::with_capacity(n_chunks);
     let mut prev_end = 0u64;
-    for (i, (offset, len)) in raw.into_iter().enumerate() {
+    for (i, (offset, len, pipeline, checksum)) in raw.into_iter().enumerate() {
         if offset < prev_end {
             return Err(SzhiError::InvalidStream(format!(
                 "chunk {i} at offset {offset} overlaps the previous chunk ending at {prev_end}"
@@ -459,7 +610,12 @@ pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
             )));
         }
         prev_end = end;
-        entries.push((offset as usize, len as usize));
+        entries.push(ChunkEntry {
+            offset: offset as usize,
+            len: len as usize,
+            pipeline,
+            checksum,
+        });
     }
     Ok((
         header,
@@ -473,6 +629,10 @@ pub fn read_stream_v2(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
 
 #[cfg(test)]
 mod tests {
+    //! Round-trip, truncation and byte-flip fuzz tests of the container
+    //! formats. The layouts, field offsets and validation rules asserted
+    //! here are specified in `docs/FORMAT.md` — keep the two in sync.
+
     use super::*;
 
     fn sample_header() -> Header {
@@ -884,6 +1044,142 @@ mod tests {
                 assert!(
                     result.is_ok(),
                     "v2 parsing panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // v3 (streamed) container
+    // -----------------------------------------------------------------
+
+    /// Per-chunk pipelines alternating between the two production modes.
+    fn sample_v3_chunks(n: usize) -> Vec<(PipelineSpec, Vec<u8>)> {
+        sample_bodies(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let spec = if i % 2 == 0 {
+                    PipelineSpec::CR
+                } else {
+                    PipelineSpec::TP
+                };
+                (spec, body)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v3_stream_roundtrips_modes_and_checksums() {
+        let (header, span) = sample_v2_header();
+        let chunks = sample_v3_chunks(8);
+        let bytes = write_stream_v3(&header, span, &chunks);
+        assert_eq!(stream_version(&bytes).unwrap(), VERSION_STREAMED);
+        let (h, table) = read_stream_chunked(&bytes).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(table.span, span);
+        assert_eq!(table.entries.len(), 8);
+        for (i, (spec, body)) in chunks.iter().enumerate() {
+            let e = &table.entries[i];
+            assert_eq!(e.pipeline, *spec);
+            assert_eq!(e.checksum, Some(crc32(body)));
+            assert_eq!(table.verified_chunk_slice(&bytes, i).unwrap(), &body[..]);
+        }
+        // The strict readers agree on which versions they accept.
+        assert!(read_stream_v3(&bytes).is_ok());
+        assert!(matches!(
+            read_stream_v2(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v2_tables_inherit_the_header_pipeline_and_carry_no_checksums() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v2(&header, span, &sample_bodies(8));
+        let (h, table) = read_stream_chunked(&bytes).unwrap();
+        for e in &table.entries {
+            assert_eq!(e.pipeline, h.pipeline);
+            assert_eq!(e.checksum, None);
+        }
+        assert!(matches!(
+            read_stream_v3(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v3_data_area_corruption_is_caught_by_the_checksum() {
+        // Every byte flip anywhere in the data area must be rejected by the
+        // chunk's CRC32 — with the typed ChunkChecksum error, before any
+        // decoder sees the bytes.
+        let (header, span) = sample_v2_header();
+        let chunks = sample_v3_chunks(8);
+        let bytes = write_stream_v3(&header, span, &chunks);
+        let (_, table) = read_stream_chunked(&bytes).unwrap();
+        let data_start = table.data_start;
+        for pos in data_start..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                // The table itself is untouched, so parsing still succeeds…
+                let (_, t) = read_stream_chunked(&corrupt).unwrap();
+                // …and exactly the chunk owning the flipped byte fails.
+                let failing: Vec<usize> = (0..t.entries.len())
+                    .filter(|&i| {
+                        matches!(
+                            t.verified_chunk_slice(&corrupt, i),
+                            Err(SzhiError::ChunkChecksum { index, .. }) if index == i
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    failing.len(),
+                    1,
+                    "flip at data byte {} must fail exactly one chunk, failed {failing:?}",
+                    pos - data_start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v3_unknown_per_chunk_pipeline_id_is_rejected() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v3(&header, span, &sample_v3_chunks(8));
+        let table_at = span_offset(&header) + 12 + 8;
+        // The mode byte of entry 3 lives 16 bytes into its 21-byte entry.
+        let mut corrupt = bytes;
+        corrupt[table_at + 21 * 3 + 16] = 0xEE;
+        assert!(matches!(
+            read_stream_chunked(&corrupt),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("pipeline id")
+        ));
+    }
+
+    #[test]
+    fn v3_single_byte_corruption_never_panics() {
+        // Byte-flip fuzz of the whole v3 stream: parsing, checksum
+        // verification and every chunk-section read must produce typed
+        // errors only — never a panic or allocation abort.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v3(&header, span, &sample_v3_chunks(8));
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok((_, table)) = read_stream_chunked(&corrupt) {
+                        for i in 0..table.entries.len() {
+                            if let Ok(slice) = table.verified_chunk_slice(&corrupt, i) {
+                                let _ = read_chunk_sections(slice);
+                            }
+                        }
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "v3 parsing panicked with byte {pos} xor {flip:#x}"
                 );
             }
         }

@@ -30,22 +30,31 @@
 //! }
 //! ```
 //!
-//! ## Chunked streams (the v2 container)
+//! ## Chunked streams (the v3 container)
 //!
 //! [`SzhiConfig::with_chunk_span`] switches the engine from "one grid, one
 //! stream" to "one grid, N independent chunks": the field is partitioned
 //! into non-overlapping chunks ([`szhi_ndgrid::ChunkPlan`]), each chunk is
 //! compressed as a self-contained sub-field (its own anchors, quantization
-//! codes and outliers), and the stream carries a chunk table of
-//! `(offset, length)` extents, so chunks compress **and** decompress in
-//! parallel and any single chunk can be reconstructed without touching the
-//! rest of the stream ([`decompress_chunk`]):
+//! codes and outliers), and the stream carries a chunk table, so chunks
+//! compress **and** decompress in parallel and any single chunk can be
+//! reconstructed without touching the rest of the stream
+//! ([`decompress_chunk`]). Every chunk-table entry records the chunk's
+//! extent, the lossless pipeline that encoded it (the *mode byte*) and a
+//! CRC32 integrity checksum, verified before any decoder touches the
+//! chunk's bytes:
 //!
 //! ```text
-//! <header, version = 2>
-//! | chunk_span 3×u32 | n_chunks u64 | n_chunks × (offset u64, length u64)
+//! <header, version = 3>
+//! | chunk_span 3×u32 | n_chunks u64
+//! | n_chunks × (offset u64, length u64, pipeline_id u8, crc32 u32)
 //! | n_chunks × chunk body (anchors | outliers | pipeline payload)
 //! ```
+//!
+//! Older containers stay readable: v1 (monolithic) and v2 (chunked, no
+//! mode byte or checksum) streams are decoded by the same [`decompress`]
+//! entry point. The byte-level specification of all three versions lives
+//! in `docs/FORMAT.md` at the repository root.
 //!
 //! The **chunk-alignment rule**: the span must be a positive multiple of
 //! the predictor's anchor stride (16 for cuSZ-Hi) along every
@@ -76,16 +85,63 @@
 //! let (region, sub) = decompress_chunk(&bytes, 0).unwrap();
 //! assert_eq!(sub.len(), region.len());
 //! ```
+//!
+//! ## Streaming (the incremental engine)
+//!
+//! The batch engines need the whole field in memory. [`StreamWriter`]
+//! inverts that: it accepts anchor-aligned chunks as they arrive and
+//! finalizes the v3 container without ever holding the uncompressed
+//! field, and [`StreamReader`] decodes chunks lazily, verifying each v3
+//! chunk's CRC32 before its bytes reach a decoder. With
+//! [`ModeTuning::PerChunk`] the writer picks every chunk's lossless
+//! pipeline independently (recorded in the chunk table), so smooth and
+//! noisy regions of one field each get the pipeline that compresses them
+//! best. Because the writer never sees the whole field, its configuration
+//! must be streaming-safe: an [`ErrorBound::Absolute`] bound and
+//! whole-field auto-tuning disabled.
+//!
+//! ```
+//! use szhi_core::{ErrorBound, ModeTuning, StreamReader, StreamWriter, SzhiConfig};
+//! use szhi_ndgrid::{Dims, Grid};
+//!
+//! let dims = Dims::d3(64, 32, 32);
+//! let cfg = SzhiConfig::new(ErrorBound::Absolute(1e-3))
+//!     .with_auto_tune(false)
+//!     .with_chunk_span([32, 32, 32])
+//!     .with_mode_tuning(ModeTuning::PerChunk);
+//! let mut writer = StreamWriter::new(dims, &cfg).unwrap();
+//! // Chunks are produced on demand — the full field never exists.
+//! while let Some(region) = writer.next_chunk_region() {
+//!     let chunk = Grid::from_fn(region.dims(), |z, y, x| {
+//!         ((region.x0() + x) as f32 * 0.1).sin()
+//!             + ((region.y0() + y) + (region.z0() + z)) as f32 * 0.01
+//!     });
+//!     let receipt = writer.push_chunk(&chunk).unwrap();
+//!     assert!(receipt.compressed_bytes > 0);
+//! }
+//! let bytes = writer.finish().unwrap();
+//!
+//! // Read back lazily: one reconstructed sub-field in memory at a time.
+//! let reader = StreamReader::new(&bytes).unwrap();
+//! for chunk in reader.chunks() {
+//!     let (region, sub) = chunk.unwrap();
+//!     assert_eq!(sub.len(), region.len());
+//! }
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
+pub mod stream;
 
 pub use compressor::{
     chunk_count, compress, compress_chunked, compress_chunked_with_stats, compress_with_stats,
     decompress, decompress_chunk, CompressionStats,
 };
-pub use config::{ErrorBound, PipelineMode, SzhiConfig};
+pub use config::{ErrorBound, ModeTuning, PipelineMode, SzhiConfig};
 pub use error::SzhiError;
-pub use format::{Header, MAGIC, VERSION, VERSION_CHUNKED};
+pub use format::{Header, MAGIC, VERSION, VERSION_CHUNKED, VERSION_STREAMED};
+pub use stream::{ChunkReceipt, EncodedChunk, StreamReader, StreamWriter};

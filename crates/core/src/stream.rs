@@ -1,0 +1,704 @@
+//! The v3 streaming engine: incremental chunk-at-a-time compression and
+//! lazy, checksum-verified decompression.
+//!
+//! The batch engines in [`crate::compressor`] need the whole field in
+//! memory before a single byte is emitted. This module inverts that control
+//! flow:
+//!
+//! * [`StreamWriter`] accepts anchor-aligned chunks **as they arrive**
+//!   ([`StreamWriter::push_chunk`]), compresses each one immediately —
+//!   running the per-chunk mode tuner to pick the chunk's lossless pipeline
+//!   when [`ModeTuning::PerChunk`] is selected — and finalizes a streamed
+//!   (v3) container without ever holding the uncompressed field. Only the
+//!   compressed chunk bodies are retained until [`StreamWriter::finish`].
+//! * [`StreamReader`] parses a chunked (v2) or streamed (v3) container
+//!   once, then decodes chunks **lazily** ([`StreamReader::chunks`],
+//!   [`StreamReader::read_chunk`]) or drains them eagerly in parallel
+//!   ([`StreamReader::read_all`]). Every v3 chunk is verified against its
+//!   CRC32 *before* any lossless decoder touches the bytes; corruption
+//!   surfaces as the typed [`SzhiError::ChunkChecksum`].
+//!
+//! The writer is deterministic: pushing the chunks of a field one at a time
+//! produces a stream byte-identical to [`crate::compress_chunked`] under
+//! the same configuration, at every worker-thread count (the batch engine
+//! is itself a thin parallel loop over [`StreamWriter::encode_chunk`]).
+
+use crate::compressor::{decompress_chunk_body, CompressionStats};
+use crate::config::{ModeTuning, PipelineMode, SzhiConfig};
+use crate::error::SzhiError;
+use crate::format::{read_stream_chunked, write_sections, write_stream_v3, ChunkTable, Header};
+use rayon::prelude::*;
+use szhi_codec::PipelineSpec;
+use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
+use szhi_predictor::{InterpConfig, InterpPredictor, LevelOrder};
+
+/// One compressed chunk, produced by [`StreamWriter::encode_chunk`] and
+/// consumed by [`StreamWriter::push_encoded`]. Encoding is a pure function
+/// of (chunk data, writer configuration), so chunks can be encoded out of
+/// order or in parallel and pushed sequentially.
+#[derive(Debug, Clone)]
+pub struct EncodedChunk {
+    index: usize,
+    pipeline: PipelineSpec,
+    body: Vec<u8>,
+    anchors: usize,
+    outliers: usize,
+    payload_bytes: usize,
+}
+
+impl EncodedChunk {
+    /// The chunk's index in plan order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The lossless pipeline chosen for this chunk.
+    pub fn pipeline(&self) -> PipelineSpec {
+        self.pipeline
+    }
+
+    /// Size of the encoded chunk body in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.body.len()
+    }
+}
+
+/// Metadata returned by [`StreamWriter::push_chunk`]: which chunk was just
+/// written, which pipeline its tuner chose, and how large it compressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkReceipt {
+    /// The chunk's index in plan order.
+    pub index: usize,
+    /// The lossless pipeline chosen for the chunk.
+    pub pipeline: PipelineSpec,
+    /// Size of the encoded chunk body in bytes.
+    pub compressed_bytes: usize,
+}
+
+/// Incremental writer of streamed (v3) containers: push anchor-aligned
+/// chunks as they arrive, finalize without ever holding the whole field.
+///
+/// ```
+/// use szhi_core::{decompress, ErrorBound, StreamWriter, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let dims = Dims::d3(40, 32, 32);
+/// let cfg = SzhiConfig::new(ErrorBound::Absolute(1e-3))
+///     .with_auto_tune(false)
+///     .with_chunk_span([32, 32, 32]);
+/// let mut writer = StreamWriter::new(dims, &cfg).unwrap();
+/// // Produce each chunk only when the writer asks for it: the full field
+/// // is never materialised.
+/// while let Some(region) = writer.next_chunk_region() {
+///     let chunk = Grid::from_fn(region.dims(), |z, y, x| {
+///         ((region.x0() + x) as f32 * 0.1).sin()
+///             + (region.z0() + z + region.y0() + y) as f32 * 0.01
+///     });
+///     writer.push_chunk(&chunk).unwrap();
+/// }
+/// let bytes = writer.finish().unwrap();
+/// assert_eq!(decompress(&bytes).unwrap().dims(), dims);
+/// ```
+#[derive(Debug)]
+pub struct StreamWriter {
+    header: Header,
+    plan: ChunkPlan,
+    predictor: InterpPredictor,
+    candidates: Vec<PipelineSpec>,
+    chunks: Vec<(PipelineSpec, Vec<u8>)>,
+    anchors: usize,
+    outliers: usize,
+    payload_bytes: usize,
+}
+
+impl StreamWriter {
+    /// Creates a streaming writer for a field of shape `dims` under `cfg`,
+    /// using `cfg.chunk_span` (or [`SzhiConfig::DEFAULT_CHUNK_SPAN`]) as
+    /// the chunk span.
+    ///
+    /// Because the writer never sees the whole field, the configuration
+    /// must be resolvable without it: the error bound must be
+    /// [`ErrorBound::Absolute`](crate::ErrorBound::Absolute) (a relative
+    /// bound needs the global value range) and whole-field auto-tuning must
+    /// be disabled (`cfg.with_auto_tune(false)`; pre-tune on a
+    /// representative sample with `szhi_predictor::autotune::tune` and pass
+    /// the result via [`SzhiConfig::with_interp`] instead). Violations are
+    /// reported as typed [`SzhiError::InvalidInput`] errors.
+    pub fn new(dims: Dims, cfg: &SzhiConfig) -> Result<StreamWriter, SzhiError> {
+        let abs_eb = match cfg.error_bound {
+            crate::config::ErrorBound::Absolute(eb) => eb,
+            crate::config::ErrorBound::Relative(eb) => {
+                return Err(SzhiError::InvalidInput(format!(
+                    "a streaming writer cannot resolve the value-range-relative bound \
+                     {eb:e}: the full field is never held, so the global value range is \
+                     unknown; use ErrorBound::Absolute"
+                )))
+            }
+        };
+        if cfg.auto_tune {
+            return Err(SzhiError::InvalidInput(
+                "a streaming writer cannot auto-tune on the whole field; disable it with \
+                 with_auto_tune(false), or pre-tune on a representative sample with \
+                 szhi_predictor::autotune::tune and pass the result via with_interp"
+                    .into(),
+            ));
+        }
+        let span = cfg.chunk_span.unwrap_or(SzhiConfig::DEFAULT_CHUNK_SPAN);
+        StreamWriter::with_params(
+            dims,
+            span,
+            abs_eb,
+            cfg.interp.clone(),
+            cfg.reorder,
+            cfg.mode,
+            cfg.mode_tuning,
+        )
+    }
+
+    /// Creates a writer from fully resolved parameters. This is the
+    /// constructor the batch engine uses after resolving the error bound
+    /// and auto-tuning on the whole field.
+    pub(crate) fn with_params(
+        dims: Dims,
+        span: [usize; 3],
+        abs_eb: f64,
+        interp: InterpConfig,
+        reorder: bool,
+        mode: PipelineMode,
+        mode_tuning: ModeTuning,
+    ) -> Result<StreamWriter, SzhiError> {
+        interp
+            .validate()
+            .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+        if !(abs_eb.is_finite() && abs_eb > 0.0) {
+            return Err(SzhiError::InvalidInput(format!(
+                "invalid error bound {abs_eb}"
+            )));
+        }
+        if span.contains(&0) {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk span {span:?} has a zero axis"
+            )));
+        }
+        let plan = ChunkPlan::new(dims, span);
+        if !plan.is_aligned(interp.anchor_stride) {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk span {span:?} is not a multiple of the anchor stride {}",
+                interp.anchor_stride
+            )));
+        }
+        if plan.span().iter().any(|&s| s > u32::MAX as usize) {
+            // The container stores the span as 3×u32; a silent `as u32`
+            // truncation would produce a stream the reader must reject.
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk span {:?} does not fit the container's u32 span fields",
+                plan.span()
+            )));
+        }
+        let predictor = InterpPredictor::new(interp.clone())
+            .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+        let default_spec = mode.pipeline_spec();
+        // The per-chunk tuner's candidate set: the configured mode first
+        // (it wins ties, keeping output deterministic), then the other
+        // production mode when per-chunk selection is on.
+        let candidates = match mode_tuning {
+            ModeTuning::Global => vec![default_spec],
+            ModeTuning::PerChunk => {
+                let other = match mode {
+                    PipelineMode::Cr => PipelineMode::Tp,
+                    PipelineMode::Tp => PipelineMode::Cr,
+                };
+                vec![default_spec, other.pipeline_spec()]
+            }
+        };
+        let n_chunks = plan.len();
+        Ok(StreamWriter {
+            header: Header {
+                dims,
+                abs_eb,
+                pipeline: default_spec,
+                reorder,
+                interp,
+            },
+            plan,
+            predictor,
+            candidates,
+            chunks: Vec::with_capacity(n_chunks),
+            anchors: 0,
+            outliers: 0,
+            payload_bytes: 0,
+        })
+    }
+
+    /// The chunk partition the writer expects chunks in (row-major plan
+    /// order).
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
+    }
+
+    /// Shape of the full field being written.
+    pub fn dims(&self) -> Dims {
+        self.header.dims
+    }
+
+    /// The absolute error bound every chunk is compressed under.
+    pub fn abs_eb(&self) -> f64 {
+        self.header.abs_eb
+    }
+
+    /// Index of the next chunk [`StreamWriter::push_chunk`] expects.
+    pub fn next_index(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The region of the original field the next pushed chunk must cover,
+    /// or `None` once every chunk has been pushed.
+    pub fn next_chunk_region(&self) -> Option<Region> {
+        (self.chunks.len() < self.plan.len()).then(|| self.plan.chunk_at(self.chunks.len()))
+    }
+
+    /// Whether every chunk of the plan has been pushed.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.len() == self.plan.len()
+    }
+
+    /// Compresses chunk `index` without appending it to the stream. A pure
+    /// function of `(chunk, configuration)` — callers that already hold
+    /// several chunks can encode them in parallel and feed the results to
+    /// [`StreamWriter::push_encoded`] in order; this is exactly what the
+    /// batch engine [`crate::compress_chunked`] does.
+    ///
+    /// `chunk` must have the standalone shape of chunk `index`
+    /// ([`ChunkPlan::chunk_dims`]); any other shape is a typed error.
+    pub fn encode_chunk(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+        if index >= self.plan.len() {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk index {index} out of range for a plan of {} chunks",
+                self.plan.len()
+            )));
+        }
+        let expected = self.plan.chunk_dims(index);
+        if chunk.dims() != expected {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk {index} has shape {}, the plan expects {expected}",
+                chunk.dims()
+            )));
+        }
+        let output = self.predictor.compress(chunk, self.header.abs_eb);
+        let codes = if self.header.reorder {
+            LevelOrder::new(expected, self.header.interp.anchor_stride).reorder(&output.codes)
+        } else {
+            output.codes
+        };
+        // The per-chunk mode tuner: offer the codes to every candidate
+        // pipeline and keep the smallest payload (ties prefer the
+        // configured default mode).
+        let (pipeline, payload) = PipelineSpec::encode_select(&self.candidates, &codes);
+        let mut body = Vec::new();
+        write_sections(&mut body, &output.anchors, &output.outliers, &payload);
+        Ok(EncodedChunk {
+            index,
+            pipeline,
+            anchors: output.anchors.len(),
+            outliers: output.outliers.len(),
+            payload_bytes: payload.len(),
+            body,
+        })
+    }
+
+    /// Compresses the next chunk and appends it to the stream. Chunks must
+    /// arrive in plan order ([`StreamWriter::next_chunk_region`] names the
+    /// region the next one must cover) and carry the standalone shape of
+    /// their plan slot.
+    pub fn push_chunk(&mut self, chunk: &Grid<f32>) -> Result<ChunkReceipt, SzhiError> {
+        if self.is_complete() {
+            return Err(SzhiError::InvalidInput(format!(
+                "all {} chunks have already been pushed",
+                self.plan.len()
+            )));
+        }
+        let encoded = self.encode_chunk(self.chunks.len(), chunk)?;
+        let receipt = ChunkReceipt {
+            index: encoded.index,
+            pipeline: encoded.pipeline,
+            compressed_bytes: encoded.body.len(),
+        };
+        self.push_encoded(encoded)?;
+        Ok(receipt)
+    }
+
+    /// Appends a chunk previously produced by
+    /// [`StreamWriter::encode_chunk`]. Chunks must be pushed strictly in
+    /// plan order; a gap or repeat is a typed error.
+    pub fn push_encoded(&mut self, chunk: EncodedChunk) -> Result<(), SzhiError> {
+        if chunk.index != self.chunks.len() {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk {} pushed out of order: the writer expects chunk {}",
+                chunk.index,
+                self.chunks.len()
+            )));
+        }
+        self.anchors += chunk.anchors;
+        self.outliers += chunk.outliers;
+        self.payload_bytes += chunk.payload_bytes;
+        self.chunks.push((chunk.pipeline, chunk.body));
+        Ok(())
+    }
+
+    /// Finalizes the streamed (v3) container. Errors if any chunk of the
+    /// plan has not been pushed.
+    pub fn finish(self) -> Result<Vec<u8>, SzhiError> {
+        self.finish_with_stats().map(|(bytes, _)| bytes)
+    }
+
+    /// Finalizes the container and reports aggregated statistics.
+    pub fn finish_with_stats(self) -> Result<(Vec<u8>, CompressionStats), SzhiError> {
+        if !self.is_complete() {
+            return Err(SzhiError::InvalidInput(format!(
+                "cannot finalize: only {} of {} chunks were pushed",
+                self.chunks.len(),
+                self.plan.len()
+            )));
+        }
+        let bytes = write_stream_v3(&self.header, self.plan.span(), &self.chunks);
+        let original_bytes = self.header.dims.nbytes_f32();
+        let stats = CompressionStats {
+            original_bytes,
+            compressed_bytes: bytes.len(),
+            compression_ratio: original_bytes as f64 / bytes.len() as f64,
+            abs_eb: self.header.abs_eb,
+            anchors: self.anchors,
+            outliers: self.outliers,
+            encoded_codes_bytes: self.payload_bytes,
+        };
+        Ok((bytes, stats))
+    }
+}
+
+/// Lazy, checksum-verifying reader of chunked (v2) and streamed (v3)
+/// containers.
+///
+/// Construction parses and validates the header and chunk table only;
+/// chunk bodies are decoded on demand. Every access to a v3 chunk verifies
+/// its CRC32 first, so corrupted bytes are rejected
+/// ([`SzhiError::ChunkChecksum`]) before any lossless decoder runs.
+///
+/// ```
+/// use szhi_core::{compress_chunked, ErrorBound, StreamReader, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let field = Grid::from_fn(Dims::d3(40, 32, 32), |z, y, x| {
+///     ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+/// });
+/// let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3));
+/// let bytes = compress_chunked(&field, &cfg, [32, 32, 32]).unwrap();
+///
+/// let reader = StreamReader::new(&bytes).unwrap();
+/// assert_eq!(reader.chunk_count(), 2);
+/// // Iterate decoded chunks lazily, one sub-field at a time…
+/// for chunk in reader.chunks() {
+///     let (region, sub) = chunk.unwrap();
+///     assert_eq!(sub.len(), region.len());
+/// }
+/// // …or drain eagerly, fanning out across worker threads.
+/// assert_eq!(reader.read_all().unwrap().dims(), field.dims());
+/// ```
+#[derive(Debug)]
+pub struct StreamReader<'a> {
+    bytes: &'a [u8],
+    header: Header,
+    table: ChunkTable,
+    plan: ChunkPlan,
+}
+
+impl<'a> StreamReader<'a> {
+    /// Parses and validates the header and chunk table of a chunked (v2)
+    /// or streamed (v3) container. Monolithic (v1) streams have no chunk
+    /// table and are rejected with a typed error — decode those with
+    /// [`crate::decompress`].
+    pub fn new(bytes: &'a [u8]) -> Result<StreamReader<'a>, SzhiError> {
+        let (header, table) = read_stream_chunked(bytes)?;
+        let plan = ChunkPlan::new(header.dims, table.span);
+        Ok(StreamReader {
+            bytes,
+            header,
+            table,
+            plan,
+        })
+    }
+
+    /// The parsed stream header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Shape of the full field the stream encodes.
+    pub fn dims(&self) -> Dims {
+        self.header.dims
+    }
+
+    /// The chunk partition of the stream.
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
+    }
+
+    /// Number of chunks in the stream.
+    pub fn chunk_count(&self) -> usize {
+        self.table.entries.len()
+    }
+
+    /// The region of the original field chunk `index` covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see [`StreamReader::chunk_count`]).
+    pub fn chunk_region(&self, index: usize) -> Region {
+        self.plan.chunk_at(index)
+    }
+
+    /// The lossless pipeline that encoded chunk `index` (from the v3 mode
+    /// byte; for v2 streams, the header's global pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see [`StreamReader::chunk_count`]).
+    pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
+        self.table.entries[index].pipeline
+    }
+
+    /// Verifies chunk `index` against its recorded CRC32 without decoding
+    /// it (a no-op returning `Ok` for v2 streams, which carry no
+    /// checksums).
+    pub fn verify_chunk(&self, index: usize) -> Result<(), SzhiError> {
+        self.check_index(index)?;
+        self.table
+            .verified_chunk_slice(self.bytes, index)
+            .map(|_| ())
+    }
+
+    /// Decodes chunk `index`: verifies its checksum, then reconstructs the
+    /// sub-field it covers. Returns the chunk's region of the original
+    /// field and the reconstructed values.
+    pub fn read_chunk(&self, index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
+        self.check_index(index)?;
+        let body = self.table.verified_chunk_slice(self.bytes, index)?;
+        let grid = decompress_chunk_body(
+            &self.header,
+            self.table.entries[index].pipeline,
+            self.plan.chunk_dims(index),
+            body,
+        )?;
+        Ok((self.plan.chunk_at(index), grid))
+    }
+
+    /// Iterates over the decoded chunks **lazily**, in plan order: each
+    /// chunk is verified and decoded only when the iterator is advanced,
+    /// so a consumer holds one reconstructed sub-field at a time.
+    pub fn chunks(&self) -> impl Iterator<Item = Result<(Region, Grid<f32>), SzhiError>> + '_ {
+        (0..self.chunk_count()).map(move |i| self.read_chunk(i))
+    }
+
+    /// Decodes every chunk **eagerly**, fanning the work out across the
+    /// worker threads, and assembles the full field.
+    pub fn read_all(&self) -> Result<Grid<f32>, SzhiError> {
+        let chunks: Vec<Result<(Region, Grid<f32>), SzhiError>> = (0..self.chunk_count())
+            .into_par_iter()
+            .map(|i| self.read_chunk(i))
+            .collect();
+        let mut out = Grid::zeros(self.header.dims);
+        for chunk in chunks {
+            let (region, sub) = chunk?;
+            out.insert(&region, sub.as_slice());
+        }
+        Ok(out)
+    }
+
+    fn check_index(&self, index: usize) -> Result<(), SzhiError> {
+        if index >= self.chunk_count() {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk index {index} out of range for a stream of {} chunks",
+                self.chunk_count()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::{compress_chunked, decompress};
+    use crate::config::ErrorBound;
+    use crate::format::{stream_version, VERSION_STREAMED};
+    use szhi_datagen::DatasetKind;
+
+    /// A streaming-safe configuration: absolute bound, no whole-field
+    /// auto-tune.
+    fn stream_cfg(span: [usize; 3]) -> SzhiConfig {
+        SzhiConfig::new(ErrorBound::Absolute(2e-3))
+            .with_auto_tune(false)
+            .with_chunk_span(span)
+    }
+
+    fn push_all(writer: &mut StreamWriter, data: &Grid<f32>) -> Vec<ChunkReceipt> {
+        let mut receipts = Vec::new();
+        while let Some(region) = writer.next_chunk_region() {
+            let dims = writer.plan().chunk_dims(writer.next_index());
+            let sub = Grid::from_vec(dims, data.extract(&region));
+            receipts.push(writer.push_chunk(&sub).unwrap());
+        }
+        receipts
+    }
+
+    #[test]
+    fn pushing_chunks_matches_the_batch_engine_byte_for_byte() {
+        let data = DatasetKind::Miranda.generate(Dims::d3(48, 40, 36), 21);
+        let cfg = stream_cfg([16, 16, 16]);
+        let batch = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        assert_eq!(writer.next_index(), 0);
+        let receipts = push_all(&mut writer, &data);
+        assert!(writer.is_complete());
+        assert_eq!(receipts.len(), writer.plan().len());
+        let (streamed, stats) = writer.finish_with_stats().unwrap();
+
+        assert_eq!(
+            streamed, batch,
+            "streamed and batch outputs must be identical"
+        );
+        assert_eq!(stream_version(&streamed).unwrap(), VERSION_STREAMED);
+        assert_eq!(stats.compressed_bytes, streamed.len());
+        assert_eq!(
+            receipts.iter().map(|r| r.index).collect::<Vec<_>>(),
+            (0..receipts.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn writer_rejects_streaming_hostile_configs() {
+        let dims = Dims::d3(32, 32, 32);
+        // Relative bound: needs the global value range.
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_auto_tune(false);
+        assert!(matches!(
+            StreamWriter::new(dims, &cfg),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("relative")
+        ));
+        // Whole-field auto-tune.
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(1e-3));
+        assert!(matches!(
+            StreamWriter::new(dims, &cfg),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("auto-tune")
+        ));
+        // Misaligned span.
+        let cfg = stream_cfg([12, 16, 16]);
+        assert!(StreamWriter::new(dims, &cfg).is_err());
+    }
+
+    #[test]
+    fn writer_enforces_chunk_order_shape_and_completeness() {
+        let data = DatasetKind::Nyx.generate(Dims::d3(32, 32, 32), 5);
+        let cfg = stream_cfg([16, 16, 16]);
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        assert_eq!(writer.plan().len(), 8);
+
+        // Wrong shape: chunk 0 expects 16³.
+        let wrong = Grid::zeros(Dims::d3(8, 16, 16));
+        assert!(matches!(
+            writer.push_chunk(&wrong),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("shape")
+        ));
+
+        // Out-of-order push of a pre-encoded chunk.
+        let region = writer.plan().chunk_at(3);
+        let sub = Grid::from_vec(region.dims(), data.extract(&region));
+        let encoded = writer.encode_chunk(3, &sub).unwrap();
+        assert_eq!(encoded.index(), 3);
+        assert!(encoded.compressed_bytes() > 0);
+        assert!(matches!(
+            writer.push_encoded(encoded),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("out of order")
+        ));
+
+        // Finishing early must fail with a typed error.
+        let region = writer.plan().chunk_at(0);
+        let sub = Grid::from_vec(region.dims(), data.extract(&region));
+        writer.push_chunk(&sub).unwrap();
+        assert!(matches!(
+            writer.finish(),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("1 of 8")
+        ));
+    }
+
+    #[test]
+    fn reader_iterates_lazily_and_drains_eagerly() {
+        let data = DatasetKind::Rtm.generate(Dims::d3(40, 40, 24), 13);
+        let cfg = stream_cfg([16, 16, 16]);
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        push_all(&mut writer, &data);
+        let bytes = writer.finish().unwrap();
+
+        let reader = StreamReader::new(&bytes).unwrap();
+        assert_eq!(reader.dims(), data.dims());
+        assert_eq!(reader.chunk_count(), 3 * 3 * 2);
+        let mut covered = 0usize;
+        for (i, chunk) in reader.chunks().enumerate() {
+            let (region, sub) = chunk.unwrap();
+            assert_eq!(region, reader.chunk_region(i));
+            assert_eq!(sub.len(), region.len());
+            reader.verify_chunk(i).unwrap();
+            for (a, b) in data.extract(&region).iter().zip(sub.as_slice()) {
+                assert!(((*a as f64) - (*b as f64)).abs() <= 2e-3 + 1e-12);
+            }
+            covered += region.len();
+        }
+        assert_eq!(covered, data.dims().len());
+
+        let eager = reader.read_all().unwrap();
+        assert_eq!(eager.dims(), data.dims());
+        assert_eq!(eager.as_slice(), decompress(&bytes).unwrap().as_slice());
+        assert!(reader.read_chunk(reader.chunk_count()).is_err());
+    }
+
+    #[test]
+    fn per_chunk_tuning_beats_both_global_modes_on_a_mixed_field() {
+        // A field whose left half is smooth (CR-friendly codes) and whose
+        // right half is hard noise: per-chunk selection must strictly beat
+        // both single-mode streams, because different chunks prefer
+        // different pipelines.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+        let span = [32, 32, 32];
+        let base = stream_cfg(span);
+        let sizes: Vec<usize> = [
+            base.clone().with_mode(PipelineMode::Cr),
+            base.clone().with_mode(PipelineMode::Tp),
+            base.clone().with_mode_tuning(ModeTuning::PerChunk),
+        ]
+        .iter()
+        .map(|cfg| compress_chunked(&data, cfg, span).unwrap().len())
+        .collect();
+        let (cr, tp, tuned) = (sizes[0], sizes[1], sizes[2]);
+        assert!(
+            tuned < cr && tuned < tp,
+            "per-chunk tuning ({tuned} B) must strictly beat global CR ({cr} B) and \
+             global TP ({tp} B)"
+        );
+
+        // The tuned stream must actually mix modes and still roundtrip.
+        let tuned_bytes = compress_chunked(
+            &data,
+            &base.clone().with_mode_tuning(ModeTuning::PerChunk),
+            span,
+        )
+        .unwrap();
+        let reader = StreamReader::new(&tuned_bytes).unwrap();
+        let modes: std::collections::HashSet<u8> = (0..reader.chunk_count())
+            .map(|i| reader.chunk_pipeline(i).id())
+            .collect();
+        assert!(modes.len() > 1, "expected a mix of per-chunk modes");
+        let recon = reader.read_all().unwrap();
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!(((*a as f64) - (*b as f64)).abs() <= 2e-3 + 1e-12);
+        }
+    }
+}

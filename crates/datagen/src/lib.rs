@@ -29,6 +29,28 @@ pub fn generate(kind: DatasetKind, dims: Dims, seed: u64) -> Grid<f32> {
     kind.generate(dims, seed)
 }
 
+/// A field whose low-`x` half is a smooth trigonometric ramp and whose
+/// high-`x` half is deterministic full-range hash noise — the canonical
+/// workload for per-chunk lossless-pipeline selection: anchor-aligned
+/// chunks of the smooth half prefer the CR pipeline while the noisy half's
+/// near-uniform quantization codes prefer TP. Deterministic in `dims`
+/// alone; shared by the `chunked_throughput` bench and the per-chunk
+/// tuning tests so the workload cannot silently diverge between them.
+pub fn mixed_smooth_noisy(dims: Dims) -> Grid<f32> {
+    Grid::from_fn(dims, |z, y, x| {
+        if x < dims.nx() / 2 {
+            ((x + y) as f32 * 0.09).sin() * 0.5 + z as f32 * 0.01
+        } else {
+            // A cheap deterministic coordinate hash driving ±0.5 noise.
+            let mut h = (z * 73_856_093) ^ (y * 19_349_663) ^ (x * 83_492_791);
+            h ^= h >> 13;
+            h = h.wrapping_mul(0x5bd1_e995);
+            h ^= h >> 15;
+            ((h & 0xFFFF) as f32 / 65_535.0) - 0.5
+        }
+    })
+}
+
 /// All six dataset families in the order the paper's tables use.
 pub fn all_kinds() -> [DatasetKind; 6] {
     [

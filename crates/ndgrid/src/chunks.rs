@@ -130,9 +130,28 @@ impl ChunkPlan {
         }
     }
 
+    /// The lattice coordinates `(cz, cy, cx)` of the chunk with flat
+    /// index `i` (the inverse of the row-major linearisation used by
+    /// [`ChunkPlan::chunk_at`]).
+    pub fn chunk_coords(&self, i: usize) -> (usize, usize, usize) {
+        assert!(i < self.len(), "chunk index out of range");
+        let cx = i % self.ncx;
+        let rest = i / self.ncx;
+        (rest / self.ncy, rest % self.ncy, cx)
+    }
+
     /// Iterates over every chunk in row-major lattice order.
     pub fn iter(&self) -> impl Iterator<Item = Region> + '_ {
         (0..self.len()).map(move |i| self.chunk_at(i))
+    }
+
+    /// Incremental chunk-index iteration: yields `(index, region, dims)`
+    /// for every chunk in row-major lattice order — the order a streaming
+    /// writer must push chunks in. `dims` is the chunk viewed as a
+    /// standalone field ([`ChunkPlan::chunk_dims`]), so a producer can
+    /// allocate or slice each chunk's buffer without re-deriving shapes.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, Region, Dims)> + '_ {
+        (0..self.len()).map(move |i| (i, self.chunk_at(i), self.chunk_dims(i)))
     }
 }
 
@@ -214,6 +233,21 @@ mod tests {
             }
         }
         assert_eq!(i, plan.len());
+    }
+
+    #[test]
+    fn indexed_iteration_matches_direct_access() {
+        let plan = ChunkPlan::new(Dims::d3(48, 40, 33), [16, 16, 16]);
+        let mut seen = 0;
+        for (i, region, dims) in plan.iter_indexed() {
+            assert_eq!(i, seen);
+            assert_eq!(region, plan.chunk_at(i));
+            assert_eq!(dims, plan.chunk_dims(i));
+            let (cz, cy, cx) = plan.chunk_coords(i);
+            assert_eq!(plan.chunk(cz, cy, cx), region);
+            seen += 1;
+        }
+        assert_eq!(seen, plan.len());
     }
 
     #[test]

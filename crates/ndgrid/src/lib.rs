@@ -20,6 +20,8 @@
 //! shared faces so that every anchor plane belongs to the blocks on both of
 //! its sides.
 
+#![deny(missing_docs)]
+
 pub mod blocks;
 pub mod chunks;
 pub mod dims;

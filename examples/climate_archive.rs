@@ -41,7 +41,19 @@ fn main() {
                 .expect("compress");
             let restored = c.decompress(&bytes).expect("decompress");
             let q = QualityReport::compare(&field, &restored);
-            assert!(q.max_abs_error <= rel_eb * field.value_range() as f64 * (1.0 + 1e-6) + 1e-12);
+            // The dual-quantization baselines (cuSZ-L) reconstruct through a
+            // single f64→f32 cast, adding up to |value|·f32::EPSILON on top
+            // of the bound (derived in tests/end_to_end.rs::assert_bound);
+            // at tight bounds that cast noise dominates, so allow it here.
+            let max_abs = field.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs())) as f64;
+            let slack = max_abs * f32::EPSILON as f64 + 1e-12;
+            assert!(
+                q.max_abs_error <= rel_eb * field.value_range() as f64 + slack,
+                "{} violated the bound at eb {rel_eb:e}: {} > {}",
+                c.name(),
+                q.max_abs_error,
+                rel_eb * field.value_range() as f64
+            );
             println!(
                 "{:<12} {:>10.0e} {:>12.1} {:>12.1} {:>10.1}",
                 c.name(),

@@ -37,7 +37,10 @@ pub use szhi_core::{compress, decompress};
 /// Commonly used items for working with the compressor.
 pub mod prelude {
     pub use szhi_baselines::Compressor;
-    pub use szhi_core::{compress, decompress, ErrorBound, PipelineMode, SzhiConfig};
+    pub use szhi_core::{
+        compress, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader, StreamWriter,
+        SzhiConfig,
+    };
     pub use szhi_datagen::DatasetKind;
     pub use szhi_metrics::QualityReport;
     pub use szhi_ndgrid::{Dims, Grid};

@@ -197,6 +197,94 @@ fn chunked_streams_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn streaming_writer_matches_the_batch_engine_at_every_thread_count() {
+    // The acceptance contract of the v3 streaming engine: pushing a field
+    // chunk by chunk through `StreamWriter` produces the same bytes as the
+    // batch `compress` (which is a thin parallel loop over the writer),
+    // and both are byte-identical at 1 and 4 worker threads.
+    let data = DatasetKind::Miranda.generate(Dims::d3(70, 66, 50), 9);
+    let abs_eb = 2e-3;
+    let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32]);
+
+    let mut pushed = Vec::new();
+    for threads in [1usize, 4] {
+        rayon::set_num_threads(threads);
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        while let Some(region) = writer.next_chunk_region() {
+            let dims = writer.plan().chunk_dims(writer.next_index());
+            let chunk = Grid::from_vec(dims, data.extract(&region));
+            writer.push_chunk(&chunk).unwrap();
+        }
+        pushed.push(writer.finish().unwrap());
+    }
+    rayon::set_num_threads(1);
+    let batch_single = compress(&data, &cfg).unwrap();
+    rayon::set_num_threads(4);
+    let batch_multi = compress(&data, &cfg).unwrap();
+    rayon::set_num_threads(0);
+
+    assert_eq!(
+        pushed[0], pushed[1],
+        "streamed output must not depend on threads"
+    );
+    assert_eq!(
+        batch_single, batch_multi,
+        "batch output must not depend on threads"
+    );
+    assert_eq!(
+        pushed[0], batch_single,
+        "streamed and batch outputs must be identical"
+    );
+
+    // The stream decodes lazily within the bound, and a corrupted chunk
+    // body is rejected by its CRC32 with the typed error.
+    let reader = StreamReader::new(&pushed[0]).unwrap();
+    for chunk in reader.chunks() {
+        let (region, sub) = chunk.unwrap();
+        for (a, b) in data.extract(&region).iter().zip(sub.as_slice()) {
+            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
+        }
+    }
+    let mut corrupt = pushed[0].clone();
+    let last = corrupt.len() - 1; // inside the last chunk's body
+    corrupt[last] ^= 0x40;
+    assert!(matches!(
+        decompress(&corrupt),
+        Err(szhi::core::SzhiError::ChunkChecksum { .. })
+    ));
+}
+
+#[test]
+fn per_chunk_mode_selection_improves_mixed_fields() {
+    // A field with a smooth half and a noisy half: tuning the lossless
+    // pipeline per chunk must compress strictly better than either global
+    // mode, and the chunk table must record a genuine mix of modes.
+    let data = szhi::datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+    let base = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32]);
+    let cr = compress(&data, &base.clone().with_mode(PipelineMode::Cr)).unwrap();
+    let tp = compress(&data, &base.clone().with_mode(PipelineMode::Tp)).unwrap();
+    let tuned = compress(&data, &base.with_mode_tuning(ModeTuning::PerChunk)).unwrap();
+    assert!(
+        tuned.len() < cr.len() && tuned.len() < tp.len(),
+        "per-chunk ({}) must beat global CR ({}) and TP ({})",
+        tuned.len(),
+        cr.len(),
+        tp.len()
+    );
+    let reader = StreamReader::new(&tuned).unwrap();
+    let distinct: std::collections::HashSet<u8> = (0..reader.chunk_count())
+        .map(|i| reader.chunk_pipeline(i).id())
+        .collect();
+    assert!(distinct.len() > 1, "expected chunks to use different modes");
+    let recon = decompress(&tuned).unwrap();
+    assert_bound(&data, &recon, 2e-3, "per-chunk tuned");
+}
+
+#[test]
 fn streams_are_rejected_by_other_decompressors() {
     // Feeding one compressor's stream into another must error, never panic or
     // silently produce garbage data of the right shape.

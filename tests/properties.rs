@@ -100,6 +100,44 @@ proptest! {
         }
     }
 
+    /// Pushing chunks one at a time through the streaming writer produces
+    /// exactly the bytes of the batch chunked engine, for arbitrary shapes,
+    /// spans, bounds and mode-tuning policies — and the stream decompresses
+    /// within the bound.
+    #[test]
+    fn streaming_writer_equals_batch_engine(
+        (data, rel_eb) in field_strategy(),
+        cz in 1usize..4, cy in 1usize..4, cx in 1usize..4,
+        per_chunk in any::<bool>(),
+    ) {
+        let span = [16 * cz, 16 * cy, 16 * cx];
+        // Streaming needs an absolute bound; derive one from the field so
+        // magnitudes stay comparable to the other properties.
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let tuning = if per_chunk { ModeTuning::PerChunk } else { ModeTuning::Global };
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span(span)
+            .with_mode_tuning(tuning);
+        let batch = compress(&data, &cfg).unwrap();
+
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        while let Some(region) = writer.next_chunk_region() {
+            let dims = writer.plan().chunk_dims(writer.next_index());
+            let chunk = Grid::from_vec(dims, data.extract(&region));
+            writer.push_chunk(&chunk).unwrap();
+        }
+        let streamed = writer.finish().unwrap();
+        prop_assert_eq!(&streamed, &batch);
+
+        let recon = decompress(&streamed).unwrap();
+        prop_assert_eq!(recon.dims(), data.dims());
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "violated: {} vs {} (eb {})", a, b, abs_eb);
+        }
+    }
+
     /// The interpolation predictor round-trips exactly (code-for-code) through
     /// its own decompressor for arbitrary small fields.
     #[test]
