@@ -12,6 +12,12 @@
 //! the size with `ModeTuning::PerChunk`, the CR delta, and the histogram
 //! of chosen modes straight from the v3 chunk table.
 //!
+//! A third section measures the **bounded-memory v4 sink**: the same field
+//! streamed chunk-by-chunk through the in-memory `StreamWriter` (v3,
+//! buffers every compressed chunk until finish) and through `StreamSink`
+//! into a byte-counting `io::Write` (v4, bodies leave immediately),
+//! reporting throughput and each engine's buffering high-water.
+//!
 //! Run with `cargo run -p szhi-bench --release --bin chunked_throughput`.
 //! `--scale <f>` (or `SZHI_SCALE`) scales the 256³ default field;
 //! `SZHI_NUM_THREADS` caps the multi-threaded row.
@@ -20,7 +26,7 @@ use std::collections::BTreeMap;
 use szhi_bench::{fmt_ms, print_table, SEED};
 use szhi_core::{
     compress, compress_with_stats, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader,
-    SzhiConfig,
+    StreamSink, StreamWriter, SzhiConfig,
 };
 use szhi_datagen::DatasetKind;
 use szhi_metrics::Stopwatch;
@@ -115,6 +121,104 @@ fn main() {
     }
 
     per_chunk_mode_section(n);
+    streaming_sink_section(&data);
+}
+
+/// An `io::Write` that counts bytes instead of storing them — a stand-in
+/// for a file or socket that also reveals the sink's buffering behaviour.
+#[derive(Default)]
+struct CountingSink {
+    total: u64,
+    max_write: usize,
+}
+
+impl std::io::Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.total += buf.len() as u64;
+        self.max_write = self.max_write.max(buf.len());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams the field chunk-by-chunk through the in-memory v3 writer and
+/// the byte-counting v4 sink, reporting throughput and each engine's
+/// buffering high-water (the v3 writer retains every compressed body; the
+/// sink's largest resident buffer is one encoded chunk or the table tail).
+fn streaming_sink_section(data: &Grid<f32>) {
+    let dims = data.dims();
+    let abs_eb = 1e-3 * data.value_range() as f64;
+    let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+        .with_auto_tune(false)
+        .with_chunk_span(SzhiConfig::DEFAULT_CHUNK_SPAN);
+
+    let sw = Stopwatch::start();
+    let mut writer = StreamWriter::new(dims, &cfg).expect("streaming config");
+    let mut buffered_high_water = 0u64;
+    let mut buffered = 0u64;
+    while let Some(region) = writer.next_chunk_region() {
+        let chunk_dims = writer.plan().chunk_dims(writer.next_index());
+        let chunk = Grid::from_vec(chunk_dims, data.extract(&region));
+        let receipt = writer.push_chunk(&chunk).expect("push");
+        buffered += receipt.compressed_bytes as u64;
+        buffered_high_water = buffered_high_water.max(buffered);
+    }
+    let v3_bytes = writer.finish().expect("finish").len() as u64;
+    let v3_time = sw.finish(dims.nbytes_f32());
+
+    let sw = Stopwatch::start();
+    let mut sink = StreamSink::new(CountingSink::default(), dims, &cfg).expect("streaming config");
+    let mut max_chunk = 0usize;
+    while let Some(region) = sink.next_chunk_region() {
+        let chunk_dims = sink.plan().chunk_dims(sink.next_index());
+        let chunk = Grid::from_vec(chunk_dims, data.extract(&region));
+        let receipt = sink.push_chunk(&chunk).expect("push");
+        max_chunk = max_chunk.max(receipt.compressed_bytes);
+    }
+    let (counter, stats) = sink.finish_with_stats().expect("finish");
+    let v4_time = sw.finish(dims.nbytes_f32());
+    assert_eq!(counter.total, stats.compressed_bytes as u64);
+
+    print_table(
+        &format!("Bounded-memory streaming on {dims} (chunk span 64³, one thread of work each)"),
+        &[
+            "engine",
+            "container",
+            "comp ms",
+            "GiB/s",
+            "stream bytes",
+            "buffering high-water",
+        ],
+        &[
+            vec![
+                "StreamWriter (in-memory)".into(),
+                "v3".into(),
+                fmt_ms(v3_time.elapsed),
+                format!("{:.3}", v3_time.gibps),
+                v3_bytes.to_string(),
+                format!("{buffered_high_water} B (all compressed chunks)"),
+            ],
+            vec![
+                "StreamSink (io::Write)".into(),
+                "v4".into(),
+                fmt_ms(v4_time.elapsed),
+                format!("{:.3}", v4_time.gibps),
+                counter.total.to_string(),
+                format!(
+                    "{} B (largest single write: max chunk {max_chunk} B / table tail)",
+                    max_chunk.max(counter.max_write)
+                ),
+            ],
+        ],
+    );
+    println!(
+        "\nv4 sink buffering high-water is {:.1}% of the v3 writer's \
+         (one chunk + table vs the whole compressed stream)",
+        100.0 * counter.max_write.max(max_chunk) as f64 / buffered_high_water.max(1) as f64
+    );
 }
 
 /// Measures per-chunk pipeline-mode selection against both global modes on

@@ -1,6 +1,7 @@
 //! Error type shared by every decoder in the codec crate.
 
-/// Errors produced when decoding a corrupted or truncated stream.
+/// Errors produced when decoding a corrupted or truncated stream, or when an
+/// encode-side request is unsatisfiable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The input ended before the decoder finished.
@@ -18,6 +19,14 @@ pub enum CodecError {
     /// The decoded payload does not satisfy an internal consistency check.
     Corrupt {
         /// Which decoder detected the corruption.
+        context: &'static str,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// An encode-side request was invalid (e.g. an empty candidate set
+    /// offered to `PipelineSpec::try_encode_select`).
+    InvalidRequest {
+        /// Which encoder rejected the request.
         context: &'static str,
         /// Human-readable description of the problem.
         detail: String,
@@ -45,6 +54,14 @@ impl CodecError {
             detail: detail.into(),
         }
     }
+
+    /// Shorthand for a [`CodecError::InvalidRequest`].
+    pub fn request(context: &'static str, detail: impl Into<String>) -> Self {
+        CodecError::InvalidRequest {
+            context,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
@@ -58,6 +75,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Corrupt { context, detail } => {
                 write!(f, "corrupt stream in {context}: {detail}")
+            }
+            CodecError::InvalidRequest { context, detail } => {
+                write!(f, "invalid request to {context}: {detail}")
             }
         }
     }

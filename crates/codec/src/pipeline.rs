@@ -392,7 +392,9 @@ impl PipelineSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `candidates` is empty.
+    /// Panics if `candidates` is empty. Long-running callers that cannot
+    /// afford an abort should use the fallible
+    /// [`PipelineSpec::try_encode_select`] instead.
     ///
     /// ```
     /// use szhi_codec::PipelineSpec;
@@ -406,10 +408,25 @@ impl PipelineSpec {
     /// assert_eq!(spec.build().decode(&payload).unwrap(), codes);
     /// ```
     pub fn encode_select(candidates: &[PipelineSpec], input: &[u8]) -> (PipelineSpec, Vec<u8>) {
-        assert!(
-            !candidates.is_empty(),
-            "encode_select requires at least one candidate pipeline"
-        );
+        Self::try_encode_select(candidates, input)
+            .expect("encode_select requires at least one candidate pipeline")
+    }
+
+    /// Fallible sibling of [`PipelineSpec::encode_select`]: an empty
+    /// candidate set is reported as a typed [`CodecError::InvalidRequest`]
+    /// instead of a panic, so a misconfigured per-chunk mode tuner can
+    /// never abort a long-running stream.
+    ///
+    /// ```
+    /// use szhi_codec::{CodecError, PipelineSpec};
+    ///
+    /// let err = PipelineSpec::try_encode_select(&[], &[1, 2, 3]).unwrap_err();
+    /// assert!(matches!(err, CodecError::InvalidRequest { .. }));
+    /// ```
+    pub fn try_encode_select(
+        candidates: &[PipelineSpec],
+        input: &[u8],
+    ) -> Result<(PipelineSpec, Vec<u8>), CodecError> {
         let mut best: Option<(PipelineSpec, Vec<u8>)> = None;
         for &spec in candidates {
             let payload = spec.build().encode(input);
@@ -418,7 +435,9 @@ impl PipelineSpec {
                 best = Some((spec, payload));
             }
         }
-        best.expect("candidates is non-empty")
+        best.ok_or_else(|| {
+            CodecError::request("encode_select", "empty candidate pipeline set".to_string())
+        })
     }
 
     /// Materialises the pipeline.
@@ -599,6 +618,28 @@ mod tests {
         let (spec, payload) = PipelineSpec::encode_select(&[PipelineSpec::Hf], &data);
         assert_eq!(spec, PipelineSpec::Hf);
         assert_eq!(spec.build().decode(&payload).unwrap(), data);
+    }
+
+    #[test]
+    fn try_encode_select_rejects_an_empty_candidate_set_without_panicking() {
+        // Regression: `encode_select` used to be the only entry point and
+        // aborted on an empty slice. The fallible sibling must surface the
+        // misconfiguration as a typed error so a long-running stream writer
+        // can report it instead of dying.
+        let result = std::panic::catch_unwind(|| PipelineSpec::try_encode_select(&[], &[1, 2, 3]));
+        let inner = result.expect("try_encode_select must not panic");
+        assert!(matches!(
+            inner,
+            Err(CodecError::InvalidRequest { context, .. }) if context == "encode_select"
+        ));
+        // The non-empty path agrees with the panicking wrapper.
+        let data = quant_like(2_000, 11);
+        let (spec, payload) =
+            PipelineSpec::try_encode_select(&[PipelineSpec::CR, PipelineSpec::TP], &data).unwrap();
+        let (spec2, payload2) =
+            PipelineSpec::encode_select(&[PipelineSpec::CR, PipelineSpec::TP], &data);
+        assert_eq!(spec, spec2);
+        assert_eq!(payload, payload2);
     }
 
     #[test]

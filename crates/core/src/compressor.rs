@@ -22,7 +22,7 @@
 use crate::config::{PipelineMode, SzhiConfig};
 use crate::error::SzhiError;
 use crate::format::{
-    read_chunk_sections, read_stream, read_stream_chunked, stream_version, write_stream, Header,
+    read_chunk_sections, read_chunk_table, read_stream, stream_version, write_stream, Header,
     VERSION,
 };
 use crate::stream::{EncodedChunk, StreamReader, StreamWriter};
@@ -222,10 +222,11 @@ fn predictor_for(interp: &InterpConfig) -> Result<InterpPredictor, SzhiError> {
     InterpPredictor::new(interp.clone()).map_err(|e| SzhiError::InvalidInput(e.to_string()))
 }
 
-/// Decompresses a stream produced by [`compress`] or [`compress_chunked`]
-/// (every container version is self-describing; chunked and streamed
-/// containers decompress their chunks in parallel, with v3 chunks verified
-/// against their checksums first).
+/// Decompresses a stream produced by [`compress`], [`compress_chunked`] or
+/// a [`StreamSink`](crate::stream::StreamSink) (every container version —
+/// v1 monolithic, v2 chunked, v3 streamed, v4 trailered — is
+/// self-describing; chunk-bearing containers decompress their chunks in
+/// parallel, with v3/v4 chunks verified against their checksums first).
 pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     if stream_version(bytes)? == VERSION {
         return decompress_monolithic(bytes);
@@ -233,11 +234,12 @@ pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     StreamReader::new(bytes)?.read_all()
 }
 
-/// Randomly accesses one chunk of a chunked (v2) or streamed (v3)
-/// container: decompresses only chunk `index`, returning the region of the
-/// original field it covers and the reconstructed sub-field. Only the
-/// header and chunk table are parsed besides the chunk body itself; a v3
-/// chunk is verified against its CRC32 before decoding.
+/// Randomly accesses one chunk of a chunked (v2), streamed (v3) or
+/// trailered (v4) container: decompresses only chunk `index`, returning
+/// the region of the original field it covers and the reconstructed
+/// sub-field. Only the header and chunk table are parsed besides the chunk
+/// body itself; a v3/v4 chunk is verified against its CRC32 before
+/// decoding.
 ///
 /// ```
 /// use szhi_core::{compress, decompress_chunk, ErrorBound, SzhiConfig};
@@ -256,9 +258,10 @@ pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Region, Grid<f32>
     StreamReader::new(bytes)?.read_chunk(index)
 }
 
-/// Number of chunks of a chunked (v2) or streamed (v3) container.
+/// Number of chunks of a chunked (v2), streamed (v3) or trailered (v4)
+/// container.
 pub fn chunk_count(bytes: &[u8]) -> Result<usize, SzhiError> {
-    let (_, table) = read_stream_chunked(bytes)?;
+    let (_, table) = read_chunk_table(bytes)?;
     Ok(table.entries.len())
 }
 
@@ -661,6 +664,107 @@ mod tests {
                     "data-area flip at {pos} xor {flip:#x} not caught by the checksum"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn trailered_v4_streams_decompress_and_random_access_like_v3() {
+        // A v4 container carrying the same chunk bodies as a v3 stream must
+        // decompress bit-identically through `decompress`, report the same
+        // chunk count, and support the same random access.
+        let g = DatasetKind::Miranda.generate(Dims::d3(40, 36, 33), 7);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([16, 16, 16]);
+        let v3 = compress(&g, &cfg).unwrap();
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let chunks: Vec<_> = (0..table.entries.len())
+            .map(|i| {
+                (
+                    table.entries[i].pipeline,
+                    table.chunk_slice(&v3, i).to_vec(),
+                )
+            })
+            .collect();
+        let v4 = crate::format::write_stream_v4(&header, table.span, &chunks);
+        assert_eq!(
+            crate::format::stream_version(&v4).unwrap(),
+            crate::format::VERSION_TRAILERED
+        );
+        assert_eq!(chunk_count(&v4).unwrap(), chunk_count(&v3).unwrap());
+        assert_eq!(
+            decompress(&v4).unwrap().as_slice(),
+            decompress(&v3).unwrap().as_slice()
+        );
+        let (r3, s3) = decompress_chunk(&v3, 3).unwrap();
+        let (r4, s4) = decompress_chunk(&v4, 3).unwrap();
+        assert_eq!(r3, r4);
+        assert_eq!(s3.as_slice(), s4.as_slice());
+    }
+
+    #[test]
+    fn corrupted_v4_streams_error_with_the_right_typed_error_per_region() {
+        // Through top-level `decompress`: data-area flips are caught by the
+        // owning chunk's CRC32, chunk-table flips by the trailer's table
+        // CRC32, and trailer flips by the trailer validation — each with
+        // its own typed error, before any decoder sees corrupt bytes.
+        let g = DatasetKind::Qmcpack.generate(Dims::d3(20, 20, 20), 3);
+        let cfg = SzhiConfig::new(ErrorBound::Relative(1e-2)).with_chunk_span([16, 16, 16]);
+        let v3 = compress(&g, &cfg).unwrap();
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let chunks: Vec<_> = (0..table.entries.len())
+            .map(|i| {
+                (
+                    table.entries[i].pipeline,
+                    table.chunk_slice(&v3, i).to_vec(),
+                )
+            })
+            .collect();
+        let bytes = crate::format::write_stream_v4(&header, table.span, &chunks);
+        let (_, t4) = crate::format::read_stream_trailered(&bytes).unwrap();
+        let data_start = t4.data_start;
+        let data_len: usize = chunks.iter().map(|(_, b)| b.len()).sum();
+        let table_start = data_start + data_len;
+        let trailer_start = bytes.len() - crate::format::TRAILER_SIZE;
+        for pos in (data_start..table_start).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x80;
+            assert!(
+                matches!(decompress(&corrupt), Err(SzhiError::ChunkChecksum { .. })),
+                "data flip at {pos} not caught by the chunk checksum"
+            );
+        }
+        for pos in (table_start..trailer_start).step_by(3) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x80;
+            assert!(
+                matches!(decompress(&corrupt), Err(SzhiError::TableChecksum { .. })),
+                "table flip at {pos} not caught by the table checksum"
+            );
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[trailer_start] ^= 0x80; // low byte of table_offset
+        assert!(matches!(
+            decompress(&corrupt),
+            Err(SzhiError::TrailerCorrupt(_))
+        ));
+
+        // The full 3-mask byte-flip fuzz through `decompress`: typed errors
+        // only, never a panic, mirroring the v2/v3 suites.
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    let _ = decompress(&corrupt);
+                });
+                assert!(
+                    result.is_ok(),
+                    "decompress panicked with v4 byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+        // Truncations anywhere must error, never panic.
+        for cut in [5usize, 60, bytes.len() / 2, bytes.len() - 3] {
+            assert!(decompress(&bytes[..cut]).is_err());
         }
     }
 

@@ -10,9 +10,9 @@ pub enum SzhiError {
     /// The compressed stream is not a szhi stream or uses an unsupported
     /// version.
     InvalidStream(String),
-    /// A chunk of a streamed (v3) container failed its integrity checksum:
-    /// the chunk's bytes were corrupted after compression. Raised *before*
-    /// any lossless decoder touches the chunk body.
+    /// A chunk of a streamed (v3/v4) container failed its integrity
+    /// checksum: the chunk's bytes were corrupted after compression. Raised
+    /// *before* any lossless decoder touches the chunk body.
     ChunkChecksum {
         /// Index of the failing chunk in plan order.
         index: usize,
@@ -21,6 +21,23 @@ pub enum SzhiError {
         /// The CRC32 of the bytes actually present.
         computed: u32,
     },
+    /// The fixed-size trailer of a trailered (v4) container is missing,
+    /// truncated, carries the wrong magic, or points at a chunk table that
+    /// cannot lie where it claims. Raised before any table byte is parsed.
+    TrailerCorrupt(String),
+    /// The chunk table of a trailered (v4) container does not match the
+    /// CRC32 recorded in the trailer: the table bytes were corrupted after
+    /// compression. Raised *before* any table entry is parsed.
+    TableChecksum {
+        /// The CRC32 recorded in the trailer.
+        stored: u32,
+        /// The CRC32 of the table bytes actually present.
+        computed: u32,
+    },
+    /// An I/O error from the sink or source backing a v4 stream (the
+    /// formatted [`std::io::Error`]; kept as a string so `SzhiError` stays
+    /// `Clone`/`Eq`).
+    Io(String),
     /// A lossless decoding stage failed (truncated or corrupted payload).
     Codec(CodecError),
 }
@@ -39,6 +56,13 @@ impl std::fmt::Display for SzhiError {
                 "chunk {index} failed its integrity checksum \
                  (stored {stored:#010x}, computed {computed:#010x})"
             ),
+            SzhiError::TrailerCorrupt(msg) => write!(f, "corrupt stream trailer: {msg}"),
+            SzhiError::TableChecksum { stored, computed } => write!(
+                f,
+                "the chunk table failed its integrity checksum \
+                 (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            SzhiError::Io(msg) => write!(f, "stream I/O failed: {msg}"),
             SzhiError::Codec(e) => write!(f, "lossless decoding failed: {e}"),
         }
     }
@@ -59,6 +83,12 @@ impl From<CodecError> for SzhiError {
     }
 }
 
+impl From<std::io::Error> for SzhiError {
+    fn from(e: std::io::Error) -> Self {
+        SzhiError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +99,15 @@ mod tests {
         assert!(e.to_string().contains("bad magic"));
         let e: SzhiError = CodecError::eof("huffman").into();
         assert!(e.to_string().contains("huffman"));
+        let e = SzhiError::TrailerCorrupt("bad trailer magic".into());
+        assert!(e.to_string().contains("bad trailer magic"));
+        let e = SzhiError::TableChecksum {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("chunk table"));
+        let e: SzhiError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "disk vanished").into();
+        assert!(matches!(&e, SzhiError::Io(msg) if msg.contains("disk vanished")));
     }
 }

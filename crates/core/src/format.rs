@@ -2,7 +2,7 @@
 //!
 //! The byte-level specification of every container version lives in
 //! `docs/FORMAT.md` at the repository root — that document is the
-//! authoritative reference the format fuzz tests link to. Three container
+//! authoritative reference the format fuzz tests link to. Four container
 //! versions share the same magic and header layout:
 //!
 //! **v1 (monolithic)** — a fixed header followed by three sections: the
@@ -50,6 +50,22 @@
 //! | chunk data area: n_chunks × chunk body     ← same body layout as v2
 //! ```
 //!
+//! **v4 (trailered)** — the v3 layout inverted for bounded-memory writers:
+//! the chunk bodies follow the chunk span directly, the v3-style chunk
+//! table comes *after* the data area, and a fixed-size trailer at the very
+//! end of the stream (table offset, chunk count, table CRC32, closing
+//! magic) locates the table. A writer can therefore emit each chunk body
+//! the moment it is encoded and hold only the table in memory; a reader
+//! seeks to the trailer first:
+//!
+//! ```text
+//! <v1 header with version=4>
+//! | chunk_span 3×u32
+//! | chunk data area: n_chunks × chunk body     ← same body layout as v2/v3
+//! | n_chunks × (offset u64, length u64, pipeline_id u8, crc32 u32)
+//! | table_offset u64 | n_chunks u64 | table_crc32 u32 | magic "SZT4"
+//! ```
+//!
 //! The header's own pipeline id remains the stream's *default* mode (the
 //! configuration's global mode); each chunk decodes with the pipeline named
 //! by its table entry.
@@ -59,10 +75,13 @@
 //! anchor stride along every non-degenerate axis (or the whole axis).
 //! Offsets are relative to the start of the chunk data area, must be
 //! non-decreasing and non-overlapping, and every `(offset, length)` extent
-//! must lie inside the data area — all of which [`read_stream_chunked`]
-//! enforces with typed errors before any chunk is touched. For v3 streams a
-//! chunk body whose CRC32 disagrees with its table entry is rejected with
-//! [`SzhiError::ChunkChecksum`] by [`ChunkTable::verified_chunk_slice`].
+//! must lie inside the data area — all of which [`read_stream_chunked`] and
+//! [`read_stream_trailered`] enforce with typed errors before any chunk is
+//! touched. For v3/v4 streams a chunk body whose CRC32 disagrees with its
+//! table entry is rejected with [`SzhiError::ChunkChecksum`] by
+//! [`ChunkTable::verified_chunk_slice`]; a v4 chunk table whose bytes
+//! disagree with the trailer's CRC32 is rejected with
+//! [`SzhiError::TableChecksum`] before any entry is parsed.
 
 use crate::error::SzhiError;
 use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u32, put_u64, put_u8, ByteCursor};
@@ -81,6 +100,18 @@ pub const VERSION_CHUNKED: u8 = 2;
 /// per-chunk pipeline-mode byte and CRC32 checksum in every chunk-table
 /// entry).
 pub const VERSION_STREAMED: u8 = 3;
+/// Stream format version of the trailered container (v3 chunk-table entries
+/// moved *behind* the data area, located via a fixed-size trailer at the
+/// end of the stream, so a writer can emit chunk bodies as they are
+/// produced with O(one chunk + table) memory).
+pub const VERSION_TRAILERED: u8 = 4;
+
+/// Magic bytes closing a trailered (v4) stream — the last four bytes of
+/// the container.
+pub const TRAILER_MAGIC: [u8; 4] = *b"SZT4";
+/// Size in bytes of the fixed v4 trailer
+/// (`table_offset u64, n_chunks u64, table_crc32 u32, magic 4×u8`).
+pub const TRAILER_SIZE: usize = 24;
 
 /// The decoded header of a compressed stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,7 +160,7 @@ fn spline_from(id: u8) -> Result<Spline, SzhiError> {
 
 /// Serialises the shared header fields (shape, bound, pipeline, predictor
 /// configuration) with the given version byte.
-fn write_header(out: &mut Vec<u8>, header: &Header, version: u8) {
+pub(crate) fn write_header(out: &mut Vec<u8>, header: &Header, version: u8) {
     out.extend_from_slice(&MAGIC);
     put_u8(out, version);
     put_u8(out, header.dims.rank() as u8);
@@ -236,11 +267,63 @@ pub fn write_stream_v3(
     out
 }
 
+/// Serialises a trailered (v4) stream: the header, the chunk span, the
+/// concatenated per-chunk bodies, then the v3-style chunk table and the
+/// fixed trailer that locates it. This is the in-memory equivalent of
+/// streaming the same chunks through a
+/// [`StreamSink`](crate::stream::StreamSink) — byte for byte.
+pub fn write_stream_v4(
+    header: &Header,
+    span: [usize; 3],
+    chunks: &[(PipelineSpec, Vec<u8>)],
+) -> Vec<u8> {
+    let total: usize = chunks.iter().map(|(_, body)| body.len()).sum();
+    let mut out = Vec::with_capacity(80 + total + chunks.len() * V3_ENTRY_SIZE + TRAILER_SIZE);
+    write_header(&mut out, header, VERSION_TRAILERED);
+    for s in span {
+        put_u32(&mut out, s as u32);
+    }
+    let mut entries = Vec::with_capacity(chunks.len());
+    let mut offset = 0u64;
+    for (pipeline, body) in chunks {
+        entries.push((offset, body.len() as u64, *pipeline, crc32(body)));
+        offset += body.len() as u64;
+        out.extend_from_slice(body);
+    }
+    let table_offset = out.len() as u64;
+    out.extend_from_slice(&encode_table_tail(table_offset, &entries));
+    out
+}
+
+/// Serialises the tail of a trailered (v4) stream: the chunk table (one
+/// v3-style 21-byte entry per chunk) followed by the fixed trailer, whose
+/// CRC32 covers exactly the table bytes. `table_offset` is the absolute
+/// stream offset the table will land at. Shared by [`write_stream_v4`] and
+/// the incremental [`StreamSink`](crate::stream::StreamSink).
+pub(crate) fn encode_table_tail(
+    table_offset: u64,
+    entries: &[(u64, u64, PipelineSpec, u32)],
+) -> Vec<u8> {
+    let mut tail = Vec::with_capacity(entries.len() * V3_ENTRY_SIZE + TRAILER_SIZE);
+    for &(offset, len, pipeline, crc) in entries {
+        put_u64(&mut tail, offset);
+        put_u64(&mut tail, len);
+        put_u8(&mut tail, pipeline.id());
+        put_u32(&mut tail, crc);
+    }
+    let table_crc = crc32(&tail);
+    put_u64(&mut tail, table_offset);
+    put_u64(&mut tail, entries.len() as u64);
+    put_u32(&mut tail, table_crc);
+    tail.extend_from_slice(&TRAILER_MAGIC);
+    tail
+}
+
 /// Size in bytes of one v2 chunk-table entry (`offset u64, length u64`).
-const V2_ENTRY_SIZE: usize = 16;
-/// Size in bytes of one v3 chunk-table entry
+pub(crate) const V2_ENTRY_SIZE: usize = 16;
+/// Size in bytes of one v3/v4 chunk-table entry
 /// (`offset u64, length u64, pipeline_id u8, crc32 u32`).
-const V3_ENTRY_SIZE: usize = 21;
+pub(crate) const V3_ENTRY_SIZE: usize = 21;
 
 /// Reads a u64 element count and checks that `count * elem_size` bytes can
 /// still be present in the stream, so corrupted counts fail cleanly instead
@@ -268,7 +351,7 @@ pub type StreamSections = (Header, Vec<f32>, Vec<Outlier>, Vec<u8>);
 pub type SectionBody = (Vec<f32>, Vec<Outlier>, Vec<u8>);
 
 /// Checks the magic and consumes the version byte.
-fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiError> {
+pub(crate) fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiError> {
     let magic = cur
         .take(4)
         .map_err(|_| SzhiError::InvalidStream("stream too short for magic".into()))?;
@@ -281,11 +364,11 @@ fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiError> {
 }
 
 /// The container version of a stream (1 = monolithic, 2 = chunked,
-/// 3 = streamed), after validating the magic. Top-level `decompress`
-/// dispatches on this.
+/// 3 = streamed, 4 = trailered), after validating the magic. Top-level
+/// `decompress` dispatches on this.
 pub fn stream_version(bytes: &[u8]) -> Result<u8, SzhiError> {
     let version = read_magic_version(&mut ByteCursor::new(bytes))?;
-    if version == VERSION || version == VERSION_CHUNKED || version == VERSION_STREAMED {
+    if (VERSION..=VERSION_TRAILERED).contains(&version) {
         Ok(version)
     } else {
         Err(SzhiError::InvalidStream(format!(
@@ -309,7 +392,7 @@ pub fn read_stream(bytes: &[u8]) -> Result<StreamSections, SzhiError> {
 }
 
 /// Parses the shared header fields following the version byte.
-fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, SzhiError> {
+pub(crate) fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, SzhiError> {
     let rank = cur.get_u8().map_err(SzhiError::from)? as usize;
     let nz = cur.get_u64().map_err(SzhiError::from)? as usize;
     let ny = cur.get_u64().map_err(SzhiError::from)? as usize;
@@ -540,6 +623,38 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
         )));
     }
     let header = read_header_fields(&mut cur)?;
+    let span = read_span(&mut cur)?;
+    let plan = validated_plan(&header, span)?;
+    let entry_size = if version == VERSION_STREAMED {
+        V3_ENTRY_SIZE
+    } else {
+        V2_ENTRY_SIZE
+    };
+    let n_chunks = checked_count(&mut cur, entry_size, "chunk table")?;
+    if n_chunks != plan.len() {
+        return Err(SzhiError::InvalidStream(format!(
+            "chunk table lists {n_chunks} chunks, the {} field at span {span:?} has {}",
+            header.dims,
+            plan.len()
+        )));
+    }
+    let raw = read_raw_entries(&mut cur, version, n_chunks, header.pipeline)?;
+    let data_start = cur.position();
+    let data_len = cur.remaining() as u64;
+    let entries = validate_extents(raw, data_len)?;
+    Ok((
+        header,
+        ChunkTable {
+            span,
+            entries,
+            data_start,
+        },
+    ))
+}
+
+/// Parses the chunk span (3×u32) following the shared header, rejecting a
+/// zero axis.
+pub(crate) fn read_span(cur: &mut ByteCursor<'_>) -> Result<[usize; 3], SzhiError> {
     let mut span = [0usize; 3];
     for s in span.iter_mut() {
         *s = cur.get_u32().map_err(SzhiError::from)? as usize;
@@ -549,6 +664,12 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             "zero chunk span {span:?}"
         )));
     }
+    Ok(span)
+}
+
+/// Validates a stored chunk span against the header (normalisation and the
+/// chunk-alignment rule) and returns the resulting plan.
+pub(crate) fn validated_plan(header: &Header, span: [usize; 3]) -> Result<ChunkPlan, SzhiError> {
     let plan = ChunkPlan::new(header.dims, span);
     if plan.span() != span {
         return Err(SzhiError::InvalidStream(format!(
@@ -563,37 +684,48 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             header.interp.anchor_stride
         )));
     }
-    let entry_size = if version == VERSION_STREAMED {
-        V3_ENTRY_SIZE
-    } else {
-        V2_ENTRY_SIZE
-    };
-    let n_chunks = checked_count(&mut cur, entry_size, "chunk table")?;
-    if n_chunks != plan.len() {
-        return Err(SzhiError::InvalidStream(format!(
-            "chunk table lists {n_chunks} chunks, the {} field at span {span:?} has {}",
-            header.dims,
-            plan.len()
-        )));
-    }
+    Ok(plan)
+}
+
+/// One chunk-table entry as stored, before extent validation: offset,
+/// length, pipeline and (v3/v4) checksum.
+pub(crate) type RawChunkEntry = (u64, u64, PipelineSpec, Option<u32>);
+
+/// Parses `n_chunks` chunk-table entries: 16-byte `(offset, length)` pairs
+/// for v2 (the pipeline is inherited from the header, no checksum), 21-byte
+/// `(offset, length, pipeline_id, crc32)` entries for v3/v4.
+pub(crate) fn read_raw_entries(
+    cur: &mut ByteCursor<'_>,
+    version: u8,
+    n_chunks: usize,
+    header_pipeline: PipelineSpec,
+) -> Result<Vec<RawChunkEntry>, SzhiError> {
     let mut raw = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
         let offset = cur.get_u64().map_err(SzhiError::from)?;
         let len = cur.get_u64().map_err(SzhiError::from)?;
-        let (pipeline, checksum) = if version == VERSION_STREAMED {
+        let (pipeline, checksum) = if version == VERSION_CHUNKED {
+            (header_pipeline, None)
+        } else {
             let id = cur.get_u8().map_err(SzhiError::from)?;
             let pipeline = PipelineSpec::from_id(id).ok_or_else(|| {
                 SzhiError::InvalidStream(format!("unknown per-chunk pipeline id {id}"))
             })?;
             (pipeline, Some(cur.get_u32().map_err(SzhiError::from)?))
-        } else {
-            (header.pipeline, None)
         };
         raw.push((offset, len, pipeline, checksum));
     }
-    let data_start = cur.position();
-    let data_len = cur.remaining() as u64;
-    let mut entries = Vec::with_capacity(n_chunks);
+    Ok(raw)
+}
+
+/// Validates raw chunk-table extents against a data area of `data_len`
+/// bytes — in-bounds, non-overlapping, non-decreasing, no u64 wraparound —
+/// and produces the typed entries.
+pub(crate) fn validate_extents(
+    raw: Vec<RawChunkEntry>,
+    data_len: u64,
+) -> Result<Vec<ChunkEntry>, SzhiError> {
+    let mut entries = Vec::with_capacity(raw.len());
     let mut prev_end = 0u64;
     for (i, (offset, len, pipeline, checksum)) in raw.into_iter().enumerate() {
         if offset < prev_end {
@@ -617,6 +749,104 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             checksum,
         });
     }
+    Ok(entries)
+}
+
+/// The parsed fields of a v4 trailer: the absolute chunk-table offset, the
+/// chunk count and the table's CRC32.
+pub(crate) struct Trailer {
+    /// Absolute stream offset of the chunk table.
+    pub table_offset: u64,
+    /// Number of chunk-table entries.
+    pub n_chunks: u64,
+    /// CRC32 of the chunk-table bytes.
+    pub table_crc: u32,
+}
+
+/// Parses the fixed-size v4 trailer from its [`TRAILER_SIZE`] bytes,
+/// validating the closing magic.
+pub(crate) fn parse_trailer(tail: &[u8]) -> Result<Trailer, SzhiError> {
+    debug_assert_eq!(tail.len(), TRAILER_SIZE);
+    if tail[20..24] != TRAILER_MAGIC {
+        return Err(SzhiError::TrailerCorrupt(
+            "bad trailer magic (the stream does not end in \"SZT4\")".into(),
+        ));
+    }
+    let mut cur = ByteCursor::new(tail);
+    let table_offset = cur.get_u64().map_err(SzhiError::from)?;
+    let n_chunks = cur.get_u64().map_err(SzhiError::from)?;
+    let table_crc = cur.get_u32().map_err(SzhiError::from)?;
+    Ok(Trailer {
+        table_offset,
+        n_chunks,
+        table_crc,
+    })
+}
+
+/// Validates a v4 trailer against the stream geometry: the chunk count
+/// must match the plan, and the table must sit exactly between the data
+/// area and the trailer. Returns the table length in bytes.
+pub(crate) fn validate_trailer_geometry(
+    trailer: &Trailer,
+    plan_len: usize,
+    data_start: u64,
+    trailer_start: u64,
+) -> Result<u64, SzhiError> {
+    if trailer.n_chunks != plan_len as u64 {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "trailer lists {} chunks, the plan has {plan_len}",
+            trailer.n_chunks
+        )));
+    }
+    let table_len = trailer
+        .n_chunks
+        .checked_mul(V3_ENTRY_SIZE as u64)
+        .ok_or_else(|| SzhiError::TrailerCorrupt("chunk count overflows the table size".into()))?;
+    let table_end = trailer.table_offset.checked_add(table_len);
+    if trailer.table_offset < data_start || table_end != Some(trailer_start) {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "table offset {} does not place a {}-entry table directly before the trailer \
+             (data starts at {data_start}, trailer at {trailer_start})",
+            trailer.table_offset, trailer.n_chunks
+        )));
+    }
+    Ok(table_len)
+}
+
+/// Parses the header and chunk table of a trailered (v4) stream held in
+/// memory: the header and span are read from the front, the trailer from
+/// the fixed-size tail, and the chunk table from where the trailer points —
+/// verified against the trailer's CRC32 *before* any entry is parsed. The
+/// data area is everything between the span and the table.
+pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
+    let mut cur = ByteCursor::new(bytes);
+    let version = read_magic_version(&mut cur)?;
+    if version != VERSION_TRAILERED {
+        return Err(SzhiError::InvalidStream(format!(
+            "expected a trailered (v{VERSION_TRAILERED}) stream, found version {version}"
+        )));
+    }
+    let header = read_header_fields(&mut cur)?;
+    let span = read_span(&mut cur)?;
+    let plan = validated_plan(&header, span)?;
+    let data_start = cur.position();
+    if bytes.len() < data_start + TRAILER_SIZE {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "stream of {} bytes is too short for a {TRAILER_SIZE}-byte trailer",
+            bytes.len()
+        )));
+    }
+    let trailer_start = bytes.len() - TRAILER_SIZE;
+    let trailer = parse_trailer(&bytes[trailer_start..])?;
+    validate_trailer_geometry(
+        &trailer,
+        plan.len(),
+        data_start as u64,
+        trailer_start as u64,
+    )?;
+    let table_bytes = &bytes[trailer.table_offset as usize..trailer_start];
+    let entries =
+        parse_trailered_entries(table_bytes, &trailer, data_start as u64, header.pipeline)?;
     Ok((
         header,
         ChunkTable {
@@ -625,6 +855,64 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             data_start,
         },
     ))
+}
+
+/// Verifies geometry-validated v4 chunk-table bytes against the trailer's
+/// CRC32, then parses and extent-validates the entries — shared by the
+/// slice-based [`read_stream_trailered`] and the io-backed
+/// [`StreamSource`](crate::stream::StreamSource), so the two readers accept
+/// exactly the same streams.
+pub(crate) fn parse_trailered_entries(
+    table_bytes: &[u8],
+    trailer: &Trailer,
+    data_start: u64,
+    header_pipeline: PipelineSpec,
+) -> Result<Vec<ChunkEntry>, SzhiError> {
+    let computed = crc32(table_bytes);
+    if computed != trailer.table_crc {
+        return Err(SzhiError::TableChecksum {
+            stored: trailer.table_crc,
+            computed,
+        });
+    }
+    let mut cur = ByteCursor::new(table_bytes);
+    let raw = read_raw_entries(
+        &mut cur,
+        VERSION_TRAILERED,
+        trailer.n_chunks as usize,
+        header_pipeline,
+    )?;
+    validate_extents(raw, trailer.table_offset - data_start)
+}
+
+/// Rejects the container versions that carry no chunk table — monolithic
+/// (v1) streams, with a clear pointer at [`crate::decompress`], and unknown
+/// future versions — with the same typed errors on every reader path.
+pub(crate) fn reject_unchunked_version(version: u8) -> Result<(), SzhiError> {
+    match version {
+        VERSION => Err(SzhiError::InvalidStream(format!(
+            "a monolithic (v{VERSION}) stream has no chunk table; decode it with decompress"
+        ))),
+        VERSION_CHUNKED | VERSION_STREAMED | VERSION_TRAILERED => Ok(()),
+        version => Err(SzhiError::InvalidStream(format!(
+            "unsupported container version {version}"
+        ))),
+    }
+}
+
+/// Parses the header and chunk table of any chunk-bearing container
+/// (v2 chunked, v3 streamed, v4 trailered), dispatching on the version
+/// byte. Monolithic (v1) streams have no chunk table and are rejected with
+/// a clear typed error pointing at [`crate::decompress`]; unknown future
+/// versions are rejected as unsupported.
+pub fn read_chunk_table(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
+    let version = read_magic_version(&mut ByteCursor::new(bytes))?;
+    reject_unchunked_version(version)?;
+    if version == VERSION_TRAILERED {
+        read_stream_trailered(bytes)
+    } else {
+        read_stream_chunked(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -1180,6 +1468,227 @@ mod tests {
                 assert!(
                     result.is_ok(),
                     "v3 parsing panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // v4 (trailered) container
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn v4_stream_roundtrips_modes_checksums_and_trailer() {
+        let (header, span) = sample_v2_header();
+        let chunks = sample_v3_chunks(8);
+        let bytes = write_stream_v4(&header, span, &chunks);
+        assert_eq!(stream_version(&bytes).unwrap(), VERSION_TRAILERED);
+        assert_eq!(&bytes[bytes.len() - 4..], &TRAILER_MAGIC);
+        let (h, table) = read_stream_trailered(&bytes).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(table.span, span);
+        assert_eq!(table.entries.len(), 8);
+        // The data area starts right after the span — chunk bodies precede
+        // the table in a v4 stream.
+        assert_eq!(table.data_start, span_offset(&header) + 12);
+        for (i, (spec, body)) in chunks.iter().enumerate() {
+            let e = &table.entries[i];
+            assert_eq!(e.pipeline, *spec);
+            assert_eq!(e.checksum, Some(crc32(body)));
+            assert_eq!(table.verified_chunk_slice(&bytes, i).unwrap(), &body[..]);
+        }
+        // The dispatching reader agrees with the strict one; the v2/v3
+        // readers reject the stream.
+        let (h2, table2) = read_chunk_table(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(table2, table);
+        assert!(matches!(
+            read_stream_chunked(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v4_reader_rejects_other_versions_and_v1_gets_a_clear_error() {
+        let (header, span) = sample_v2_header();
+        let v3 = write_stream_v3(&header, span, &sample_v3_chunks(8));
+        assert!(matches!(
+            read_stream_trailered(&v3),
+            Err(SzhiError::InvalidStream(_))
+        ));
+        // Through the dispatching reader: v1 is named monolithic, with a
+        // pointer at `decompress`, not a confusing table-parse failure.
+        let v1 = write_stream(&header, &[], &[], &[]);
+        match read_chunk_table(&v1) {
+            Err(SzhiError::InvalidStream(msg)) => {
+                assert!(msg.contains("monolithic"), "unexpected message: {msg}");
+                assert!(msg.contains("decompress"), "unexpected message: {msg}");
+            }
+            other => panic!("v1 not rejected clearly: {other:?}"),
+        }
+        // Unknown future versions are named as unsupported.
+        let mut v5 = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        v5[4] = 5;
+        match read_chunk_table(&v5) {
+            Err(SzhiError::InvalidStream(msg)) => {
+                assert!(msg.contains("unsupported"), "unexpected message: {msg}");
+                assert!(msg.contains('5'), "unexpected message: {msg}");
+            }
+            other => panic!("v5 not rejected clearly: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v4_trailer_corruption_yields_the_typed_trailer_error() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        let trailer_at = bytes.len() - TRAILER_SIZE;
+
+        // Broken closing magic.
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() - 1] ^= 0xFF;
+        assert!(matches!(
+            read_stream_trailered(&corrupt),
+            Err(SzhiError::TrailerCorrupt(msg)) if msg.contains("magic")
+        ));
+
+        // A table offset that cannot place the table before the trailer.
+        for bad_offset in [0u64, u64::MAX, bytes.len() as u64] {
+            let mut corrupt = bytes.clone();
+            corrupt[trailer_at..trailer_at + 8].copy_from_slice(&bad_offset.to_le_bytes());
+            assert!(
+                matches!(
+                    read_stream_trailered(&corrupt),
+                    Err(SzhiError::TrailerCorrupt(_))
+                ),
+                "table offset {bad_offset} not rejected"
+            );
+        }
+
+        // A chunk count disagreeing with the plan (or absurd).
+        for bad_count in [0u64, 7, 9, u64::MAX] {
+            let mut corrupt = bytes.clone();
+            corrupt[trailer_at + 8..trailer_at + 16].copy_from_slice(&bad_count.to_le_bytes());
+            assert!(
+                matches!(
+                    read_stream_trailered(&corrupt),
+                    Err(SzhiError::TrailerCorrupt(_))
+                ),
+                "chunk count {bad_count} not rejected"
+            );
+        }
+
+        // A stream too short to even hold a trailer.
+        assert!(matches!(
+            read_stream_trailered(&bytes[..span_offset(&header) + 12 + 3]),
+            Err(SzhiError::TrailerCorrupt(_)) | Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v4_table_corruption_is_caught_by_the_table_checksum() {
+        // Every byte flip anywhere in the chunk table must be rejected by
+        // the trailer's table CRC32 — before any entry is parsed.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        let trailer_at = bytes.len() - TRAILER_SIZE;
+        let table_at = trailer_at - 8 * V3_ENTRY_SIZE;
+        for pos in table_at..trailer_at {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                assert!(
+                    matches!(
+                        read_stream_trailered(&corrupt),
+                        Err(SzhiError::TableChecksum { .. })
+                    ),
+                    "table flip at {} xor {flip:#x} not caught",
+                    pos - table_at
+                );
+            }
+        }
+        // Flipping the stored table CRC itself is also a checksum mismatch.
+        let mut corrupt = bytes.clone();
+        corrupt[trailer_at + 16] ^= 0x01;
+        assert!(matches!(
+            read_stream_trailered(&corrupt),
+            Err(SzhiError::TableChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn v4_data_area_corruption_is_caught_by_the_owning_chunks_checksum() {
+        let (header, span) = sample_v2_header();
+        let chunks = sample_v3_chunks(8);
+        let bytes = write_stream_v4(&header, span, &chunks);
+        let (_, table) = read_stream_trailered(&bytes).unwrap();
+        let data_start = table.data_start;
+        let data_end = data_start + chunks.iter().map(|(_, b)| b.len()).sum::<usize>();
+        for pos in data_start..data_end {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                // The table and trailer are untouched, so parsing succeeds…
+                let (_, t) = read_stream_trailered(&corrupt).unwrap();
+                // …and exactly the chunk owning the flipped byte fails.
+                let failing: Vec<usize> = (0..t.entries.len())
+                    .filter(|&i| {
+                        matches!(
+                            t.verified_chunk_slice(&corrupt, i),
+                            Err(SzhiError::ChunkChecksum { index, .. }) if index == i
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    failing.len(),
+                    1,
+                    "flip at data byte {} must fail exactly one chunk, failed {failing:?}",
+                    pos - data_start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v4_every_truncation_yields_a_typed_error_not_a_panic() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        for cut in 0..bytes.len() {
+            let result = std::panic::catch_unwind(|| read_stream_trailered(&bytes[..cut]));
+            let parsed =
+                result.unwrap_or_else(|_| panic!("read_stream_trailered panicked at cut {cut}"));
+            assert!(
+                parsed.is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn v4_single_byte_corruption_never_panics() {
+        // Byte-flip fuzz of the whole v4 stream — header, span, data area,
+        // chunk table and trailer: parsing, checksum verification and every
+        // chunk-section read must produce typed errors only, never a panic
+        // or allocation abort.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok((_, table)) = read_stream_trailered(&corrupt) {
+                        for i in 0..table.entries.len() {
+                            if let Ok(slice) = table.verified_chunk_slice(&corrupt, i) {
+                                let _ = read_chunk_sections(slice);
+                            }
+                        }
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "v4 parsing panicked with byte {pos} xor {flip:#x}"
                 );
             }
         }

@@ -53,8 +53,9 @@
 //!
 //! Older containers stay readable: v1 (monolithic) and v2 (chunked, no
 //! mode byte or checksum) streams are decoded by the same [`decompress`]
-//! entry point. The byte-level specification of all three versions lives
-//! in `docs/FORMAT.md` at the repository root.
+//! entry point, and the trailered v4 container (below) decodes there too.
+//! The byte-level specification of all four versions lives in
+//! `docs/FORMAT.md` at the repository root.
 //!
 //! The **chunk-alignment rule**: the span must be a positive multiple of
 //! the predictor's anchor stride (16 for cuSZ-Hi) along every
@@ -100,6 +101,25 @@
 //! must be streaming-safe: an [`ErrorBound::Absolute`] bound and
 //! whole-field auto-tuning disabled.
 //!
+//! ## True bounded-memory streaming (the v4 trailered container)
+//!
+//! [`StreamWriter`] never holds the uncompressed field, but it still
+//! buffers every *compressed* chunk body until `finish()` — the v3 chunk
+//! table precedes the data area, so the container cannot be emitted until
+//! every chunk size is known. [`StreamSink`] removes that last O(stream)
+//! buffer: backed by any [`std::io::Write`], it emits the header
+//! immediately, appends each chunk body the moment it is encoded, and
+//! closes the stream with the chunk table and a fixed-size trailer that
+//! locates it (the **v4 trailered container**). Memory high-water is one
+//! encoded chunk plus the table — a field larger than RAM compresses
+//! straight onto a `File` or socket. [`StreamSource`] is the matching
+//! bounded-memory reader over any [`std::io::Read`]` + `[`std::io::Seek`]:
+//! it finds the table via the trailer (verifying the table against the
+//! trailer's CRC32 before parsing a single entry) and fetches chunks with
+//! one seek and one bounded, checksum-verified read each. v4 streams also
+//! decode through the in-memory [`decompress`] / [`StreamReader`] /
+//! [`decompress_chunk`] entry points like every other version.
+//!
 //! ```
 //! use szhi_core::{ErrorBound, ModeTuning, StreamReader, StreamWriter, SzhiConfig};
 //! use szhi_ndgrid::{Dims, Grid};
@@ -143,5 +163,10 @@ pub use compressor::{
 };
 pub use config::{ErrorBound, ModeTuning, PipelineMode, SzhiConfig};
 pub use error::SzhiError;
-pub use format::{Header, MAGIC, VERSION, VERSION_CHUNKED, VERSION_STREAMED};
-pub use stream::{ChunkReceipt, EncodedChunk, StreamReader, StreamWriter};
+pub use format::{
+    Header, MAGIC, TRAILER_MAGIC, TRAILER_SIZE, VERSION, VERSION_CHUNKED, VERSION_STREAMED,
+    VERSION_TRAILERED,
+};
+pub use stream::{
+    ChunkReceipt, EncodedChunk, SourceChunks, StreamReader, StreamSink, StreamSource, StreamWriter,
+};

@@ -26,8 +26,14 @@
 use crate::compressor::{decompress_chunk_body, CompressionStats};
 use crate::config::{ModeTuning, PipelineMode, SzhiConfig};
 use crate::error::SzhiError;
-use crate::format::{read_stream_chunked, write_sections, write_stream_v3, ChunkTable, Header};
+use crate::format::{
+    self, read_chunk_table, write_sections, write_stream_v3, ChunkEntry, ChunkTable, Header,
+    TRAILER_SIZE, VERSION_STREAMED, VERSION_TRAILERED,
+};
 use rayon::prelude::*;
+use std::io::{Read, Seek, SeekFrom, Write};
+use szhi_codec::bitio::{put_u32, ByteCursor};
+use szhi_codec::checksum::crc32;
 use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
 use szhi_predictor::{InterpConfig, InterpPredictor, LevelOrder};
@@ -101,30 +107,30 @@ pub struct ChunkReceipt {
 /// ```
 #[derive(Debug)]
 pub struct StreamWriter {
-    header: Header,
-    plan: ChunkPlan,
-    predictor: InterpPredictor,
-    candidates: Vec<PipelineSpec>,
+    enc: ChunkEncoder,
     chunks: Vec<(PipelineSpec, Vec<u8>)>,
     anchors: usize,
     outliers: usize,
     payload_bytes: usize,
 }
 
-impl StreamWriter {
-    /// Creates a streaming writer for a field of shape `dims` under `cfg`,
-    /// using `cfg.chunk_span` (or [`SzhiConfig::DEFAULT_CHUNK_SPAN`]) as
-    /// the chunk span.
-    ///
-    /// Because the writer never sees the whole field, the configuration
-    /// must be resolvable without it: the error bound must be
-    /// [`ErrorBound::Absolute`](crate::ErrorBound::Absolute) (a relative
-    /// bound needs the global value range) and whole-field auto-tuning must
-    /// be disabled (`cfg.with_auto_tune(false)`; pre-tune on a
-    /// representative sample with `szhi_predictor::autotune::tune` and pass
-    /// the result via [`SzhiConfig::with_interp`] instead). Violations are
-    /// reported as typed [`SzhiError::InvalidInput`] errors.
-    pub fn new(dims: Dims, cfg: &SzhiConfig) -> Result<StreamWriter, SzhiError> {
+/// The configuration-resolved chunk compressor shared by [`StreamWriter`]
+/// (in-memory v3 output) and [`StreamSink`] (io::Write-backed v4 output):
+/// the validated header, the chunk plan, the predictor instance and the
+/// mode tuner's candidate pipelines. Encoding a chunk is a pure `&self`
+/// function, so either front end can fan encoding out across threads.
+#[derive(Debug)]
+struct ChunkEncoder {
+    header: Header,
+    plan: ChunkPlan,
+    predictor: InterpPredictor,
+    candidates: Vec<PipelineSpec>,
+}
+
+impl ChunkEncoder {
+    /// Validates a user-facing streaming configuration (absolute bound, no
+    /// whole-field auto-tune) and resolves it into an encoder.
+    fn from_config(dims: Dims, cfg: &SzhiConfig) -> Result<ChunkEncoder, SzhiError> {
         let abs_eb = match cfg.error_bound {
             crate::config::ErrorBound::Absolute(eb) => eb,
             crate::config::ErrorBound::Relative(eb) => {
@@ -144,7 +150,7 @@ impl StreamWriter {
             ));
         }
         let span = cfg.chunk_span.unwrap_or(SzhiConfig::DEFAULT_CHUNK_SPAN);
-        StreamWriter::with_params(
+        ChunkEncoder::with_params(
             dims,
             span,
             abs_eb,
@@ -155,10 +161,10 @@ impl StreamWriter {
         )
     }
 
-    /// Creates a writer from fully resolved parameters. This is the
-    /// constructor the batch engine uses after resolving the error bound
-    /// and auto-tuning on the whole field.
-    pub(crate) fn with_params(
+    /// Builds an encoder from fully resolved parameters (the batch engine
+    /// calls this after resolving the error bound and auto-tuning on the
+    /// whole field).
+    fn with_params(
         dims: Dims,
         span: [usize; 3],
         abs_eb: f64,
@@ -166,7 +172,7 @@ impl StreamWriter {
         reorder: bool,
         mode: PipelineMode,
         mode_tuning: ModeTuning,
-    ) -> Result<StreamWriter, SzhiError> {
+    ) -> Result<ChunkEncoder, SzhiError> {
         interp
             .validate()
             .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
@@ -199,8 +205,11 @@ impl StreamWriter {
             .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
         let default_spec = mode.pipeline_spec();
         // The per-chunk tuner's candidate set: the configured mode first
-        // (it wins ties, keeping output deterministic), then the other
-        // production mode when per-chunk selection is on.
+        // (it wins ties, keeping output deterministic — this is the guard
+        // that lets outlier-saturated chunks, whose codes both pipelines
+        // compress equally well, fall back cleanly to the configured
+        // default), then the other production mode when per-chunk
+        // selection is on.
         let candidates = match mode_tuning {
             ModeTuning::Global => vec![default_spec],
             ModeTuning::PerChunk => {
@@ -211,8 +220,7 @@ impl StreamWriter {
                 vec![default_spec, other.pipeline_spec()]
             }
         };
-        let n_chunks = plan.len();
-        Ok(StreamWriter {
+        Ok(ChunkEncoder {
             header: Header {
                 dims,
                 abs_eb,
@@ -223,54 +231,12 @@ impl StreamWriter {
             plan,
             predictor,
             candidates,
-            chunks: Vec::with_capacity(n_chunks),
-            anchors: 0,
-            outliers: 0,
-            payload_bytes: 0,
         })
     }
 
-    /// The chunk partition the writer expects chunks in (row-major plan
-    /// order).
-    pub fn plan(&self) -> &ChunkPlan {
-        &self.plan
-    }
-
-    /// Shape of the full field being written.
-    pub fn dims(&self) -> Dims {
-        self.header.dims
-    }
-
-    /// The absolute error bound every chunk is compressed under.
-    pub fn abs_eb(&self) -> f64 {
-        self.header.abs_eb
-    }
-
-    /// Index of the next chunk [`StreamWriter::push_chunk`] expects.
-    pub fn next_index(&self) -> usize {
-        self.chunks.len()
-    }
-
-    /// The region of the original field the next pushed chunk must cover,
-    /// or `None` once every chunk has been pushed.
-    pub fn next_chunk_region(&self) -> Option<Region> {
-        (self.chunks.len() < self.plan.len()).then(|| self.plan.chunk_at(self.chunks.len()))
-    }
-
-    /// Whether every chunk of the plan has been pushed.
-    pub fn is_complete(&self) -> bool {
-        self.chunks.len() == self.plan.len()
-    }
-
-    /// Compresses chunk `index` without appending it to the stream. A pure
-    /// function of `(chunk, configuration)` — callers that already hold
-    /// several chunks can encode them in parallel and feed the results to
-    /// [`StreamWriter::push_encoded`] in order; this is exactly what the
-    /// batch engine [`crate::compress_chunked`] does.
-    ///
-    /// `chunk` must have the standalone shape of chunk `index`
-    /// ([`ChunkPlan::chunk_dims`]); any other shape is a typed error.
-    pub fn encode_chunk(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+    /// Compresses chunk `index` (pure in `&self`; see
+    /// [`StreamWriter::encode_chunk`]).
+    fn encode(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
         if index >= self.plan.len() {
             return Err(SzhiError::InvalidInput(format!(
                 "chunk index {index} out of range for a plan of {} chunks",
@@ -292,8 +258,10 @@ impl StreamWriter {
         };
         // The per-chunk mode tuner: offer the codes to every candidate
         // pipeline and keep the smallest payload (ties prefer the
-        // configured default mode).
-        let (pipeline, payload) = PipelineSpec::encode_select(&self.candidates, &codes);
+        // configured default mode). The fallible selector turns a
+        // misconfigured (empty) candidate set into a typed error instead
+        // of aborting a long-running stream.
+        let (pipeline, payload) = PipelineSpec::try_encode_select(&self.candidates, &codes)?;
         let mut body = Vec::new();
         write_sections(&mut body, &output.anchors, &output.outliers, &payload);
         Ok(EncodedChunk {
@@ -305,6 +273,104 @@ impl StreamWriter {
             body,
         })
     }
+}
+
+impl StreamWriter {
+    /// Creates a streaming writer for a field of shape `dims` under `cfg`,
+    /// using `cfg.chunk_span` (or [`SzhiConfig::DEFAULT_CHUNK_SPAN`]) as
+    /// the chunk span.
+    ///
+    /// Because the writer never sees the whole field, the configuration
+    /// must be resolvable without it: the error bound must be
+    /// [`ErrorBound::Absolute`](crate::ErrorBound::Absolute) (a relative
+    /// bound needs the global value range) and whole-field auto-tuning must
+    /// be disabled (`cfg.with_auto_tune(false)`; pre-tune on a
+    /// representative sample with `szhi_predictor::autotune::tune` and pass
+    /// the result via [`SzhiConfig::with_interp`] instead). Violations are
+    /// reported as typed [`SzhiError::InvalidInput`] errors.
+    pub fn new(dims: Dims, cfg: &SzhiConfig) -> Result<StreamWriter, SzhiError> {
+        Ok(StreamWriter::from_encoder(ChunkEncoder::from_config(
+            dims, cfg,
+        )?))
+    }
+
+    /// Creates a writer from fully resolved parameters. This is the
+    /// constructor the batch engine uses after resolving the error bound
+    /// and auto-tuning on the whole field.
+    pub(crate) fn with_params(
+        dims: Dims,
+        span: [usize; 3],
+        abs_eb: f64,
+        interp: InterpConfig,
+        reorder: bool,
+        mode: PipelineMode,
+        mode_tuning: ModeTuning,
+    ) -> Result<StreamWriter, SzhiError> {
+        Ok(StreamWriter::from_encoder(ChunkEncoder::with_params(
+            dims,
+            span,
+            abs_eb,
+            interp,
+            reorder,
+            mode,
+            mode_tuning,
+        )?))
+    }
+
+    fn from_encoder(enc: ChunkEncoder) -> StreamWriter {
+        let n_chunks = enc.plan.len();
+        StreamWriter {
+            enc,
+            chunks: Vec::with_capacity(n_chunks),
+            anchors: 0,
+            outliers: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// The chunk partition the writer expects chunks in (row-major plan
+    /// order).
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.enc.plan
+    }
+
+    /// Shape of the full field being written.
+    pub fn dims(&self) -> Dims {
+        self.enc.header.dims
+    }
+
+    /// The absolute error bound every chunk is compressed under.
+    pub fn abs_eb(&self) -> f64 {
+        self.enc.header.abs_eb
+    }
+
+    /// Index of the next chunk [`StreamWriter::push_chunk`] expects.
+    pub fn next_index(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The region of the original field the next pushed chunk must cover,
+    /// or `None` once every chunk has been pushed.
+    pub fn next_chunk_region(&self) -> Option<Region> {
+        (self.chunks.len() < self.enc.plan.len()).then(|| self.enc.plan.chunk_at(self.chunks.len()))
+    }
+
+    /// Whether every chunk of the plan has been pushed.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.len() == self.enc.plan.len()
+    }
+
+    /// Compresses chunk `index` without appending it to the stream. A pure
+    /// function of `(chunk, configuration)` — callers that already hold
+    /// several chunks can encode them in parallel and feed the results to
+    /// [`StreamWriter::push_encoded`] in order; this is exactly what the
+    /// batch engine [`crate::compress_chunked`] does.
+    ///
+    /// `chunk` must have the standalone shape of chunk `index`
+    /// ([`ChunkPlan::chunk_dims`]); any other shape is a typed error.
+    pub fn encode_chunk(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+        self.enc.encode(index, chunk)
+    }
 
     /// Compresses the next chunk and appends it to the stream. Chunks must
     /// arrive in plan order ([`StreamWriter::next_chunk_region`] names the
@@ -314,7 +380,7 @@ impl StreamWriter {
         if self.is_complete() {
             return Err(SzhiError::InvalidInput(format!(
                 "all {} chunks have already been pushed",
-                self.plan.len()
+                self.enc.plan.len()
             )));
         }
         let encoded = self.encode_chunk(self.chunks.len(), chunk)?;
@@ -357,16 +423,16 @@ impl StreamWriter {
             return Err(SzhiError::InvalidInput(format!(
                 "cannot finalize: only {} of {} chunks were pushed",
                 self.chunks.len(),
-                self.plan.len()
+                self.enc.plan.len()
             )));
         }
-        let bytes = write_stream_v3(&self.header, self.plan.span(), &self.chunks);
-        let original_bytes = self.header.dims.nbytes_f32();
+        let bytes = write_stream_v3(&self.enc.header, self.enc.plan.span(), &self.chunks);
+        let original_bytes = self.enc.header.dims.nbytes_f32();
         let stats = CompressionStats {
             original_bytes,
             compressed_bytes: bytes.len(),
             compression_ratio: original_bytes as f64 / bytes.len() as f64,
-            abs_eb: self.header.abs_eb,
+            abs_eb: self.enc.header.abs_eb,
             anchors: self.anchors,
             outliers: self.outliers,
             encoded_codes_bytes: self.payload_bytes,
@@ -375,13 +441,251 @@ impl StreamWriter {
     }
 }
 
-/// Lazy, checksum-verifying reader of chunked (v2) and streamed (v3)
-/// containers.
+/// Incremental, bounded-memory writer of trailered (v4) containers: the
+/// header goes to the backing [`io::Write`](std::io::Write) immediately,
+/// every pushed chunk's body follows the moment it is encoded, and
+/// [`StreamSink::finish`] appends the chunk table plus the fixed-size
+/// trailer that locates it. Memory high-water is **O(one encoded chunk +
+/// the chunk table)** — never O(field), and unlike [`StreamWriter`] never
+/// O(compressed stream) either, so a field larger than RAM can be
+/// compressed straight onto a file or socket.
 ///
-/// Construction parses and validates the header and chunk table only;
-/// chunk bodies are decoded on demand. Every access to a v3 chunk verifies
-/// its CRC32 first, so corrupted bytes are rejected
-/// ([`SzhiError::ChunkChecksum`]) before any lossless decoder runs.
+/// The sink accepts the same streaming-safe configurations as
+/// [`StreamWriter`] (absolute bound, no whole-field auto-tune) and shares
+/// its chunk encoder, so the chunk bodies it emits are byte-identical to
+/// the v3 writer's — only the container layout differs.
+///
+/// ```
+/// use szhi_core::{decompress, ErrorBound, StreamSink, StreamSource, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let dims = Dims::d3(40, 32, 32);
+/// let cfg = SzhiConfig::new(ErrorBound::Absolute(1e-3))
+///     .with_auto_tune(false)
+///     .with_chunk_span([32, 32, 32]);
+/// // Any io::Write works: a Vec here, a File or TcpStream in production.
+/// let mut sink = StreamSink::new(Vec::new(), dims, &cfg).unwrap();
+/// while let Some(region) = sink.next_chunk_region() {
+///     let chunk = Grid::from_fn(region.dims(), |z, y, x| {
+///         ((region.x0() + x) as f32 * 0.1).sin()
+///             + (region.z0() + z + region.y0() + y) as f32 * 0.01
+///     });
+///     sink.push_chunk(&chunk).unwrap();
+/// }
+/// let bytes = sink.finish().unwrap();
+/// // The trailered stream decompresses like any other container…
+/// assert_eq!(decompress(&bytes).unwrap().dims(), dims);
+/// // …and `StreamSource` reads it back without holding the whole stream.
+/// let mut source = StreamSource::from_bytes(&bytes).unwrap();
+/// assert_eq!(source.read_all().unwrap().dims(), dims);
+/// ```
+#[derive(Debug)]
+pub struct StreamSink<W: Write> {
+    out: W,
+    enc: ChunkEncoder,
+    /// One `(offset, len, pipeline, crc32)` record per pushed chunk — the
+    /// only per-chunk state the sink retains.
+    entries: Vec<(u64, u64, PipelineSpec, u32)>,
+    prefix_len: u64,
+    data_written: u64,
+    poisoned: bool,
+    anchors: usize,
+    outliers: usize,
+    payload_bytes: usize,
+}
+
+impl<W: Write> StreamSink<W> {
+    /// Creates a sink writing a trailered (v4) container for a field of
+    /// shape `dims` under `cfg` into `out`, emitting the header and chunk
+    /// span immediately. The configuration rules are those of
+    /// [`StreamWriter::new`] (absolute bound, auto-tune disabled); write
+    /// failures surface as [`SzhiError::Io`].
+    pub fn new(out: W, dims: Dims, cfg: &SzhiConfig) -> Result<StreamSink<W>, SzhiError> {
+        StreamSink::from_encoder(out, ChunkEncoder::from_config(dims, cfg)?)
+    }
+
+    fn from_encoder(mut out: W, enc: ChunkEncoder) -> Result<StreamSink<W>, SzhiError> {
+        let mut prefix = Vec::new();
+        format::write_header(&mut prefix, &enc.header, VERSION_TRAILERED);
+        for s in enc.plan.span() {
+            put_u32(&mut prefix, s as u32);
+        }
+        out.write_all(&prefix)?;
+        let n_chunks = enc.plan.len();
+        Ok(StreamSink {
+            out,
+            enc,
+            entries: Vec::with_capacity(n_chunks),
+            prefix_len: prefix.len() as u64,
+            data_written: 0,
+            poisoned: false,
+            anchors: 0,
+            outliers: 0,
+            payload_bytes: 0,
+        })
+    }
+
+    /// The chunk partition the sink expects chunks in (row-major plan
+    /// order).
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.enc.plan
+    }
+
+    /// Shape of the full field being written.
+    pub fn dims(&self) -> Dims {
+        self.enc.header.dims
+    }
+
+    /// The absolute error bound every chunk is compressed under.
+    pub fn abs_eb(&self) -> f64 {
+        self.enc.header.abs_eb
+    }
+
+    /// Index of the next chunk [`StreamSink::push_chunk`] expects.
+    pub fn next_index(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The region of the original field the next pushed chunk must cover,
+    /// or `None` once every chunk has been pushed.
+    pub fn next_chunk_region(&self) -> Option<Region> {
+        (self.entries.len() < self.enc.plan.len())
+            .then(|| self.enc.plan.chunk_at(self.entries.len()))
+    }
+
+    /// Whether every chunk of the plan has been pushed.
+    pub fn is_complete(&self) -> bool {
+        self.entries.len() == self.enc.plan.len()
+    }
+
+    /// Total bytes handed to the backing writer so far (header + chunk
+    /// bodies; the table and trailer are added by [`StreamSink::finish`]).
+    pub fn bytes_written(&self) -> u64 {
+        self.prefix_len + self.data_written
+    }
+
+    /// A reference to the backing writer.
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+
+    /// Compresses chunk `index` without appending it to the stream — the
+    /// same pure function as [`StreamWriter::encode_chunk`], so callers can
+    /// encode several chunks in parallel and feed
+    /// [`StreamSink::push_encoded`] in plan order.
+    pub fn encode_chunk(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+        self.enc.encode(index, chunk)
+    }
+
+    /// Compresses the next chunk and writes its body to the backing writer
+    /// immediately. Chunks must arrive in plan order with the standalone
+    /// shape of their plan slot ([`StreamSink::next_chunk_region`]).
+    pub fn push_chunk(&mut self, chunk: &Grid<f32>) -> Result<ChunkReceipt, SzhiError> {
+        if self.is_complete() {
+            return Err(SzhiError::InvalidInput(format!(
+                "all {} chunks have already been pushed",
+                self.enc.plan.len()
+            )));
+        }
+        let encoded = self.enc.encode(self.entries.len(), chunk)?;
+        let receipt = ChunkReceipt {
+            index: encoded.index,
+            pipeline: encoded.pipeline,
+            compressed_bytes: encoded.body.len(),
+        };
+        self.push_encoded(encoded)?;
+        Ok(receipt)
+    }
+
+    /// Writes a chunk previously produced by [`StreamSink::encode_chunk`]
+    /// to the backing writer. Chunks must be pushed strictly in plan order;
+    /// a gap or repeat is a typed error. After a write failure
+    /// ([`SzhiError::Io`]) the sink is poisoned — the stream position is
+    /// unknown — and every further push or finish fails.
+    pub fn push_encoded(&mut self, chunk: EncodedChunk) -> Result<(), SzhiError> {
+        self.check_poisoned()?;
+        if chunk.index != self.entries.len() {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk {} pushed out of order: the sink expects chunk {}",
+                chunk.index,
+                self.entries.len()
+            )));
+        }
+        let crc = crc32(&chunk.body);
+        if let Err(e) = self.out.write_all(&chunk.body) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.entries.push((
+            self.data_written,
+            chunk.body.len() as u64,
+            chunk.pipeline,
+            crc,
+        ));
+        self.data_written += chunk.body.len() as u64;
+        self.anchors += chunk.anchors;
+        self.outliers += chunk.outliers;
+        self.payload_bytes += chunk.payload_bytes;
+        Ok(())
+    }
+
+    /// Finalizes the trailered (v4) container: appends the chunk table and
+    /// the trailer, flushes, and returns the backing writer. Errors if any
+    /// chunk of the plan has not been pushed.
+    pub fn finish(self) -> Result<W, SzhiError> {
+        self.finish_with_stats().map(|(out, _)| out)
+    }
+
+    /// Finalizes the container and reports aggregated statistics alongside
+    /// the backing writer.
+    pub fn finish_with_stats(mut self) -> Result<(W, CompressionStats), SzhiError> {
+        self.check_poisoned()?;
+        if !self.is_complete() {
+            return Err(SzhiError::InvalidInput(format!(
+                "cannot finalize: only {} of {} chunks were pushed",
+                self.entries.len(),
+                self.enc.plan.len()
+            )));
+        }
+        let table_offset = self.prefix_len + self.data_written;
+        let tail = format::encode_table_tail(table_offset, &self.entries);
+        self.out.write_all(&tail)?;
+        self.out.flush()?;
+        let compressed_bytes = (table_offset + tail.len() as u64) as usize;
+        let original_bytes = self.enc.header.dims.nbytes_f32();
+        let stats = CompressionStats {
+            original_bytes,
+            compressed_bytes,
+            compression_ratio: original_bytes as f64 / compressed_bytes as f64,
+            abs_eb: self.enc.header.abs_eb,
+            anchors: self.anchors,
+            outliers: self.outliers,
+            encoded_codes_bytes: self.payload_bytes,
+        };
+        Ok((self.out, stats))
+    }
+
+    fn check_poisoned(&self) -> Result<(), SzhiError> {
+        if self.poisoned {
+            return Err(SzhiError::InvalidInput(
+                "the sink is poisoned by an earlier write failure: the stream position is \
+                 unknown, so the container cannot be completed"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lazy, checksum-verifying reader of chunked (v2), streamed (v3) and
+/// trailered (v4) containers held in memory.
+///
+/// Construction parses and validates the header and chunk table only
+/// (located behind the data area via the trailer for v4); chunk bodies are
+/// decoded on demand. Every access to a v3/v4 chunk verifies its CRC32
+/// first, so corrupted bytes are rejected ([`SzhiError::ChunkChecksum`])
+/// before any lossless decoder runs. To read a v4 container without
+/// holding the whole stream in memory, use [`StreamSource`].
 ///
 /// ```
 /// use szhi_core::{compress_chunked, ErrorBound, StreamReader, SzhiConfig};
@@ -412,12 +716,13 @@ pub struct StreamReader<'a> {
 }
 
 impl<'a> StreamReader<'a> {
-    /// Parses and validates the header and chunk table of a chunked (v2)
-    /// or streamed (v3) container. Monolithic (v1) streams have no chunk
-    /// table and are rejected with a typed error — decode those with
-    /// [`crate::decompress`].
+    /// Parses and validates the header and chunk table of a chunked (v2),
+    /// streamed (v3) or trailered (v4) container. Monolithic (v1) streams
+    /// have no chunk table and are rejected with a clear typed error —
+    /// decode those with [`crate::decompress`]; unknown future versions are
+    /// rejected as unsupported.
     pub fn new(bytes: &'a [u8]) -> Result<StreamReader<'a>, SzhiError> {
-        let (header, table) = read_stream_chunked(bytes)?;
+        let (header, table) = read_chunk_table(bytes)?;
         let plan = ChunkPlan::new(header.dims, table.span);
         Ok(StreamReader {
             bytes,
@@ -521,6 +826,352 @@ impl<'a> StreamReader<'a> {
             )));
         }
         Ok(())
+    }
+}
+
+/// Bounded-memory reader of chunked containers behind any
+/// [`io::Read`](std::io::Read)` + `[`io::Seek`](std::io::Seek) — a
+/// [`File`](std::fs::File), a [`Cursor`](std::io::Cursor) over bytes, or
+/// anything else seekable.
+///
+/// Construction reads and validates only the header and the chunk table:
+/// for trailered (v4) containers the fixed-size trailer at the end of the
+/// stream locates the table (whose bytes are verified against the
+/// trailer's CRC32 before any entry is parsed); for chunked (v2) and
+/// streamed (v3) containers the table sits directly after the header.
+/// Chunk bodies are then fetched with one seek + bounded read each and
+/// verified against their CRC32 (v3/v4) *before* any lossless decoder
+/// sees them — the same discipline as [`StreamReader`], without ever
+/// holding more than one compressed chunk in memory. Monolithic (v1)
+/// streams and unknown future versions are rejected with clear typed
+/// errors.
+///
+/// ```
+/// use std::io::Cursor;
+/// use szhi_core::{compress, ErrorBound, StreamSource, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let field = Grid::from_fn(Dims::d3(40, 32, 32), |z, y, x| {
+///     ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+/// });
+/// let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+/// let bytes = compress(&field, &cfg).unwrap();
+///
+/// // In production the reader is a File; a Cursor works the same way.
+/// let mut source = StreamSource::new(Cursor::new(&bytes[..])).unwrap();
+/// assert_eq!(source.chunk_count(), 2);
+/// for chunk in source.chunks() {
+///     let (region, sub) = chunk.unwrap();
+///     assert_eq!(sub.len(), region.len());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct StreamSource<R> {
+    reader: R,
+    version: u8,
+    header: Header,
+    span: [usize; 3],
+    entries: Vec<ChunkEntry>,
+    data_start: u64,
+    plan: ChunkPlan,
+}
+
+/// Reads exactly `n` bytes from `reader`, mapping failures (including a
+/// premature end of the stream) to [`SzhiError::Io`].
+fn read_exact_vec<R: Read>(reader: &mut R, n: usize, what: &str) -> Result<Vec<u8>, SzhiError> {
+    let mut buf = vec![0u8; n];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| SzhiError::Io(format!("reading {what}: {e}")))?;
+    Ok(buf)
+}
+
+impl<'a> StreamSource<std::io::Cursor<&'a [u8]>> {
+    /// Convenience constructor over an in-memory stream.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<Self, SzhiError> {
+        StreamSource::new(std::io::Cursor::new(bytes))
+    }
+}
+
+impl<R: Read + Seek> StreamSource<R> {
+    /// Opens a chunked (v2), streamed (v3) or trailered (v4) container,
+    /// reading and validating the header and chunk table only.
+    pub fn new(mut reader: R) -> Result<StreamSource<R>, SzhiError> {
+        reader
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| SzhiError::Io(format!("seeking to the stream start: {e}")))?;
+        // The fixed header prefix: magic, version, and everything through
+        // the level count at offset 48 (see docs/FORMAT.md).
+        let mut head = read_exact_vec(&mut reader, 49, "the stream header")?;
+        let version = format::read_magic_version(&mut ByteCursor::new(&head))?;
+        format::reject_unchunked_version(version)?;
+        let n_levels = head[48] as usize;
+        head.extend(read_exact_vec(
+            &mut reader,
+            2 * n_levels + 12,
+            "the predictor levels and chunk span",
+        )?);
+        let mut cur = ByteCursor::new(&head);
+        format::read_magic_version(&mut cur)?;
+        let header = format::read_header_fields(&mut cur)?;
+        let span = format::read_span(&mut cur)?;
+        let plan = format::validated_plan(&header, span)?;
+        let data_start = head.len() as u64;
+        let file_len = reader
+            .seek(SeekFrom::End(0))
+            .map_err(|e| SzhiError::Io(format!("seeking to the stream end: {e}")))?;
+        let (entries, data_start) = if version == VERSION_TRAILERED {
+            Self::parse_trailered_table(&mut reader, &header, &plan, data_start, file_len)?
+        } else {
+            Self::parse_leading_table(&mut reader, &header, &plan, version, data_start, file_len)?
+        };
+        Ok(StreamSource {
+            reader,
+            version,
+            header,
+            span,
+            entries,
+            data_start,
+            plan,
+        })
+    }
+
+    /// Locates and validates the chunk table of a v4 stream via its
+    /// trailer: trailer magic and geometry first, then the table CRC32,
+    /// then the entries.
+    fn parse_trailered_table(
+        reader: &mut R,
+        header: &Header,
+        plan: &ChunkPlan,
+        data_start: u64,
+        file_len: u64,
+    ) -> Result<(Vec<ChunkEntry>, u64), SzhiError> {
+        if file_len < data_start + TRAILER_SIZE as u64 {
+            return Err(SzhiError::TrailerCorrupt(format!(
+                "stream of {file_len} bytes is too short for a {TRAILER_SIZE}-byte trailer"
+            )));
+        }
+        let trailer_start = file_len - TRAILER_SIZE as u64;
+        reader
+            .seek(SeekFrom::Start(trailer_start))
+            .map_err(|e| SzhiError::Io(format!("seeking to the trailer: {e}")))?;
+        let tail = read_exact_vec(reader, TRAILER_SIZE, "the trailer")?;
+        let trailer = format::parse_trailer(&tail)?;
+        let table_len =
+            format::validate_trailer_geometry(&trailer, plan.len(), data_start, trailer_start)?;
+        reader
+            .seek(SeekFrom::Start(trailer.table_offset))
+            .map_err(|e| SzhiError::Io(format!("seeking to the chunk table: {e}")))?;
+        let table_bytes = read_exact_vec(reader, table_len as usize, "the chunk table")?;
+        let entries =
+            format::parse_trailered_entries(&table_bytes, &trailer, data_start, header.pipeline)?;
+        Ok((entries, data_start))
+    }
+
+    /// Reads and validates the leading chunk table of a v2/v3 stream (the
+    /// table sits directly after the chunk span; the data area follows).
+    fn parse_leading_table(
+        reader: &mut R,
+        header: &Header,
+        plan: &ChunkPlan,
+        version: u8,
+        table_at: u64,
+        file_len: u64,
+    ) -> Result<(Vec<ChunkEntry>, u64), SzhiError> {
+        reader
+            .seek(SeekFrom::Start(table_at))
+            .map_err(|e| SzhiError::Io(format!("seeking to the chunk table: {e}")))?;
+        let count_bytes = read_exact_vec(reader, 8, "the chunk count")?;
+        let n_chunks = u64::from_le_bytes(count_bytes.try_into().expect("8 bytes"));
+        let entry_size = if version == VERSION_STREAMED {
+            format::V3_ENTRY_SIZE
+        } else {
+            format::V2_ENTRY_SIZE
+        };
+        let remaining = file_len - (table_at + 8);
+        match n_chunks.checked_mul(entry_size as u64) {
+            Some(bytes) if bytes <= remaining => {}
+            _ => {
+                return Err(SzhiError::InvalidStream(format!(
+                    "chunk table count {n_chunks} exceeds the {remaining} bytes left in the \
+                     stream"
+                )))
+            }
+        }
+        if n_chunks != plan.len() as u64 {
+            return Err(SzhiError::InvalidStream(format!(
+                "chunk table lists {n_chunks} chunks, the {} field at span {:?} has {}",
+                header.dims,
+                plan.span(),
+                plan.len()
+            )));
+        }
+        let table_len = n_chunks * entry_size as u64;
+        let table_bytes = read_exact_vec(reader, table_len as usize, "the chunk table")?;
+        let mut cur = ByteCursor::new(&table_bytes);
+        let raw = format::read_raw_entries(&mut cur, version, n_chunks as usize, header.pipeline)?;
+        let data_start = table_at + 8 + table_len;
+        let data_len = file_len - data_start;
+        Ok((format::validate_extents(raw, data_len)?, data_start))
+    }
+
+    /// The container version of the stream (2, 3 or 4).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The parsed stream header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Shape of the full field the stream encodes.
+    pub fn dims(&self) -> Dims {
+        self.header.dims
+    }
+
+    /// Chunk span per axis `(z, y, x)`.
+    pub fn span(&self) -> [usize; 3] {
+        self.span
+    }
+
+    /// The chunk partition of the stream.
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
+    }
+
+    /// Number of chunks in the stream.
+    pub fn chunk_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The region of the original field chunk `index` covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see
+    /// [`StreamSource::chunk_count`]).
+    pub fn chunk_region(&self, index: usize) -> Region {
+        self.plan.chunk_at(index)
+    }
+
+    /// The lossless pipeline that encoded chunk `index` (from the v3/v4
+    /// mode byte; for v2 streams, the header's global pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see
+    /// [`StreamSource::chunk_count`]).
+    pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
+        self.entries[index].pipeline
+    }
+
+    fn check_index(&self, index: usize) -> Result<(), SzhiError> {
+        if index >= self.entries.len() {
+            return Err(SzhiError::InvalidInput(format!(
+                "chunk index {index} out of range for a stream of {} chunks",
+                self.entries.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fetches the body of chunk `index` (one seek + one bounded read) and
+    /// verifies it against its recorded CRC32 when the stream carries one.
+    fn fetch_chunk(&mut self, index: usize) -> Result<Vec<u8>, SzhiError> {
+        self.check_index(index)?;
+        let entry = self.entries[index];
+        self.reader
+            .seek(SeekFrom::Start(self.data_start + entry.offset as u64))
+            .map_err(|e| SzhiError::Io(format!("seeking to chunk {index}: {e}")))?;
+        let body = read_exact_vec(&mut self.reader, entry.len, "a chunk body")?;
+        if let Some(stored) = entry.checksum {
+            let computed = crc32(&body);
+            if computed != stored {
+                return Err(SzhiError::ChunkChecksum {
+                    index,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(body)
+    }
+
+    /// Verifies chunk `index` against its recorded CRC32 without decoding
+    /// it. v2 streams carry no checksums, so for them this is a true no-op
+    /// returning `Ok` — no seek, no read.
+    pub fn verify_chunk(&mut self, index: usize) -> Result<(), SzhiError> {
+        self.check_index(index)?;
+        if self.entries[index].checksum.is_none() {
+            return Ok(());
+        }
+        self.fetch_chunk(index).map(|_| ())
+    }
+
+    /// Decodes chunk `index`: reads its body from the backing reader,
+    /// verifies the checksum, then reconstructs the sub-field it covers.
+    /// Returns the chunk's region of the original field and the
+    /// reconstructed values.
+    pub fn read_chunk(&mut self, index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
+        let body = self.fetch_chunk(index)?;
+        let grid = decompress_chunk_body(
+            &self.header,
+            self.entries[index].pipeline,
+            self.plan.chunk_dims(index),
+            &body,
+        )?;
+        Ok((self.plan.chunk_at(index), grid))
+    }
+
+    /// Iterates over the decoded chunks **lazily**, in plan order: each
+    /// chunk is read, verified and decoded only when the iterator is
+    /// advanced, so one compressed body and one reconstructed sub-field
+    /// are in memory at a time.
+    pub fn chunks(&mut self) -> SourceChunks<'_, R> {
+        SourceChunks {
+            source: self,
+            next: 0,
+        }
+    }
+
+    /// Decodes every chunk sequentially and assembles the full field.
+    /// (Reads from one seekable source are inherently serial; decode the
+    /// stream via [`StreamReader::read_all`] instead if it is already in
+    /// memory and parallel decode matters.)
+    pub fn read_all(&mut self) -> Result<Grid<f32>, SzhiError> {
+        let mut out = Grid::zeros(self.header.dims);
+        for i in 0..self.entries.len() {
+            let (region, sub) = self.read_chunk(i)?;
+            out.insert(&region, sub.as_slice());
+        }
+        Ok(out)
+    }
+
+    /// Consumes the source, returning the backing reader.
+    pub fn into_inner(self) -> R {
+        self.reader
+    }
+}
+
+/// Lazy chunk iterator over a [`StreamSource`], returned by
+/// [`StreamSource::chunks`].
+#[derive(Debug)]
+pub struct SourceChunks<'a, R> {
+    source: &'a mut StreamSource<R>,
+    next: usize,
+}
+
+impl<R: Read + Seek> Iterator for SourceChunks<'_, R> {
+    type Item = Result<(Region, Grid<f32>), SzhiError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.source.chunk_count() {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some(self.source.read_chunk(index))
     }
 }
 
@@ -658,6 +1309,308 @@ mod tests {
         assert_eq!(eager.dims(), data.dims());
         assert_eq!(eager.as_slice(), decompress(&bytes).unwrap().as_slice());
         assert!(reader.read_chunk(reader.chunk_count()).is_err());
+    }
+
+    /// An `io::Write` that swallows `fail_after` writes, then fails every
+    /// subsequent one — for exercising the sink's poisoning discipline.
+    struct FailAfter(usize);
+
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.0 == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_emits_v4_with_the_same_chunks_as_the_v3_writer() {
+        let data = DatasetKind::Miranda.generate(Dims::d3(48, 40, 36), 21);
+        let cfg = stream_cfg([16, 16, 16]);
+        let v3 = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+
+        let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+        assert_eq!(sink.next_index(), 0);
+        assert_eq!(sink.dims(), data.dims());
+        assert!(sink.abs_eb() > 0.0);
+        while let Some(region) = sink.next_chunk_region() {
+            let dims = sink.plan().chunk_dims(sink.next_index());
+            let sub = Grid::from_vec(dims, data.extract(&region));
+            sink.push_chunk(&sub).unwrap();
+        }
+        assert!(sink.is_complete());
+        let (v4, stats) = sink.finish_with_stats().unwrap();
+        assert_eq!(
+            stream_version(&v4).unwrap(),
+            crate::format::VERSION_TRAILERED
+        );
+        assert_eq!(stats.compressed_bytes, v4.len());
+
+        // The sink shares the v3 writer's chunk encoder: rebuilding a v4
+        // container from the v3 stream's bodies and pipelines reproduces
+        // the sink's bytes exactly.
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let chunks: Vec<(PipelineSpec, Vec<u8>)> = (0..table.entries.len())
+            .map(|i| {
+                (
+                    table.entries[i].pipeline,
+                    table.chunk_slice(&v3, i).to_vec(),
+                )
+            })
+            .collect();
+        let rebuilt = crate::format::write_stream_v4(&header, table.span, &chunks);
+        assert_eq!(v4, rebuilt, "sink bytes must match write_stream_v4");
+
+        // And the trailered stream decompresses bit-identically to the v3
+        // stream through every reader.
+        let from_v3 = decompress(&v3).unwrap();
+        let from_v4 = decompress(&v4).unwrap();
+        assert_eq!(from_v3.as_slice(), from_v4.as_slice());
+        let reader = StreamReader::new(&v4).unwrap();
+        assert_eq!(reader.read_all().unwrap().as_slice(), from_v4.as_slice());
+        let mut source = StreamSource::from_bytes(&v4).unwrap();
+        assert_eq!(source.version(), crate::format::VERSION_TRAILERED);
+        assert_eq!(source.read_all().unwrap().as_slice(), from_v4.as_slice());
+    }
+
+    #[test]
+    fn sink_enforces_order_shape_completeness_and_poisoning() {
+        let data = DatasetKind::Nyx.generate(Dims::d3(32, 32, 32), 5);
+        let cfg = stream_cfg([16, 16, 16]);
+        let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+        assert_eq!(sink.plan().len(), 8);
+
+        // Wrong shape.
+        let wrong = Grid::zeros(Dims::d3(8, 16, 16));
+        assert!(matches!(
+            sink.push_chunk(&wrong),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("shape")
+        ));
+
+        // Out-of-order push of a pre-encoded chunk.
+        let region = sink.plan().chunk_at(3);
+        let sub = Grid::from_vec(region.dims(), data.extract(&region));
+        let encoded = sink.encode_chunk(3, &sub).unwrap();
+        assert!(matches!(
+            sink.push_encoded(encoded),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("out of order")
+        ));
+
+        // Finishing early.
+        let region = sink.plan().chunk_at(0);
+        let sub = Grid::from_vec(region.dims(), data.extract(&region));
+        sink.push_chunk(&sub).unwrap();
+        assert!(matches!(
+            sink.finish(),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("1 of 8")
+        ));
+
+        // Streaming-hostile configs are rejected like the v3 writer's.
+        let relative = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_auto_tune(false);
+        assert!(matches!(
+            StreamSink::new(Vec::new(), data.dims(), &relative),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("relative")
+        ));
+
+        // A failed write poisons the sink: the error is typed Io, and every
+        // further push or finish reports the poisoning.
+        let mut sink = StreamSink::new(FailAfter(1), data.dims(), &cfg).unwrap();
+        let region = sink.plan().chunk_at(0);
+        let sub = Grid::from_vec(region.dims(), data.extract(&region));
+        assert!(matches!(sink.push_chunk(&sub), Err(SzhiError::Io(_))));
+        assert!(matches!(
+            sink.push_chunk(&sub),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("poisoned")
+        ));
+        assert!(matches!(
+            sink.finish(),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("poisoned")
+        ));
+    }
+
+    #[test]
+    fn source_reads_every_chunked_version_like_the_slice_reader() {
+        let data = DatasetKind::Rtm.generate(Dims::d3(40, 40, 24), 13);
+        let cfg = stream_cfg([16, 16, 16]);
+        let v3 = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+        // Reassemble v2 and v4 containers carrying the same chunk bodies.
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let bodies: Vec<Vec<u8>> = (0..table.entries.len())
+            .map(|i| table.chunk_slice(&v3, i).to_vec())
+            .collect();
+        let chunks: Vec<(PipelineSpec, Vec<u8>)> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (table.entries[i].pipeline, b.clone()))
+            .collect();
+        let v2 = crate::format::write_stream_v2(&header, table.span, &bodies);
+        let v4 = crate::format::write_stream_v4(&header, table.span, &chunks);
+
+        let expect = decompress(&v3).unwrap();
+        for (version, bytes) in [(2u8, &v2), (3, &v3), (4, &v4)] {
+            let mut source = StreamSource::from_bytes(bytes).unwrap();
+            assert_eq!(source.version(), version, "v{version}");
+            assert_eq!(source.dims(), data.dims());
+            assert_eq!(source.span(), table.span);
+            assert_eq!(source.chunk_count(), table.entries.len());
+            assert_eq!(source.header().pipeline, header.pipeline);
+            for i in 0..source.chunk_count() {
+                source.verify_chunk(i).unwrap();
+                assert_eq!(source.chunk_pipeline(i), table.entries[i].pipeline);
+                assert_eq!(source.chunk_region(i), source.plan().chunk_at(i));
+            }
+            let mut covered = 0usize;
+            for chunk in source.chunks() {
+                let (region, sub) = chunk.unwrap();
+                assert_eq!(sub.len(), region.len());
+                covered += region.len();
+            }
+            assert_eq!(covered, data.dims().len());
+            assert_eq!(
+                source.read_all().unwrap().as_slice(),
+                expect.as_slice(),
+                "v{version} source disagrees with decompress"
+            );
+            assert!(source.read_chunk(source.chunk_count()).is_err());
+            let _ = source.into_inner();
+        }
+    }
+
+    #[test]
+    fn reader_and_source_reject_v1_and_unknown_versions_clearly() {
+        let data = DatasetKind::Nyx.generate(Dims::d3(20, 20, 20), 2);
+        let v1 = crate::compressor::compress(&data, &SzhiConfig::new(ErrorBound::Relative(1e-2)))
+            .unwrap();
+        assert_eq!(stream_version(&v1).unwrap(), crate::format::VERSION);
+        let mut v5 = compress_chunked(&data, &stream_cfg([16, 16, 16]), [16, 16, 16]).unwrap();
+        v5[4] = 5;
+
+        // v1: named monolithic, pointed at `decompress` — not a confusing
+        // chunk-table parse failure.
+        for result in [
+            StreamReader::new(&v1).err(),
+            StreamSource::from_bytes(&v1).err(),
+        ] {
+            match result {
+                Some(SzhiError::InvalidStream(msg)) => {
+                    assert!(msg.contains("monolithic"), "unexpected message: {msg}");
+                    assert!(msg.contains("decompress"), "unexpected message: {msg}");
+                }
+                other => panic!("v1 not rejected clearly: {other:?}"),
+            }
+        }
+        // v5: named unsupported, with the version number.
+        for result in [
+            StreamReader::new(&v5).err(),
+            StreamSource::from_bytes(&v5).err(),
+        ] {
+            match result {
+                Some(SzhiError::InvalidStream(msg)) => {
+                    assert!(msg.contains("unsupported"), "unexpected message: {msg}");
+                    assert!(msg.contains('5'), "unexpected message: {msg}");
+                }
+                other => panic!("v5 not rejected clearly: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v4_byte_flips_and_truncations_through_the_source_never_panic() {
+        // The io-backed read path must uphold the same discipline as the
+        // slice readers: every single-byte corruption and every truncation
+        // of a v4 stream surfaces as a typed error, never a panic.
+        let data = DatasetKind::Qmcpack.generate(Dims::d3(20, 20, 20), 3);
+        let cfg = stream_cfg([16, 16, 16]);
+        let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+        while let Some(region) = sink.next_chunk_region() {
+            let dims = sink.plan().chunk_dims(sink.next_index());
+            sink.push_chunk(&Grid::from_vec(dims, data.extract(&region)))
+                .unwrap();
+        }
+        let bytes = sink.finish().unwrap();
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok(mut source) = StreamSource::from_bytes(&corrupt) {
+                        let _ = source.read_all();
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "source panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+        for cut in [0usize, 4, 40, bytes.len() / 2, bytes.len() - 1] {
+            let result = std::panic::catch_unwind(|| {
+                if let Ok(mut source) = StreamSource::from_bytes(&bytes[..cut]) {
+                    let _ = source.read_all();
+                }
+            });
+            assert!(result.is_ok(), "source panicked at truncation {cut}");
+        }
+    }
+
+    #[test]
+    fn per_chunk_tuning_never_loses_to_a_global_mode_even_at_tight_bounds() {
+        // Regression for the eb-sensitivity PR 3 noted: at tight bounds the
+        // noisy half's codes saturate into outliers and both pipelines see
+        // similar inputs, so per-chunk selection may stop *winning* — but
+        // because every chunk independently keeps the smaller of the two
+        // payloads (ties falling back to the configured default), the tuned
+        // stream must never be *larger* than the best global mode. The
+        // container overhead is identical (v3 entries are fixed-size), so
+        // the guarantee is exact, not approximate.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+        let span = [32, 32, 32];
+        for abs_eb in [2e-3, 1e-5, 1e-7] {
+            let base = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+                .with_auto_tune(false)
+                .with_chunk_span(span);
+            let cr =
+                compress_chunked(&data, &base.clone().with_mode(PipelineMode::Cr), span).unwrap();
+            let tp =
+                compress_chunked(&data, &base.clone().with_mode(PipelineMode::Tp), span).unwrap();
+            let tuned = compress_chunked(
+                &data,
+                &base.clone().with_mode_tuning(ModeTuning::PerChunk),
+                span,
+            )
+            .unwrap();
+            assert!(
+                tuned.len() <= cr.len() && tuned.len() <= tp.len(),
+                "eb {abs_eb:e}: per-chunk ({} B) larger than global CR ({} B) or TP ({} B)",
+                tuned.len(),
+                cr.len(),
+                tp.len()
+            );
+            // The clean-fallback guard: if saturation pushed every chunk to
+            // the default (CR) mode, the tuned stream must be byte-identical
+            // to the global default stream — no stray mode bytes, no size
+            // drift.
+            let reader = StreamReader::new(&tuned).unwrap();
+            let all_default =
+                (0..reader.chunk_count()).all(|i| reader.chunk_pipeline(i) == PipelineSpec::CR);
+            if all_default {
+                assert_eq!(
+                    tuned, cr,
+                    "eb {abs_eb:e}: all-default tuned stream must equal CR"
+                );
+            }
+            // And the stream still honours the bound.
+            let recon = decompress(&tuned).unwrap();
+            for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+                assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
+            }
+        }
     }
 
     #[test]

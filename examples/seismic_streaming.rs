@@ -1,20 +1,31 @@
-//! Seismic-imaging scenario: streaming compression of RTM snapshots.
+//! Seismic-imaging scenario: streaming compression of RTM snapshots to
+//! real files with bounded memory.
 //!
 //! ```bash
 //! cargo run --release --example seismic_streaming
 //! ```
 //!
-//! Reverse-time-migration (the paper's RTM dataset) writes a long sequence of
-//! wavefield snapshots that must be compressed on the fly and read back later
-//! in reverse order. This example streams each snapshot through the v3
-//! [`StreamWriter`] chunk by chunk — the full snapshot is never handed to the
-//! compressor in one piece — with per-chunk pipeline-mode tuning, measures
-//! the sustained throughput, and replays the archive in reverse through the
-//! lazy [`StreamReader`], letting its CRC32 chunk checksums vouch for the
-//! archive's integrity.
+//! Reverse-time-migration (the paper's RTM dataset) writes a long sequence
+//! of wavefield snapshots that must be compressed on the fly and read back
+//! later in reverse order. This example streams each snapshot through the
+//! v4 [`StreamSink`] straight onto a `File` — neither the uncompressed
+//! snapshot nor the compressed stream ever exists in memory in one piece:
+//! each chunk body hits the disk the moment it is encoded, and the chunk
+//! table plus trailer land at `finish()`. The archive is then replayed in
+//! reverse through the seek-based [`StreamSource`], which locates each
+//! file's chunk table via its trailer and lets the CRC32 table and chunk
+//! checksums vouch for the archive's integrity, one chunk in memory at a
+//! time.
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::time::Instant;
 use szhi::prelude::*;
+
+fn archive_path(dir: &std::path::Path, step: usize) -> PathBuf {
+    dir.join(format!("rtm_snapshot_{step:03}.szhi"))
+}
 
 fn main() {
     let dims = Dims::d3(96, 96, 48);
@@ -23,7 +34,7 @@ fn main() {
     let originals: Vec<Grid<f32>> = (0..n_snapshots)
         .map(|step| DatasetKind::Rtm.generate(dims, 1000 + step as u64))
         .collect();
-    // Streaming can't resolve a value-range-relative bound (the writer never
+    // Streaming can't resolve a value-range-relative bound (the sink never
     // sees the whole field), so derive the absolute bound once from the
     // first snapshot's dynamic range — what a real acquisition pipeline does
     // with its instrument precision.
@@ -35,23 +46,29 @@ fn main() {
         .with_chunk_span([48, 48, 48])
         .with_mode_tuning(ModeTuning::PerChunk);
 
-    println!("streaming {n_snapshots} RTM-like snapshots of {dims} each\n");
-    let mut archived: Vec<Vec<u8>> = Vec::new();
+    let dir = std::env::temp_dir().join(format!("szhi_seismic_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create archive directory");
+    println!(
+        "streaming {n_snapshots} RTM-like snapshots of {dims} each to {}\n",
+        dir.display()
+    );
+
     let mut total_in = 0usize;
-    let mut total_out = 0usize;
+    let mut total_out = 0u64;
     let start = Instant::now();
-    for snapshot in &originals {
-        // Feed the writer one chunk at a time, as a solver would emit them.
-        let mut writer = StreamWriter::new(dims, &cfg).expect("streaming config");
-        while let Some(region) = writer.next_chunk_region() {
-            let chunk_dims = writer.plan().chunk_dims(writer.next_index());
+    for (step, snapshot) in originals.iter().enumerate() {
+        // Feed the sink one chunk at a time, as a solver would emit them;
+        // every chunk body goes to the file immediately.
+        let file = BufWriter::new(File::create(archive_path(&dir, step)).expect("create archive"));
+        let mut sink = StreamSink::new(file, dims, &cfg).expect("streaming config");
+        while let Some(region) = sink.next_chunk_region() {
+            let chunk_dims = sink.plan().chunk_dims(sink.next_index());
             let chunk = Grid::from_vec(chunk_dims, snapshot.extract(&region));
-            writer.push_chunk(&chunk).expect("push");
+            sink.push_chunk(&chunk).expect("push");
         }
-        let compressed = writer.finish().expect("finish");
+        let (_, stats) = sink.finish_with_stats().expect("finish");
         total_in += dims.nbytes_f32();
-        total_out += compressed.len();
-        archived.push(compressed);
+        total_out += stats.compressed_bytes as u64;
     }
     let elapsed = start.elapsed();
     println!(
@@ -63,11 +80,17 @@ fn main() {
     );
 
     // RTM consumes the snapshots in reverse order during the imaging sweep;
-    // the lazy reader checks every chunk's CRC32 before decoding it.
-    for (step, (bytes, original)) in archived.iter().zip(&originals).enumerate().rev() {
-        let reader = StreamReader::new(bytes).expect("parse");
+    // the seek-based source checks the table CRC32 at open and every
+    // chunk's CRC32 before decoding it — one chunk in memory at a time.
+    for (step, original) in originals.iter().enumerate().rev() {
+        let file = BufReader::new(File::open(archive_path(&dir, step)).expect("open archive"));
+        let mut source = StreamSource::new(file).expect("parse trailer + table");
         let mut restored = Grid::zeros(dims);
-        for chunk in reader.chunks() {
+        let mut modes = std::collections::BTreeSet::new();
+        for i in 0..source.chunk_count() {
+            modes.insert(source.chunk_pipeline(i).name());
+        }
+        for chunk in source.chunks() {
             let (region, sub) = chunk.expect("chunk decode");
             restored.insert(&region, sub.as_slice());
         }
@@ -77,14 +100,12 @@ fn main() {
             "snapshot {step} violated its bound"
         );
         if step == 0 || step == n_snapshots - 1 {
-            let modes: std::collections::BTreeSet<&str> = (0..reader.chunk_count())
-                .map(|i| reader.chunk_pipeline(i).name())
-                .collect();
             println!(
                 "snapshot {step}: PSNR {:.1} dB, max error {:.3e} ≤ bound {:.3e}, chunk modes {:?}",
                 q.psnr, q.max_abs_error, abs_eb, modes
             );
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
     println!("all snapshots verified within the error bound (reverse replay order).");
 }

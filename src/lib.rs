@@ -38,8 +38,8 @@ pub use szhi_core::{compress, decompress};
 pub mod prelude {
     pub use szhi_baselines::Compressor;
     pub use szhi_core::{
-        compress, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader, StreamWriter,
-        SzhiConfig,
+        compress, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader, StreamSink,
+        StreamSource, StreamWriter, SzhiConfig,
     };
     pub use szhi_datagen::DatasetKind;
     pub use szhi_metrics::QualityReport;

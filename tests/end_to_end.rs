@@ -256,6 +256,96 @@ fn streaming_writer_matches_the_batch_engine_at_every_thread_count() {
     ));
 }
 
+/// An `io::Write` wrapper around a `File` that tracks delivery: the total
+/// bytes received and the largest single `write` call. Every byte the sink
+/// hands over goes straight to disk, so `total` is also the file length.
+struct PeakTrackingFile {
+    file: std::fs::File,
+    total: u64,
+    max_write: usize,
+}
+
+impl std::io::Write for PeakTrackingFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.write_all(buf)?;
+        self.total += buf.len() as u64;
+        self.max_write = self.max_write.max(buf.len());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[test]
+fn stream_sink_to_a_file_roundtrips_bit_identically_with_bounded_buffering() {
+    // The v4 acceptance contract: a field streamed through StreamSink<File>
+    // round-trips via StreamSource bit-identically to in-memory decompress
+    // of the same bytes — and the peak-tracking Write wrapper demonstrates
+    // the sink never buffers more than one encoded chunk plus the table.
+    use szhi::core::{StreamSink, StreamSource, TRAILER_SIZE};
+
+    let data = DatasetKind::Miranda.generate(Dims::d3(70, 66, 50), 9);
+    let abs_eb = 2e-3;
+    let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32])
+        .with_mode_tuning(ModeTuning::PerChunk);
+
+    let path = std::env::temp_dir().join(format!("szhi_sink_test_{}.szhi", std::process::id()));
+    let out = PeakTrackingFile {
+        file: std::fs::File::create(&path).unwrap(),
+        total: 0,
+        max_write: 0,
+    };
+    let mut sink = StreamSink::new(out, data.dims(), &cfg).unwrap();
+    let n_chunks = sink.plan().len();
+    let mut max_encoded = 0usize;
+    while let Some(region) = sink.next_chunk_region() {
+        let dims = sink.plan().chunk_dims(sink.next_index());
+        let chunk = Grid::from_vec(dims, data.extract(&region));
+        let receipt = sink.push_chunk(&chunk).unwrap();
+        max_encoded = max_encoded.max(receipt.compressed_bytes);
+        // Every chunk body reaches the backing file the moment it is
+        // pushed: the sink retains no body bytes at all.
+        assert_eq!(
+            sink.get_ref().total,
+            sink.bytes_written(),
+            "the sink buffered a chunk body instead of writing it through"
+        );
+    }
+    let (out, stats) = sink.finish_with_stats().unwrap();
+    assert_eq!(out.total, stats.compressed_bytes as u64);
+    // The largest single hand-over is one encoded chunk body or the final
+    // table-plus-trailer tail — the sink's memory high-water, O(chunk +
+    // table), never O(stream).
+    let tail_len = n_chunks * 21 + TRAILER_SIZE;
+    assert!(
+        out.max_write <= max_encoded.max(tail_len),
+        "largest write {} exceeds one chunk ({max_encoded}) / the table tail ({tail_len})",
+        out.max_write
+    );
+    drop(out);
+
+    // Round-trip through the seek-based source straight off the file…
+    let file = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let mut source = StreamSource::new(file).unwrap();
+    assert_eq!(source.chunk_count(), n_chunks);
+    let from_file = source.read_all().unwrap();
+    // …and bit-identically to in-memory decompress of the same bytes.
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.len(), stats.compressed_bytes);
+    let in_memory = decompress(&bytes).unwrap();
+    assert_eq!(
+        from_file.as_slice(),
+        in_memory.as_slice(),
+        "StreamSource and decompress disagree on the same stream"
+    );
+    assert_bound(&data, &in_memory, abs_eb, "v4 sink roundtrip");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn per_chunk_mode_selection_improves_mixed_fields() {
     // A field with a smooth half and a noisy half: tuning the lossless
