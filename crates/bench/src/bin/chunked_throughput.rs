@@ -7,10 +7,14 @@
 //! speedup over chunked-at-1-thread — with ≥ 4 hardware threads on a
 //! ≥ 256³ field it should exceed 1.5×.
 //!
-//! A second section measures **per-chunk pipeline-mode selection** on a
-//! mixed smooth/noisy field: the compressed size under each global mode,
-//! the size with `ModeTuning::PerChunk`, the CR delta, and the histogram
-//! of chosen modes straight from the v3 chunk table.
+//! A second section measures **orchestration** on a mixed smooth/noisy
+//! field: compressed size and tuning wall-time for every mode-tuning
+//! policy — both global modes, `ModeTuning::PerChunk` over {CR, TP},
+//! exhaustive trial-encoding over the fig6 catalogue, and the
+//! estimator-guided `ModeTuning::Estimated` — plus per-chunk interpolation
+//! tuning (the v5 container), with mode and config histograms straight
+//! from the chunk table. Headline criteria: the estimated stream stays
+//! within 1.05× of the exhaustive one at measurably lower tuning time.
 //!
 //! A third section measures the **bounded-memory v4 sink**: the same field
 //! streamed chunk-by-chunk through the in-memory `StreamWriter` (v3,
@@ -120,7 +124,7 @@ fn main() {
         eprintln!("WARNING: expected a wall-clock speedup > 1.5x with >= 4 threads");
     }
 
-    per_chunk_mode_section(n);
+    orchestration_section(n);
     streaming_sink_section(&data);
 }
 
@@ -221,9 +225,35 @@ fn streaming_sink_section(data: &Grid<f32>) {
     );
 }
 
-/// Measures per-chunk pipeline-mode selection against both global modes on
-/// a mixed smooth/noisy field and reports the chosen-mode histogram.
-fn per_chunk_mode_section(n: usize) {
+/// A compact per-level signature of an interpolation configuration, e.g.
+/// `MC-MC-DL-DL` (scheme Multi-dim/Dim-sequence × spline Cubic/Linear).
+fn interp_signature(interp: &szhi_predictor::InterpConfig) -> String {
+    use szhi_predictor::{Scheme, Spline};
+    interp
+        .levels
+        .iter()
+        .map(|lc| {
+            let s = match lc.scheme {
+                Scheme::MultiDim => 'M',
+                Scheme::DimSequence => 'D',
+            };
+            let p = match lc.spline {
+                Spline::Cubic => 'C',
+                Spline::Linear => 'L',
+            };
+            format!("{s}{p}")
+        })
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// The orchestration section: tuning wall-time and compression ratio of
+/// every mode-tuning policy — global, per-chunk {CR, TP} trial-encode,
+/// exhaustive fig6 trial-encode, estimator-guided fig6 — plus the v5
+/// per-chunk-interp configuration, with mode and config histograms straight
+/// from the chunk table. The headline numbers are the estimated policy's
+/// size (≤ 1.05× exhaustive) and tuning time (well below exhaustive).
+fn orchestration_section(n: usize) {
     let dims = Dims::d3((n / 2).max(32), (n / 2).max(32), n.max(64));
     let data = szhi_datagen::mixed_smooth_noisy(dims);
     // A fixed absolute bound that keeps the noisy half's quantization codes
@@ -237,49 +267,107 @@ fn per_chunk_mode_section(n: usize) {
 
     let mut rows = Vec::new();
     let mut sizes = BTreeMap::new();
+    let mut times = BTreeMap::new();
     for (label, cfg) in [
         ("global CR", base.clone().with_mode(PipelineMode::Cr)),
         ("global TP", base.clone().with_mode(PipelineMode::Tp)),
         (
-            "per-chunk",
+            "per-chunk {CR,TP}",
             base.clone().with_mode_tuning(ModeTuning::PerChunk),
+        ),
+        (
+            "exhaustive fig6",
+            base.clone().with_mode_tuning(ModeTuning::exhaustive()),
+        ),
+        (
+            "estimated fig6",
+            base.clone().with_mode_tuning(ModeTuning::estimated()),
+        ),
+        (
+            "estimated + interp (v5)",
+            base.clone()
+                .with_mode_tuning(ModeTuning::estimated())
+                .with_chunk_interp_tuning(true),
         ),
     ] {
         let sw = Stopwatch::start();
         let bytes = compress(&data, &cfg).expect("compression failed");
         let comp = sw.finish(dims.nbytes_f32());
-        let reader = StreamReader::new(&bytes).expect("v3 stream");
-        let mut histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let reader = StreamReader::new(&bytes).expect("chunked stream");
+        let mut modes: BTreeMap<String, usize> = BTreeMap::new();
+        let mut configs: BTreeMap<String, usize> = BTreeMap::new();
         for i in 0..reader.chunk_count() {
-            *histogram
-                .entry(reader.chunk_pipeline(i).name())
+            *modes
+                .entry(reader.chunk_pipeline(i).name().to_string())
                 .or_insert(0) += 1;
+            if cfg.chunk_interp_tuning {
+                *configs
+                    .entry(interp_signature(&reader.chunk_interp(i)))
+                    .or_insert(0) += 1;
+            }
         }
-        let modes = histogram
-            .iter()
-            .map(|(name, count)| format!("{count}×{name}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let fmt_hist = |h: &BTreeMap<_, usize>| {
+            h.iter()
+                .map(|(k, count)| format!("{count}×{k}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         sizes.insert(label, bytes.len());
+        times.insert(label, comp.elapsed.as_secs_f64());
+        let configs_cell = if cfg.chunk_interp_tuning {
+            fmt_hist(&configs)
+        } else {
+            "(header)".into()
+        };
         rows.push(vec![
             label.into(),
+            format!("v{}", szhi_core::stream_version(&bytes).unwrap()),
             format!("{:.2}", original / bytes.len() as f64),
             bytes.len().to_string(),
             fmt_ms(comp.elapsed),
-            modes,
+            fmt_hist(&modes),
+            configs_cell,
         ]);
     }
     print_table(
-        &format!("Per-chunk vs global pipeline-mode tuning on a mixed smooth/noisy {dims} field"),
-        &["tuning", "ratio", "bytes", "comp ms", "chosen modes"],
+        &format!("Orchestration policies on a mixed smooth/noisy {dims} field (chunk span 32³)"),
+        &[
+            "tuning",
+            "ver",
+            "ratio",
+            "bytes",
+            "comp ms",
+            "chosen modes",
+            "chosen configs",
+        ],
         &rows,
     );
+
     let best_global = sizes["global CR"].min(sizes["global TP"]);
-    let tuned = sizes["per-chunk"];
     println!(
-        "\nper-chunk tuning CR delta: {:+.2}% vs best global mode ({} B -> {} B)",
-        100.0 * (best_global as f64 / tuned as f64 - 1.0),
+        "\nper-chunk {{CR,TP}} CR delta: {:+.2}% vs best global mode ({} B -> {} B)",
+        100.0 * (best_global as f64 / sizes["per-chunk {CR,TP}"] as f64 - 1.0),
         best_global,
-        tuned,
+        sizes["per-chunk {CR,TP}"],
     );
+    // The acceptance numbers: estimated-vs-exhaustive size (must stay
+    // within 1.05x) and tuning wall-time (compression time beyond the
+    // untuned global-CR baseline; the estimator must spend measurably
+    // less of it than the exhaustive sweep).
+    let size_ratio = sizes["estimated fig6"] as f64 / sizes["exhaustive fig6"] as f64;
+    let tune_exh = (times["exhaustive fig6"] - times["global CR"]).max(0.0);
+    let tune_est = (times["estimated fig6"] - times["global CR"]).max(0.0);
+    println!(
+        "estimated vs exhaustive over fig6: size x{size_ratio:.4} \
+         (criterion: <= 1.05), tuning time {:.0} ms vs {:.0} ms ({:.1}x less)",
+        tune_est * 1e3,
+        tune_exh * 1e3,
+        tune_exh / tune_est.max(1e-9),
+    );
+    if size_ratio > 1.05 {
+        eprintln!("WARNING: estimated stream exceeds 1.05x the exhaustive stream");
+    }
+    if tune_est >= tune_exh {
+        eprintln!("WARNING: estimated tuning was not faster than exhaustive trial-encoding");
+    }
 }

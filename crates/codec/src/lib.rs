@@ -46,4 +46,4 @@ pub mod lz;
 pub mod pipeline;
 
 pub use error::CodecError;
-pub use pipeline::{Pipeline, PipelineSpec, Stage};
+pub use pipeline::{Pipeline, PipelineSpec, Stage, StageSpec};

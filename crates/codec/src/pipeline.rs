@@ -244,6 +244,101 @@ impl std::fmt::Debug for Pipeline {
     }
 }
 
+/// One stage of a named pipeline, as introspectable data.
+///
+/// [`PipelineSpec::stages`] exposes every named pipeline as a list of
+/// `StageSpec`s, and [`PipelineSpec::build`] materialises the runnable
+/// [`Pipeline`] from the same list — so a cost model (such as the
+/// `szhi-tuner` size estimator) that walks `stages()` can never drift from
+/// what the encoder actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageSpec {
+    /// Canonical Huffman entropy coding (`HF`).
+    Huffman,
+    /// Static rANS entropy coding (`ANS`).
+    Ans,
+    /// The Bitcomp simulator (`BITCOMP`).
+    Bitcomp,
+    /// Fast LZSS (`LZ-FAST`).
+    LzFast,
+    /// Thorough LZSS (`LZ-THOROUGH`).
+    LzThorough,
+    /// Run-of-repeats elimination at the given symbol width (`RRE{w}`).
+    Rre(usize),
+    /// Run-of-zeros elimination at the given symbol width (`RZE{w}`).
+    Rze(usize),
+    /// Two's-complement → magnitude-sign transform at the given symbol
+    /// width (`TCMS{w}`).
+    Tcms(usize),
+    /// Bit shuffle at the given symbol width (`BIT{w}`).
+    Bit(usize),
+    /// Difference + magnitude-sign transform (`DIFFMS{w}`).
+    DiffMs(usize),
+    /// Conditional-logarithm transform (`CLOG{w}`).
+    Clog(usize),
+    /// Quad-tuple interleave (`TUPLQ1`).
+    TuplQ,
+    /// Duo-tuple de-interleave (`TUPLD2`).
+    TuplD,
+}
+
+impl StageSpec {
+    /// Whether this stage is an entropy coder (Huffman or ANS), whose
+    /// output size a histogram entropy bound models well and whose output
+    /// bytes are near-incompressible for the downstream stages.
+    pub fn is_entropy_coder(&self) -> bool {
+        matches!(self, StageSpec::Huffman | StageSpec::Ans)
+    }
+
+    /// Whether this stage is a pure length-preserving transform (no
+    /// headers, no size change): TCMS, BIT, DIFFMS, CLOG, TUPL.
+    pub fn is_transform(&self) -> bool {
+        matches!(
+            self,
+            StageSpec::Tcms(_)
+                | StageSpec::Bit(_)
+                | StageSpec::DiffMs(_)
+                | StageSpec::Clog(_)
+                | StageSpec::TuplQ
+                | StageSpec::TuplD
+        )
+    }
+
+    /// Materialises the runnable stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a symbol width no named pipeline uses (the catalogue only
+    /// instantiates RRE at widths 1/2/4, RZE/BIT/DIFFMS/CLOG at width 1 and
+    /// TCMS at widths 1/8).
+    pub fn build(&self) -> Box<dyn Stage> {
+        match *self {
+            StageSpec::Huffman => Box::new(HuffmanStage),
+            StageSpec::Ans => Box::new(AnsStage),
+            StageSpec::Bitcomp => Box::new(BitcompStage),
+            StageSpec::LzFast => Box::new(LzFastStage),
+            StageSpec::LzThorough => Box::new(LzThoroughStage),
+            StageSpec::Rre(1) => Box::new(Rre1Stage::new()),
+            StageSpec::Rre(2) => Box::new(Rre2Stage::new()),
+            StageSpec::Rre(4) => Box::new(Rre4Stage::new()),
+            StageSpec::Rze(1) => Box::new(Rze1Stage::new()),
+            StageSpec::Tcms(1) => Box::new(Tcms1Stage::new()),
+            StageSpec::Tcms(8) => Box::new(Tcms8Stage::new()),
+            StageSpec::Bit(1) => Box::new(Bit1Stage::new()),
+            StageSpec::DiffMs(1) => Box::new(DiffMs1Stage::new()),
+            StageSpec::Clog(1) => Box::new(Clog1Stage::new()),
+            StageSpec::TuplQ => Box::new(TuplQ1Stage::new()),
+            StageSpec::TuplD => Box::new(TuplD2Stage::new()),
+            StageSpec::Rre(w) | StageSpec::Rze(w) | StageSpec::Tcms(w) => {
+                panic!("no named pipeline uses this stage at width {w}")
+            }
+            StageSpec::Bit(w) | StageSpec::DiffMs(w) | StageSpec::Clog(w) => {
+                panic!("no named pipeline uses this stage at width {w}")
+            }
+        }
+    }
+}
+
 /// Every named lossless pipeline used in the paper.
 ///
 /// The first two variants are the production pipelines of cuSZ-Hi
@@ -417,6 +512,14 @@ impl PipelineSpec {
     /// instead of a panic, so a misconfigured per-chunk mode tuner can
     /// never abort a long-running stream.
     ///
+    /// The selection contract is identical to `encode_select`: the winner
+    /// is the smallest payload, and **ties break toward the earliest
+    /// candidate** — putting a preferred default first makes the choice
+    /// deterministic. Repeated candidates are deduplicated (first
+    /// occurrence wins) before any trial encoding, so a sloppily assembled
+    /// candidate list costs no duplicate encode work and cannot perturb
+    /// the tie-break.
+    ///
     /// ```
     /// use szhi_codec::{CodecError, PipelineSpec};
     ///
@@ -427,8 +530,15 @@ impl PipelineSpec {
         candidates: &[PipelineSpec],
         input: &[u8],
     ) -> Result<(PipelineSpec, Vec<u8>), CodecError> {
+        let mut seen: Vec<PipelineSpec> = Vec::with_capacity(candidates.len());
         let mut best: Option<(PipelineSpec, Vec<u8>)> = None;
         for &spec in candidates {
+            // Deduplicate before encoding: a repeated candidate can only
+            // ever tie with its first occurrence, which already won.
+            if seen.contains(&spec) {
+                continue;
+            }
+            seen.push(spec);
             let payload = spec.build().encode(input);
             // Strictly smaller only: on ties the earliest candidate wins.
             if best.as_ref().is_none_or(|(_, b)| payload.len() < b.len()) {
@@ -440,57 +550,43 @@ impl PipelineSpec {
         })
     }
 
+    /// The ordered stage list of the pipeline, as introspectable data.
+    ///
+    /// This is the single source of truth [`PipelineSpec::build`]
+    /// materialises from, so size estimators walking the stage list (the
+    /// `szhi-tuner` cost model) can never disagree with the encoder.
+    pub fn stages(&self) -> Vec<StageSpec> {
+        use StageSpec::*;
+        match self {
+            PipelineSpec::HfRre4Tcms8Rze1 => vec![Huffman, Rre(4), Tcms(8), Rze(1)],
+            PipelineSpec::Tcms1Bit1Rre1 => vec![Tcms(1), Bit(1), Rre(1)],
+            PipelineSpec::Hf => vec![Huffman],
+            PipelineSpec::HfRre1 => vec![Huffman, Rre(1)],
+            PipelineSpec::HfTuplq1Rre1 => vec![Huffman, TuplQ, Rre(1)],
+            PipelineSpec::HfTupld2Rre2Tuplq1Rre1 => {
+                vec![Huffman, TuplD, Rre(2), TuplQ, Rre(1)]
+            }
+            PipelineSpec::HfAns => vec![Huffman, Ans],
+            PipelineSpec::HfBitcomp => vec![Huffman, Bitcomp],
+            PipelineSpec::HfLz => vec![Huffman, LzFast],
+            PipelineSpec::Rre1 => vec![Rre(1)],
+            PipelineSpec::Rre1Rre2 => vec![Rre(1), Rre(2)],
+            PipelineSpec::Rre1Rze1Diffms1Clog1 => vec![Rre(1), Rze(1), DiffMs(1), Clog(1)],
+            PipelineSpec::Ans => vec![Ans],
+            PipelineSpec::Bitcomp => vec![Bitcomp],
+            PipelineSpec::Lz4 => vec![LzFast],
+            PipelineSpec::Gdeflate => vec![LzThorough],
+            PipelineSpec::Zstd => vec![LzThorough, Ans],
+            PipelineSpec::Ndzip => vec![DiffMs(1), Bit(1), Rze(1)],
+        }
+    }
+
     /// Materialises the pipeline.
     pub fn build(&self) -> Pipeline {
-        let stages: Vec<Box<dyn Stage>> = match self {
-            PipelineSpec::HfRre4Tcms8Rze1 => vec![
-                Box::new(HuffmanStage),
-                Box::new(Rre4Stage::new()),
-                Box::new(Tcms8Stage::new()),
-                Box::new(Rze1Stage::new()),
-            ],
-            PipelineSpec::Tcms1Bit1Rre1 => vec![
-                Box::new(Tcms1Stage::new()),
-                Box::new(Bit1Stage::new()),
-                Box::new(Rre1Stage::new()),
-            ],
-            PipelineSpec::Hf => vec![Box::new(HuffmanStage)],
-            PipelineSpec::HfRre1 => vec![Box::new(HuffmanStage), Box::new(Rre1Stage::new())],
-            PipelineSpec::HfTuplq1Rre1 => vec![
-                Box::new(HuffmanStage),
-                Box::new(TuplQ1Stage::new()),
-                Box::new(Rre1Stage::new()),
-            ],
-            PipelineSpec::HfTupld2Rre2Tuplq1Rre1 => vec![
-                Box::new(HuffmanStage),
-                Box::new(TuplD2Stage::new()),
-                Box::new(Rre2Stage::new()),
-                Box::new(TuplQ1Stage::new()),
-                Box::new(Rre1Stage::new()),
-            ],
-            PipelineSpec::HfAns => vec![Box::new(HuffmanStage), Box::new(AnsStage)],
-            PipelineSpec::HfBitcomp => vec![Box::new(HuffmanStage), Box::new(BitcompStage)],
-            PipelineSpec::HfLz => vec![Box::new(HuffmanStage), Box::new(LzFastStage)],
-            PipelineSpec::Rre1 => vec![Box::new(Rre1Stage::new())],
-            PipelineSpec::Rre1Rre2 => vec![Box::new(Rre1Stage::new()), Box::new(Rre2Stage::new())],
-            PipelineSpec::Rre1Rze1Diffms1Clog1 => vec![
-                Box::new(Rre1Stage::new()),
-                Box::new(Rze1Stage::new()),
-                Box::new(DiffMs1Stage::new()),
-                Box::new(Clog1Stage::new()),
-            ],
-            PipelineSpec::Ans => vec![Box::new(AnsStage)],
-            PipelineSpec::Bitcomp => vec![Box::new(BitcompStage)],
-            PipelineSpec::Lz4 => vec![Box::new(LzFastStage)],
-            PipelineSpec::Gdeflate => vec![Box::new(LzThoroughStage)],
-            PipelineSpec::Zstd => vec![Box::new(LzThoroughStage), Box::new(AnsStage)],
-            PipelineSpec::Ndzip => vec![
-                Box::new(DiffMs1Stage::new()),
-                Box::new(Bit1Stage::new()),
-                Box::new(Rze1Stage::new()),
-            ],
-        };
-        Pipeline::new(self.name(), stages)
+        Pipeline::new(
+            self.name(),
+            self.stages().iter().map(StageSpec::build).collect(),
+        )
     }
 }
 
@@ -646,5 +742,57 @@ mod tests {
     fn pipeline_decode_rejects_garbage() {
         let p = PipelineSpec::CR.build();
         assert!(p.decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn stage_lists_match_the_built_pipelines() {
+        // `stages()` is the source of truth `build()` materialises from:
+        // every named pipeline's stage count and stage names must agree,
+        // and encoding through individually built stages must reproduce
+        // the pipeline encoder byte for byte.
+        let data = quant_like(10_000, 41);
+        for spec in PipelineSpec::all() {
+            let stages = spec.stages();
+            let pipeline = spec.build();
+            assert_eq!(pipeline.len(), stages.len(), "{spec}");
+            let mut manual = data.clone();
+            for stage in &stages {
+                manual = stage.build().encode(&manual);
+            }
+            assert_eq!(manual, pipeline.encode(&data), "{spec} stage-wise encode");
+            // Classification sanity: a stage is never both an entropy coder
+            // and a pure transform.
+            for stage in &stages {
+                assert!(!(stage.is_entropy_coder() && stage.is_transform()));
+            }
+        }
+    }
+
+    #[test]
+    fn try_encode_select_dedups_repeated_candidates() {
+        // Regression (PR 5): repeated candidates must neither be
+        // trial-encoded twice nor perturb the documented first-wins
+        // tie-break — a list with duplicates selects exactly what its
+        // deduplicated form selects.
+        let data = quant_like(20_000, 53);
+        let with_dups = [
+            PipelineSpec::CR,
+            PipelineSpec::TP,
+            PipelineSpec::CR,
+            PipelineSpec::TP,
+            PipelineSpec::CR,
+        ];
+        let deduped = [PipelineSpec::CR, PipelineSpec::TP];
+        let (spec_a, payload_a) = PipelineSpec::try_encode_select(&with_dups, &data).unwrap();
+        let (spec_b, payload_b) = PipelineSpec::try_encode_select(&deduped, &data).unwrap();
+        assert_eq!(spec_a, spec_b);
+        assert_eq!(payload_a, payload_b);
+        // A pure-duplicate list ties with itself; the first (only) spec wins.
+        let (spec, _) = PipelineSpec::try_encode_select(
+            &[PipelineSpec::Hf, PipelineSpec::Hf, PipelineSpec::Hf],
+            &data,
+        )
+        .unwrap();
+        assert_eq!(spec, PipelineSpec::Hf);
     }
 }

@@ -169,7 +169,8 @@ pub fn compress_chunked_with_stats(
         interp_cfg,
         cfg.reorder,
         cfg.mode,
-        cfg.mode_tuning,
+        cfg.mode_tuning.clone(),
+        cfg.chunk_interp_tuning,
     )?;
 
     // Each chunk is a pure function of (sub-field, config): the par_iter
@@ -224,9 +225,10 @@ fn predictor_for(interp: &InterpConfig) -> Result<InterpPredictor, SzhiError> {
 
 /// Decompresses a stream produced by [`compress`], [`compress_chunked`] or
 /// a [`StreamSink`](crate::stream::StreamSink) (every container version —
-/// v1 monolithic, v2 chunked, v3 streamed, v4 trailered — is
+/// v1 monolithic, v2 chunked, v3 streamed, v4 trailered, v5 tuned — is
 /// self-describing; chunk-bearing containers decompress their chunks in
-/// parallel, with v3/v4 chunks verified against their checksums first).
+/// parallel, with v3+ chunks verified against their checksums first and
+/// v5 chunks decoded with their own per-chunk predictor configuration).
 pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     if stream_version(bytes)? == VERSION {
         return decompress_monolithic(bytes);
@@ -234,12 +236,12 @@ pub fn decompress(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     StreamReader::new(bytes)?.read_all()
 }
 
-/// Randomly accesses one chunk of a chunked (v2), streamed (v3) or
-/// trailered (v4) container: decompresses only chunk `index`, returning
-/// the region of the original field it covers and the reconstructed
-/// sub-field. Only the header and chunk table are parsed besides the chunk
-/// body itself; a v3/v4 chunk is verified against its CRC32 before
-/// decoding.
+/// Randomly accesses one chunk of a chunked (v2), streamed (v3),
+/// trailered (v4) or tuned (v5) container: decompresses only chunk
+/// `index`, returning the region of the original field it covers and the
+/// reconstructed sub-field. Only the header and chunk table are parsed
+/// besides the chunk body itself; a v3+ chunk is verified against its
+/// CRC32 before decoding.
 ///
 /// ```
 /// use szhi_core::{compress, decompress_chunk, ErrorBound, SzhiConfig};
@@ -258,32 +260,39 @@ pub fn decompress_chunk(bytes: &[u8], index: usize) -> Result<(Region, Grid<f32>
     StreamReader::new(bytes)?.read_chunk(index)
 }
 
-/// Number of chunks of a chunked (v2), streamed (v3) or trailered (v4)
-/// container.
+/// Number of chunks of any chunk-bearing container (v2 chunked, v3
+/// streamed, v4 trailered, v5 tuned).
 pub fn chunk_count(bytes: &[u8]) -> Result<usize, SzhiError> {
     let (_, table) = read_chunk_table(bytes)?;
     Ok(table.entries.len())
 }
 
 /// Decodes and reconstructs one chunk body (also the whole field of a v1
-/// stream, which is a single chunk in this sense) with the pipeline that
-/// encoded it — for v3 streams the chunk's own table entry, which may
-/// differ from the header's global pipeline.
+/// stream, which is a single chunk in this sense) with the pipeline and
+/// interpolation configuration that encoded it — for v3+ streams the
+/// chunk's own table entry, which may differ from the header's global
+/// pipeline, and for v5 streams the chunk's dictionary config, which may
+/// differ from the header's interpolation levels.
 pub(crate) fn decompress_chunk_body(
     header: &Header,
     pipeline: PipelineSpec,
+    interp: &InterpConfig,
     chunk_dims: Dims,
     body: &[u8],
 ) -> Result<Grid<f32>, SzhiError> {
     let (anchors, outliers, payload) = read_chunk_sections(body)?;
-    reconstruct(header, pipeline, chunk_dims, anchors, outliers, payload)
+    reconstruct(
+        header, pipeline, interp, chunk_dims, anchors, outliers, payload,
+    )
 }
 
 fn decompress_monolithic(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
     let (header, anchors, outliers, payload) = read_stream(bytes)?;
+    let interp = header.interp.clone();
     reconstruct(
         &header,
         header.pipeline,
+        &interp,
         header.dims,
         anchors,
         outliers,
@@ -295,9 +304,11 @@ fn decompress_monolithic(bytes: &[u8]) -> Result<Grid<f32>, SzhiError> {
 /// predictor owns the consistency checks (anchor count, outlier
 /// completeness): a parseable-but-inconsistent stream surfaces as its typed
 /// error, mapped to [`SzhiError::InvalidStream`].
+#[allow(clippy::too_many_arguments)]
 fn reconstruct(
     header: &Header,
     pipeline: PipelineSpec,
+    interp: &InterpConfig,
     dims: Dims,
     anchors: Vec<f32>,
     outliers: Vec<szhi_predictor::Outlier>,
@@ -312,7 +323,7 @@ fn reconstruct(
         )));
     }
     let codes = if header.reorder {
-        let order = LevelOrder::new(dims, header.interp.anchor_stride);
+        let order = LevelOrder::new(dims, interp.anchor_stride);
         order
             .restore(&codes)
             .map_err(|e| SzhiError::InvalidStream(e.to_string()))?
@@ -324,7 +335,7 @@ fn reconstruct(
         codes,
         outliers,
     };
-    let predictor = InterpPredictor::new(header.interp.clone())
+    let predictor = InterpPredictor::new(interp.clone())
         .map_err(|e| SzhiError::InvalidStream(e.to_string()))?;
     predictor
         .decompress(dims, header.abs_eb, &output)

@@ -62,7 +62,21 @@ impl PipelineMode {
 
 /// How the lossless pipeline mode is chosen for the chunks of a chunked or
 /// streamed container (per-chunk vs. global tuning policy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// The per-chunk policies differ in candidate breadth and in how they pay
+/// for the choice:
+///
+/// | policy | candidates | encodes per chunk | quality |
+/// |---|---|---|---|
+/// | [`Global`](ModeTuning::Global) | 1 (the configured mode) | 1 | baseline |
+/// | [`PerChunk`](ModeTuning::PerChunk) | CR + TP | 2 | best of the two production modes |
+/// | [`Exhaustive`](ModeTuning::Exhaustive) | any list | `candidates + 1` | true per-chunk optimum over the list |
+/// | [`Estimated`](ModeTuning::Estimated) | any list | ≤ 5 | within a few % of `Exhaustive` at a fraction of the cost |
+///
+/// In every policy the configured [`SzhiConfig::mode`] is implicitly the
+/// first candidate, so ties break toward it and the output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum ModeTuning {
     /// One global mode for every chunk: [`SzhiConfig::mode`] applies to the
     /// whole stream. This is the default and mirrors the monolithic engine.
@@ -77,6 +91,52 @@ pub enum ModeTuning {
     /// paper's synergistic design points at. Costs one extra encode per
     /// chunk at compression time; decompression is unaffected.
     PerChunk,
+    /// Trial-encode every candidate pipeline on every chunk and keep the
+    /// smallest payload. This finds the true per-chunk optimum over the
+    /// candidate list, but its tuning cost scales linearly with the list —
+    /// over [`PipelineSpec::fig6_set`] that is 18 full encodes per chunk.
+    /// [`SzhiConfig::mode`] is prepended as the tie-winning first
+    /// candidate. Prefer [`ModeTuning::Estimated`] unless the exact
+    /// optimum is worth the wall-time (it is the ground truth the
+    /// estimator is benchmarked against).
+    Exhaustive {
+        /// The candidate pipelines (deduplicated; the configured mode is
+        /// implicitly first).
+        candidates: Vec<PipelineSpec>,
+    },
+    /// Estimate every candidate's output size from a deterministic sample
+    /// of the chunk's codes using the `szhi-tuner` stage-aware cost models
+    /// (code histogram → Huffman/ANS entropy bound, zero-run density →
+    /// RRE/RZE gain, byte-range occupancy → TCMS/BIT viability), then
+    /// trial-encode only the estimated best few (plus the configured
+    /// default). The chosen payload is always a real encode and never
+    /// worse than [`SzhiConfig::mode`]'s; across the
+    /// [`PipelineSpec::fig6_set`] candidate list it lands within a few
+    /// percent of [`ModeTuning::Exhaustive`] while running ~4× fewer full
+    /// encodes.
+    Estimated {
+        /// The candidate pipelines (deduplicated; the configured mode is
+        /// implicitly first).
+        candidates: Vec<PipelineSpec>,
+    },
+}
+
+impl ModeTuning {
+    /// Estimator-guided selection over the full Figure-6 pipeline
+    /// catalogue ([`PipelineSpec::fig6_set`]).
+    pub fn estimated() -> Self {
+        ModeTuning::Estimated {
+            candidates: PipelineSpec::fig6_set(),
+        }
+    }
+
+    /// Exhaustive trial-encoding over the full Figure-6 pipeline
+    /// catalogue ([`PipelineSpec::fig6_set`]).
+    pub fn exhaustive() -> Self {
+        ModeTuning::Exhaustive {
+            candidates: PipelineSpec::fig6_set(),
+        }
+    }
 }
 
 /// Full configuration of a cuSZ-Hi compression run.
@@ -104,9 +164,20 @@ pub struct SzhiConfig {
     pub chunk_span: Option<[usize; 3]>,
     /// Pipeline-mode tuning policy for chunked/streamed containers:
     /// [`ModeTuning::Global`] (default) uses [`SzhiConfig::mode`] for every
-    /// chunk, [`ModeTuning::PerChunk`] selects each chunk's pipeline
-    /// independently by trial encoding. Ignored by the monolithic engine.
+    /// chunk; [`ModeTuning::PerChunk`], [`ModeTuning::Exhaustive`] and
+    /// [`ModeTuning::Estimated`] select each chunk's pipeline
+    /// independently. Ignored by the monolithic engine.
     pub mode_tuning: ModeTuning,
+    /// Per-chunk interpolation-configuration tuning: when enabled, every
+    /// chunk of a chunked/streamed container scores the standard per-level
+    /// interpolation candidates on a sample of its own blocks
+    /// (`szhi-tuner`) and is compressed with the winner. The winning
+    /// configurations are carried by the tuned (v5) container's config
+    /// dictionary, with one config id per chunk-table entry. Disabled by
+    /// default (all chunks share [`SzhiConfig::interp`], possibly
+    /// globally auto-tuned, and the container stays v3/v4). Ignored by
+    /// the monolithic engine.
+    pub chunk_interp_tuning: bool,
 }
 
 impl SzhiConfig {
@@ -121,6 +192,7 @@ impl SzhiConfig {
             interp: InterpConfig::cusz_hi(),
             chunk_span: None,
             mode_tuning: ModeTuning::Global,
+            chunk_interp_tuning: false,
         }
     }
 
@@ -160,6 +232,13 @@ impl SzhiConfig {
     /// containers.
     pub fn with_mode_tuning(mut self, tuning: ModeTuning) -> Self {
         self.mode_tuning = tuning;
+        self
+    }
+
+    /// Enables or disables per-chunk interpolation-configuration tuning
+    /// (emits the tuned (v5) container when enabled).
+    pub fn with_chunk_interp_tuning(mut self, enabled: bool) -> Self {
+        self.chunk_interp_tuning = enabled;
         self
     }
 

@@ -10,7 +10,28 @@ pub enum SzhiError {
     /// The compressed stream is not a szhi stream or uses an unsupported
     /// version.
     InvalidStream(String),
-    /// A chunk of a streamed (v3/v4) container failed its integrity
+    /// A chunk-table entry (or the stream header) names a lossless-pipeline
+    /// id that is not in the [`PipelineSpec`](szhi_codec::PipelineSpec)
+    /// catalogue. Distinct from the generic [`SzhiError::InvalidStream`] so
+    /// callers can tell "this stream needs a newer decoder" from garbage.
+    UnknownPipelineId {
+        /// Index of the chunk whose table entry carried the id, or `None`
+        /// when the stream header's default pipeline field did.
+        chunk: Option<usize>,
+        /// The unrecognised pipeline id.
+        id: u8,
+    },
+    /// A tuned (v5) chunk-table entry points at a predictor-config id
+    /// outside the stream's config dictionary.
+    UnknownConfigId {
+        /// Index of the chunk whose table entry carried the id.
+        chunk: usize,
+        /// The out-of-range config id.
+        id: u16,
+        /// Number of entries the stream's config dictionary actually has.
+        n_configs: usize,
+    },
+    /// A chunk of a streamed (v3/v4/v5) container failed its integrity
     /// checksum: the chunk's bytes were corrupted after compression. Raised
     /// *before* any lossless decoder touches the chunk body.
     ChunkChecksum {
@@ -47,6 +68,22 @@ impl std::fmt::Display for SzhiError {
         match self {
             SzhiError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SzhiError::InvalidStream(msg) => write!(f, "invalid compressed stream: {msg}"),
+            SzhiError::UnknownPipelineId { chunk: None, id } => {
+                write!(f, "the stream header names unknown pipeline id {id}")
+            }
+            SzhiError::UnknownPipelineId {
+                chunk: Some(chunk),
+                id,
+            } => write!(f, "chunk {chunk} names unknown pipeline id {id}"),
+            SzhiError::UnknownConfigId {
+                chunk,
+                id,
+                n_configs,
+            } => write!(
+                f,
+                "chunk {chunk} names predictor-config id {id}, but the config \
+                 dictionary has only {n_configs} entries"
+            ),
             SzhiError::ChunkChecksum {
                 index,
                 stored,

@@ -2,7 +2,7 @@
 //!
 //! The byte-level specification of every container version lives in
 //! `docs/FORMAT.md` at the repository root — that document is the
-//! authoritative reference the format fuzz tests link to. Four container
+//! authoritative reference the format fuzz tests link to. Five container
 //! versions share the same magic and header layout:
 //!
 //! **v1 (monolithic)** — a fixed header followed by three sections: the
@@ -66,9 +66,27 @@
 //! | table_offset u64 | n_chunks u64 | table_crc32 u32 | magic "SZT4"
 //! ```
 //!
+//! **v5 (tuned)** — the trailered layout whose CRC-protected table region
+//! additionally opens with a **predictor-config dictionary**, and whose
+//! 23-byte chunk-table entries each carry a `config_id` naming the
+//! dictionary entry their chunk was compressed with — so per-chunk
+//! interpolation tuning is representable alongside per-chunk pipeline
+//! modes. A `config_id` at or beyond the dictionary is rejected with the
+//! typed [`SzhiError::UnknownConfigId`]:
+//!
+//! ```text
+//! <v1 header with version=5>
+//! | chunk_span 3×u32
+//! | chunk data area: n_chunks × chunk body     ← same body layout as v2/v3
+//! | n_configs u16 | n_configs × (n_levels u8, n_levels × (scheme u8, spline u8))
+//! | n_chunks × (offset u64, length u64, pipeline_id u8, config_id u16, crc32 u32)
+//! | table_offset u64 | n_chunks u64 | table_crc32 u32 | magic "SZT5"
+//! ```
+//!
 //! The header's own pipeline id remains the stream's *default* mode (the
 //! configuration's global mode); each chunk decodes with the pipeline named
-//! by its table entry.
+//! by its table entry — and, for v5, with the interpolation configuration
+//! named by its config id ([`ChunkTable::chunk_interp`]).
 //!
 //! The chunk span must obey the *chunk-alignment rule*
 //! ([`szhi_ndgrid::ChunkPlan::is_aligned`]): a positive multiple of the
@@ -105,11 +123,20 @@ pub const VERSION_STREAMED: u8 = 3;
 /// end of the stream, so a writer can emit chunk bodies as they are
 /// produced with O(one chunk + table) memory).
 pub const VERSION_TRAILERED: u8 = 4;
+/// Stream format version of the tuned container: the trailered (v4) layout
+/// whose tail additionally carries a **predictor-config dictionary**, and
+/// whose 23-byte chunk-table entries each name the dictionary entry their
+/// chunk was compressed with — so per-chunk interpolation tuning is
+/// representable alongside per-chunk pipeline modes.
+pub const VERSION_TUNED: u8 = 5;
 
 /// Magic bytes closing a trailered (v4) stream — the last four bytes of
 /// the container.
 pub const TRAILER_MAGIC: [u8; 4] = *b"SZT4";
-/// Size in bytes of the fixed v4 trailer
+/// Magic bytes closing a tuned (v5) stream — the last four bytes of the
+/// container.
+pub const TRAILER_MAGIC_V5: [u8; 4] = *b"SZT5";
+/// Size in bytes of the fixed v4/v5 trailer
 /// (`table_offset u64, n_chunks u64, table_crc32 u32, magic 4×u8`).
 pub const TRAILER_SIZE: usize = 24;
 
@@ -319,11 +346,84 @@ pub(crate) fn encode_table_tail(
     tail
 }
 
+/// Serialises a tuned (v5) stream: the header, the chunk span, the
+/// concatenated per-chunk bodies, then the config dictionary, the extended
+/// chunk table (each entry naming its chunk's pipeline **and**
+/// predictor-config id) and the fixed trailer. `configs` is the dictionary
+/// of per-level (scheme, spline) lists; each chunk's `config_id` indexes
+/// into it. This is the in-memory equivalent of streaming the same chunks
+/// through a [`StreamSink`](crate::stream::StreamSink) with per-chunk
+/// interpolation tuning enabled — byte for byte.
+pub fn write_stream_v5(
+    header: &Header,
+    span: [usize; 3],
+    configs: &[Vec<LevelConfig>],
+    chunks: &[(PipelineSpec, u16, Vec<u8>)],
+) -> Vec<u8> {
+    let total: usize = chunks.iter().map(|(_, _, body)| body.len()).sum();
+    let mut out = Vec::with_capacity(100 + total + chunks.len() * V5_ENTRY_SIZE + TRAILER_SIZE);
+    write_header(&mut out, header, VERSION_TUNED);
+    for s in span {
+        put_u32(&mut out, s as u32);
+    }
+    let mut entries = Vec::with_capacity(chunks.len());
+    let mut offset = 0u64;
+    for (pipeline, config, body) in chunks {
+        entries.push((offset, body.len() as u64, *pipeline, *config, crc32(body)));
+        offset += body.len() as u64;
+        out.extend_from_slice(body);
+    }
+    let table_offset = out.len() as u64;
+    out.extend_from_slice(&encode_table_tail_v5(table_offset, configs, &entries));
+    out
+}
+
+/// Serialises the tail of a tuned (v5) stream: the config dictionary, the
+/// chunk table (one 23-byte entry per chunk) and the fixed trailer, whose
+/// CRC32 covers the dictionary *and* table bytes. Shared by
+/// [`write_stream_v5`] and the incremental
+/// [`StreamSink`](crate::stream::StreamSink).
+pub(crate) fn encode_table_tail_v5(
+    table_offset: u64,
+    configs: &[Vec<LevelConfig>],
+    entries: &[(u64, u64, PipelineSpec, u16, u32)],
+) -> Vec<u8> {
+    let mut tail = Vec::with_capacity(
+        2 + configs.iter().map(|c| 1 + 2 * c.len()).sum::<usize>()
+            + entries.len() * V5_ENTRY_SIZE
+            + TRAILER_SIZE,
+    );
+    put_u16(&mut tail, configs.len() as u16);
+    for config in configs {
+        put_u8(&mut tail, config.len() as u8);
+        for lc in config {
+            put_u8(&mut tail, scheme_id(lc.scheme));
+            put_u8(&mut tail, spline_id(lc.spline));
+        }
+    }
+    for &(offset, len, pipeline, config, crc) in entries {
+        put_u64(&mut tail, offset);
+        put_u64(&mut tail, len);
+        put_u8(&mut tail, pipeline.id());
+        put_u16(&mut tail, config);
+        put_u32(&mut tail, crc);
+    }
+    let table_crc = crc32(&tail);
+    put_u64(&mut tail, table_offset);
+    put_u64(&mut tail, entries.len() as u64);
+    put_u32(&mut tail, table_crc);
+    tail.extend_from_slice(&TRAILER_MAGIC_V5);
+    tail
+}
+
 /// Size in bytes of one v2 chunk-table entry (`offset u64, length u64`).
 pub(crate) const V2_ENTRY_SIZE: usize = 16;
 /// Size in bytes of one v3/v4 chunk-table entry
 /// (`offset u64, length u64, pipeline_id u8, crc32 u32`).
 pub(crate) const V3_ENTRY_SIZE: usize = 21;
+/// Size in bytes of one v5 chunk-table entry
+/// (`offset u64, length u64, pipeline_id u8, config_id u16, crc32 u32`).
+pub(crate) const V5_ENTRY_SIZE: usize = 23;
 
 /// Reads a u64 element count and checks that `count * elem_size` bytes can
 /// still be present in the stream, so corrupted counts fail cleanly instead
@@ -364,11 +464,11 @@ pub(crate) fn read_magic_version(cur: &mut ByteCursor<'_>) -> Result<u8, SzhiErr
 }
 
 /// The container version of a stream (1 = monolithic, 2 = chunked,
-/// 3 = streamed, 4 = trailered), after validating the magic. Top-level
-/// `decompress` dispatches on this.
+/// 3 = streamed, 4 = trailered, 5 = tuned), after validating the magic.
+/// Top-level `decompress` dispatches on this.
 pub fn stream_version(bytes: &[u8]) -> Result<u8, SzhiError> {
     let version = read_magic_version(&mut ByteCursor::new(bytes))?;
-    if (VERSION..=VERSION_TRAILERED).contains(&version) {
+    if (VERSION..=VERSION_TUNED).contains(&version) {
         Ok(version)
     } else {
         Err(SzhiError::InvalidStream(format!(
@@ -432,8 +532,10 @@ pub(crate) fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, Szh
         )));
     }
     let pipeline_id = cur.get_u8().map_err(SzhiError::from)?;
-    let pipeline = PipelineSpec::from_id(pipeline_id)
-        .ok_or_else(|| SzhiError::InvalidStream(format!("unknown pipeline id {pipeline_id}")))?;
+    let pipeline = PipelineSpec::from_id(pipeline_id).ok_or(SzhiError::UnknownPipelineId {
+        chunk: None,
+        id: pipeline_id,
+    })?;
     let reorder = cur.get_u8().map_err(SzhiError::from)? != 0;
     let anchor_stride = cur.get_u16().map_err(SzhiError::from)? as usize;
     let mut block_span = [0usize; 3];
@@ -517,7 +619,8 @@ pub fn read_chunk_sections(chunk: &[u8]) -> Result<SectionBody, SzhiError> {
 }
 
 /// One entry of a parsed chunk table: the chunk's extent in the data area
-/// plus (for v3 streams) its pipeline and integrity checksum.
+/// plus (for v3+ streams) its pipeline, integrity checksum and (for v5
+/// streams) its predictor-config id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkEntry {
     /// Byte offset of the chunk body, relative to the data area.
@@ -527,14 +630,22 @@ pub struct ChunkEntry {
     /// The lossless pipeline that encoded this chunk's payload. For v2
     /// streams (no per-chunk mode byte) this is the header's pipeline.
     pub pipeline: PipelineSpec,
-    /// The CRC32 of the chunk body recorded in a v3 chunk table; `None`
+    /// The predictor-config id of a tuned (v5) chunk-table entry — an
+    /// index into the stream's config dictionary
+    /// ([`ChunkTable::configs`]), validated at parse time. `None` for
+    /// v2/v3/v4 streams, whose chunks all share the header's
+    /// interpolation configuration.
+    pub config: Option<u16>,
+    /// The CRC32 of the chunk body recorded in a v3+ chunk table; `None`
     /// for v2 streams, which carry no integrity checksums.
     pub checksum: Option<u32>,
 }
 
-/// The parsed chunk table of a chunked (v2) or streamed (v3) stream: the
-/// chunk span plus one [`ChunkEntry`] per chunk, with extents relative to
-/// the chunk data area, whose absolute stream offset is `data_start`.
+/// The parsed chunk table of any chunk-bearing container: the chunk span
+/// plus one [`ChunkEntry`] per chunk, with extents relative to the chunk
+/// data area, whose absolute stream offset is `data_start`. For tuned (v5)
+/// streams the table also carries the predictor-config dictionary the
+/// entries' config ids index into.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkTable {
     /// Chunk span per axis `(z, y, x)`, normalised as by
@@ -544,9 +655,25 @@ pub struct ChunkTable {
     pub entries: Vec<ChunkEntry>,
     /// Absolute offset of the chunk data area in the stream.
     pub data_start: usize,
+    /// The predictor-config dictionary of a tuned (v5) stream: per config,
+    /// the per-level (scheme, spline) list. Empty for every other version.
+    pub configs: Vec<Vec<LevelConfig>>,
 }
 
 impl ChunkTable {
+    /// The interpolation configuration chunk `i` was compressed with: the
+    /// dictionary entry its table entry names (v5), or the header's
+    /// configuration (every other version). The anchor stride and block
+    /// span always come from the header — only the per-level selections
+    /// vary per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range. Config ids are validated at parse
+    /// time, so indexing the dictionary cannot fail on a parsed table.
+    pub fn chunk_interp(&self, header: &Header, i: usize) -> InterpConfig {
+        resolve_chunk_interp(header, self.entries[i].config, &self.configs)
+    }
     /// The byte slice of chunk `i` within `bytes` (the full stream),
     /// **without** checksum verification. Prefer
     /// [`ChunkTable::verified_chunk_slice`] for untrusted streams.
@@ -577,6 +704,28 @@ impl ChunkTable {
             }
         }
         Ok(slice)
+    }
+}
+
+/// Resolves the interpolation configuration a chunk was compressed with:
+/// the dictionary entry its table entry names (v5), or the header's
+/// configuration (every other version). The anchor stride and block span
+/// always come from the header — only the per-level selections vary per
+/// chunk. Shared by [`ChunkTable::chunk_interp`] and the io-backed
+/// [`StreamSource`](crate::stream::StreamSource), so the resolution rule
+/// exists exactly once.
+pub(crate) fn resolve_chunk_interp(
+    header: &Header,
+    config: Option<u16>,
+    configs: &[Vec<LevelConfig>],
+) -> InterpConfig {
+    match config {
+        Some(id) => InterpConfig {
+            anchor_stride: header.interp.anchor_stride,
+            block_span: header.interp.block_span,
+            levels: configs[id as usize].clone(),
+        },
+        None => header.interp.clone(),
     }
 }
 
@@ -638,7 +787,7 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             plan.len()
         )));
     }
-    let raw = read_raw_entries(&mut cur, version, n_chunks, header.pipeline)?;
+    let raw = read_raw_entries(&mut cur, version, n_chunks, header.pipeline, 0)?;
     let data_start = cur.position();
     let data_len = cur.remaining() as u64;
     let entries = validate_extents(raw, data_len)?;
@@ -648,6 +797,7 @@ pub fn read_stream_chunked(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiErr
             span,
             entries,
             data_start,
+            configs: Vec::new(),
         },
     ))
 }
@@ -687,33 +837,65 @@ pub(crate) fn validated_plan(header: &Header, span: [usize; 3]) -> Result<ChunkP
     Ok(plan)
 }
 
-/// One chunk-table entry as stored, before extent validation: offset,
-/// length, pipeline and (v3/v4) checksum.
-pub(crate) type RawChunkEntry = (u64, u64, PipelineSpec, Option<u32>);
+/// One chunk-table entry as stored, before extent validation.
+pub(crate) struct RawChunkEntry {
+    offset: u64,
+    len: u64,
+    pipeline: PipelineSpec,
+    config: Option<u16>,
+    checksum: Option<u32>,
+}
 
 /// Parses `n_chunks` chunk-table entries: 16-byte `(offset, length)` pairs
 /// for v2 (the pipeline is inherited from the header, no checksum), 21-byte
-/// `(offset, length, pipeline_id, crc32)` entries for v3/v4.
+/// `(offset, length, pipeline_id, crc32)` entries for v3/v4, and 23-byte
+/// `(offset, length, pipeline_id, config_id, crc32)` entries for v5.
+/// Unknown pipeline ids are the typed [`SzhiError::UnknownPipelineId`];
+/// for v5, a config id at or beyond `n_configs` is the typed
+/// [`SzhiError::UnknownConfigId`].
 pub(crate) fn read_raw_entries(
     cur: &mut ByteCursor<'_>,
     version: u8,
     n_chunks: usize,
     header_pipeline: PipelineSpec,
+    n_configs: usize,
 ) -> Result<Vec<RawChunkEntry>, SzhiError> {
     let mut raw = Vec::with_capacity(n_chunks);
-    for _ in 0..n_chunks {
+    for i in 0..n_chunks {
         let offset = cur.get_u64().map_err(SzhiError::from)?;
         let len = cur.get_u64().map_err(SzhiError::from)?;
-        let (pipeline, checksum) = if version == VERSION_CHUNKED {
-            (header_pipeline, None)
+        let (pipeline, config, checksum) = if version == VERSION_CHUNKED {
+            (header_pipeline, None, None)
         } else {
             let id = cur.get_u8().map_err(SzhiError::from)?;
-            let pipeline = PipelineSpec::from_id(id).ok_or_else(|| {
-                SzhiError::InvalidStream(format!("unknown per-chunk pipeline id {id}"))
-            })?;
-            (pipeline, Some(cur.get_u32().map_err(SzhiError::from)?))
+            let pipeline = PipelineSpec::from_id(id)
+                .ok_or(SzhiError::UnknownPipelineId { chunk: Some(i), id })?;
+            let config = if version == VERSION_TUNED {
+                let config_id = cur.get_u16().map_err(SzhiError::from)?;
+                if config_id as usize >= n_configs {
+                    return Err(SzhiError::UnknownConfigId {
+                        chunk: i,
+                        id: config_id,
+                        n_configs,
+                    });
+                }
+                Some(config_id)
+            } else {
+                None
+            };
+            (
+                pipeline,
+                config,
+                Some(cur.get_u32().map_err(SzhiError::from)?),
+            )
         };
-        raw.push((offset, len, pipeline, checksum));
+        raw.push(RawChunkEntry {
+            offset,
+            len,
+            pipeline,
+            config,
+            checksum,
+        });
     }
     Ok(raw)
 }
@@ -727,7 +909,14 @@ pub(crate) fn validate_extents(
 ) -> Result<Vec<ChunkEntry>, SzhiError> {
     let mut entries = Vec::with_capacity(raw.len());
     let mut prev_end = 0u64;
-    for (i, (offset, len, pipeline, checksum)) in raw.into_iter().enumerate() {
+    for (i, entry) in raw.into_iter().enumerate() {
+        let RawChunkEntry {
+            offset,
+            len,
+            pipeline,
+            config,
+            checksum,
+        } = entry;
         if offset < prev_end {
             return Err(SzhiError::InvalidStream(format!(
                 "chunk {i} at offset {offset} overlaps the previous chunk ending at {prev_end}"
@@ -746,14 +935,16 @@ pub(crate) fn validate_extents(
             offset: offset as usize,
             len: len as usize,
             pipeline,
+            config,
             checksum,
         });
     }
     Ok(entries)
 }
 
-/// The parsed fields of a v4 trailer: the absolute chunk-table offset, the
-/// chunk count and the table's CRC32.
+/// The parsed fields of a v4/v5 trailer: the absolute chunk-table offset,
+/// the chunk count and the CRC32 of the table region (for v5, the config
+/// dictionary plus the entries).
 pub(crate) struct Trailer {
     /// Absolute stream offset of the chunk table.
     pub table_offset: u64,
@@ -763,14 +954,21 @@ pub(crate) struct Trailer {
     pub table_crc: u32,
 }
 
-/// Parses the fixed-size v4 trailer from its [`TRAILER_SIZE`] bytes,
-/// validating the closing magic.
-pub(crate) fn parse_trailer(tail: &[u8]) -> Result<Trailer, SzhiError> {
+/// Parses the fixed-size v4/v5 trailer from its [`TRAILER_SIZE`] bytes,
+/// validating the version's closing magic (`"SZT4"` for trailered v4
+/// streams, `"SZT5"` for tuned v5 streams).
+pub(crate) fn parse_trailer(tail: &[u8], version: u8) -> Result<Trailer, SzhiError> {
     debug_assert_eq!(tail.len(), TRAILER_SIZE);
-    if tail[20..24] != TRAILER_MAGIC {
-        return Err(SzhiError::TrailerCorrupt(
-            "bad trailer magic (the stream does not end in \"SZT4\")".into(),
-        ));
+    let expected: &[u8] = if version == VERSION_TUNED {
+        &TRAILER_MAGIC_V5
+    } else {
+        &TRAILER_MAGIC
+    };
+    if &tail[20..24] != expected {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "bad trailer magic (a v{version} stream must end in {:?})",
+            std::str::from_utf8(expected).unwrap_or("?")
+        )));
     }
     let mut cur = ByteCursor::new(tail);
     let table_offset = cur.get_u64().map_err(SzhiError::from)?;
@@ -813,17 +1011,19 @@ pub(crate) fn validate_trailer_geometry(
     Ok(table_len)
 }
 
-/// Parses the header and chunk table of a trailered (v4) stream held in
-/// memory: the header and span are read from the front, the trailer from
-/// the fixed-size tail, and the chunk table from where the trailer points —
-/// verified against the trailer's CRC32 *before* any entry is parsed. The
-/// data area is everything between the span and the table.
+/// Parses the header and chunk table of a trailered (v4) or tuned (v5)
+/// stream held in memory: the header and span are read from the front, the
+/// trailer from the fixed-size tail, and the chunk table (preceded, for
+/// v5, by the config dictionary) from where the trailer points — verified
+/// against the trailer's CRC32 *before* any entry is parsed. The data area
+/// is everything between the span and the table region.
 pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
     let mut cur = ByteCursor::new(bytes);
     let version = read_magic_version(&mut cur)?;
-    if version != VERSION_TRAILERED {
+    if version != VERSION_TRAILERED && version != VERSION_TUNED {
         return Err(SzhiError::InvalidStream(format!(
-            "expected a trailered (v{VERSION_TRAILERED}) stream, found version {version}"
+            "expected a trailered (v{VERSION_TRAILERED}) or tuned (v{VERSION_TUNED}) stream, \
+             found version {version}"
         )));
     }
     let header = read_header_fields(&mut cur)?;
@@ -837,22 +1037,35 @@ pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiE
         )));
     }
     let trailer_start = bytes.len() - TRAILER_SIZE;
-    let trailer = parse_trailer(&bytes[trailer_start..])?;
-    validate_trailer_geometry(
-        &trailer,
-        plan.len(),
-        data_start as u64,
-        trailer_start as u64,
-    )?;
-    let table_bytes = &bytes[trailer.table_offset as usize..trailer_start];
-    let entries =
-        parse_trailered_entries(table_bytes, &trailer, data_start as u64, header.pipeline)?;
+    let trailer = parse_trailer(&bytes[trailer_start..], version)?;
+    let (entries, configs) = if version == VERSION_TRAILERED {
+        validate_trailer_geometry(
+            &trailer,
+            plan.len(),
+            data_start as u64,
+            trailer_start as u64,
+        )?;
+        let table_bytes = &bytes[trailer.table_offset as usize..trailer_start];
+        let entries =
+            parse_trailered_entries(table_bytes, &trailer, data_start as u64, header.pipeline)?;
+        (entries, Vec::new())
+    } else {
+        validate_tuned_geometry(
+            &trailer,
+            plan.len(),
+            data_start as u64,
+            trailer_start as u64,
+        )?;
+        let region = &bytes[trailer.table_offset as usize..trailer_start];
+        parse_tuned_region(region, &trailer, data_start as u64, &header)?
+    };
     Ok((
         header,
         ChunkTable {
             span,
             entries,
             data_start,
+            configs,
         },
     ))
 }
@@ -881,8 +1094,116 @@ pub(crate) fn parse_trailered_entries(
         VERSION_TRAILERED,
         trailer.n_chunks as usize,
         header_pipeline,
+        0,
     )?;
     validate_extents(raw, trailer.table_offset - data_start)
+}
+
+/// Validates a v5 trailer against the stream geometry. Unlike the v4 check
+/// the exact table length cannot be known yet — the config dictionary's
+/// size is part of the CRC-protected region — so this validates the chunk
+/// count and that the region between `table_offset` and the trailer can at
+/// least hold the dictionary count plus the entries; the exact-size check
+/// happens in [`parse_tuned_region`] after the dictionary is parsed.
+pub(crate) fn validate_tuned_geometry(
+    trailer: &Trailer,
+    plan_len: usize,
+    data_start: u64,
+    trailer_start: u64,
+) -> Result<(), SzhiError> {
+    if trailer.n_chunks != plan_len as u64 {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "trailer lists {} chunks, the plan has {plan_len}",
+            trailer.n_chunks
+        )));
+    }
+    let min_len = trailer
+        .n_chunks
+        .checked_mul(V5_ENTRY_SIZE as u64)
+        .and_then(|t| t.checked_add(2))
+        .ok_or_else(|| SzhiError::TrailerCorrupt("chunk count overflows the table size".into()))?;
+    if trailer.table_offset < data_start
+        || trailer.table_offset > trailer_start
+        || trailer_start - trailer.table_offset < min_len
+    {
+        return Err(SzhiError::TrailerCorrupt(format!(
+            "table offset {} cannot place a config dictionary and {}-entry table before the \
+             trailer (data starts at {data_start}, trailer at {trailer_start})",
+            trailer.table_offset, trailer.n_chunks
+        )));
+    }
+    Ok(())
+}
+
+/// Verifies a geometry-validated v5 table region (config dictionary +
+/// chunk table) against the trailer's CRC32, then parses the dictionary
+/// and the entries — shared by the slice-based [`read_stream_trailered`]
+/// and the io-backed [`StreamSource`](crate::stream::StreamSource).
+///
+/// Validation order inside the region: CRC32 first
+/// ([`SzhiError::TableChecksum`]), then the dictionary (level count must
+/// match the header, scheme/spline bytes must name known values), then the
+/// exact-size check (dictionary + entries must fill the region exactly),
+/// then the entries (unknown pipeline/config ids are their dedicated typed
+/// errors, extents the usual invalid-stream errors).
+pub(crate) fn parse_tuned_region(
+    region: &[u8],
+    trailer: &Trailer,
+    data_start: u64,
+    header: &Header,
+) -> Result<(Vec<ChunkEntry>, Vec<Vec<LevelConfig>>), SzhiError> {
+    let computed = crc32(region);
+    if computed != trailer.table_crc {
+        return Err(SzhiError::TableChecksum {
+            stored: trailer.table_crc,
+            computed,
+        });
+    }
+    let mut cur = ByteCursor::new(region);
+    let n_configs = cur.get_u16().map_err(SzhiError::from)? as usize;
+    // Every config needs at least its count byte; reject absurd counts
+    // before allocating.
+    if n_configs > cur.remaining() {
+        return Err(SzhiError::InvalidStream(format!(
+            "config dictionary count {n_configs} exceeds the {} bytes left in the table region",
+            cur.remaining()
+        )));
+    }
+    let expected_levels = header.interp.levels.len();
+    let mut configs = Vec::with_capacity(n_configs);
+    for c in 0..n_configs {
+        let n_levels = cur.get_u8().map_err(SzhiError::from)? as usize;
+        if n_levels != expected_levels {
+            return Err(SzhiError::InvalidStream(format!(
+                "config {c} has {n_levels} levels, the header's anchor stride implies \
+                 {expected_levels}"
+            )));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let scheme = scheme_from(cur.get_u8().map_err(SzhiError::from)?)?;
+            let spline = spline_from(cur.get_u8().map_err(SzhiError::from)?)?;
+            levels.push(LevelConfig { scheme, spline });
+        }
+        configs.push(levels);
+    }
+    if cur.remaining() as u64 != trailer.n_chunks * V5_ENTRY_SIZE as u64 {
+        return Err(SzhiError::InvalidStream(format!(
+            "{} bytes follow the config dictionary, a {}-entry table needs {}",
+            cur.remaining(),
+            trailer.n_chunks,
+            trailer.n_chunks * V5_ENTRY_SIZE as u64
+        )));
+    }
+    let raw = read_raw_entries(
+        &mut cur,
+        VERSION_TUNED,
+        trailer.n_chunks as usize,
+        header.pipeline,
+        n_configs,
+    )?;
+    let entries = validate_extents(raw, trailer.table_offset - data_start)?;
+    Ok((entries, configs))
 }
 
 /// Rejects the container versions that carry no chunk table — monolithic
@@ -893,7 +1214,7 @@ pub(crate) fn reject_unchunked_version(version: u8) -> Result<(), SzhiError> {
         VERSION => Err(SzhiError::InvalidStream(format!(
             "a monolithic (v{VERSION}) stream has no chunk table; decode it with decompress"
         ))),
-        VERSION_CHUNKED | VERSION_STREAMED | VERSION_TRAILERED => Ok(()),
+        VERSION_CHUNKED | VERSION_STREAMED | VERSION_TRAILERED | VERSION_TUNED => Ok(()),
         version => Err(SzhiError::InvalidStream(format!(
             "unsupported container version {version}"
         ))),
@@ -901,14 +1222,14 @@ pub(crate) fn reject_unchunked_version(version: u8) -> Result<(), SzhiError> {
 }
 
 /// Parses the header and chunk table of any chunk-bearing container
-/// (v2 chunked, v3 streamed, v4 trailered), dispatching on the version
-/// byte. Monolithic (v1) streams have no chunk table and are rejected with
-/// a clear typed error pointing at [`crate::decompress`]; unknown future
-/// versions are rejected as unsupported.
+/// (v2 chunked, v3 streamed, v4 trailered, v5 tuned), dispatching on the
+/// version byte. Monolithic (v1) streams have no chunk table and are
+/// rejected with a clear typed error pointing at [`crate::decompress`];
+/// unknown future versions are rejected as unsupported.
 pub fn read_chunk_table(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiError> {
     let version = read_magic_version(&mut ByteCursor::new(bytes))?;
     reject_unchunked_version(version)?;
-    if version == VERSION_TRAILERED {
+    if version == VERSION_TRAILERED || version == VERSION_TUNED {
         read_stream_trailered(bytes)
     } else {
         read_stream_chunked(bytes)
@@ -1432,16 +1753,55 @@ mod tests {
     }
 
     #[test]
-    fn v3_unknown_per_chunk_pipeline_id_is_rejected() {
+    fn v3_unknown_per_chunk_pipeline_id_is_rejected_with_the_typed_error() {
+        // The dedicated typed error names the chunk and the id, so callers
+        // can tell "needs a newer decoder" from garbage. Byte-flip the mode
+        // byte of one entry to an id outside the catalogue.
         let (header, span) = sample_v2_header();
         let bytes = write_stream_v3(&header, span, &sample_v3_chunks(8));
         let table_at = span_offset(&header) + 12 + 8;
         // The mode byte of entry 3 lives 16 bytes into its 21-byte entry.
-        let mut corrupt = bytes;
+        let mut corrupt = bytes.clone();
         corrupt[table_at + 21 * 3 + 16] = 0xEE;
         assert!(matches!(
             read_stream_chunked(&corrupt),
-            Err(SzhiError::InvalidStream(msg)) if msg.contains("pipeline id")
+            Err(SzhiError::UnknownPipelineId {
+                chunk: Some(3),
+                id: 0xEE
+            })
+        ));
+        // Every unknown value a single byte flip can produce on any
+        // entry's mode byte yields the typed error (never a panic, never
+        // the generic invalid-stream fallback).
+        for entry in 0..8usize {
+            let at = table_at + 21 * entry + 16;
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[at] ^= flip;
+                let flipped = corrupt[at];
+                match read_stream_chunked(&corrupt) {
+                    Ok(_) => assert!(
+                        PipelineSpec::from_id(flipped).is_some(),
+                        "entry {entry}: unknown id {flipped} accepted"
+                    ),
+                    Err(SzhiError::UnknownPipelineId { chunk, id }) => {
+                        assert_eq!(chunk, Some(entry));
+                        assert_eq!(id, flipped);
+                        assert!(PipelineSpec::from_id(id).is_none());
+                    }
+                    Err(other) => panic!("entry {entry} flip {flip:#x}: unexpected {other:?}"),
+                }
+            }
+        }
+        // The header's own pipeline byte gets the headerless variant.
+        let mut corrupt = bytes;
+        corrupt[38] = 0xEE;
+        assert!(matches!(
+            read_stream_chunked(&corrupt),
+            Err(SzhiError::UnknownPipelineId {
+                chunk: None,
+                id: 0xEE
+            })
         ));
     }
 
@@ -1527,15 +1887,23 @@ mod tests {
             other => panic!("v1 not rejected clearly: {other:?}"),
         }
         // Unknown future versions are named as unsupported.
-        let mut v5 = write_stream_v4(&header, span, &sample_v3_chunks(8));
-        v5[4] = 5;
-        match read_chunk_table(&v5) {
+        let mut v6 = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        v6[4] = 6;
+        match read_chunk_table(&v6) {
             Err(SzhiError::InvalidStream(msg)) => {
                 assert!(msg.contains("unsupported"), "unexpected message: {msg}");
-                assert!(msg.contains('5'), "unexpected message: {msg}");
+                assert!(msg.contains('6'), "unexpected message: {msg}");
             }
-            other => panic!("v5 not rejected clearly: {other:?}"),
+            other => panic!("v6 not rejected clearly: {other:?}"),
         }
+        // A version byte stamped 5 over a v4 stream is *recognised* but
+        // fails the v5 trailer magic with the typed trailer error.
+        let mut fake_v5 = write_stream_v4(&header, span, &sample_v3_chunks(8));
+        fake_v5[4] = 5;
+        assert!(matches!(
+            read_chunk_table(&fake_v5),
+            Err(SzhiError::TrailerCorrupt(msg)) if msg.contains("magic")
+        ));
     }
 
     #[test]
@@ -1689,6 +2057,267 @@ mod tests {
                 assert!(
                     result.is_ok(),
                     "v4 parsing panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // v5 (tuned) container
+    // -----------------------------------------------------------------
+
+    /// A small config dictionary: three distinct per-level selections for
+    /// the cuSZ-Hi 4-level header.
+    fn sample_configs() -> Vec<Vec<LevelConfig>> {
+        let lc = |scheme, spline| LevelConfig { scheme, spline };
+        vec![
+            vec![lc(Scheme::MultiDim, Spline::Cubic); 4],
+            vec![lc(Scheme::DimSequence, Spline::Linear); 4],
+            vec![
+                lc(Scheme::MultiDim, Spline::Cubic),
+                lc(Scheme::MultiDim, Spline::Linear),
+                lc(Scheme::DimSequence, Spline::Cubic),
+                lc(Scheme::DimSequence, Spline::Linear),
+            ],
+        ]
+    }
+
+    /// Chunks cycling through the dictionary's config ids and both
+    /// production pipelines.
+    fn sample_v5_chunks(n: usize) -> Vec<(PipelineSpec, u16, Vec<u8>)> {
+        sample_bodies(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let spec = if i % 2 == 0 {
+                    PipelineSpec::CR
+                } else {
+                    PipelineSpec::TP
+                };
+                (spec, (i % 3) as u16, body)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v5_stream_roundtrips_modes_configs_and_checksums() {
+        let (header, span) = sample_v2_header();
+        let configs = sample_configs();
+        let chunks = sample_v5_chunks(8);
+        let bytes = write_stream_v5(&header, span, &configs, &chunks);
+        assert_eq!(stream_version(&bytes).unwrap(), VERSION_TUNED);
+        assert_eq!(&bytes[bytes.len() - 4..], &TRAILER_MAGIC_V5);
+        let (h, table) = read_stream_trailered(&bytes).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(table.span, span);
+        assert_eq!(table.entries.len(), 8);
+        assert_eq!(table.configs, configs);
+        // Data area directly after the span, exactly like v4.
+        assert_eq!(table.data_start, span_offset(&header) + 12);
+        for (i, (spec, config, body)) in chunks.iter().enumerate() {
+            let e = &table.entries[i];
+            assert_eq!(e.pipeline, *spec);
+            assert_eq!(e.config, Some(*config));
+            assert_eq!(e.checksum, Some(crc32(body)));
+            assert_eq!(table.verified_chunk_slice(&bytes, i).unwrap(), &body[..]);
+            // The resolved interpolation config: dictionary levels, the
+            // header's stride and block span.
+            let interp = table.chunk_interp(&h, i);
+            assert_eq!(interp.levels, configs[*config as usize]);
+            assert_eq!(interp.anchor_stride, h.interp.anchor_stride);
+            assert_eq!(interp.block_span, h.interp.block_span);
+            interp.validate().unwrap();
+        }
+        // The dispatching reader agrees; the v2/v3 readers reject it.
+        let (h2, table2) = read_chunk_table(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(table2, table);
+        assert!(matches!(
+            read_stream_chunked(&bytes),
+            Err(SzhiError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn v5_unknown_config_id_is_rejected_with_the_typed_error() {
+        // Craft a stream whose entry 5 names config id 7 against a 3-entry
+        // dictionary — with a *valid* region CRC, so the typed error can
+        // only come from the config-id validation itself.
+        let (header, span) = sample_v2_header();
+        let configs = sample_configs();
+        let mut chunks = sample_v5_chunks(8);
+        chunks[5].1 = 7;
+        let bytes = write_stream_v5(&header, span, &configs, &chunks);
+        assert!(matches!(
+            read_stream_trailered(&bytes),
+            Err(SzhiError::UnknownConfigId {
+                chunk: 5,
+                id: 7,
+                n_configs: 3
+            })
+        ));
+        // An unknown pipeline id in a v5 entry gets its own typed error.
+        let mut chunks = sample_v5_chunks(8);
+        chunks[2].0 = PipelineSpec::CR; // placeholder; stamp the byte below
+        let bytes = write_stream_v5(&header, span, &configs, &chunks);
+        let trailer_at = bytes.len() - TRAILER_SIZE;
+        let table_offset =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+        let dict_len = 2 + configs.iter().map(|c| 1 + 2 * c.len()).sum::<usize>();
+        // Entry 2's pipeline byte: 16 bytes into its 23-byte entry.
+        let pid_at = table_offset + dict_len + V5_ENTRY_SIZE * 2 + 16;
+        let mut corrupt = bytes.clone();
+        corrupt[pid_at] = 0xEE;
+        // Restamp the region CRC so only the id is at fault.
+        let region_crc = crc32(&corrupt[table_offset..trailer_at]);
+        corrupt[trailer_at + 16..trailer_at + 20].copy_from_slice(&region_crc.to_le_bytes());
+        assert!(matches!(
+            read_stream_trailered(&corrupt),
+            Err(SzhiError::UnknownPipelineId {
+                chunk: Some(2),
+                id: 0xEE
+            })
+        ));
+    }
+
+    #[test]
+    fn v5_table_region_corruption_is_caught_by_the_table_checksum() {
+        // Every byte flip anywhere in the config dictionary *or* the chunk
+        // table must be rejected by the trailer's region CRC32 — before
+        // any dictionary entry or table entry is parsed.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v5(&header, span, &sample_configs(), &sample_v5_chunks(8));
+        let trailer_at = bytes.len() - TRAILER_SIZE;
+        let table_offset =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+        for pos in table_offset..trailer_at {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                assert!(
+                    matches!(
+                        read_stream_trailered(&corrupt),
+                        Err(SzhiError::TableChecksum { .. })
+                    ),
+                    "region flip at {} xor {flip:#x} not caught",
+                    pos - table_offset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v5_trailer_corruption_yields_the_typed_trailer_error() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v5(&header, span, &sample_configs(), &sample_v5_chunks(8));
+        let trailer_at = bytes.len() - TRAILER_SIZE;
+
+        // Broken closing magic — including the one that would spell the
+        // v4 magic.
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() - 1] = b'4';
+        assert!(matches!(
+            read_stream_trailered(&corrupt),
+            Err(SzhiError::TrailerCorrupt(msg)) if msg.contains("magic")
+        ));
+
+        // A table offset that cannot place the region before the trailer.
+        for bad_offset in [0u64, u64::MAX, bytes.len() as u64] {
+            let mut corrupt = bytes.clone();
+            corrupt[trailer_at..trailer_at + 8].copy_from_slice(&bad_offset.to_le_bytes());
+            assert!(
+                matches!(
+                    read_stream_trailered(&corrupt),
+                    Err(SzhiError::TrailerCorrupt(_))
+                ),
+                "table offset {bad_offset} not rejected"
+            );
+        }
+
+        // A chunk count disagreeing with the plan (or absurd).
+        for bad_count in [0u64, 7, 9, u64::MAX] {
+            let mut corrupt = bytes.clone();
+            corrupt[trailer_at + 8..trailer_at + 16].copy_from_slice(&bad_count.to_le_bytes());
+            assert!(
+                matches!(
+                    read_stream_trailered(&corrupt),
+                    Err(SzhiError::TrailerCorrupt(_))
+                ),
+                "chunk count {bad_count} not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_data_area_corruption_is_caught_by_the_owning_chunks_checksum() {
+        let (header, span) = sample_v2_header();
+        let chunks = sample_v5_chunks(8);
+        let bytes = write_stream_v5(&header, span, &sample_configs(), &chunks);
+        let (_, table) = read_stream_trailered(&bytes).unwrap();
+        let data_start = table.data_start;
+        let data_end = data_start + chunks.iter().map(|(_, _, b)| b.len()).sum::<usize>();
+        for pos in data_start..data_end {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let (_, t) = read_stream_trailered(&corrupt).unwrap();
+                let failing: Vec<usize> = (0..t.entries.len())
+                    .filter(|&i| {
+                        matches!(
+                            t.verified_chunk_slice(&corrupt, i),
+                            Err(SzhiError::ChunkChecksum { index, .. }) if index == i
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    failing.len(),
+                    1,
+                    "flip at data byte {} must fail exactly one chunk, failed {failing:?}",
+                    pos - data_start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v5_every_truncation_yields_a_typed_error_not_a_panic() {
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v5(&header, span, &sample_configs(), &sample_v5_chunks(8));
+        for cut in 0..bytes.len() {
+            let result = std::panic::catch_unwind(|| read_stream_trailered(&bytes[..cut]));
+            let parsed =
+                result.unwrap_or_else(|_| panic!("read_stream_trailered panicked at cut {cut}"));
+            assert!(
+                parsed.is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn v5_single_byte_corruption_never_panics() {
+        // The full 3-mask byte-flip fuzz over header, span, data area,
+        // dictionary, table and trailer: parsing, checksum verification
+        // and every chunk-section read must produce typed errors only.
+        let (header, span) = sample_v2_header();
+        let bytes = write_stream_v5(&header, span, &sample_configs(), &sample_v5_chunks(8));
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok((_, table)) = read_stream_trailered(&corrupt) {
+                        for i in 0..table.entries.len() {
+                            if let Ok(slice) = table.verified_chunk_slice(&corrupt, i) {
+                                let _ = read_chunk_sections(slice);
+                            }
+                        }
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "v5 parsing panicked with byte {pos} xor {flip:#x}"
                 );
             }
         }

@@ -120,6 +120,27 @@
 //! decode through the in-memory [`decompress`] / [`StreamReader`] /
 //! [`decompress_chunk`] entry points like every other version.
 //!
+//! ## Cost-model orchestration (the v5 tuned container)
+//!
+//! Trial-encoding every candidate pipeline on every chunk is exactly the
+//! cost the paper's *optimized* orchestration avoids.
+//! [`ModeTuning::Estimated`] widens the per-chunk candidate set to the
+//! full Figure-6 catalogue at a fraction of the exhaustive tuning cost:
+//! the `szhi-tuner` cost models estimate every candidate's output size
+//! from a deterministic sample of the chunk's codes (code histogram →
+//! Huffman/ANS entropy bound, zero-run density → RRE/RZE gain, byte-range
+//! occupancy → TCMS/BIT viability) and only the estimated best few are
+//! trial-encoded for real; [`ModeTuning::Exhaustive`] is the ground truth
+//! it is benchmarked against. Orthogonally,
+//! [`SzhiConfig::with_chunk_interp_tuning`] scores the per-level
+//! interpolation candidates on every chunk's own blocks; the winning
+//! configurations are carried by the **tuned (v5) container** — a config
+//! dictionary in the CRC-protected table region and a config id per
+//! 23-byte chunk-table entry — and every reader decodes each chunk with
+//! its own configuration. All orchestration decisions are pure functions
+//! of the chunk data, so tuned streams stay byte-identical at every
+//! worker-thread count.
+//!
 //! ```
 //! use szhi_core::{ErrorBound, ModeTuning, StreamReader, StreamWriter, SzhiConfig};
 //! use szhi_ndgrid::{Dims, Grid};
@@ -164,8 +185,8 @@ pub use compressor::{
 pub use config::{ErrorBound, ModeTuning, PipelineMode, SzhiConfig};
 pub use error::SzhiError;
 pub use format::{
-    Header, MAGIC, TRAILER_MAGIC, TRAILER_SIZE, VERSION, VERSION_CHUNKED, VERSION_STREAMED,
-    VERSION_TRAILERED,
+    stream_version, Header, MAGIC, TRAILER_MAGIC, TRAILER_MAGIC_V5, TRAILER_SIZE, VERSION,
+    VERSION_CHUNKED, VERSION_STREAMED, VERSION_TRAILERED, VERSION_TUNED,
 };
 pub use stream::{
     ChunkReceipt, EncodedChunk, SourceChunks, StreamReader, StreamSink, StreamSource, StreamWriter,

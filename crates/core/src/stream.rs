@@ -7,16 +7,22 @@
 //!
 //! * [`StreamWriter`] accepts anchor-aligned chunks **as they arrive**
 //!   ([`StreamWriter::push_chunk`]), compresses each one immediately —
-//!   running the per-chunk mode tuner to pick the chunk's lossless pipeline
-//!   when [`ModeTuning::PerChunk`] is selected — and finalizes a streamed
-//!   (v3) container without ever holding the uncompressed field. Only the
+//!   running the per-chunk orchestrator to pick the chunk's lossless
+//!   pipeline ([`ModeTuning::PerChunk`] trial-encodes the production
+//!   modes, [`ModeTuning::Exhaustive`] any candidate list,
+//!   [`ModeTuning::Estimated`] the same list through the `szhi-tuner`
+//!   sampled cost model) and, with
+//!   [`SzhiConfig::with_chunk_interp_tuning`], the chunk's own
+//!   interpolation configuration — and finalizes a streamed (v3) or tuned
+//!   (v5) container without ever holding the uncompressed field. Only the
 //!   compressed chunk bodies are retained until [`StreamWriter::finish`].
-//! * [`StreamReader`] parses a chunked (v2) or streamed (v3) container
-//!   once, then decodes chunks **lazily** ([`StreamReader::chunks`],
+//! * [`StreamReader`] parses any chunk-bearing container (v2–v5) once,
+//!   then decodes chunks **lazily** ([`StreamReader::chunks`],
 //!   [`StreamReader::read_chunk`]) or drains them eagerly in parallel
-//!   ([`StreamReader::read_all`]). Every v3 chunk is verified against its
-//!   CRC32 *before* any lossless decoder touches the bytes; corruption
-//!   surfaces as the typed [`SzhiError::ChunkChecksum`].
+//!   ([`StreamReader::read_all`]), each v5 chunk with its own dictionary
+//!   configuration. Every v3+ chunk is verified against its CRC32
+//!   *before* any lossless decoder touches the bytes; corruption surfaces
+//!   as the typed [`SzhiError::ChunkChecksum`].
 //!
 //! The writer is deterministic: pushing the chunks of a field one at a time
 //! produces a stream byte-identical to [`crate::compress_chunked`] under
@@ -27,8 +33,8 @@ use crate::compressor::{decompress_chunk_body, CompressionStats};
 use crate::config::{ModeTuning, PipelineMode, SzhiConfig};
 use crate::error::SzhiError;
 use crate::format::{
-    self, read_chunk_table, write_sections, write_stream_v3, ChunkEntry, ChunkTable, Header,
-    TRAILER_SIZE, VERSION_STREAMED, VERSION_TRAILERED,
+    self, read_chunk_table, write_sections, write_stream_v3, write_stream_v5, ChunkEntry,
+    ChunkTable, Header, TRAILER_SIZE, VERSION_STREAMED, VERSION_TRAILERED, VERSION_TUNED,
 };
 use rayon::prelude::*;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -36,7 +42,8 @@ use szhi_codec::bitio::{put_u32, ByteCursor};
 use szhi_codec::checksum::crc32;
 use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
-use szhi_predictor::{InterpConfig, InterpPredictor, LevelOrder};
+use szhi_predictor::{InterpConfig, InterpPredictor, LevelConfig, LevelOrder};
+use szhi_tuner::SelectParams;
 
 /// One compressed chunk, produced by [`StreamWriter::encode_chunk`] and
 /// consumed by [`StreamWriter::push_encoded`]. Encoding is a pure function
@@ -46,6 +53,11 @@ use szhi_predictor::{InterpConfig, InterpPredictor, LevelOrder};
 pub struct EncodedChunk {
     index: usize,
     pipeline: PipelineSpec,
+    /// The per-level interpolation configuration this chunk was compressed
+    /// with, when per-chunk tuning selected one (recorded in the v5 config
+    /// dictionary at push time); `None` when every chunk shares the
+    /// header's configuration.
+    levels: Option<Vec<LevelConfig>>,
     body: Vec<u8>,
     anchors: usize,
     outliers: usize,
@@ -108,23 +120,117 @@ pub struct ChunkReceipt {
 #[derive(Debug)]
 pub struct StreamWriter {
     enc: ChunkEncoder,
-    chunks: Vec<(PipelineSpec, Vec<u8>)>,
+    chunks: Vec<(PipelineSpec, u16, Vec<u8>)>,
+    /// The config dictionary of a per-chunk-interp-tuned (v5) stream,
+    /// deduplicated in first-use order as chunks are pushed.
+    configs: Vec<Vec<LevelConfig>>,
     anchors: usize,
     outliers: usize,
     payload_bytes: usize,
 }
 
+/// Resolves a pushed chunk's per-level configuration to its id in the
+/// config dictionary, appending a new entry on first use. First-use order
+/// over chunks pushed in plan order keeps the dictionary — and therefore
+/// the stream bytes — deterministic at any encode-thread count.
+fn config_id_for(
+    configs: &mut Vec<Vec<LevelConfig>>,
+    levels: Option<Vec<LevelConfig>>,
+) -> Result<u16, SzhiError> {
+    let Some(levels) = levels else { return Ok(0) };
+    if let Some(found) = configs.iter().position(|c| *c == levels) {
+        return Ok(found as u16);
+    }
+    // The container stores the dictionary count as a u16, so at most
+    // u16::MAX entries (ids 0..u16::MAX-1) are representable — pushing one
+    // more would wrap the serialised count and emit an undecodable stream.
+    if configs.len() >= u16::MAX as usize {
+        return Err(SzhiError::InvalidInput(format!(
+            "config dictionary overflow: {} distinct per-chunk configurations",
+            configs.len() + 1
+        )));
+    }
+    configs.push(levels);
+    Ok((configs.len() - 1) as u16)
+}
+
+/// How the chunk encoder picks each chunk's lossless pipeline, resolved
+/// from [`ModeTuning`].
+#[derive(Debug)]
+enum PipelineSelection {
+    /// Trial-encode every candidate and keep the smallest payload
+    /// ([`ModeTuning::Global`] with one candidate, [`ModeTuning::PerChunk`]
+    /// with two, [`ModeTuning::Exhaustive`] with the full list).
+    Trial(Vec<PipelineSpec>),
+    /// Estimator-guided: rank the candidates with the `szhi-tuner` sampled
+    /// cost model and trial-encode only the estimated best few
+    /// ([`ModeTuning::Estimated`]).
+    Estimated(Vec<PipelineSpec>, SelectParams),
+}
+
+impl PipelineSelection {
+    /// Resolves a tuning policy into a selection strategy. The configured
+    /// default mode is always the first candidate (it wins ties, keeping
+    /// output deterministic), and repeated candidates are dropped.
+    fn from_tuning(mode: PipelineMode, tuning: ModeTuning) -> PipelineSelection {
+        let default_spec = mode.pipeline_spec();
+        let normalise = |candidates: Vec<PipelineSpec>| {
+            let mut list = vec![default_spec];
+            for c in candidates {
+                if !list.contains(&c) {
+                    list.push(c);
+                }
+            }
+            list
+        };
+        match tuning {
+            ModeTuning::Global => PipelineSelection::Trial(vec![default_spec]),
+            ModeTuning::PerChunk => {
+                let other = match mode {
+                    PipelineMode::Cr => PipelineMode::Tp,
+                    PipelineMode::Tp => PipelineMode::Cr,
+                };
+                PipelineSelection::Trial(vec![default_spec, other.pipeline_spec()])
+            }
+            ModeTuning::Exhaustive { candidates } => {
+                PipelineSelection::Trial(normalise(candidates))
+            }
+            ModeTuning::Estimated { candidates } => {
+                PipelineSelection::Estimated(normalise(candidates), SelectParams::default())
+            }
+        }
+    }
+
+    /// Selects the pipeline for one chunk's codes. Pure: the same codes
+    /// always yield the same choice.
+    fn select(&self, codes: &[u8]) -> Result<(PipelineSpec, Vec<u8>), SzhiError> {
+        match self {
+            PipelineSelection::Trial(candidates) => {
+                Ok(PipelineSpec::try_encode_select(candidates, codes)?)
+            }
+            PipelineSelection::Estimated(candidates, params) => {
+                let selection = szhi_tuner::select_pipeline(candidates, codes, params)?;
+                Ok((selection.pipeline, selection.payload))
+            }
+        }
+    }
+}
+
 /// The configuration-resolved chunk compressor shared by [`StreamWriter`]
-/// (in-memory v3 output) and [`StreamSink`] (io::Write-backed v4 output):
-/// the validated header, the chunk plan, the predictor instance and the
-/// mode tuner's candidate pipelines. Encoding a chunk is a pure `&self`
+/// (in-memory v3/v5 output) and [`StreamSink`] (io::Write-backed v4/v5
+/// output): the validated header, the chunk plan, the predictor instance
+/// and the pipeline-selection strategy. Encoding a chunk is a pure `&self`
 /// function, so either front end can fan encoding out across threads.
 #[derive(Debug)]
 struct ChunkEncoder {
     header: Header,
     plan: ChunkPlan,
     predictor: InterpPredictor,
-    candidates: Vec<PipelineSpec>,
+    selection: PipelineSelection,
+    /// Per-chunk interpolation tuning: each chunk scores the per-level
+    /// candidates on its own blocks and is compressed with the winner
+    /// (the container becomes v5 to carry the per-chunk configs).
+    chunk_interp: bool,
 }
 
 impl ChunkEncoder {
@@ -157,13 +263,15 @@ impl ChunkEncoder {
             cfg.interp.clone(),
             cfg.reorder,
             cfg.mode,
-            cfg.mode_tuning,
+            cfg.mode_tuning.clone(),
+            cfg.chunk_interp_tuning,
         )
     }
 
     /// Builds an encoder from fully resolved parameters (the batch engine
     /// calls this after resolving the error bound and auto-tuning on the
     /// whole field).
+    #[allow(clippy::too_many_arguments)]
     fn with_params(
         dims: Dims,
         span: [usize; 3],
@@ -172,6 +280,7 @@ impl ChunkEncoder {
         reorder: bool,
         mode: PipelineMode,
         mode_tuning: ModeTuning,
+        chunk_interp: bool,
     ) -> Result<ChunkEncoder, SzhiError> {
         interp
             .validate()
@@ -203,34 +312,24 @@ impl ChunkEncoder {
         }
         let predictor = InterpPredictor::new(interp.clone())
             .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
-        let default_spec = mode.pipeline_spec();
-        // The per-chunk tuner's candidate set: the configured mode first
-        // (it wins ties, keeping output deterministic — this is the guard
-        // that lets outlier-saturated chunks, whose codes both pipelines
-        // compress equally well, fall back cleanly to the configured
-        // default), then the other production mode when per-chunk
-        // selection is on.
-        let candidates = match mode_tuning {
-            ModeTuning::Global => vec![default_spec],
-            ModeTuning::PerChunk => {
-                let other = match mode {
-                    PipelineMode::Cr => PipelineMode::Tp,
-                    PipelineMode::Tp => PipelineMode::Cr,
-                };
-                vec![default_spec, other.pipeline_spec()]
-            }
-        };
+        // The configured mode is always the selection's first candidate:
+        // it wins ties, keeping output deterministic — this is the guard
+        // that lets outlier-saturated chunks, whose codes every candidate
+        // compresses equally well, fall back cleanly to the configured
+        // default.
+        let selection = PipelineSelection::from_tuning(mode, mode_tuning);
         Ok(ChunkEncoder {
             header: Header {
                 dims,
                 abs_eb,
-                pipeline: default_spec,
+                pipeline: mode.pipeline_spec(),
                 reorder,
                 interp,
             },
             plan,
             predictor,
-            candidates,
+            selection,
+            chunk_interp,
         })
     }
 
@@ -250,23 +349,37 @@ impl ChunkEncoder {
                 chunk.dims()
             )));
         }
-        let output = self.predictor.compress(chunk, self.header.abs_eb);
+        // Per-chunk interpolation tuning: score the per-level candidates
+        // on this chunk's own blocks and compress with the winner (a pure
+        // function of the chunk, so the tuned stream stays deterministic).
+        let (output, levels) = if self.chunk_interp {
+            let tuned = szhi_tuner::tune_chunk_interp(chunk, &self.header.interp);
+            let predictor = InterpPredictor::new(tuned.clone())
+                .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+            (
+                predictor.compress(chunk, self.header.abs_eb),
+                Some(tuned.levels),
+            )
+        } else {
+            (self.predictor.compress(chunk, self.header.abs_eb), None)
+        };
         let codes = if self.header.reorder {
             LevelOrder::new(expected, self.header.interp.anchor_stride).reorder(&output.codes)
         } else {
             output.codes
         };
-        // The per-chunk mode tuner: offer the codes to every candidate
-        // pipeline and keep the smallest payload (ties prefer the
-        // configured default mode). The fallible selector turns a
+        // The per-chunk mode tuner: offer the codes to the selection
+        // strategy (trial-encoding or the estimator-guided shortlist) and
+        // keep the smallest real payload. The fallible selector turns a
         // misconfigured (empty) candidate set into a typed error instead
         // of aborting a long-running stream.
-        let (pipeline, payload) = PipelineSpec::try_encode_select(&self.candidates, &codes)?;
+        let (pipeline, payload) = self.selection.select(&codes)?;
         let mut body = Vec::new();
         write_sections(&mut body, &output.anchors, &output.outliers, &payload);
         Ok(EncodedChunk {
             index,
             pipeline,
+            levels,
             anchors: output.anchors.len(),
             outliers: output.outliers.len(),
             payload_bytes: payload.len(),
@@ -297,6 +410,7 @@ impl StreamWriter {
     /// Creates a writer from fully resolved parameters. This is the
     /// constructor the batch engine uses after resolving the error bound
     /// and auto-tuning on the whole field.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_params(
         dims: Dims,
         span: [usize; 3],
@@ -305,6 +419,7 @@ impl StreamWriter {
         reorder: bool,
         mode: PipelineMode,
         mode_tuning: ModeTuning,
+        chunk_interp: bool,
     ) -> Result<StreamWriter, SzhiError> {
         Ok(StreamWriter::from_encoder(ChunkEncoder::with_params(
             dims,
@@ -314,6 +429,7 @@ impl StreamWriter {
             reorder,
             mode,
             mode_tuning,
+            chunk_interp,
         )?))
     }
 
@@ -322,6 +438,7 @@ impl StreamWriter {
         StreamWriter {
             enc,
             chunks: Vec::with_capacity(n_chunks),
+            configs: Vec::new(),
             anchors: 0,
             outliers: 0,
             payload_bytes: 0,
@@ -395,7 +512,9 @@ impl StreamWriter {
 
     /// Appends a chunk previously produced by
     /// [`StreamWriter::encode_chunk`]. Chunks must be pushed strictly in
-    /// plan order; a gap or repeat is a typed error.
+    /// plan order; a gap or repeat is a typed error. With per-chunk
+    /// interpolation tuning enabled, the chunk's configuration is interned
+    /// into the config dictionary here, in push order.
     pub fn push_encoded(&mut self, chunk: EncodedChunk) -> Result<(), SzhiError> {
         if chunk.index != self.chunks.len() {
             return Err(SzhiError::InvalidInput(format!(
@@ -404,15 +523,17 @@ impl StreamWriter {
                 self.chunks.len()
             )));
         }
+        let config = config_id_for(&mut self.configs, chunk.levels)?;
         self.anchors += chunk.anchors;
         self.outliers += chunk.outliers;
         self.payload_bytes += chunk.payload_bytes;
-        self.chunks.push((chunk.pipeline, chunk.body));
+        self.chunks.push((chunk.pipeline, config, chunk.body));
         Ok(())
     }
 
-    /// Finalizes the streamed (v3) container. Errors if any chunk of the
-    /// plan has not been pushed.
+    /// Finalizes the container — streamed (v3), or tuned (v5) when
+    /// per-chunk interpolation tuning is enabled. Errors if any chunk of
+    /// the plan has not been pushed.
     pub fn finish(self) -> Result<Vec<u8>, SzhiError> {
         self.finish_with_stats().map(|(bytes, _)| bytes)
     }
@@ -426,7 +547,21 @@ impl StreamWriter {
                 self.enc.plan.len()
             )));
         }
-        let bytes = write_stream_v3(&self.enc.header, self.enc.plan.span(), &self.chunks);
+        let bytes = if self.enc.chunk_interp {
+            write_stream_v5(
+                &self.enc.header,
+                self.enc.plan.span(),
+                &self.configs,
+                &self.chunks,
+            )
+        } else {
+            let chunks: Vec<(PipelineSpec, Vec<u8>)> = self
+                .chunks
+                .into_iter()
+                .map(|(pipeline, _, body)| (pipeline, body))
+                .collect();
+            write_stream_v3(&self.enc.header, self.enc.plan.span(), &chunks)
+        };
         let original_bytes = self.enc.header.dims.nbytes_f32();
         let stats = CompressionStats {
             original_bytes,
@@ -483,9 +618,13 @@ impl StreamWriter {
 pub struct StreamSink<W: Write> {
     out: W,
     enc: ChunkEncoder,
-    /// One `(offset, len, pipeline, crc32)` record per pushed chunk — the
-    /// only per-chunk state the sink retains.
-    entries: Vec<(u64, u64, PipelineSpec, u32)>,
+    /// One `(offset, len, pipeline, config_id, crc32)` record per pushed
+    /// chunk — the only per-chunk state the sink retains (the config id is
+    /// 0 and unused unless per-chunk interpolation tuning is on).
+    entries: Vec<(u64, u64, PipelineSpec, u16, u32)>,
+    /// The config dictionary of a per-chunk-interp-tuned (v5) stream,
+    /// interned in push order; empty for v4 output.
+    configs: Vec<Vec<LevelConfig>>,
     prefix_len: u64,
     data_written: u64,
     poisoned: bool,
@@ -505,8 +644,13 @@ impl<W: Write> StreamSink<W> {
     }
 
     fn from_encoder(mut out: W, enc: ChunkEncoder) -> Result<StreamSink<W>, SzhiError> {
+        let version = if enc.chunk_interp {
+            VERSION_TUNED
+        } else {
+            VERSION_TRAILERED
+        };
         let mut prefix = Vec::new();
-        format::write_header(&mut prefix, &enc.header, VERSION_TRAILERED);
+        format::write_header(&mut prefix, &enc.header, version);
         for s in enc.plan.span() {
             put_u32(&mut prefix, s as u32);
         }
@@ -516,6 +660,7 @@ impl<W: Write> StreamSink<W> {
             out,
             enc,
             entries: Vec::with_capacity(n_chunks),
+            configs: Vec::new(),
             prefix_len: prefix.len() as u64,
             data_written: 0,
             poisoned: false,
@@ -611,6 +756,7 @@ impl<W: Write> StreamSink<W> {
                 self.entries.len()
             )));
         }
+        let config = config_id_for(&mut self.configs, chunk.levels)?;
         let crc = crc32(&chunk.body);
         if let Err(e) = self.out.write_all(&chunk.body) {
             self.poisoned = true;
@@ -620,6 +766,7 @@ impl<W: Write> StreamSink<W> {
             self.data_written,
             chunk.body.len() as u64,
             chunk.pipeline,
+            config,
             crc,
         ));
         self.data_written += chunk.body.len() as u64;
@@ -648,7 +795,16 @@ impl<W: Write> StreamSink<W> {
             )));
         }
         let table_offset = self.prefix_len + self.data_written;
-        let tail = format::encode_table_tail(table_offset, &self.entries);
+        let tail = if self.enc.chunk_interp {
+            format::encode_table_tail_v5(table_offset, &self.configs, &self.entries)
+        } else {
+            let entries: Vec<(u64, u64, PipelineSpec, u32)> = self
+                .entries
+                .iter()
+                .map(|&(offset, len, pipeline, _, crc)| (offset, len, pipeline, crc))
+                .collect();
+            format::encode_table_tail(table_offset, &entries)
+        };
         self.out.write_all(&tail)?;
         self.out.flush()?;
         let compressed_bytes = (table_offset + tail.len() as u64) as usize;
@@ -717,10 +873,10 @@ pub struct StreamReader<'a> {
 
 impl<'a> StreamReader<'a> {
     /// Parses and validates the header and chunk table of a chunked (v2),
-    /// streamed (v3) or trailered (v4) container. Monolithic (v1) streams
-    /// have no chunk table and are rejected with a clear typed error —
-    /// decode those with [`crate::decompress`]; unknown future versions are
-    /// rejected as unsupported.
+    /// streamed (v3), trailered (v4) or tuned (v5) container. Monolithic
+    /// (v1) streams have no chunk table and are rejected with a clear typed
+    /// error — decode those with [`crate::decompress`]; unknown future
+    /// versions are rejected as unsupported.
     pub fn new(bytes: &'a [u8]) -> Result<StreamReader<'a>, SzhiError> {
         let (header, table) = read_chunk_table(bytes)?;
         let plan = ChunkPlan::new(header.dims, table.span);
@@ -761,7 +917,7 @@ impl<'a> StreamReader<'a> {
         self.plan.chunk_at(index)
     }
 
-    /// The lossless pipeline that encoded chunk `index` (from the v3 mode
+    /// The lossless pipeline that encoded chunk `index` (from the v3+ mode
     /// byte; for v2 streams, the header's global pipeline).
     ///
     /// # Panics
@@ -769,6 +925,17 @@ impl<'a> StreamReader<'a> {
     /// Panics if `index` is out of range (see [`StreamReader::chunk_count`]).
     pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
         self.table.entries[index].pipeline
+    }
+
+    /// The interpolation configuration chunk `index` was compressed with:
+    /// its config-dictionary entry for tuned (v5) streams, the header's
+    /// configuration for every other version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see [`StreamReader::chunk_count`]).
+    pub fn chunk_interp(&self, index: usize) -> InterpConfig {
+        self.table.chunk_interp(&self.header, index)
     }
 
     /// Verifies chunk `index` against its recorded CRC32 without decoding
@@ -790,6 +957,7 @@ impl<'a> StreamReader<'a> {
         let grid = decompress_chunk_body(
             &self.header,
             self.table.entries[index].pipeline,
+            &self.table.chunk_interp(&self.header, index),
             self.plan.chunk_dims(index),
             body,
         )?;
@@ -872,9 +1040,15 @@ pub struct StreamSource<R> {
     header: Header,
     span: [usize; 3],
     entries: Vec<ChunkEntry>,
+    /// The config dictionary of a tuned (v5) stream; empty otherwise.
+    configs: Vec<Vec<LevelConfig>>,
     data_start: u64,
     plan: ChunkPlan,
 }
+
+/// The parsed chunk-table region of an io-backed source: the entries, the
+/// (possibly empty) config dictionary and the data-area start offset.
+type ParsedTable = (Vec<ChunkEntry>, Vec<Vec<LevelConfig>>, u64);
 
 /// Reads exactly `n` bytes from `reader`, mapping failures (including a
 /// premature end of the stream) to [`SzhiError::Io`].
@@ -894,8 +1068,8 @@ impl<'a> StreamSource<std::io::Cursor<&'a [u8]>> {
 }
 
 impl<R: Read + Seek> StreamSource<R> {
-    /// Opens a chunked (v2), streamed (v3) or trailered (v4) container,
-    /// reading and validating the header and chunk table only.
+    /// Opens a chunked (v2), streamed (v3), trailered (v4) or tuned (v5)
+    /// container, reading and validating the header and chunk table only.
     pub fn new(mut reader: R) -> Result<StreamSource<R>, SzhiError> {
         reader
             .seek(SeekFrom::Start(0))
@@ -920,10 +1094,20 @@ impl<R: Read + Seek> StreamSource<R> {
         let file_len = reader
             .seek(SeekFrom::End(0))
             .map_err(|e| SzhiError::Io(format!("seeking to the stream end: {e}")))?;
-        let (entries, data_start) = if version == VERSION_TRAILERED {
-            Self::parse_trailered_table(&mut reader, &header, &plan, data_start, file_len)?
+        let (entries, configs, data_start) = if version == VERSION_TRAILERED
+            || version == VERSION_TUNED
+        {
+            Self::parse_trailered_table(&mut reader, &header, &plan, version, data_start, file_len)?
         } else {
-            Self::parse_leading_table(&mut reader, &header, &plan, version, data_start, file_len)?
+            let (entries, data_start) = Self::parse_leading_table(
+                &mut reader,
+                &header,
+                &plan,
+                version,
+                data_start,
+                file_len,
+            )?;
+            (entries, Vec::new(), data_start)
         };
         Ok(StreamSource {
             reader,
@@ -931,21 +1115,23 @@ impl<R: Read + Seek> StreamSource<R> {
             header,
             span,
             entries,
+            configs,
             data_start,
             plan,
         })
     }
 
-    /// Locates and validates the chunk table of a v4 stream via its
-    /// trailer: trailer magic and geometry first, then the table CRC32,
-    /// then the entries.
+    /// Locates and validates the chunk table of a v4/v5 stream via its
+    /// trailer: trailer magic and geometry first, then the table-region
+    /// CRC32, then (for v5) the config dictionary, then the entries.
     fn parse_trailered_table(
         reader: &mut R,
         header: &Header,
         plan: &ChunkPlan,
+        version: u8,
         data_start: u64,
         file_len: u64,
-    ) -> Result<(Vec<ChunkEntry>, u64), SzhiError> {
+    ) -> Result<ParsedTable, SzhiError> {
         if file_len < data_start + TRAILER_SIZE as u64 {
             return Err(SzhiError::TrailerCorrupt(format!(
                 "stream of {file_len} bytes is too short for a {TRAILER_SIZE}-byte trailer"
@@ -956,16 +1142,32 @@ impl<R: Read + Seek> StreamSource<R> {
             .seek(SeekFrom::Start(trailer_start))
             .map_err(|e| SzhiError::Io(format!("seeking to the trailer: {e}")))?;
         let tail = read_exact_vec(reader, TRAILER_SIZE, "the trailer")?;
-        let trailer = format::parse_trailer(&tail)?;
-        let table_len =
-            format::validate_trailer_geometry(&trailer, plan.len(), data_start, trailer_start)?;
-        reader
-            .seek(SeekFrom::Start(trailer.table_offset))
-            .map_err(|e| SzhiError::Io(format!("seeking to the chunk table: {e}")))?;
-        let table_bytes = read_exact_vec(reader, table_len as usize, "the chunk table")?;
-        let entries =
-            format::parse_trailered_entries(&table_bytes, &trailer, data_start, header.pipeline)?;
-        Ok((entries, data_start))
+        let trailer = format::parse_trailer(&tail, version)?;
+        if version == VERSION_TRAILERED {
+            let table_len =
+                format::validate_trailer_geometry(&trailer, plan.len(), data_start, trailer_start)?;
+            reader
+                .seek(SeekFrom::Start(trailer.table_offset))
+                .map_err(|e| SzhiError::Io(format!("seeking to the chunk table: {e}")))?;
+            let table_bytes = read_exact_vec(reader, table_len as usize, "the chunk table")?;
+            let entries = format::parse_trailered_entries(
+                &table_bytes,
+                &trailer,
+                data_start,
+                header.pipeline,
+            )?;
+            Ok((entries, Vec::new(), data_start))
+        } else {
+            format::validate_tuned_geometry(&trailer, plan.len(), data_start, trailer_start)?;
+            reader
+                .seek(SeekFrom::Start(trailer.table_offset))
+                .map_err(|e| SzhiError::Io(format!("seeking to the table region: {e}")))?;
+            let region_len = (trailer_start - trailer.table_offset) as usize;
+            let region = read_exact_vec(reader, region_len, "the table region")?;
+            let (entries, configs) =
+                format::parse_tuned_region(&region, &trailer, data_start, header)?;
+            Ok((entries, configs, data_start))
+        }
     }
 
     /// Reads and validates the leading chunk table of a v2/v3 stream (the
@@ -1009,13 +1211,14 @@ impl<R: Read + Seek> StreamSource<R> {
         let table_len = n_chunks * entry_size as u64;
         let table_bytes = read_exact_vec(reader, table_len as usize, "the chunk table")?;
         let mut cur = ByteCursor::new(&table_bytes);
-        let raw = format::read_raw_entries(&mut cur, version, n_chunks as usize, header.pipeline)?;
+        let raw =
+            format::read_raw_entries(&mut cur, version, n_chunks as usize, header.pipeline, 0)?;
         let data_start = table_at + 8 + table_len;
         let data_len = file_len - data_start;
         Ok((format::validate_extents(raw, data_len)?, data_start))
     }
 
-    /// The container version of the stream (2, 3 or 4).
+    /// The container version of the stream (2, 3, 4 or 5).
     pub fn version(&self) -> u8 {
         self.version
     }
@@ -1055,7 +1258,7 @@ impl<R: Read + Seek> StreamSource<R> {
         self.plan.chunk_at(index)
     }
 
-    /// The lossless pipeline that encoded chunk `index` (from the v3/v4
+    /// The lossless pipeline that encoded chunk `index` (from the v3+
     /// mode byte; for v2 streams, the header's global pipeline).
     ///
     /// # Panics
@@ -1064,6 +1267,18 @@ impl<R: Read + Seek> StreamSource<R> {
     /// [`StreamSource::chunk_count`]).
     pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
         self.entries[index].pipeline
+    }
+
+    /// The interpolation configuration chunk `index` was compressed with:
+    /// its config-dictionary entry for tuned (v5) streams, the header's
+    /// configuration for every other version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see
+    /// [`StreamSource::chunk_count`]).
+    pub fn chunk_interp(&self, index: usize) -> InterpConfig {
+        format::resolve_chunk_interp(&self.header, self.entries[index].config, &self.configs)
     }
 
     fn check_index(&self, index: usize) -> Result<(), SzhiError> {
@@ -1118,6 +1333,7 @@ impl<R: Read + Seek> StreamSource<R> {
         let grid = decompress_chunk_body(
             &self.header,
             self.entries[index].pipeline,
+            &self.chunk_interp(index),
             self.plan.chunk_dims(index),
             &body,
         )?;
@@ -1488,8 +1704,8 @@ mod tests {
         let v1 = crate::compressor::compress(&data, &SzhiConfig::new(ErrorBound::Relative(1e-2)))
             .unwrap();
         assert_eq!(stream_version(&v1).unwrap(), crate::format::VERSION);
-        let mut v5 = compress_chunked(&data, &stream_cfg([16, 16, 16]), [16, 16, 16]).unwrap();
-        v5[4] = 5;
+        let mut v6 = compress_chunked(&data, &stream_cfg([16, 16, 16]), [16, 16, 16]).unwrap();
+        v6[4] = 6;
 
         // v1: named monolithic, pointed at `decompress` — not a confusing
         // chunk-table parse failure.
@@ -1505,17 +1721,17 @@ mod tests {
                 other => panic!("v1 not rejected clearly: {other:?}"),
             }
         }
-        // v5: named unsupported, with the version number.
+        // v6: named unsupported, with the version number.
         for result in [
-            StreamReader::new(&v5).err(),
-            StreamSource::from_bytes(&v5).err(),
+            StreamReader::new(&v6).err(),
+            StreamSource::from_bytes(&v6).err(),
         ] {
             match result {
                 Some(SzhiError::InvalidStream(msg)) => {
                     assert!(msg.contains("unsupported"), "unexpected message: {msg}");
-                    assert!(msg.contains('5'), "unexpected message: {msg}");
+                    assert!(msg.contains('6'), "unexpected message: {msg}");
                 }
-                other => panic!("v5 not rejected clearly: {other:?}"),
+                other => panic!("v6 not rejected clearly: {other:?}"),
             }
         }
     }
@@ -1610,6 +1826,161 @@ mod tests {
             for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
                 assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn per_chunk_interp_tuning_emits_a_v5_stream_that_roundtrips_everywhere() {
+        // The acceptance contract of the tuned (v5) container: with
+        // per-chunk interpolation tuning (and estimator-guided pipeline
+        // selection) enabled, the batch engine, the incremental writer and
+        // the io-backed sink all emit the same v5 bytes, and the stream
+        // decodes bit-identically through `decompress`, `StreamReader`
+        // and `StreamSource`, honouring the error bound.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+        let abs_eb = 2e-3;
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span([32, 32, 32])
+            .with_mode_tuning(ModeTuning::estimated())
+            .with_chunk_interp_tuning(true);
+
+        let batch = compress_chunked(&data, &cfg, [32, 32, 32]).unwrap();
+        assert_eq!(stream_version(&batch).unwrap(), VERSION_TUNED);
+
+        // Incremental writer: same bytes.
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        push_all(&mut writer, &data);
+        let streamed = writer.finish().unwrap();
+        assert_eq!(streamed, batch, "writer must match the batch engine");
+
+        // io-backed sink: same bytes again (the v5 tail is identical).
+        let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+        while let Some(region) = sink.next_chunk_region() {
+            let dims = sink.plan().chunk_dims(sink.next_index());
+            sink.push_chunk(&Grid::from_vec(dims, data.extract(&region)))
+                .unwrap();
+        }
+        let sunk = sink.finish().unwrap();
+        assert_eq!(sunk, batch, "sink must match the batch engine");
+
+        // Every reader agrees bit-for-bit and the bound holds.
+        let from_decompress = decompress(&batch).unwrap();
+        let reader = StreamReader::new(&batch).unwrap();
+        assert_eq!(
+            reader.read_all().unwrap().as_slice(),
+            from_decompress.as_slice()
+        );
+        let mut source = StreamSource::from_bytes(&batch).unwrap();
+        assert_eq!(source.version(), VERSION_TUNED);
+        assert_eq!(
+            source.read_all().unwrap().as_slice(),
+            from_decompress.as_slice()
+        );
+        for (a, b) in data.as_slice().iter().zip(from_decompress.as_slice()) {
+            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
+        }
+
+        // The chunk table exposes each chunk's resolved configuration, and
+        // the dictionary holds every referenced config.
+        for i in 0..reader.chunk_count() {
+            let interp = reader.chunk_interp(i);
+            interp.validate().unwrap();
+            assert_eq!(interp.anchor_stride, reader.header().interp.anchor_stride);
+            assert_eq!(source.chunk_interp(i), interp);
+        }
+
+        // Random access decodes each chunk with its own config.
+        let (region, sub) = crate::compressor::decompress_chunk(&batch, 1).unwrap();
+        for (a, b) in data.extract(&region).iter().zip(sub.as_slice()) {
+            assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12);
+        }
+    }
+
+    #[test]
+    fn v5_byte_flips_and_truncations_never_panic_through_any_reader() {
+        // The v5 parity fuzz: every single-byte corruption and truncation
+        // of a tuned stream surfaces as a typed error through `decompress`
+        // and the io-backed `StreamSource` — never a panic.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(16, 16, 32));
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+            .with_auto_tune(false)
+            .with_chunk_span([16, 16, 16])
+            .with_mode_tuning(ModeTuning::PerChunk)
+            .with_chunk_interp_tuning(true);
+        let bytes = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+        assert_eq!(stream_version(&bytes).unwrap(), VERSION_TUNED);
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                let result = std::panic::catch_unwind(|| {
+                    let _ = decompress(&corrupt);
+                    if let Ok(mut source) = StreamSource::from_bytes(&corrupt) {
+                        let _ = source.read_all();
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "v5 reader panicked with byte {pos} xor {flip:#x}"
+                );
+            }
+        }
+        for cut in [0usize, 4, 40, bytes.len() / 2, bytes.len() - 1] {
+            let result = std::panic::catch_unwind(|| {
+                assert!(decompress(&bytes[..cut]).is_err());
+                if let Ok(mut source) = StreamSource::from_bytes(&bytes[..cut]) {
+                    let _ = source.read_all();
+                }
+            });
+            assert!(result.is_ok(), "v5 reader panicked at truncation {cut}");
+        }
+    }
+
+    #[test]
+    fn estimated_tuning_is_never_worse_than_the_default_and_tracks_exhaustive() {
+        // Per-chunk, the estimator-guided selection always refines the
+        // configured default, so the tuned stream can never exceed the
+        // global-default stream; and over the full fig6 candidate list it
+        // must stay within 5% of the exhaustive trial-encode stream.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+        let span = [32, 32, 32];
+        let base = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+            .with_auto_tune(false)
+            .with_chunk_span(span);
+        let global = compress_chunked(&data, &base, span).unwrap();
+        let estimated = compress_chunked(
+            &data,
+            &base.clone().with_mode_tuning(ModeTuning::estimated()),
+            span,
+        )
+        .unwrap();
+        let exhaustive = compress_chunked(
+            &data,
+            &base.clone().with_mode_tuning(ModeTuning::exhaustive()),
+            span,
+        )
+        .unwrap();
+        assert!(
+            estimated.len() <= global.len(),
+            "estimated ({}) worse than the global default ({})",
+            estimated.len(),
+            global.len()
+        );
+        assert!(
+            (estimated.len() as f64) <= exhaustive.len() as f64 * 1.05,
+            "estimated ({}) more than 5% above exhaustive ({})",
+            estimated.len(),
+            exhaustive.len()
+        );
+        // Both remain plain v3 streams (no per-chunk interp): the wider
+        // candidate set needs no container change.
+        assert_eq!(stream_version(&estimated).unwrap(), VERSION_STREAMED);
+        assert_eq!(stream_version(&exhaustive).unwrap(), VERSION_STREAMED);
+        // And the estimated stream still honours the bound.
+        let recon = decompress(&estimated).unwrap();
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!(((*a as f64) - (*b as f64)).abs() <= 2e-3 + 1e-12);
         }
     }
 

@@ -1,0 +1,50 @@
+//! # szhi-tuner — sampling-based cost-model orchestration
+//!
+//! The paper's core claim is that the lossy predictor configuration and
+//! the lossless pipeline should be chosen **jointly, per region** — but
+//! trial-encoding every candidate pipeline on every chunk is exactly the
+//! cost the paper's "optimized" orchestration avoids. This crate provides
+//! the cheap middle path, in the spirit of cuSZ+'s histogram-driven size
+//! estimation:
+//!
+//! 1. [`sample::sample_codes`] draws a **deterministic** subset of a
+//!    chunk's quantization codes (evenly spaced contiguous segments, so
+//!    run structure survives);
+//! 2. [`stats::CodeStats`] summarises the sample (code histogram, Shannon
+//!    entropy, zero density, repeat-run density, byte-range occupancy);
+//! 3. [`estimate::estimate_size`] walks a candidate pipeline's
+//!    [`StageSpec`](szhi_codec::StageSpec) list with **stage-aware
+//!    models**: component stages (RRE/RZE/TCMS/BIT/…) are applied to the
+//!    sample itself — their zero-run and occupancy effects propagate
+//!    exactly — while entropy-coder stages (Huffman/ANS) are closed with
+//!    the histogram → entropy bound, which needs no encode at all;
+//! 4. [`select::select_pipeline`] ranks the full candidate list by
+//!    estimated size and trial-encodes only a short refinement list (the
+//!    estimated top few plus the configured default), so the chosen
+//!    payload is always a *real* encode and never worse than the default
+//!    mode — at a fraction of the exhaustive trial-encode cost.
+//!
+//! The same per-chunk philosophy applies to the lossy side:
+//! [`interp::tune_chunk_interp`] scores the standard per-level
+//! interpolation candidates ([`szhi_predictor::autotune::candidates`]) on
+//! a sampled subset of the chunk's blocks, giving every chunk its own
+//! predictor configuration (carried by the v5 container's config
+//! dictionary in `szhi-core`).
+//!
+//! Everything in this crate is a pure function of its inputs — no RNG, no
+//! global state — so orchestration decisions are byte-reproducible at any
+//! worker-thread count.
+
+#![deny(missing_docs)]
+
+pub mod estimate;
+pub mod interp;
+pub mod sample;
+pub mod select;
+pub mod stats;
+
+pub use estimate::{estimate_size, SizeEstimate};
+pub use interp::{tune_chunk_interp, tune_chunk_interp_with_report};
+pub use sample::sample_codes;
+pub use select::{select_pipeline, SelectParams, Selection};
+pub use stats::CodeStats;

@@ -31,6 +31,7 @@ pub use szhi_datagen as datagen;
 pub use szhi_metrics as metrics;
 pub use szhi_ndgrid as ndgrid;
 pub use szhi_predictor as predictor;
+pub use szhi_tuner as tuner;
 
 pub use szhi_core::{compress, decompress};
 

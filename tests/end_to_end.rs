@@ -347,6 +347,37 @@ fn stream_sink_to_a_file_roundtrips_bit_identically_with_bounded_buffering() {
 }
 
 #[test]
+fn estimated_orchestration_is_byte_identical_across_thread_counts() {
+    // The determinism contract of the cost-model orchestrator: estimation
+    // samples deterministically and per-chunk interp tuning is a pure
+    // function of the chunk, so the full v5 stream — estimator-guided
+    // pipeline choices, config dictionary, chunk bodies — is byte-identical
+    // at 1 and 4 worker threads.
+    let data = szhi::datagen::mixed_smooth_noisy(Dims::d3(32, 32, 64));
+    let cfg = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32])
+        .with_mode_tuning(ModeTuning::estimated())
+        .with_chunk_interp_tuning(true);
+
+    rayon::set_num_threads(1);
+    let single = compress(&data, &cfg).unwrap();
+    rayon::set_num_threads(4);
+    let multi = compress(&data, &cfg).unwrap();
+    rayon::set_num_threads(0);
+    assert_eq!(
+        single, multi,
+        "estimated v5 streams must be byte-identical at 1 and 4 threads"
+    );
+    assert_eq!(
+        szhi::core::stream_version(&single).unwrap(),
+        szhi::core::VERSION_TUNED
+    );
+    let recon = decompress(&single).unwrap();
+    assert_bound(&data, &recon, 2e-3, "estimated v5 roundtrip");
+}
+
+#[test]
 fn per_chunk_mode_selection_improves_mixed_fields() {
     // A field with a smooth half and a noisy half: tuning the lossless
     // pipeline per chunk must compress strictly better than either global

@@ -183,6 +183,121 @@ proptest! {
         }
     }
 
+    /// Estimator-guided orchestration honours the error bound and tracks
+    /// the exhaustive per-chunk trial encode: over arbitrary mixed
+    /// smooth/noisy fields, `ModeTuning::Estimated` over the full fig6
+    /// candidate list produces a stream within the stated tolerance of
+    /// `ModeTuning::Exhaustive` over the same list — 5% plus a 32-byte
+    /// per-chunk allowance for the tiny payloads these small fields
+    /// produce — and never larger than the global default stream.
+    #[test]
+    fn estimated_orchestration_honours_the_bound_and_tracks_exhaustive(
+        (data, rel_eb) in field_strategy(),
+        cz in 1usize..3, cy in 1usize..3, cx in 1usize..3,
+        noise_amp in 0.0f32..2.0,
+    ) {
+        // Sharpen the smooth/noisy contrast: overlay hash noise on the
+        // high-x half so chunks genuinely differ in character.
+        let dims = data.dims();
+        let data = Grid::from_fn(dims, |z, y, x| {
+            let base = data.get(z, y, x);
+            if x >= dims.nx() / 2 {
+                let mut h = (z * 73_856_093) ^ (y * 19_349_663) ^ (x * 83_492_791);
+                h ^= h >> 13;
+                h = h.wrapping_mul(0x5bd1_e995);
+                h ^= h >> 15;
+                base + noise_amp * (((h & 0xFFFF) as f32 / 65_535.0) - 0.5)
+            } else {
+                base
+            }
+        });
+        let span = [16 * cz, 16 * cy, 16 * cx];
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let base = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span(span);
+        let global = compress(&data, &base).unwrap();
+        let estimated = compress(
+            &data,
+            &base.clone().with_mode_tuning(ModeTuning::estimated()),
+        )
+        .unwrap();
+        let exhaustive = compress(
+            &data,
+            &base.clone().with_mode_tuning(ModeTuning::exhaustive()),
+        )
+        .unwrap();
+
+        // (1) The estimator-guided stream always honours the bound.
+        let recon = decompress(&estimated).unwrap();
+        prop_assert_eq!(recon.dims(), data.dims());
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "violated: {} vs {} (eb {})", a, b, abs_eb);
+        }
+
+        // (2) Within the stated tolerance of the exhaustive trial encode,
+        // and never worse than the global default.
+        let n_chunks = szhi::core::chunk_count(&estimated).unwrap();
+        let tolerance = exhaustive.len() as f64 * 1.05 + 32.0 * n_chunks as f64;
+        prop_assert!(
+            (estimated.len() as f64) <= tolerance,
+            "estimated {} vs exhaustive {} over {} chunks",
+            estimated.len(), exhaustive.len(), n_chunks
+        );
+        prop_assert!(estimated.len() <= global.len(),
+            "estimated {} worse than global default {}", estimated.len(), global.len());
+    }
+
+    /// Per-chunk interpolation tuning (the v5 container) round-trips for
+    /// arbitrary shapes, spans and bounds: the batch engine, the streaming
+    /// writer and the io-backed sink agree byte-for-byte, every reader
+    /// reconstructs the same values, and the bound holds.
+    #[test]
+    fn tuned_v5_streams_roundtrip_and_honour_the_bound(
+        (data, rel_eb) in field_strategy(),
+        cz in 1usize..4, cy in 1usize..4, cx in 1usize..4,
+        estimated in any::<bool>(),
+    ) {
+        use szhi::core::{StreamSink, StreamSource};
+
+        let span = [16 * cz, 16 * cy, 16 * cx];
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let tuning = if estimated { ModeTuning::estimated() } else { ModeTuning::PerChunk };
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span(span)
+            .with_mode_tuning(tuning)
+            .with_chunk_interp_tuning(true);
+
+        let batch = compress(&data, &cfg).unwrap();
+        prop_assert_eq!(szhi::core::stream_version(&batch).unwrap(), szhi::core::VERSION_TUNED);
+
+        let mut writer = StreamWriter::new(data.dims(), &cfg).unwrap();
+        while let Some(region) = writer.next_chunk_region() {
+            let dims = writer.plan().chunk_dims(writer.next_index());
+            let chunk = Grid::from_vec(dims, data.extract(&region));
+            writer.push_chunk(&chunk).unwrap();
+        }
+        prop_assert_eq!(&writer.finish().unwrap(), &batch);
+
+        let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+        while let Some(region) = sink.next_chunk_region() {
+            let dims = sink.plan().chunk_dims(sink.next_index());
+            let chunk = Grid::from_vec(dims, data.extract(&region));
+            sink.push_chunk(&chunk).unwrap();
+        }
+        prop_assert_eq!(&sink.finish().unwrap(), &batch);
+
+        let in_memory = decompress(&batch).unwrap();
+        let mut source = StreamSource::from_bytes(&batch).unwrap();
+        prop_assert_eq!(in_memory.as_slice(), source.read_all().unwrap().as_slice());
+        for (a, b) in data.as_slice().iter().zip(in_memory.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "violated: {} vs {} (eb {})", a, b, abs_eb);
+        }
+    }
+
     /// The interpolation predictor round-trips exactly (code-for-code) through
     /// its own decompressor for arbitrary small fields.
     #[test]
