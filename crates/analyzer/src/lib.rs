@@ -1,0 +1,1148 @@
+//! In-tree static analysis enforcing the workspace's safety invariants.
+//!
+//! PRs 1–5 hardened the decoder by convention: every `Vec::with_capacity`
+//! fed by an untrusted length routes through `bitio::decode_capacity`,
+//! decode paths return typed errors instead of panicking, and all `unsafe`
+//! stays inside `vendor/`. This crate machine-checks those conventions so
+//! future work cannot silently regress them. It is dependency-free (the
+//! build environment is offline): a plain `std::fs` walk plus a small Rust
+//! lexer that blanks comments and string/char literals before matching, so
+//! a lint never fires on the contents of a string or a doc comment.
+//!
+//! # Lints
+//!
+//! | id | rule |
+//! |----|------|
+//! | `no-unsafe` (L1) | `unsafe` is forbidden outside `vendor/`; every `unsafe` inside `vendor/` must carry a `// SAFETY:` comment |
+//! | `no-panic-decode` (L2) | no `unwrap`/`expect`/`panic!`/`unreachable!`/slice indexing in library (non-test) decode paths of `szhi-codec` and `szhi-core::{format,stream}` |
+//! | `capped-alloc` (L3) | `Vec::with_capacity`/`reserve` in those decode paths must route through `decode_capacity` |
+//! | `spec-drift` (L4) | magic strings, version bytes and entry/trailer sizes declared in `format.rs` must be stated in `docs/FORMAT.md` |
+//! | `error-coverage` (L5) | every `SzhiError` variant is constructed in library code and asserted by name in at least one test |
+//!
+//! # Suppression
+//!
+//! A violation is suppressed by a comment on the same line or the line
+//! directly above, naming the lint and giving a non-empty reason:
+//!
+//! ```text
+//! // szhi-analyzer: allow(no-panic-decode) -- ids are validated at parse time
+//! ```
+//!
+//! See `docs/ANALYSIS.md` for the full catalogue and the rationale per lint.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The project lints, in catalogue order (L1–L5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// L1: `unsafe` forbidden outside `vendor/`; `// SAFETY:` required inside.
+    NoUnsafe,
+    /// L2: panic-free decode paths (no `unwrap`/`expect`/`panic!`/indexing).
+    NoPanicDecode,
+    /// L3: decoder allocations route through `decode_capacity`.
+    CappedAlloc,
+    /// L4: `format.rs` constants cross-checked against `docs/FORMAT.md`.
+    SpecDrift,
+    /// L5: every `SzhiError` variant constructed and asserted by name.
+    ErrorCoverage,
+}
+
+impl Lint {
+    /// Every lint, in catalogue order.
+    pub const ALL: [Lint; 5] = [
+        Lint::NoUnsafe,
+        Lint::NoPanicDecode,
+        Lint::CappedAlloc,
+        Lint::SpecDrift,
+        Lint::ErrorCoverage,
+    ];
+
+    /// The stable id used on the command line and in suppression comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::NoUnsafe => "no-unsafe",
+            Lint::NoPanicDecode => "no-panic-decode",
+            Lint::CappedAlloc => "capped-alloc",
+            Lint::SpecDrift => "spec-drift",
+            Lint::ErrorCoverage => "error-coverage",
+        }
+    }
+
+    /// Inverse of [`Lint::id`].
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.id() == id)
+    }
+}
+
+/// One lint violation, anchored at a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.lint.id(),
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/// A lexed source file.
+///
+/// `code` is the original byte stream with comments and string/char literals
+/// blanked to spaces — newlines are preserved, so byte offsets and line
+/// numbers still line up with the original text and braces/tokens can be
+/// matched without tripping over literal contents. `comments` maps 1-based
+/// line numbers to the comment text appearing on that line (used for
+/// `// SAFETY:` checks and suppression comments).
+pub struct Lexed {
+    /// Blanked source bytes, same length as the input.
+    pub code: Vec<u8>,
+    /// Comment text per 1-based line number.
+    pub comments: HashMap<usize, String>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn append_comment(map: &mut HashMap<usize, String>, line: usize, text: &str) {
+    if text.is_empty() {
+        return;
+    }
+    let entry = map.entry(line).or_default();
+    if !entry.is_empty() {
+        entry.push(' ');
+    }
+    entry.push_str(text);
+}
+
+/// Returns the position of the opening quote if `i` starts a raw string
+/// (`r"`, `r#"`, `br"`, `br##"`, …), along with the number of `#`s.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// Lexes `source`: blanks comments and literals, collects per-line comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut code = Vec::with_capacity(n);
+    let mut comments: HashMap<usize, String> = HashMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // Pushes one blank per byte, preserving newlines (and counting lines).
+    macro_rules! blank {
+        ($b:expr) => {
+            if $b == b'\n' {
+                code.push(b'\n');
+                line += 1;
+            } else {
+                code.push(b' ');
+            }
+        };
+    }
+    while i < n {
+        let b = bytes[i];
+        let prev_ident = i > 0 && is_ident_byte(bytes[i - 1]);
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < n && bytes[i] != b'\n' {
+                code.push(b' ');
+                i += 1;
+            }
+            append_comment(&mut comments, line, &source[start..i]);
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            code.push(b' ');
+            code.push(b' ');
+            i += 2;
+            let mut seg = i;
+            while i < n && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    code.push(b' ');
+                    code.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    code.push(b' ');
+                    code.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'\n' {
+                    append_comment(&mut comments, line, &source[seg..i]);
+                    code.push(b'\n');
+                    line += 1;
+                    i += 1;
+                    seg = i;
+                } else {
+                    code.push(b' ');
+                    i += 1;
+                }
+            }
+            append_comment(&mut comments, line, &source[seg..i]);
+        } else if !prev_ident && (b == b'r' || b == b'b') && raw_string_start(bytes, i).is_some() {
+            let (hashes, quote) = raw_string_start(bytes, i).unwrap_or((0, i)); // unreachable: checked just above
+            while i <= quote {
+                code.push(b' ');
+                i += 1;
+            }
+            while i < n {
+                if bytes[i] == b'"' {
+                    let mut k = 0usize;
+                    while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        code.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        i += 1 + hashes;
+                        break;
+                    }
+                    code.push(b' ');
+                    i += 1;
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if b == b'"' {
+            // Plain (or byte) string literal; the `b` prefix, if any, was
+            // already copied through as a harmless stray identifier byte.
+            code.push(b' ');
+            i += 1;
+            while i < n {
+                match bytes[i] {
+                    b'\\' => {
+                        code.push(b' ');
+                        i += 1;
+                        if i < n {
+                            blank!(bytes[i]);
+                            i += 1;
+                        }
+                    }
+                    b'"' => {
+                        code.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    other => {
+                        blank!(other);
+                        i += 1;
+                    }
+                }
+            }
+        } else if b == b'\'' {
+            // Distinguish a char literal from a lifetime: a lifetime starts
+            // with an identifier char and is NOT closed by a quote right
+            // after that single char ('a, 'static), while 'x' / '\n' / '('
+            // are literals.
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(c) if is_ident_byte(c) => bytes.get(i + 2) == Some(&b'\''),
+                Some(_) => true,
+                None => true,
+            };
+            if !is_char {
+                code.push(b'\'');
+                i += 1;
+            } else {
+                code.push(b' ');
+                i += 1;
+                while i < n && bytes[i] != b'\'' {
+                    if bytes[i] == b'\\' {
+                        code.push(b' ');
+                        i += 1;
+                        if i < n {
+                            blank!(bytes[i]);
+                            i += 1;
+                        }
+                    } else if bytes[i] == b'\n' {
+                        break; // malformed literal: bail out of the scan
+                    } else {
+                        code.push(b' ');
+                        i += 1;
+                    }
+                }
+                if i < n && bytes[i] == b'\'' {
+                    code.push(b' ');
+                    i += 1;
+                }
+            }
+        } else {
+            if b == b'\n' {
+                line += 1;
+            }
+            code.push(b);
+            i += 1;
+        }
+    }
+    Lexed { code, comments }
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers over lexed code
+// ---------------------------------------------------------------------------
+
+fn line_starts(code: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &b) in code.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], pos: usize) -> usize {
+    starts.partition_point(|&s| s <= pos)
+}
+
+fn find(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    hay.get(from..)?
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Position of the `}` matching the `{` at `open`.
+fn match_brace(code: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in code.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (the attribute through the
+/// end of the item it gates).
+fn test_regions(code: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let pat = b"cfg(test)";
+    let mut from = 0usize;
+    while let Some(p) = find(code, pat, from) {
+        let mut k = p + pat.len();
+        let mut end = code.len();
+        while k < code.len() {
+            match code[k] {
+                b'{' => {
+                    end = match_brace(code, k).map_or(code.len(), |c| c + 1);
+                    break;
+                }
+                b';' => {
+                    end = k + 1;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        out.push((p, end));
+        from = end.max(p + 1);
+    }
+    out
+}
+
+fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+    regions.iter().any(|&(s, e)| pos >= s && pos < e)
+}
+
+/// A named function and the byte range of its body (braces inclusive).
+struct FnRegion {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+fn fn_regions(code: &[u8]) -> Vec<FnRegion> {
+    let n = code.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if !is_ident_byte(code[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && is_ident_byte(code[i]) {
+            i += 1;
+        }
+        if &code[start..i] != b"fn" {
+            continue;
+        }
+        let mut j = i;
+        while j < n && (code[j] == b' ' || code[j] == b'\n') {
+            j += 1;
+        }
+        let name_start = j;
+        while j < n && is_ident_byte(code[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn(...)` pointer type: no name, no body to track
+        }
+        let name = String::from_utf8_lossy(&code[name_start..j]).into_owned();
+        // Scan for the body `{`, skipping `;` inside `[u8; 4]`-style types.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < n {
+            match code[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    if let Some(close) = match_brace(code, k) {
+                        out.push(FnRegion {
+                            name,
+                            start: k,
+                            end: close,
+                        });
+                    }
+                    break;
+                }
+                b';' if depth == 0 => break, // trait method declaration
+                _ => {}
+            }
+            k += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// The innermost function body containing `pos`.
+fn enclosing_fn(fns: &[FnRegion], pos: usize) -> Option<&FnRegion> {
+    fns.iter()
+        .filter(|f| pos >= f.start && pos <= f.end)
+        .min_by_key(|f| f.end - f.start)
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments
+// ---------------------------------------------------------------------------
+
+const ALLOW_MARKER: &str = "szhi-analyzer: allow(";
+
+/// Whether `text` carries a well-formed suppression for `id`:
+/// `szhi-analyzer: allow(<ids>) -- <non-empty reason>`.
+fn comment_allows(text: &str, id: &str) -> bool {
+    let Some(p) = text.find(ALLOW_MARKER) else {
+        return false;
+    };
+    let rest = &text[p + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    let ids = &rest[..close];
+    let after = &rest[close + 1..];
+    let Some(dash) = after.find("--") else {
+        return false;
+    };
+    if after[dash + 2..].trim().is_empty() {
+        return false; // a reason is mandatory
+    }
+    ids.split(',').any(|s| s.trim() == id)
+}
+
+/// Suppression applies on the violation's own line or the line above.
+fn is_suppressed(comments: &HashMap<usize, String>, line: usize, lint: Lint) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .filter(|&&l| l > 0)
+        .any(|l| {
+            comments
+                .get(l)
+                .is_some_and(|t| comment_allows(t, lint.id()))
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+fn is_vendor_path(rel: &str) -> bool {
+    rel.starts_with("vendor/")
+}
+
+/// Integration-test files: every byte is test code.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests")
+}
+
+/// Files that are not library code (tests, benches, examples).
+fn is_nonlib_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+/// First-party library source (in scope for L5's construction leg).
+fn is_first_party_lib(rel: &str) -> bool {
+    !is_vendor_path(rel)
+        && !is_nonlib_path(rel)
+        && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
+}
+
+/// The decode-path scope of L2/L3: `szhi-codec` and the container modules
+/// of `szhi-core`.
+fn in_decode_scope(rel: &str) -> bool {
+    rel.starts_with("crates/codec/src/")
+        || rel == "crates/core/src/format.rs"
+        || rel == "crates/core/src/stream.rs"
+}
+
+/// Function-name keywords that mark a function as a decode path. Matched as
+/// substrings of the function name; encode-side names (`encode`, `compress`,
+/// `pack`, `finish`, …) deliberately match none of them.
+const DECODE_FN_KEYWORDS: &[&str] = &[
+    "decode",
+    "decompress",
+    "unpack",
+    "unpass",
+    "read",
+    "parse",
+    "validate",
+    "verif",
+    "restore",
+    "take",
+    "peek",
+    "refill",
+    "consume",
+    "fetch",
+    "resolve",
+    "get_",
+    "from_bytes",
+    "stream_version",
+    "reject",
+    "expect_chunked",
+    "checked_count",
+];
+
+fn is_decode_fn(name: &str) -> bool {
+    DECODE_FN_KEYWORDS.iter().any(|k| name.contains(k))
+}
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (array/slice literals and patterns).
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "return", "break", "in", "else", "match", "if", "while", "let", "mut", "ref", "move", "for",
+    "loop", "as", "dyn", "where", "impl", "const", "static",
+];
+
+/// Heuristic: `[` is an index expression if it directly follows an
+/// identifier, `)`, `]` or `?` (rustfmt leaves no space there), and the
+/// preceding identifier is not a keyword.
+fn is_index_expr(code: &[u8], pos: usize) -> bool {
+    if pos == 0 {
+        return false;
+    }
+    let prev = code[pos - 1];
+    if prev == b')' || prev == b']' || prev == b'?' {
+        return true;
+    }
+    if !is_ident_byte(prev) {
+        return false;
+    }
+    let mut s = pos - 1;
+    while s > 0 && is_ident_byte(code[s - 1]) {
+        s -= 1;
+    }
+    let ident = String::from_utf8_lossy(&code[s..pos]);
+    !PRE_BRACKET_KEYWORDS.contains(&ident.as_ref())
+}
+
+/// Whether the parenthesised argument list opening at `open` contains
+/// `needle` (used to accept `with_capacity(decode_capacity(...))`).
+fn paren_contains(code: &[u8], open: usize, needle: &[u8]) -> bool {
+    if code.get(open) != Some(&b'(') {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut end = open;
+    for (k, &b) in code.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    find(&code[..end], needle, open).is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lints: L1 no-unsafe, L2 no-panic-decode, L3 capped-alloc
+// ---------------------------------------------------------------------------
+
+/// Runs the per-file lints (L1, L2, L3) over one source file. `rel` is the
+/// workspace-relative `/`-separated path, which selects the applicable
+/// scopes (vendor for L1, decode modules for L2/L3).
+pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let code = &lexed.code;
+    let starts = line_starts(code);
+    let tests = test_regions(code);
+    let fns = fn_regions(code);
+    let vendor = is_vendor_path(rel);
+    let decode_scope = in_decode_scope(rel) && !is_test_path(rel);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, lint: Lint, pos: usize, message: String| {
+        let line = line_of(&starts, pos);
+        if !is_suppressed(&lexed.comments, line, lint) {
+            out.push(Violation {
+                lint,
+                file: rel.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    // L1: `unsafe` tokens.
+    let mut i = 0usize;
+    while i < code.len() {
+        if !is_ident_byte(code[i]) {
+            i += 1;
+            continue;
+        }
+        let s = i;
+        while i < code.len() && is_ident_byte(code[i]) {
+            i += 1;
+        }
+        if &code[s..i] != b"unsafe" {
+            continue;
+        }
+        if !vendor {
+            push(
+                &mut out,
+                Lint::NoUnsafe,
+                s,
+                "`unsafe` is forbidden outside vendor/".to_string(),
+            );
+        } else {
+            let line = line_of(&starts, s);
+            let documented = (line.saturating_sub(3)..=line).any(|l| {
+                lexed
+                    .comments
+                    .get(&l)
+                    .is_some_and(|t| t.contains("SAFETY:"))
+            });
+            if !documented {
+                push(
+                    &mut out,
+                    Lint::NoUnsafe,
+                    s,
+                    "`unsafe` in vendor/ without a `// SAFETY:` comment".to_string(),
+                );
+            }
+        }
+    }
+
+    // L2 + L3: decode-path scans.
+    if decode_scope {
+        let mut i = 0usize;
+        while i < code.len() {
+            let at_ident = i == 0 || !is_ident_byte(code[i - 1]);
+            let hit: Option<(Lint, String)> = if code[i..].starts_with(b".unwrap()") {
+                Some((Lint::NoPanicDecode, "call to `.unwrap()`".to_string()))
+            } else if code[i..].starts_with(b".expect(") {
+                Some((Lint::NoPanicDecode, "call to `.expect(...)`".to_string()))
+            } else if at_ident && code[i..].starts_with(b"panic!") {
+                Some((Lint::NoPanicDecode, "`panic!` invocation".to_string()))
+            } else if at_ident && code[i..].starts_with(b"unreachable!") {
+                Some((Lint::NoPanicDecode, "`unreachable!` invocation".to_string()))
+            } else if code[i] == b'[' && is_index_expr(code, i) {
+                Some((
+                    Lint::NoPanicDecode,
+                    "slice/array indexing (use `.get()` and return a typed error)".to_string(),
+                ))
+            } else if at_ident
+                && code[i..].starts_with(b"with_capacity(")
+                && !paren_contains(code, i + 13, b"decode_capacity")
+            {
+                Some((
+                    Lint::CappedAlloc,
+                    "`with_capacity` not routed through `decode_capacity`".to_string(),
+                ))
+            } else if code[i..].starts_with(b".reserve(")
+                && !paren_contains(code, i + 8, b"decode_capacity")
+            {
+                Some((
+                    Lint::CappedAlloc,
+                    "`reserve` not routed through `decode_capacity`".to_string(),
+                ))
+            } else {
+                None
+            };
+            if let Some((lint, message)) = hit {
+                if !in_regions(&tests, i) {
+                    if let Some(f) = enclosing_fn(&fns, i) {
+                        if is_decode_fn(&f.name) {
+                            let message = format!("{message} in decode path `{}`", f.name);
+                            push(&mut out, lint, i, message);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L4: spec-drift between format.rs and docs/FORMAT.md
+// ---------------------------------------------------------------------------
+
+enum ConstValue {
+    Bytes(String),
+    Int(u64),
+}
+
+/// Parses `pub const NAME: T = VALUE;` where VALUE is `*b"..."`, `b"..."`
+/// or an integer literal. Returns `None` for anything else.
+fn parse_const_line(line: &str) -> Option<(String, ConstValue)> {
+    let p = line.find("const ")?;
+    let t = &line[p + 6..];
+    let colon = t.find(':')?;
+    let name = t[..colon].trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    {
+        return None;
+    }
+    let eq = t.find('=')?;
+    // The terminating `;` must be looked up after the `=`: array types like
+    // `[u8; 4]` put a semicolon inside the type annotation.
+    let semi = t[eq..].find(';')? + eq;
+    let val = t[eq + 1..semi].trim();
+    if let Some(s) = val.strip_prefix("*b\"").or_else(|| val.strip_prefix("b\"")) {
+        let inner = s.strip_suffix('"')?;
+        return Some((name.to_string(), ConstValue::Bytes(inner.to_string())));
+    }
+    let digits: String = val.chars().filter(|c| *c != '_').collect();
+    digits
+        .parse::<u64>()
+        .ok()
+        .map(|v| (name.to_string(), ConstValue::Int(v)))
+}
+
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = hay.get(from..).and_then(|h| h.find(needle)) {
+        let abs = from + p;
+        let before_ok = abs == 0 || !bytes[abs - 1].is_ascii_alphanumeric();
+        let after = bytes.get(abs + needle.len());
+        let after_ok = !matches!(after, Some(b) if b.is_ascii_alphanumeric());
+        if before_ok && after_ok {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+fn md_states_size(md: &str, n: u64) -> bool {
+    [
+        format!("{n} bytes"),
+        format!("{n}-byte"),
+        format!("× {n}"),
+        format!("{n} B"),
+    ]
+    .iter()
+    .any(|p| md.contains(p.as_str()))
+}
+
+/// Cross-checks the constants declared in `format.rs` (raw source, so the
+/// magic string literals are visible) against the prose of `docs/FORMAT.md`:
+/// magics must appear quoted, sizes as `N bytes`/`N-byte`/`× N`/`N B`,
+/// version bytes as `vN`.
+pub fn lint_spec_drift(format_rs: &str, format_md: &str) -> Vec<Violation> {
+    const FORMAT_RS: &str = "crates/core/src/format.rs";
+    let comments = lex(format_rs).comments;
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, line: usize, message: String| {
+        if !is_suppressed(&comments, line, Lint::SpecDrift) {
+            out.push(Violation {
+                lint: Lint::SpecDrift,
+                file: FORMAT_RS.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+    let mut extracted = 0usize;
+    for (idx, raw) in format_rs.lines().enumerate() {
+        let line_no = idx + 1;
+        let Some((name, value)) = parse_const_line(raw) else {
+            continue;
+        };
+        match value {
+            ConstValue::Bytes(s) if name.contains("MAGIC") => {
+                extracted += 1;
+                let quoted = format!("\"{s}\"");
+                if !format_md.contains(&quoted) {
+                    push(
+                        &mut out,
+                        line_no,
+                        format!(
+                            "docs/FORMAT.md does not state the magic {quoted} declared by `{name}`"
+                        ),
+                    );
+                }
+            }
+            ConstValue::Int(v) if name.contains("SIZE") => {
+                extracted += 1;
+                if !md_states_size(format_md, v) {
+                    push(
+                        &mut out,
+                        line_no,
+                        format!("docs/FORMAT.md does not state the size {v} declared by `{name}`"),
+                    );
+                }
+            }
+            ConstValue::Int(v) if name.starts_with("VERSION") => {
+                extracted += 1;
+                if !contains_word(format_md, &format!("v{v}")) {
+                    push(
+                        &mut out,
+                        line_no,
+                        format!("docs/FORMAT.md does not mention v{v} declared by `{name}`"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if extracted == 0 {
+        out.push(Violation {
+            lint: Lint::SpecDrift,
+            file: FORMAT_RS.to_string(),
+            line: 1,
+            message: "no magic/size/version constants could be extracted from format.rs"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L5: SzhiError variant coverage
+// ---------------------------------------------------------------------------
+
+/// Variant names (with byte positions) of `pub enum <name>` in lexed code.
+fn extract_enum_variants(code: &[u8], enum_name: &str) -> Option<Vec<(String, usize)>> {
+    let pat = format!("pub enum {enum_name}");
+    let p = find(code, pat.as_bytes(), 0)?;
+    let open = (p..code.len()).find(|&k| code[k] == b'{')?;
+    let close = match_brace(code, open)?;
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_name = true;
+    let mut i = open + 1;
+    while i < close {
+        match code[i] {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b')' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b',' if depth == 0 => {
+                expect_name = true;
+                i += 1;
+            }
+            b'#' => {
+                // Skip an attribute: `#[...]`.
+                if code.get(i + 1) == Some(&b'[') {
+                    let mut d = 0usize;
+                    let mut k = i + 1;
+                    while k < close {
+                        match code[k] {
+                            b'[' => d += 1,
+                            b']' => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            b if is_ident_byte(b) && depth == 0 => {
+                let s = i;
+                while i < close && is_ident_byte(code[i]) {
+                    i += 1;
+                }
+                if expect_name {
+                    variants.push((String::from_utf8_lossy(&code[s..i]).into_owned(), s));
+                    expect_name = false;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Some(variants)
+}
+
+/// Checks that every `SzhiError` variant is (a) constructed/named in
+/// first-party library code outside its defining file, and (b) asserted by
+/// name inside at least one test (a `#[cfg(test)]` region or a `tests/`
+/// file). `files` maps workspace-relative paths to file contents.
+pub fn lint_error_coverage(files: &[(String, String)]) -> Vec<Violation> {
+    struct Prepped {
+        rel: String,
+        code: Vec<u8>,
+        tests: Vec<(usize, usize)>,
+        whole_test: bool,
+    }
+    let prepped: Vec<Prepped> = files
+        .iter()
+        .filter(|(rel, _)| !is_vendor_path(rel))
+        .map(|(rel, src)| {
+            let code = lex(src).code;
+            let tests = test_regions(&code);
+            Prepped {
+                rel: rel.clone(),
+                tests,
+                whole_test: is_test_path(rel),
+                code,
+            }
+        })
+        .collect();
+
+    // Locate the enum definition.
+    let mut enum_rel = None;
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    let mut enum_comments = HashMap::new();
+    for (rel, src) in files {
+        if !is_first_party_lib(rel) {
+            continue;
+        }
+        let lexed = lex(src);
+        if let Some(vs) = extract_enum_variants(&lexed.code, "SzhiError") {
+            let starts = line_starts(&lexed.code);
+            variants = vs
+                .into_iter()
+                .map(|(name, pos)| (name, line_of(&starts, pos)))
+                .collect();
+            enum_rel = Some(rel.clone());
+            enum_comments = lexed.comments;
+            break;
+        }
+    }
+    let Some(enum_rel) = enum_rel else {
+        return vec![Violation {
+            lint: Lint::ErrorCoverage,
+            file: "crates/core/src/error.rs".to_string(),
+            line: 1,
+            message: "no `pub enum SzhiError` found in first-party library code".to_string(),
+        }];
+    };
+
+    let mentions = |p: &Prepped, variant: &str, want_test: bool| -> bool {
+        let pat = format!("SzhiError::{variant}");
+        let pb = pat.as_bytes();
+        let mut from = 0usize;
+        while let Some(pos) = find(&p.code, pb, from) {
+            let boundary = p
+                .code
+                .get(pos + pb.len())
+                .is_none_or(|b| !is_ident_byte(*b));
+            if boundary {
+                let in_test = p.whole_test || in_regions(&p.tests, pos);
+                if in_test == want_test {
+                    return true;
+                }
+            }
+            from = pos + 1;
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    for (variant, line) in &variants {
+        let constructed = prepped
+            .iter()
+            .filter(|p| is_first_party_lib(&p.rel) && p.rel != enum_rel)
+            .any(|p| mentions(p, variant, false));
+        let tested = prepped.iter().any(|p| mentions(p, variant, true));
+        let mut push = |message: String| {
+            if !is_suppressed(&enum_comments, *line, Lint::ErrorCoverage) {
+                out.push(Violation {
+                    lint: Lint::ErrorCoverage,
+                    file: enum_rel.clone(),
+                    line: *line,
+                    message,
+                });
+            }
+        };
+        if !constructed {
+            push(format!(
+                "`SzhiError::{variant}` is never constructed in library code outside {enum_rel}"
+            ));
+        }
+        if !tested {
+            push(format!(
+                "`SzhiError::{variant}` is never asserted by name in any test"
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Walks a workspace root and runs the selected lints.
+pub struct Analyzer {
+    root: PathBuf,
+    lints: Vec<Lint>,
+}
+
+impl Analyzer {
+    /// An analyzer running every lint.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Analyzer {
+            root: root.into(),
+            lints: Lint::ALL.to_vec(),
+        }
+    }
+
+    /// An analyzer restricted to `lints`.
+    pub fn with_lints(root: impl Into<PathBuf>, lints: Vec<Lint>) -> Self {
+        Analyzer {
+            root: root.into(),
+            lints,
+        }
+    }
+
+    /// Runs the lints over every `.rs` file under the root (skipping
+    /// `target/`, `.git/` and fixture directories). Violations are sorted
+    /// by file, line and lint.
+    pub fn run(&self) -> io::Result<Vec<Violation>> {
+        let mut files: Vec<(String, String)> = Vec::new();
+        collect_rs(&self.root, &self.root, &mut files)?;
+        files.sort();
+        let mut out = Vec::new();
+        for (rel, src) in &files {
+            out.extend(
+                lint_file(rel, src)
+                    .into_iter()
+                    .filter(|v| self.lints.contains(&v.lint)),
+            );
+        }
+        if self.lints.contains(&Lint::SpecDrift) {
+            let format_rs = files
+                .iter()
+                .find(|(rel, _)| rel == "crates/core/src/format.rs");
+            let format_md = fs::read_to_string(self.root.join("docs/FORMAT.md"));
+            match (format_rs, format_md) {
+                (Some((_, src)), Ok(md)) => out.extend(lint_spec_drift(src, &md)),
+                _ => out.push(Violation {
+                    lint: Lint::SpecDrift,
+                    file: "docs/FORMAT.md".to_string(),
+                    line: 1,
+                    message: "format.rs or docs/FORMAT.md not found; cannot cross-check the spec"
+                        .to_string(),
+                }),
+            }
+        }
+        if self.lints.contains(&Lint::ErrorCoverage) {
+            out.extend(lint_error_coverage(&files));
+        }
+        out.sort_by(|a, b| (&a.file, a.line, a.lint.id()).cmp(&(&b.file, b.line, b.lint.id())));
+        Ok(out)
+    }
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "fixtures" | "node_modules"
+            ) {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Ok(src) = fs::read_to_string(&path) {
+                out.push((rel, src));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! `szhi-analyzer` command-line interface.
+//!
+//! ```text
+//! szhi-analyzer [--root PATH] [--deny-all] [--lint ID]...
+//! ```
+//!
+//! Without flags every lint runs in report-only mode (violations are printed
+//! but the exit code stays 0). `--deny-all` makes any violation fatal (exit
+//! code 1), which is how CI invokes it. Exit code 2 signals a usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use szhi_analyzer::{Analyzer, Lint};
+
+const USAGE: &str = "usage: szhi-analyzer [--root PATH] [--deny-all] [--lint ID]...
+
+  --root PATH   workspace root to analyze (default: current directory)
+  --deny-all    exit 1 on any violation (CI mode); default is report-only
+  --lint ID     run only the named lint (repeatable); default: all lints
+
+lints: no-unsafe, no-panic-decode, capped-alloc, spec-drift, error-coverage
+exit codes: 0 clean (or report-only), 1 violations under --deny-all, 2 error";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("szhi-analyzer: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut lints: Vec<Lint> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root requires a path"),
+            },
+            "--deny-all" => deny = true,
+            "--lint" => match args.next().as_deref().and_then(Lint::from_id) {
+                Some(l) => {
+                    if !lints.contains(&l) {
+                        lints.push(l);
+                    }
+                }
+                None => return usage_error("--lint requires a known lint id"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let analyzer = if lints.is_empty() {
+        Analyzer::new(root)
+    } else {
+        Analyzer::with_lints(root, lints)
+    };
+    match analyzer.run() {
+        Ok(violations) if violations.is_empty() => {
+            println!("szhi-analyzer: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("szhi-analyzer: {} violation(s)", violations.len());
+            if deny {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("szhi-analyzer: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-lint fixture tests: each lint must fire on a seeded violation and
+//! stay quiet on the equivalent clean code, and the inline suppression
+//! syntax must silence exactly the annotated line.
+//!
+//! Fixtures are passed to the linting functions as string literals — the
+//! analyzer's own lexer blanks string literals before matching, so these
+//! fixtures can never make the analyzer trip over its own test suite.
+
+use szhi_analyzer::{lex, lint_error_coverage, lint_file, lint_spec_drift, Lint};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lexer_blanks_strings_and_collects_comments() {
+    let lexed = lex("let s = \"unsafe\"; // unsafe in a comment\n");
+    let code = String::from_utf8(lexed.code).unwrap();
+    assert!(
+        !code.contains("unsafe"),
+        "literal and comment text must be blanked, got: {code}"
+    );
+    assert!(lexed.comments[&1].contains("unsafe in a comment"));
+}
+
+#[test]
+fn lexer_blanks_raw_strings_but_keeps_following_code() {
+    let lexed = lex("let s = r#\"panic!(boom)\"#; let t = 1;\n");
+    let code = String::from_utf8(lexed.code).unwrap();
+    assert!(!code.contains("panic"));
+    assert!(code.contains("let t = 1;"));
+}
+
+#[test]
+fn lexer_preserves_byte_offsets_and_newlines() {
+    let src = "let a = \"x\";\n// note\nlet b = 'y';\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.code.len(), src.len());
+    assert_eq!(
+        lexed.code.iter().filter(|&&b| b == b'\n').count(),
+        src.bytes().filter(|&b| b == b'\n').count()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// L1: no-unsafe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l1_flags_unsafe_in_first_party_code() {
+    let src = "pub fn grow(p: *mut u8) {\n    unsafe { *p = 1 };\n}\n";
+    let v = lint_file("crates/core/src/x.rs", src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].lint, Lint::NoUnsafe);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn l1_requires_safety_comment_in_vendor() {
+    let bad = "unsafe impl<T: Send> Send for SharedMut<T> {}\n";
+    let v = lint_file("vendor/rayon/src/lib.rs", bad);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].lint, Lint::NoUnsafe);
+
+    let good = "// SAFETY: drive ranges are disjoint across threads.\n\
+                unsafe impl<T: Send> Send for SharedMut<T> {}\n";
+    assert!(lint_file("vendor/rayon/src/lib.rs", good).is_empty());
+}
+
+#[test]
+fn l1_suppression_requires_a_reason() {
+    let with_reason = "// szhi-analyzer: allow(no-unsafe) -- vetted FFI experiment\n\
+                       pub fn f(p: *mut u8) { unsafe { *p = 1 }; }\n";
+    assert!(lint_file("crates/core/src/x.rs", with_reason).is_empty());
+
+    let without_reason = "// szhi-analyzer: allow(no-unsafe)\n\
+                          pub fn f(p: *mut u8) { unsafe { *p = 1 }; }\n";
+    assert_eq!(lint_file("crates/core/src/x.rs", without_reason).len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// L2: no-panic-decode
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l2_flags_indexing_and_unwrap_in_decode_paths() {
+    let idx = "pub fn decode_field(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    let v = lint_file("crates/codec/src/x.rs", idx);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].lint, Lint::NoPanicDecode);
+    assert_eq!(v[0].line, 2);
+
+    for body in [
+        "o.unwrap()",
+        "o.expect(\"present\")",
+        "panic!(\"boom\")",
+        "unreachable!()",
+    ] {
+        let src = format!("pub fn decode_field(o: Option<u8>) -> u8 {{\n    {body}\n}}\n");
+        let v = lint_file("crates/codec/src/x.rs", &src);
+        assert_eq!(v.len(), 1, "{body} must fire: {v:?}");
+        assert_eq!(v[0].lint, Lint::NoPanicDecode);
+    }
+}
+
+#[test]
+fn l2_ignores_encode_paths_tests_and_unwrap_or() {
+    let encode = "pub fn encode_field(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    assert!(lint_file("crates/codec/src/x.rs", encode).is_empty());
+
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn decode_helper(v: &[u8]) -> u8 {\n        v[0]\n    }\n}\n";
+    assert!(lint_file("crates/codec/src/x.rs", in_test).is_empty());
+
+    let fallback = "pub fn decode_field(o: Option<u8>) -> u8 {\n    o.unwrap_or(0)\n}\n";
+    assert!(lint_file("crates/codec/src/x.rs", fallback).is_empty());
+}
+
+#[test]
+fn l2_only_applies_to_decode_modules() {
+    // The same panicking decode fn in a crate outside the lint's scope.
+    let src = "pub fn decode_field(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    assert!(lint_file("crates/datagen/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn l2_suppression_silences_one_line() {
+    let src = "pub fn decode_field(v: &[u8]) -> u8 {\n    \
+               // szhi-analyzer: allow(no-panic-decode) -- index bounded by the loop above\n    \
+               v[0]\n}\n";
+    assert!(lint_file("crates/codec/src/x.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// L3: capped-alloc
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l3_requires_decode_capacity_on_untrusted_sizes() {
+    let bad = "pub fn decode_body(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\n";
+    let v = lint_file("crates/codec/src/x.rs", bad);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].lint, Lint::CappedAlloc);
+
+    let bad_reserve =
+        "pub fn decode_body(n: usize) {\n    let mut v = Vec::new();\n    v.reserve(n);\n}\n";
+    let v = lint_file("crates/codec/src/x.rs", bad_reserve);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].lint, Lint::CappedAlloc);
+
+    let good =
+        "pub fn decode_body(n: usize) -> Vec<u8> {\n    Vec::with_capacity(decode_capacity(n))\n}\n";
+    assert!(lint_file("crates/codec/src/x.rs", good).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// L4: spec-drift
+// ---------------------------------------------------------------------------
+
+const FORMAT_RS_FIXTURE: &str = "pub(crate) const MAGIC: [u8; 4] = *b\"SZHI\";\n\
+                                 pub(crate) const VERSION: u8 = 1;\n\
+                                 pub(crate) const TRAILER_SIZE: usize = 24;\n";
+
+#[test]
+fn l4_passes_when_docs_state_the_constants() {
+    let md = "The stream opens with \"SZHI\", a v1 body, and a trailer of 24 bytes.";
+    assert!(lint_spec_drift(FORMAT_RS_FIXTURE, md).is_empty());
+}
+
+#[test]
+fn l4_flags_drifted_docs() {
+    let md = "The stream opens with \"SZXX\", a v2 body, and a trailer of 16 bytes.";
+    let v = lint_spec_drift(FORMAT_RS_FIXTURE, md);
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|v| v.lint == Lint::SpecDrift));
+    // Violations anchor at the declaring const's line in format.rs.
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+}
+
+#[test]
+fn l4_version_check_uses_word_boundaries() {
+    // "v12" must not satisfy the v1 check.
+    let md = "Magic \"SZHI\", a v12 body, 24 bytes of trailer.";
+    let v = lint_spec_drift(FORMAT_RS_FIXTURE, md);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn l4_reports_when_nothing_can_be_extracted() {
+    let v = lint_spec_drift("fn nothing_here() {}\n", "prose");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].lint, Lint::SpecDrift);
+}
+
+#[test]
+fn l4_suppression_on_the_const_line() {
+    let rs = "// szhi-analyzer: allow(spec-drift) -- legacy magic intentionally undocumented\n\
+              pub(crate) const OLD_MAGIC: [u8; 4] = *b\"OLD!\";\n";
+    assert!(lint_spec_drift(rs, "no mention of it").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// L5: error-coverage
+// ---------------------------------------------------------------------------
+
+fn l5_files(lib_src: &str, test_src: &str) -> Vec<(String, String)> {
+    vec![
+        (
+            "crates/core/src/error.rs".to_string(),
+            "pub enum SzhiError {\n    Io(String),\n}\n".to_string(),
+        ),
+        ("crates/core/src/lib.rs".to_string(), lib_src.to_string()),
+        (
+            "crates/core/tests/errors.rs".to_string(),
+            test_src.to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn l5_requires_construction_and_assertion() {
+    let v = lint_error_coverage(&l5_files("", ""));
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.lint == Lint::ErrorCoverage));
+    assert!(v[0].message.contains("never constructed"));
+    assert!(v[1].message.contains("never asserted"));
+
+    let v = lint_error_coverage(&l5_files(
+        "pub fn f() -> SzhiError { SzhiError::Io(String::new()) }\n",
+        "fn t(e: SzhiError) { assert!(matches!(e, SzhiError::Io(_))); }\n",
+    ));
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn l5_construction_in_a_test_does_not_count_as_library_use() {
+    // The only construction site sits inside a #[cfg(test)] region: the
+    // "constructed in library code" leg must still fire.
+    let v = lint_error_coverage(&l5_files(
+        "#[cfg(test)]\nmod tests {\n    fn f() -> SzhiError { SzhiError::Io(String::new()) }\n}\n",
+        "fn t(e: SzhiError) { assert!(matches!(e, SzhiError::Io(_))); }\n",
+    ));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("never constructed"));
+}
+
+#[test]
+fn l5_suppression_on_the_variant_line() {
+    let files = vec![(
+        "crates/core/src/error.rs".to_string(),
+        "pub enum SzhiError {\n    \
+         // szhi-analyzer: allow(error-coverage) -- reserved for the v6 container\n    \
+         Future,\n}\n"
+            .to_string(),
+    )];
+    assert!(lint_error_coverage(&files).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn violations_render_as_file_line_lint() {
+    let src = "pub fn decode_field(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    let v = &lint_file("crates/codec/src/x.rs", src)[0];
+    let rendered = v.to_string();
+    assert!(
+        rendered.starts_with("crates/codec/src/x.rs:2: [no-panic-decode]"),
+        "got: {rendered}"
+    );
+}

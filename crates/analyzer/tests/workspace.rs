@@ -1,0 +1,23 @@
+//! Meta-test: the analyzer must run clean over the real workspace. This is
+//! the same invocation CI enforces (`szhi-analyzer --deny-all`), so a
+//! violation introduced anywhere in the tree fails `cargo test` too.
+
+use std::path::Path;
+
+use szhi_analyzer::Analyzer;
+
+#[test]
+fn workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = Analyzer::new(root).run().expect("walking the workspace");
+    assert!(
+        violations.is_empty(),
+        "szhi-analyzer found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -19,6 +19,7 @@
 //! All baselines implement the common [`Compressor`] trait so the experiment
 //! harness can sweep over them uniformly; the two cuSZ-Hi modes are wrapped
 //! behind the same trait as [`SzhiCr`] and [`SzhiTp`].
+#![forbid(unsafe_code)]
 
 pub mod cusz_i;
 pub mod cusz_l;

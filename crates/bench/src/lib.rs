@@ -4,6 +4,7 @@
 //! `src/bin/` (see `DESIGN.md` for the per-experiment index). This library
 //! holds what they share: dataset preparation at a configurable scale, the
 //! compressor registry, timing helpers and table printing.
+#![forbid(unsafe_code)]
 
 use std::time::Duration;
 

@@ -135,29 +135,34 @@ pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError
             format!("frequencies sum to {total}, expected {SCALE}"),
         ));
     }
-    let cum = cumulative(&freqs);
-    // Slot → symbol lookup table.
-    let mut slot_to_symbol = vec![0u8; SCALE as usize];
-    for s in 0..256 {
-        for slot in cum[s]..cum[s + 1] {
-            slot_to_symbol[slot as usize] = s as u8;
+    // Slot → (symbol, frequency, cumulative-start) lookup table. Folding the
+    // frequency and cumulative base into the slot entry keeps the hot loop
+    // free of further table lookups (and of unchecked indexing).
+    // szhi-analyzer: allow(capped-alloc) -- fixed 4 Ki-entry slot table, size is a compile-time constant
+    let mut slots = Vec::with_capacity(SCALE as usize);
+    let mut cum = 0u32;
+    for (s, &f) in freqs.iter().enumerate() {
+        for _ in 0..f {
+            slots.push((s as u8, f, cum));
         }
+        cum += f;
     }
 
-    let mut x = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+    let mut x = u32::from_le_bytes(cur.take_array()?);
     let stream = cur.take_rest();
     let mut pos = 0usize;
     let mut out = Vec::with_capacity(decode_capacity(n));
     for _ in 0..n {
         let slot = x & (SCALE - 1);
-        let s = slot_to_symbol[slot as usize];
-        let f = freqs[s as usize];
-        x = f * (x >> SCALE_BITS) + slot - cum[s as usize];
+        // The table holds exactly SCALE entries (the frequencies sum to
+        // SCALE, checked above) and `slot < SCALE`, so the lookup succeeds.
+        let &(s, f, base) = slots
+            .get(slot as usize)
+            .ok_or_else(|| CodecError::corrupt("ans", "slot table underflow"))?;
+        x = f * (x >> SCALE_BITS) + slot - base;
         while x < RANS_L {
-            if pos >= stream.len() {
-                return Err(CodecError::eof("ans"));
-            }
-            x = (x << 8) | stream[pos] as u32;
+            let &byte = stream.get(pos).ok_or_else(|| CodecError::eof("ans"))?;
+            x = (x << 8) | byte as u32;
             pos += 1;
         }
         out.push(s);

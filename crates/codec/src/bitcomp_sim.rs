@@ -89,11 +89,13 @@ pub fn decompress_limited(input: &[u8], max_out: usize) -> Result<Vec<u8>, Codec
         let n = BLOCK.min(remaining);
         let verbatim = br.get_bit()?;
         if verbatim {
+            let mut last = prev_last;
             for _ in 0..n {
                 let b = br.get_bits(8)? as u8;
                 out.push(b);
+                last = b;
             }
-            prev_last = *out.last().unwrap();
+            prev_last = last;
         } else {
             let bits = br.get_bits(4)? as u32;
             if bits > 8 {

@@ -111,8 +111,11 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.buf.len() {
-            self.acc = (self.acc << 8) | self.buf[self.pos] as u64;
+        while self.nbits <= 56 {
+            let Some(&byte) = self.buf.get(self.pos) else {
+                break;
+            };
+            self.acc = (self.acc << 8) | byte as u64;
             self.pos += 1;
             self.nbits += 8;
         }
@@ -230,49 +233,62 @@ impl<'a> ByteCursor<'a> {
 
     /// Returns the next `n` bytes and advances.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::eof("bytecursor"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CodecError::eof("bytecursor"))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CodecError::eof("bytecursor"))?;
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Returns the next `N` bytes as a fixed-size array and advances.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| CodecError::eof("bytecursor"))
     }
 
     /// Returns every remaining byte and advances to the end.
     pub fn take_rest(&mut self) -> &'a [u8] {
-        let s = &self.buf[self.pos..];
+        let s = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         s
     }
 
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `f32`.
     pub fn get_f32(&mut self) -> Result<f32, CodecError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `f64`.
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 }
 

@@ -64,24 +64,30 @@ impl Bit {
     /// Reverses the shuffle.
     pub fn decode_bytes(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         let block_bytes = BLOCK_SYMBOLS * self.width;
-        let bits = self.width * 8;
+        // szhi-analyzer: allow(capped-alloc) -- capacity mirrors the bytes actually held, not an untrusted claim
         let mut out = Vec::with_capacity(input.len());
-        let mut pos = 0;
-        while pos + block_bytes <= input.len() {
-            let block = &input[pos..pos + block_bytes];
+        let mut blocks = input.chunks_exact(block_bytes);
+        for block in blocks.by_ref() {
             let mut symbols = vec![0u8; block_bytes];
-            for bit in 0..bits {
-                let plane = u64::from_le_bytes(block[bit * 8..bit * 8 + 8].try_into().unwrap());
-                for s in 0..BLOCK_SYMBOLS {
+            // A block holds width*8 planes of 8 bytes each.
+            for (bit, plane_bytes) in block.chunks_exact(8).enumerate() {
+                let plane = u64::from_le_bytes(
+                    *plane_bytes
+                        .first_chunk::<8>()
+                        .ok_or_else(|| CodecError::corrupt("bitshuf", "short bit plane"))?,
+                );
+                for (s, sym) in symbols.chunks_exact_mut(self.width).enumerate() {
+                    let Some(byte) = sym.get_mut(bit / 8) else {
+                        continue;
+                    };
                     if (plane >> s) & 1 == 1 {
-                        symbols[s * self.width + bit / 8] |= 1 << (bit % 8);
+                        *byte |= 1 << (bit % 8);
                     }
                 }
             }
             out.extend_from_slice(&symbols);
-            pos += block_bytes;
         }
-        out.extend_from_slice(&input[pos..]);
+        out.extend_from_slice(blocks.remainder());
         Ok(out)
     }
 }

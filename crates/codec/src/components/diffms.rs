@@ -60,6 +60,7 @@ impl DiffMs {
         let width = self.width;
         let bits = (width * 8) as u32;
         let n_sym = symbol_count(input.len(), width);
+        // szhi-analyzer: allow(capped-alloc) -- capacity mirrors the bytes actually held, not an untrusted claim
         let mut out = Vec::with_capacity(input.len());
         let mut prev = 0u64;
         for i in 0..n_sym {

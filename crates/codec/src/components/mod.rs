@@ -38,7 +38,7 @@ pub(crate) fn read_symbol(input: &[u8], i: usize, width: usize) -> u64 {
     let start = i * width;
     let end = (start + width).min(input.len());
     let mut v = 0u64;
-    for (k, &b) in input[start..end].iter().enumerate() {
+    for (k, &b) in input.get(start..end).unwrap_or(&[]).iter().enumerate() {
         v |= (b as u64) << (8 * k);
     }
     v

@@ -49,10 +49,10 @@ fn rre_unpass(
     let mut kept_pos = 0usize;
     let mut prev = 0u64;
     for i in 0..n_sym {
-        if i / 8 >= bitmap.len() {
-            return Err(CodecError::eof("rre bitmap"));
-        }
-        let keep = bitmap[i / 8] >> (i % 8) & 1 == 1;
+        let byte = *bitmap
+            .get(i / 8)
+            .ok_or_else(|| CodecError::eof("rre bitmap"))?;
+        let keep = byte >> (i % 8) & 1 == 1;
         let sym = if keep {
             if kept_pos + width > kept.len() {
                 return Err(CodecError::eof("rre payload"));

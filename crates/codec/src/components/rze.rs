@@ -36,10 +36,10 @@ fn rze_unpass(
     let mut out = Vec::with_capacity(decode_capacity(orig_len));
     let mut kept_pos = 0usize;
     for i in 0..n_sym {
-        if i / 8 >= bitmap.len() {
-            return Err(CodecError::eof("rze bitmap"));
-        }
-        let nonzero = bitmap[i / 8] >> (i % 8) & 1 == 1;
+        let byte = *bitmap
+            .get(i / 8)
+            .ok_or_else(|| CodecError::eof("rze bitmap"))?;
+        let nonzero = byte >> (i % 8) & 1 == 1;
         let sym = if nonzero {
             if kept_pos + width > kept.len() {
                 return Err(CodecError::eof("rze payload"));

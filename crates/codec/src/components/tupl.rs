@@ -49,13 +49,16 @@ impl TuplQ {
             ));
         }
         let mut out = vec![0u8; orig_len];
-        let mut pos = 0usize;
+        let mut rest = body;
         for lane in 0..4 {
             let lane_len = (orig_len + 3 - lane) / 4;
-            for (k, &b) in body[pos..pos + lane_len].iter().enumerate() {
-                out[lane + 4 * k] = b;
+            let (lane_bytes, tail) = rest
+                .split_at_checked(lane_len)
+                .ok_or_else(|| CodecError::corrupt("tuplq", "lane extends past the body"))?;
+            rest = tail;
+            for (slot, &b) in out.iter_mut().skip(lane).step_by(4).zip(lane_bytes) {
+                *slot = b;
             }
-            pos += lane_len;
         }
         Ok(out)
     }
@@ -93,12 +96,15 @@ impl TuplD {
             ));
         }
         let low_len = orig_len.div_ceil(2);
+        let (low, high) = body
+            .split_at_checked(low_len)
+            .ok_or_else(|| CodecError::corrupt("tupld", "low lane extends past the body"))?;
         let mut out = vec![0u8; orig_len];
-        for (k, &b) in body[..low_len].iter().enumerate() {
-            out[2 * k] = b;
+        for (slot, &b) in out.iter_mut().step_by(2).zip(low) {
+            *slot = b;
         }
-        for (k, &b) in body[low_len..].iter().enumerate() {
-            out[2 * k + 1] = b;
+        for (slot, &b) in out.iter_mut().skip(1).step_by(2).zip(high) {
+            *slot = b;
         }
         Ok(out)
     }

@@ -277,43 +277,49 @@ pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError
     }
     let codes = canonical_codes(&lengths);
 
-    // Decoding tables: a LUT for codes up to LUT_BITS, canonical search above.
-    let mut lut_symbol = vec![0u8; 1 << LUT_BITS];
-    let mut lut_length = vec![0u8; 1 << LUT_BITS];
-    // For the canonical fallback: symbols sorted by (length, symbol) with the
-    // first code of each length.
-    let mut sorted: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
-    sorted.sort_by_key(|&s| (lengths[s as usize], s));
-    for &s in &sorted {
-        let len = lengths[s as usize];
+    // For the canonical fallback: occurring symbols with their length and
+    // code, sorted by (length, symbol) — the canonical order.
+    let mut sorted: Vec<(u16, u32, u64)> = lengths
+        .iter()
+        .zip(codes.iter())
+        .enumerate()
+        .filter(|&(_, (&l, _))| l > 0)
+        .map(|(s, (&l, &c))| (s as u16, l, c))
+        .collect();
+    sorted.sort_by_key(|&(s, l, _)| (l, s));
+
+    // Decoding tables: a (symbol, length) LUT for codes up to LUT_BITS,
+    // canonical search above.
+    let mut lut = vec![(0u8, 0u8); 1 << LUT_BITS];
+    for &(s, len, code) in &sorted {
         if len <= LUT_BITS {
-            let code = codes[s as usize];
             let shift = LUT_BITS - len;
             let start = (code << shift) as usize;
-            for e in start..start + (1usize << shift) {
-                lut_symbol[e] = s as u8;
-                lut_length[e] = len as u8;
-            }
+            lut.get_mut(start..start + (1usize << shift))
+                .ok_or_else(|| {
+                    CodecError::corrupt("huffman", "code book overflows the decode LUT")
+                })?
+                .fill((s as u8, len as u8));
         }
     }
-    // Canonical tables for the slow path: per-length symbol count, first
-    // canonical code and index of the first symbol of that length in the
-    // (length, symbol)-sorted order.
-    let max_len = lengths.iter().copied().max().unwrap();
-    let mut count = vec![0u64; (max_len + 1) as usize];
-    for &s in &sorted {
-        count[lengths[s as usize] as usize] += 1;
+    // Canonical tables for the slow path, one entry per code length:
+    // (symbol count, first canonical code, index of the first symbol of
+    // that length in the canonical order).
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut levels = vec![(0u64, 0u64, 0usize); (max_len + 1) as usize];
+    for &(_, len, _) in &sorted {
+        if let Some(level) = levels.get_mut(len as usize) {
+            level.0 += 1;
+        }
     }
-    let mut first_code = vec![0u64; (max_len + 1) as usize];
-    let mut first_index = vec![0usize; (max_len + 1) as usize];
     {
         let mut code = 0u64;
         let mut idx = 0usize;
-        for l in 1..=max_len as usize {
-            first_code[l] = code;
-            first_index[l] = idx;
-            code = (code + count[l]) << 1;
-            idx += count[l] as usize;
+        for level in levels.iter_mut().skip(1) {
+            level.1 = code;
+            level.2 = idx;
+            code = (code + level.0) << 1;
+            idx += level.0 as usize;
         }
     }
 
@@ -331,11 +337,12 @@ pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError
     let mut out = Vec::with_capacity(decode_capacity(n));
     for _ in 0..n {
         let peek = br.peek_bits(LUT_BITS) as usize;
-        let len = lut_length[peek];
-        if len != 0 {
-            br.consume(len as u32);
-            out.push(lut_symbol[peek]);
-            continue;
+        if let Some(&(sym, len)) = lut.get(peek) {
+            if len != 0 {
+                br.consume(len as u32);
+                out.push(sym);
+                continue;
+            }
         }
         // Slow path: the code is longer than LUT_BITS; decode it bit by bit
         // with the canonical tables.
@@ -350,10 +357,15 @@ pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError
                 ));
             }
             code = (code << 1) | br.get_bit()? as u64;
-            let li = l as usize;
-            if count[li] > 0 && code >= first_code[li] && code - first_code[li] < count[li] {
-                let idx = first_index[li] + (code - first_code[li]) as usize;
-                out.push(sorted[idx] as u8);
+            let &(cnt, first_code, first_index) = levels
+                .get(l as usize)
+                .ok_or_else(|| CodecError::corrupt("huffman", "code length out of range"))?;
+            if cnt > 0 && code >= first_code && code - first_code < cnt {
+                let idx = first_index + (code - first_code) as usize;
+                let &(sym, _, _) = sorted.get(idx).ok_or_else(|| {
+                    CodecError::corrupt("huffman", "canonical index out of range")
+                })?;
+                out.push(sym as u8);
                 break;
             }
         }

@@ -33,6 +33,7 @@
 //! Every encoder in this crate is strictly lossless and exposes an
 //! `encode`/`decode` pair; round-trip behaviour is covered by unit tests and
 //! property tests.
+#![forbid(unsafe_code)]
 
 pub mod ans;
 pub mod bitcomp_sim;

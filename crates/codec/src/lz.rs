@@ -176,7 +176,7 @@ pub fn decompress_limited(input: &[u8], max_out: usize) -> Result<Vec<u8>, Codec
         if cur.remaining() == 0 {
             return Err(CodecError::eof("lz"));
         }
-        let offset = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
+        let offset = cur.get_u16()? as usize;
         if offset == 0 || offset > out.len() {
             return Err(CodecError::corrupt(
                 "lz",
@@ -186,7 +186,11 @@ pub fn decompress_limited(input: &[u8], max_out: usize) -> Result<Vec<u8>, Codec
         let match_len = read_len(&mut cur, (token & 0x0f) as usize)? + MIN_MATCH;
         let start = out.len() - offset;
         for k in 0..match_len {
-            let b = out[start + k];
+            // The copy source may overlap the bytes this loop appends (an
+            // RLE-style match), so re-resolve the index every iteration.
+            let b = *out
+                .get(start + k)
+                .ok_or_else(|| CodecError::corrupt("lz", "match source past produced output"))?;
             out.push(b);
         }
     }

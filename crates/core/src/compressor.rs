@@ -314,7 +314,10 @@ fn reconstruct(
     outliers: Vec<szhi_predictor::Outlier>,
     payload: Vec<u8>,
 ) -> Result<Grid<f32>, SzhiError> {
-    let codes = pipeline.build().decode_bounded(&payload, dims.len())?;
+    let codes = pipeline
+        .build()
+        .decode_bounded(&payload, dims.len())
+        .map_err(SzhiError::Codec)?;
     if codes.len() != dims.len() {
         return Err(SzhiError::InvalidStream(format!(
             "decoded {} quantization codes for a field of {} points",

@@ -135,6 +135,7 @@ mod tests {
         let e = SzhiError::InvalidStream("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
         let e: SzhiError = CodecError::eof("huffman").into();
+        assert!(matches!(&e, SzhiError::Codec(_)));
         assert!(e.to_string().contains("huffman"));
         let e = SzhiError::TrailerCorrupt("bad trailer magic".into());
         assert!(e.to_string().contains("bad trailer magic"));

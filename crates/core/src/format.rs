@@ -102,7 +102,9 @@
 //! [`SzhiError::TableChecksum`] before any entry is parsed.
 
 use crate::error::SzhiError;
-use szhi_codec::bitio::{put_f32, put_f64, put_u16, put_u32, put_u64, put_u8, ByteCursor};
+use szhi_codec::bitio::{
+    decode_capacity, put_f32, put_f64, put_u16, put_u32, put_u64, put_u8, ByteCursor,
+};
 use szhi_codec::checksum::crc32;
 use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims};
@@ -543,7 +545,7 @@ pub(crate) fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, Szh
         *s = cur.get_u16().map_err(SzhiError::from)? as usize;
     }
     let n_levels = cur.get_u8().map_err(SzhiError::from)? as usize;
-    let mut levels = Vec::with_capacity(n_levels);
+    let mut levels = Vec::with_capacity(decode_capacity(n_levels));
     for _ in 0..n_levels {
         let scheme = scheme_from(cur.get_u8().map_err(SzhiError::from)?)?;
         let spline = spline_from(cur.get_u8().map_err(SzhiError::from)?)?;
@@ -587,12 +589,12 @@ pub(crate) fn read_header_fields(cur: &mut ByteCursor<'_>) -> Result<Header, Szh
 /// OOM.
 fn read_sections(cur: &mut ByteCursor<'_>) -> Result<SectionBody, SzhiError> {
     let n_anchors = checked_count(cur, 4, "anchors")?;
-    let mut anchors = Vec::with_capacity(n_anchors);
+    let mut anchors = Vec::with_capacity(decode_capacity(n_anchors));
     for _ in 0..n_anchors {
         anchors.push(cur.get_f32().map_err(SzhiError::from)?);
     }
     let n_outliers = checked_count(cur, 12, "outliers")?;
-    let mut outliers = Vec::with_capacity(n_outliers);
+    let mut outliers = Vec::with_capacity(decode_capacity(n_outliers));
     for _ in 0..n_outliers {
         let index = cur.get_u64().map_err(SzhiError::from)?;
         let value = cur.get_f32().map_err(SzhiError::from)?;
@@ -692,8 +694,15 @@ impl ChunkTable {
         bytes: &'a [u8],
         i: usize,
     ) -> Result<&'a [u8], SzhiError> {
-        let slice = self.chunk_slice(bytes, i);
-        if let Some(stored) = self.entries[i].checksum {
+        let e = self
+            .entries
+            .get(i)
+            .ok_or_else(|| SzhiError::InvalidStream(format!("chunk index {i} out of range")))?;
+        let start = self.data_start + e.offset;
+        let slice = bytes.get(start..start + e.len).ok_or_else(|| {
+            SzhiError::InvalidStream(format!("chunk {i} extends past the stream"))
+        })?;
+        if let Some(stored) = e.checksum {
             let computed = crc32(slice);
             if computed != stored {
                 return Err(SzhiError::ChunkChecksum {
@@ -723,6 +732,7 @@ pub(crate) fn resolve_chunk_interp(
         Some(id) => InterpConfig {
             anchor_stride: header.interp.anchor_stride,
             block_span: header.interp.block_span,
+            // szhi-analyzer: allow(no-panic-decode) -- config ids are validated against the dictionary at parse time
             levels: configs[id as usize].clone(),
         },
         None => header.interp.clone(),
@@ -860,7 +870,7 @@ pub(crate) fn read_raw_entries(
     header_pipeline: PipelineSpec,
     n_configs: usize,
 ) -> Result<Vec<RawChunkEntry>, SzhiError> {
-    let mut raw = Vec::with_capacity(n_chunks);
+    let mut raw = Vec::with_capacity(decode_capacity(n_chunks));
     for i in 0..n_chunks {
         let offset = cur.get_u64().map_err(SzhiError::from)?;
         let len = cur.get_u64().map_err(SzhiError::from)?;
@@ -907,7 +917,7 @@ pub(crate) fn validate_extents(
     raw: Vec<RawChunkEntry>,
     data_len: u64,
 ) -> Result<Vec<ChunkEntry>, SzhiError> {
-    let mut entries = Vec::with_capacity(raw.len());
+    let mut entries = Vec::with_capacity(decode_capacity(raw.len()));
     let mut prev_end = 0u64;
     for (i, entry) in raw.into_iter().enumerate() {
         let RawChunkEntry {
@@ -964,7 +974,7 @@ pub(crate) fn parse_trailer(tail: &[u8], version: u8) -> Result<Trailer, SzhiErr
     } else {
         &TRAILER_MAGIC
     };
-    if &tail[20..24] != expected {
+    if tail.get(20..24) != Some(expected) {
         return Err(SzhiError::TrailerCorrupt(format!(
             "bad trailer magic (a v{version} stream must end in {:?})",
             std::str::from_utf8(expected).unwrap_or("?")
@@ -1037,7 +1047,10 @@ pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiE
         )));
     }
     let trailer_start = bytes.len() - TRAILER_SIZE;
-    let trailer = parse_trailer(&bytes[trailer_start..], version)?;
+    let tail = bytes
+        .get(trailer_start..)
+        .ok_or_else(|| SzhiError::TrailerCorrupt("stream too short for a trailer".into()))?;
+    let trailer = parse_trailer(tail, version)?;
     let (entries, configs) = if version == VERSION_TRAILERED {
         validate_trailer_geometry(
             &trailer,
@@ -1045,7 +1058,9 @@ pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiE
             data_start as u64,
             trailer_start as u64,
         )?;
-        let table_bytes = &bytes[trailer.table_offset as usize..trailer_start];
+        let table_bytes = bytes
+            .get(trailer.table_offset as usize..trailer_start)
+            .ok_or_else(|| SzhiError::TrailerCorrupt("table region out of bounds".into()))?;
         let entries =
             parse_trailered_entries(table_bytes, &trailer, data_start as u64, header.pipeline)?;
         (entries, Vec::new())
@@ -1056,7 +1071,9 @@ pub fn read_stream_trailered(bytes: &[u8]) -> Result<(Header, ChunkTable), SzhiE
             data_start as u64,
             trailer_start as u64,
         )?;
-        let region = &bytes[trailer.table_offset as usize..trailer_start];
+        let region = bytes
+            .get(trailer.table_offset as usize..trailer_start)
+            .ok_or_else(|| SzhiError::TrailerCorrupt("table region out of bounds".into()))?;
         parse_tuned_region(region, &trailer, data_start as u64, &header)?
     };
     Ok((
@@ -1170,7 +1187,7 @@ pub(crate) fn parse_tuned_region(
         )));
     }
     let expected_levels = header.interp.levels.len();
-    let mut configs = Vec::with_capacity(n_configs);
+    let mut configs = Vec::with_capacity(decode_capacity(n_configs));
     for c in 0..n_configs {
         let n_levels = cur.get_u8().map_err(SzhiError::from)? as usize;
         if n_levels != expected_levels {
@@ -1179,7 +1196,7 @@ pub(crate) fn parse_tuned_region(
                  {expected_levels}"
             )));
         }
-        let mut levels = Vec::with_capacity(n_levels);
+        let mut levels = Vec::with_capacity(decode_capacity(n_levels));
         for _ in 0..n_levels {
             let scheme = scheme_from(cur.get_u8().map_err(SzhiError::from)?)?;
             let spline = spline_from(cur.get_u8().map_err(SzhiError::from)?)?;

@@ -171,6 +171,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod compressor;
 pub mod config;

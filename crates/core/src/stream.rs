@@ -954,9 +954,13 @@ impl<'a> StreamReader<'a> {
     pub fn read_chunk(&self, index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
         self.check_index(index)?;
         let body = self.table.verified_chunk_slice(self.bytes, index)?;
+        let entry =
+            self.table.entries.get(index).ok_or_else(|| {
+                SzhiError::InvalidInput(format!("chunk index {index} out of range"))
+            })?;
         let grid = decompress_chunk_body(
             &self.header,
-            self.table.entries[index].pipeline,
+            entry.pipeline,
             &self.table.chunk_interp(&self.header, index),
             self.plan.chunk_dims(index),
             body,
@@ -1184,7 +1188,11 @@ impl<R: Read + Seek> StreamSource<R> {
             .seek(SeekFrom::Start(table_at))
             .map_err(|e| SzhiError::Io(format!("seeking to the chunk table: {e}")))?;
         let count_bytes = read_exact_vec(reader, 8, "the chunk count")?;
-        let n_chunks = u64::from_le_bytes(count_bytes.try_into().expect("8 bytes"));
+        let n_chunks = u64::from_le_bytes(
+            *count_bytes
+                .first_chunk::<8>()
+                .ok_or_else(|| SzhiError::Io("short read of the chunk count".into()))?,
+        );
         let entry_size = if version == VERSION_STREAMED {
             format::V3_ENTRY_SIZE
         } else {
@@ -1295,7 +1303,10 @@ impl<R: Read + Seek> StreamSource<R> {
     /// verifies it against its recorded CRC32 when the stream carries one.
     fn fetch_chunk(&mut self, index: usize) -> Result<Vec<u8>, SzhiError> {
         self.check_index(index)?;
-        let entry = self.entries[index];
+        let entry = *self
+            .entries
+            .get(index)
+            .ok_or_else(|| SzhiError::InvalidInput(format!("chunk index {index} out of range")))?;
         self.reader
             .seek(SeekFrom::Start(self.data_start + entry.offset as u64))
             .map_err(|e| SzhiError::Io(format!("seeking to chunk {index}: {e}")))?;
@@ -1318,10 +1329,10 @@ impl<R: Read + Seek> StreamSource<R> {
     /// returning `Ok` — no seek, no read.
     pub fn verify_chunk(&mut self, index: usize) -> Result<(), SzhiError> {
         self.check_index(index)?;
-        if self.entries[index].checksum.is_none() {
-            return Ok(());
+        match self.entries.get(index) {
+            Some(e) if e.checksum.is_some() => self.fetch_chunk(index).map(|_| ()),
+            _ => Ok(()),
         }
-        self.fetch_chunk(index).map(|_| ())
     }
 
     /// Decodes chunk `index`: reads its body from the backing reader,
@@ -1330,9 +1341,14 @@ impl<R: Read + Seek> StreamSource<R> {
     /// reconstructed values.
     pub fn read_chunk(&mut self, index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
         let body = self.fetch_chunk(index)?;
+        let pipeline = self
+            .entries
+            .get(index)
+            .ok_or_else(|| SzhiError::InvalidInput(format!("chunk index {index} out of range")))?
+            .pipeline;
         let grid = decompress_chunk_body(
             &self.header,
-            self.entries[index].pipeline,
+            pipeline,
             &self.chunk_interp(index),
             self.plan.chunk_dims(index),
             &body,

@@ -14,6 +14,7 @@
 //! experiment is reproducible, and they are parallelised over `z`-planes with
 //! Rayon because the evaluation harness generates hundreds of megabytes of
 //! input per run.
+#![forbid(unsafe_code)]
 
 pub mod field;
 pub mod noise;

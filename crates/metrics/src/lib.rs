@@ -5,6 +5,7 @@
 //! NRMSE, maximum point-wise error), the size metrics (compression ratio,
 //! bit rate) and the speed metrics (GiB/s throughput) that every table and
 //! figure of the paper reports.
+#![forbid(unsafe_code)]
 
 pub mod quality;
 pub mod size;

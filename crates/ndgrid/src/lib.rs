@@ -21,6 +21,7 @@
 //! its sides.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod blocks;
 pub mod chunks;

@@ -20,6 +20,7 @@
 //!   Eq. 3);
 //! * [`autotune`] — the sampled, workload-balanced interpolation auto-tuner
 //!   (§5.1.3).
+#![forbid(unsafe_code)]
 
 pub mod autotune;
 pub mod error;

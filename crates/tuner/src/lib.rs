@@ -36,6 +36,7 @@
 //! worker-thread count.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod estimate;
 pub mod interp;

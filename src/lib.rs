@@ -23,6 +23,7 @@
 //! let restored = decompress(&compressed).unwrap();
 //! assert_eq!(restored.dims(), field.dims());
 //! ```
+#![forbid(unsafe_code)]
 
 pub use szhi_baselines as baselines;
 pub use szhi_codec as codec;

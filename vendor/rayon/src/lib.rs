@@ -28,6 +28,18 @@
 //! swapping in the real crate (one line in the workspace manifest) remains
 //! the designated upgrade once the registry is reachable. The only extra
 //! symbol this shim exposes beyond rayon's surface is [`set_num_threads`].
+//!
+//! # Race-check mode
+//!
+//! The soundness of the mutable sources rests on one argument: terminals
+//! only ever drive **disjoint** position ranges. Building the workspace
+//! with `RUSTFLAGS="--cfg szhi_racecheck"` compiles in a dynamic verifier
+//! of exactly that claim — each drive over a mutable source registers the
+//! element range it hands out in a global registry keyed by the slice's
+//! base pointer, and any overlap between concurrently live ranges panics
+//! with both ranges in the message. The instrumented suite runs in CI; the
+//! cfg adds a mutex acquisition per drive, so leave it off in production
+//! builds.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -242,8 +254,78 @@ impl<T: Sync> IndexedPipeline for ChunksPipe<'_, T> {}
 /// drive disjoint position ranges, so no two threads ever touch the same
 /// element.
 struct SharedMut<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through disjoint position ranges
+// (one per worker thread), so moving it to another thread cannot create
+// aliasing mutable access; `T: Send` carries the elements' own requirement.
 unsafe impl<T: Send> Send for SharedMut<T> {}
+// SAFETY: sharing the wrapper shares only the pointer value; every mutable
+// access goes through disjoint drive ranges, so concurrent use from several
+// threads never touches the same element.
 unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+/// Dynamic verifier for the disjoint-range argument the mutable sources
+/// rely on, compiled in only under `--cfg szhi_racecheck`. Every drive over
+/// a mutable source registers the element range it is about to hand out,
+/// keyed by the base-pointer address; a range that overlaps a concurrently
+/// live claim on the same base is a partitioning bug in a terminal and
+/// panics immediately instead of silently aliasing.
+#[cfg(szhi_racecheck)]
+mod racecheck {
+    use std::sync::Mutex;
+
+    /// Live claims as `(base, start, end)` element ranges. A `Vec` (not a
+    /// map) so the static can be `const`-initialised; claim counts are tiny
+    /// (one per worker thread).
+    static LIVE: Mutex<Vec<(usize, usize, usize)>> = Mutex::new(Vec::new());
+
+    fn live() -> std::sync::MutexGuard<'static, Vec<(usize, usize, usize)>> {
+        // A panic raised by an overlap report poisons the lock; later
+        // claims (e.g. after `catch_unwind` in tests) still need it.
+        LIVE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// RAII registration of one drive's claimed element range.
+    pub(crate) struct RangeClaim {
+        base: usize,
+        start: usize,
+        end: usize,
+    }
+
+    impl RangeClaim {
+        /// Registers `start..end` on `base`, panicking if it overlaps any
+        /// concurrently live claim on the same base.
+        pub(crate) fn register(base: usize, start: usize, end: usize) -> Self {
+            if start < end {
+                let mut claims = live();
+                for &(b, s, e) in claims.iter() {
+                    if b == base && start < e && s < end {
+                        drop(claims);
+                        panic!(
+                            "szhi_racecheck: mutable range {start}..{end} overlaps the \
+                             concurrently live range {s}..{e} on base {base:#x}"
+                        );
+                    }
+                }
+                claims.push((base, start, end));
+            }
+            RangeClaim { base, start, end }
+        }
+    }
+
+    impl Drop for RangeClaim {
+        fn drop(&mut self) {
+            if self.start < self.end {
+                let mut claims = live();
+                if let Some(i) = claims
+                    .iter()
+                    .position(|&(b, s, e)| b == self.base && s == self.start && e == self.end)
+                {
+                    claims.swap_remove(i);
+                }
+            }
+        }
+    }
+}
 
 /// `slice.par_iter_mut()`: one `&mut T` per position.
 pub struct SliceMutPipe<'a, T> {
@@ -258,6 +340,8 @@ impl<'a, T: Send + 'a> Pipeline for SliceMutPipe<'a, T> {
         self.len
     }
     fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        #[cfg(szhi_racecheck)]
+        let _claim = racecheck::RangeClaim::register(self.base.0 as usize, range.start, range.end);
         for i in range {
             debug_assert!(i < self.len);
             // SAFETY: `i < len`, and disjoint drive ranges guarantee each
@@ -282,6 +366,12 @@ impl<'a, T: Send + 'a> Pipeline for ChunksMutPipe<'a, T> {
         self.len.div_ceil(self.chunk)
     }
     fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item)) {
+        #[cfg(szhi_racecheck)]
+        let _claim = racecheck::RangeClaim::register(
+            self.base.0 as usize,
+            range.start * self.chunk,
+            (range.end * self.chunk).min(self.len),
+        );
         for c in range {
             let start = c * self.chunk;
             let end = (start + self.chunk).min(self.len);
@@ -952,5 +1042,41 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    /// Simulates a buggy terminal that drives two overlapping ranges while
+    /// both are live: the inner claim must panic before any aliasing
+    /// mutable reference is handed out.
+    #[cfg(szhi_racecheck)]
+    #[test]
+    fn racecheck_panics_on_overlapping_ranges() {
+        use super::Pipeline;
+        let mut data = [0u32; 8];
+        let pipe = data.par_iter_mut().0;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipe.drive(0..6, &mut |slot| {
+                if *slot == 0 {
+                    // While the 0..6 claim is live, claim the overlapping
+                    // range 4..8 on the same base.
+                    pipe.drive(4..8, &mut |s| *s += 1);
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "overlapping drives must panic under szhi_racecheck"
+        );
+    }
+
+    /// Disjoint nested drives must pass the race check: the registry only
+    /// rejects genuine overlap, not concurrency itself.
+    #[cfg(szhi_racecheck)]
+    #[test]
+    fn racecheck_accepts_disjoint_ranges() {
+        let mut data = vec![0u32; 64];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 1));
+        data.par_chunks_mut(8).for_each(|c| c.fill(7));
+        assert!(data.iter().all(|&x| x == 7));
     }
 }
