@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use szhi_bench::{dataset, quant_codes};
 use szhi_codec::components::{Bit, Rre, Rze, Tcms};
-use szhi_codec::huffman;
+use szhi_codec::{ans, checksum, huffman};
 use szhi_datagen::DatasetKind;
 use szhi_predictor::{lorenzo, InterpConfig, InterpPredictor};
 
@@ -43,12 +43,19 @@ fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("lossless_kernels");
     group.throughput(Throughput::Bytes(codes.len() as u64));
     group.bench_function("huffman_encode", |b| b.iter(|| huffman::encode(&codes)));
+    group.bench_function("huffman_encode_reference", |b| {
+        b.iter(|| huffman::encode_reference(&codes))
+    });
     {
         let encoded = huffman::encode(&codes);
         group.bench_function("huffman_decode", |b| {
             b.iter(|| huffman::decode(&encoded).unwrap())
         });
     }
+    group.bench_function("ans_encode", |b| b.iter(|| ans::encode(&codes)));
+    group.bench_function("ans_encode_reference", |b| {
+        b.iter(|| ans::encode_reference(&codes))
+    });
     let components: Vec<NamedEncoder> = vec![
         ("rre1", Box::new(|d: &[u8]| Rre::new(1).encode_bytes(d))),
         ("rze1", Box::new(|d: &[u8]| Rze::new(1).encode_bytes(d))),
@@ -65,9 +72,24 @@ fn bench_codecs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_checksum(c: &mut Criterion) {
+    // 1 MiB of pseudo-random bytes: enough to saturate the table lookups
+    // and big enough that the per-call setup is invisible.
+    let data: Vec<u8> = (0u32..1 << 20)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("crc32_slice8", |b| b.iter(|| checksum::crc32(&data)));
+    group.bench_function("crc32_bytewise", |b| {
+        b.iter(|| checksum::crc32_bytewise(&data))
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_predictors, bench_codecs
+    targets = bench_predictors, bench_codecs, bench_checksum
 );
 criterion_main!(kernels);

@@ -24,7 +24,9 @@
 //!
 //! Run with `cargo run -p szhi-bench --release --bin chunked_throughput`.
 //! `--scale <f>` (or `SZHI_SCALE`) scales the 256³ default field;
-//! `SZHI_NUM_THREADS` caps the multi-threaded row.
+//! `SZHI_NUM_THREADS` caps the multi-threaded row. `--json <path>` also
+//! writes the measurements as a machine-readable JSON report (one array of
+//! flat objects per section) for CI trend tracking.
 
 use std::collections::BTreeMap;
 use szhi_bench::{fmt_ms, print_table, SEED};
@@ -35,6 +37,64 @@ use szhi_core::{
 use szhi_datagen::DatasetKind;
 use szhi_metrics::Stopwatch;
 use szhi_ndgrid::{Dims, Grid};
+
+/// Accumulates the benchmark's measurements as a JSON report: one array of
+/// flat objects per section, written out when `--json <path>` is given.
+#[derive(Default)]
+struct JsonReport {
+    sections: Vec<(&'static str, Vec<String>)>,
+}
+
+impl JsonReport {
+    /// Appends one pre-serialised JSON object to a section (created on
+    /// first use, in insertion order).
+    fn push(&mut self, section: &'static str, object: String) {
+        match self.sections.iter_mut().find(|(name, _)| *name == section) {
+            Some((_, objects)) => objects.push(object),
+            None => self.sections.push((section, vec![object])),
+        }
+    }
+
+    /// Serialises the report and writes it to `path`.
+    fn write(&self, path: &str, dims: Dims) -> std::io::Result<()> {
+        let mut out = String::from("{\n  \"bench\": \"chunked_throughput\",\n");
+        out.push_str(&format!("  \"dims\": \"{dims}\",\n  \"sections\": {{\n"));
+        let sections: Vec<String> = self
+            .sections
+            .iter()
+            .map(|(name, objects)| {
+                format!(
+                    "    \"{name}\": [\n      {}\n    ]",
+                    objects.join(",\n      ")
+                )
+            })
+            .collect();
+        out.push_str(&sections.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values, which
+/// bare JSON cannot represent).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Extracts the `--json <path>` argument, if present.
+fn json_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
 
 fn measure(data: &Grid<f32>, cfg: &SzhiConfig, threads: usize) -> (f64, f64, f64, f64) {
     rayon::set_num_threads(threads);
@@ -57,6 +117,8 @@ fn measure(data: &Grid<f32>, cfg: &SzhiConfig, threads: usize) -> (f64, f64, f64
 
 fn main() {
     let scale = szhi_bench::scale_from_args();
+    let json_path = json_path_from_args();
+    let mut report = JsonReport::default();
     let n = ((256.0 * scale).round() as usize).max(64);
     let dims = Dims::d3(n, n, n);
     let threads = rayon::current_num_threads().max(1);
@@ -69,8 +131,35 @@ fn main() {
     let base = SzhiConfig::new(ErrorBound::Relative(1e-3));
     let chunked = base.clone().with_chunk_span(SzhiConfig::DEFAULT_CHUNK_SPAN);
 
+    let mb = dims.nbytes_f32() as f64 / 1e6;
+    let throughput_entry = |report: &mut JsonReport,
+                            engine: &str,
+                            threads: usize,
+                            comp_s: f64,
+                            decomp_s: f64,
+                            ratio: f64| {
+        report.push(
+            "throughput",
+            format!(
+                "{{\"engine\": \"{engine}\", \"threads\": {threads}, \
+                 \"comp_mb_s\": {}, \"decomp_mb_s\": {}, \"ratio\": {}}}",
+                jnum(mb / comp_s),
+                jnum(mb / decomp_s),
+                jnum(ratio)
+            ),
+        );
+    };
+
     let mut rows = Vec::new();
     let (mono_c, mono_d, mono_gibps, mono_ratio) = measure(&data, &base, threads);
+    throughput_entry(
+        &mut report,
+        "monolithic_v1",
+        threads,
+        mono_c,
+        mono_d,
+        mono_ratio,
+    );
     rows.push(vec![
         "monolithic (v1)".into(),
         threads.to_string(),
@@ -81,6 +170,14 @@ fn main() {
         String::from("1.00"),
     ]);
     let (one_c, one_d, one_gibps, one_ratio) = measure(&data, &chunked, 1);
+    throughput_entry(
+        &mut report,
+        "chunked_v3_1_thread",
+        1,
+        one_c,
+        one_d,
+        one_ratio,
+    );
     rows.push(vec![
         "chunked (v3)".into(),
         "1".into(),
@@ -91,6 +188,14 @@ fn main() {
         String::from("1.00"),
     ]);
     let (multi_c, multi_d, multi_gibps, multi_ratio) = measure(&data, &chunked, threads);
+    throughput_entry(
+        &mut report,
+        "chunked_v3",
+        threads,
+        multi_c,
+        multi_d,
+        multi_ratio,
+    );
     let speedup = one_c / multi_c;
     rows.push(vec![
         "chunked (v3)".into(),
@@ -124,8 +229,13 @@ fn main() {
         eprintln!("WARNING: expected a wall-clock speedup > 1.5x with >= 4 threads");
     }
 
-    orchestration_section(n);
-    streaming_sink_section(&data);
+    orchestration_section(n, &mut report);
+    streaming_sink_section(&data, &mut report);
+
+    if let Some(path) = json_path {
+        report.write(&path, dims).expect("writing the JSON report");
+        eprintln!("# JSON report written to {path}");
+    }
 }
 
 /// An `io::Write` that counts bytes instead of storing them — a stand-in
@@ -152,7 +262,7 @@ impl std::io::Write for CountingSink {
 /// the byte-counting v4 sink, reporting throughput and each engine's
 /// buffering high-water (the v3 writer retains every compressed body; the
 /// sink's largest resident buffer is one encoded chunk or the table tail).
-fn streaming_sink_section(data: &Grid<f32>) {
+fn streaming_sink_section(data: &Grid<f32>, report: &mut JsonReport) {
     let dims = data.dims();
     let abs_eb = 1e-3 * data.value_range() as f64;
     let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
@@ -185,6 +295,28 @@ fn streaming_sink_section(data: &Grid<f32>) {
     let (counter, stats) = sink.finish_with_stats().expect("finish");
     let v4_time = sw.finish(dims.nbytes_f32());
     assert_eq!(counter.total, stats.compressed_bytes as u64);
+
+    let mb = dims.nbytes_f32() as f64 / 1e6;
+    report.push(
+        "streaming",
+        format!(
+            "{{\"engine\": \"stream_writer_v3\", \"comp_mb_s\": {}, \"ratio\": {}, \
+             \"stream_bytes\": {v3_bytes}, \"high_water_bytes\": {buffered_high_water}}}",
+            jnum(mb / v3_time.elapsed.as_secs_f64()),
+            jnum(dims.nbytes_f32() as f64 / v3_bytes as f64)
+        ),
+    );
+    report.push(
+        "streaming",
+        format!(
+            "{{\"engine\": \"stream_sink_v4\", \"comp_mb_s\": {}, \"ratio\": {}, \
+             \"stream_bytes\": {}, \"high_water_bytes\": {}}}",
+            jnum(mb / v4_time.elapsed.as_secs_f64()),
+            jnum(dims.nbytes_f32() as f64 / counter.total as f64),
+            counter.total,
+            counter.max_write.max(max_chunk)
+        ),
+    );
 
     print_table(
         &format!("Bounded-memory streaming on {dims} (chunk span 64³, one thread of work each)"),
@@ -253,7 +385,7 @@ fn interp_signature(interp: &szhi_predictor::InterpConfig) -> String {
 /// per-chunk-interp configuration, with mode and config histograms straight
 /// from the chunk table. The headline numbers are the estimated policy's
 /// size (≤ 1.05× exhaustive) and tuning time (well below exhaustive).
-fn orchestration_section(n: usize) {
+fn orchestration_section(n: usize, report: &mut JsonReport) {
     let dims = Dims::d3((n / 2).max(32), (n / 2).max(32), n.max(64));
     let data = szhi_datagen::mixed_smooth_noisy(dims);
     // A fixed absolute bound that keeps the noisy half's quantization codes
@@ -314,6 +446,17 @@ fn orchestration_section(n: usize) {
         };
         sizes.insert(label, bytes.len());
         times.insert(label, comp.elapsed.as_secs_f64());
+        report.push(
+            "orchestration",
+            format!(
+                "{{\"policy\": \"{label}\", \"version\": {}, \"ratio\": {}, \
+                 \"bytes\": {}, \"comp_mb_s\": {}}}",
+                szhi_core::stream_version(&bytes).unwrap(),
+                jnum(original / bytes.len() as f64),
+                bytes.len(),
+                jnum(dims.nbytes_f32() as f64 / 1e6 / comp.elapsed.as_secs_f64())
+            ),
+        );
         let configs_cell = if cfg.chunk_interp_tuning {
             fmt_hist(&configs)
         } else {

@@ -61,11 +61,108 @@ fn cumulative(freqs: &[u32; 256]) -> [u32; 257] {
     cum
 }
 
+/// One symbol's fused encode-table entry: the renormalisation threshold, the
+/// cumulative base, and an exact multiplicative reciprocal of the frequency,
+/// so the hot loop performs no hardware division and reads a single table
+/// entry per symbol.
+#[derive(Debug, Clone, Copy, Default)]
+struct SymEnc {
+    /// Reciprocal multiplier: `x / freq == (x * m) >> shift` exactly for
+    /// every state value `x < 2^31` (the rANS state invariant).
+    m: u64,
+    shift: u32,
+    /// Renormalisation threshold `freq << (23 - 12 + 8)`: the state must
+    /// drop below this before encoding, in at most two byte shifts.
+    x_max: u32,
+    freq: u32,
+    cum: u32,
+}
+
+/// Builds the fused per-symbol encode table. The reciprocal uses the
+/// round-up method: with `shift = 31 + ceil_log2(f)` and
+/// `m = ceil(2^shift / f)`, the error `ε = m·f − 2^shift` is below
+/// `2^(shift−31)`, so for `x < 2^31` the truncated product
+/// `(x·m) >> shift` equals `x / f` exactly — the encoder's output bytes are
+/// bit-identical to the divide-based reference.
+fn encode_table(freqs: &[u32; 256], cum: &[u32; 257]) -> [SymEnc; 256] {
+    let mut table = [SymEnc::default(); 256];
+    for s in 0..256 {
+        let f = freqs[s];
+        if f == 0 {
+            continue;
+        }
+        let ceil_log2 = 32 - (f - 1).leading_zeros();
+        let shift = 31 + ceil_log2;
+        let m = (1u64 << shift).div_ceil(f as u64);
+        table[s] = SymEnc {
+            m,
+            shift,
+            x_max: ((RANS_L >> SCALE_BITS) << 8) * f,
+            freq: f,
+            cum: cum[s],
+        };
+    }
+    table
+}
+
 /// Encodes `data` with a static rANS coder.
 ///
 /// Layout: `n u64 | 256 × u16 frequencies | payload` where the payload is the
 /// 4-byte final state followed by the renormalisation bytes in decode order.
+/// The hot loop is table-driven: one fused `SymEnc` entry per symbol
+/// supplies the renormalisation threshold, an exact reciprocal replacing the
+/// `x / f` hardware division, and the cumulative base; renormalisation is
+/// unrolled to its maximum of two byte emissions.
 pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut hist = [0u64; 256];
+    for &b in data {
+        hist[b as usize] += 1;
+    }
+    let freqs = normalize(&hist);
+    let cum = cumulative(&freqs);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 512 + 16);
+    put_u64(&mut out, data.len() as u64);
+    for &f in freqs.iter() {
+        put_u16(&mut out, f as u16);
+    }
+    if data.is_empty() {
+        return out;
+    }
+
+    let table = encode_table(&freqs, &cum);
+    let mut emitted: Vec<u8> = Vec::with_capacity(data.len());
+    let mut x: u32 = RANS_L;
+    for &b in data.iter().rev() {
+        let e = &table[b as usize];
+        debug_assert!(e.freq > 0, "symbol {b} has zero frequency");
+        // Renormalise so the state stays in [RANS_L, RANS_L * 256) after
+        // encoding. The state invariant `x < 2^31` and `x_max ≥ 2^19` bound
+        // the loop at two emissions, so it is unrolled.
+        if x >= e.x_max {
+            emitted.push(x as u8);
+            x >>= 8;
+            if x >= e.x_max {
+                emitted.push(x as u8);
+                x >>= 8;
+            }
+        }
+        let q = ((x as u64 * e.m) >> e.shift) as u32;
+        x = (q << SCALE_BITS) + (x - q * e.freq) + e.cum;
+    }
+    // Final state, then the stream bytes reversed so the decoder reads forward.
+    out.extend_from_slice(&x.to_le_bytes());
+    emitted.reverse();
+    out.extend_from_slice(&emitted);
+    out
+}
+
+/// Reference encoder kept for differential tests and the before/after
+/// kernel benchmarks: identical output to [`encode`], but with the
+/// per-symbol hardware division and open-coded renormalisation loop (the
+/// pre-optimisation formulation).
+#[doc(hidden)]
+pub fn encode_reference(data: &[u8]) -> Vec<u8> {
     let mut hist = [0u64; 256];
     for &b in data {
         hist[b as usize] += 1;
@@ -86,8 +183,6 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
     let mut x: u32 = RANS_L;
     for &b in data.iter().rev() {
         let f = freqs[b as usize];
-        debug_assert!(f > 0, "symbol {b} has zero frequency");
-        // Renormalise so the state stays in [RANS_L, RANS_L * 256) after encoding.
         let x_max = ((RANS_L >> SCALE_BITS) << 8) * f;
         while x >= x_max {
             emitted.push(x as u8);
@@ -95,7 +190,6 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
         }
         x = ((x / f) << SCALE_BITS) + (x % f) + cum[b as usize];
     }
-    // Final state, then the stream bytes reversed so the decoder reads forward.
     out.extend_from_slice(&x.to_le_bytes());
     emitted.reverse();
     out.extend_from_slice(&emitted);
@@ -179,6 +273,35 @@ mod tests {
         let enc = encode(data);
         assert_eq!(decode(&enc).unwrap(), data);
         enc.len()
+    }
+
+    #[test]
+    fn fused_encoder_matches_the_division_reference() {
+        // The reciprocal-multiply hot loop must be byte-identical to the
+        // hardware-division reference on every frequency shape: uniform,
+        // heavily skewed (maximal frequencies → minimal x_max slack), and
+        // single-symbol degenerate tables.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2025);
+        let uniform: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let skewed: Vec<u8> = (0..50_000)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.95 {
+                    7u8
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect();
+        let constant = vec![42u8; 10_000];
+        for data in [
+            &b""[..],
+            &b"x"[..],
+            &uniform[..],
+            &skewed[..],
+            &constant[..],
+        ] {
+            assert_eq!(encode(data), encode_reference(data));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * decoding uses a 12-bit prefix lookup table with a canonical fallback for
 //!   longer codes.
 
-use crate::bitio::{decode_capacity, put_u64, BitReader, BitWriter, ByteCursor};
+use crate::bitio::{decode_capacity, put_u64, BitReader, BitWriter, ByteCursor, WordWriter};
 use crate::CodecError;
 
 /// Maximum code length in bits. 32 is far above the entropy of quantization
@@ -206,20 +206,65 @@ impl HuffmanBook {
         self.lengths[symbol as usize]
     }
 
+    /// The canonical code of `symbol` (valid in its low
+    /// [`length`](HuffmanBook::length) bits).
+    pub fn code(&self, symbol: u8) -> u64 {
+        self.codes[symbol as usize]
+    }
+
     /// The total encoded size in bits of data with histogram `hist`.
     pub fn encoded_bits(&self, hist: &[u64; 256]) -> u64 {
         (0..256).map(|s| hist[s] * self.lengths[s] as u64).sum()
+    }
+
+    /// The per-symbol `(code, length)` pairs packed into one `u64` each
+    /// (`code << 6 | length`): the hot encode loop reads a single table
+    /// entry per symbol instead of two separate arrays. Codes fit because
+    /// [`MAX_CODE_LEN`] ≤ 32 and lengths fit in 6 bits.
+    fn packed_table(&self) -> [u64; 256] {
+        let mut table = [0u64; 256];
+        for (s, entry) in table.iter_mut().enumerate() {
+            *entry = (self.codes[s] << 6) | self.lengths[s] as u64;
+        }
+        table
     }
 }
 
 /// Encodes `data` with a canonical Huffman code built from its histogram.
 ///
 /// Output layout: `[n_symbols: u64][256 packed 6-bit lengths][payload bits]`.
+/// The payload loop is table-driven over a `u64` bit accumulator: one packed
+/// `(code, len)` lookup and one [`WordWriter::put`] shift-or per symbol,
+/// flushing 32 output bits at a time.
 pub fn encode(data: &[u8]) -> Vec<u8> {
     let book = HuffmanBook::from_data(data);
     let mut out = Vec::with_capacity(data.len() / 2 + 256);
     put_u64(&mut out, data.len() as u64);
     // Pack the 256 code lengths, 6 bits each (MAX_CODE_LEN ≤ 63).
+    let mut lw = BitWriter::with_capacity_bits(256 * 6);
+    for s in 0..256 {
+        lw.put_bits(book.lengths[s] as u64, 6);
+    }
+    out.extend_from_slice(&lw.finish());
+    let table = book.packed_table();
+    let mut ww = WordWriter::with_capacity_bits(data.len() * 4);
+    for &b in data {
+        let entry = table[b as usize];
+        ww.put((entry >> 6) as u32, (entry & 0x3F) as u32);
+    }
+    out.extend_from_slice(&ww.finish());
+    out
+}
+
+/// Reference encoder kept for differential tests and the before/after
+/// kernel benchmarks: identical output to [`encode`], but written through
+/// the byte-at-a-time [`BitWriter`] with separate code/length lookups (the
+/// pre-optimisation formulation).
+#[doc(hidden)]
+pub fn encode_reference(data: &[u8]) -> Vec<u8> {
+    let book = HuffmanBook::from_data(data);
+    let mut out = Vec::with_capacity(data.len() / 2 + 256);
+    put_u64(&mut out, data.len() as u64);
     let mut lw = BitWriter::with_capacity_bits(256 * 6);
     for s in 0..256 {
         lw.put_bits(book.lengths[s] as u64, 6);
@@ -382,6 +427,23 @@ mod tests {
         let enc = encode(data);
         let dec = decode(&enc).expect("decode failed");
         assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn word_encoder_matches_the_bitwriter_reference() {
+        // The table-driven WordWriter hot loop must be byte-identical to
+        // the byte-at-a-time reference on every input shape, including
+        // skewed histograms that produce length-limited (32-bit) codes.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut skewed = Vec::new();
+        for s in 0..200u32 {
+            let reps = 1usize << (s % 18).min(14);
+            skewed.extend(std::iter::repeat_n(s as u8, reps));
+        }
+        let uniform: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        for data in [&b""[..], &b"a"[..], &skewed[..], &uniform[..]] {
+            assert_eq!(encode(data), encode_reference(data));
+        }
     }
 
     #[test]

@@ -42,7 +42,9 @@ use szhi_codec::bitio::{put_u32, ByteCursor};
 use szhi_codec::checksum::crc32;
 use szhi_codec::PipelineSpec;
 use szhi_ndgrid::{ChunkPlan, Dims, Grid, Region};
-use szhi_predictor::{InterpConfig, InterpPredictor, LevelConfig, LevelOrder};
+use szhi_predictor::{
+    CompressScratch, InterpConfig, InterpOutput, InterpPredictor, LevelConfig, LevelOrder,
+};
 use szhi_tuner::SelectParams;
 
 /// One compressed chunk, produced by [`StreamWriter::encode_chunk`] and
@@ -216,6 +218,27 @@ impl PipelineSelection {
     }
 }
 
+/// Reusable buffers for the per-chunk encode chain: the predictor's
+/// reconstruction scratch, its quantization output, the level-reordered
+/// code array. Encoding the next chunk of the same shape into a warm
+/// scratch touches no new heap beyond the payload the caller keeps.
+#[derive(Debug, Default)]
+struct EncodeScratch {
+    compress: CompressScratch,
+    output: InterpOutput,
+    reordered: Vec<u8>,
+}
+
+/// Everything [`ChunkEncoder::encode_into`] produces besides the body it
+/// leaves in the caller's buffer.
+struct ChunkMeta {
+    pipeline: PipelineSpec,
+    levels: Option<Vec<LevelConfig>>,
+    anchors: usize,
+    outliers: usize,
+    payload_bytes: usize,
+}
+
 /// The configuration-resolved chunk compressor shared by [`StreamWriter`]
 /// (in-memory v3/v5 output) and [`StreamSink`] (io::Write-backed v4/v5
 /// output): the validated header, the chunk plan, the predictor instance
@@ -231,6 +254,11 @@ struct ChunkEncoder {
     /// candidates on its own blocks and is compressed with the winner
     /// (the container becomes v5 to carry the per-chunk configs).
     chunk_interp: bool,
+    /// The level-order permutation for every distinct chunk shape of the
+    /// plan (interior chunks plus the boundary remainders — at most eight
+    /// shapes), precomputed once so per-chunk encoding never rebuilds it.
+    /// Empty when reordering is disabled.
+    orders: Vec<(Dims, LevelOrder)>,
 }
 
 impl ChunkEncoder {
@@ -318,6 +346,15 @@ impl ChunkEncoder {
         // compresses equally well, fall back cleanly to the configured
         // default.
         let selection = PipelineSelection::from_tuning(mode, mode_tuning);
+        let mut orders: Vec<(Dims, LevelOrder)> = Vec::new();
+        if reorder {
+            for i in 0..plan.len() {
+                let d = plan.chunk_dims(i);
+                if !orders.iter().any(|(od, _)| *od == d) {
+                    orders.push((d, LevelOrder::new(d, interp.anchor_stride)));
+                }
+            }
+        }
         Ok(ChunkEncoder {
             header: Header {
                 dims,
@@ -330,12 +367,47 @@ impl ChunkEncoder {
             predictor,
             selection,
             chunk_interp,
+            orders,
         })
     }
 
     /// Compresses chunk `index` (pure in `&self`; see
-    /// [`StreamWriter::encode_chunk`]).
+    /// [`StreamWriter::encode_chunk`]). Each encode thread reuses its own
+    /// [`EncodeScratch`], so steady-state encoding allocates only the body
+    /// the caller keeps.
     fn encode(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EncodeScratch> =
+                std::cell::RefCell::new(EncodeScratch::default());
+        }
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let mut body = Vec::new();
+            let meta = self.encode_into(index, chunk, &mut scratch, &mut body)?;
+            Ok(EncodedChunk {
+                index,
+                pipeline: meta.pipeline,
+                levels: meta.levels,
+                anchors: meta.anchors,
+                outliers: meta.outliers,
+                payload_bytes: meta.payload_bytes,
+                body,
+            })
+        })
+    }
+
+    /// The scratch-reusing core of [`ChunkEncoder::encode`]: compresses
+    /// chunk `index` through the caller's buffers and leaves the framed
+    /// chunk body in `body` (cleared first). [`StreamSink`] feeds its own
+    /// scratch and body buffer through here so pushing a chunk performs no
+    /// steady-state heap growth beyond the lossless payload itself.
+    fn encode_into(
+        &self,
+        index: usize,
+        chunk: &Grid<f32>,
+        scratch: &mut EncodeScratch,
+        body: &mut Vec<u8>,
+    ) -> Result<ChunkMeta, SzhiError> {
         if index >= self.plan.len() {
             return Err(SzhiError::InvalidInput(format!(
                 "chunk index {index} out of range for a plan of {} chunks",
@@ -352,38 +424,57 @@ impl ChunkEncoder {
         // Per-chunk interpolation tuning: score the per-level candidates
         // on this chunk's own blocks and compress with the winner (a pure
         // function of the chunk, so the tuned stream stays deterministic).
-        let (output, levels) = if self.chunk_interp {
+        let levels = if self.chunk_interp {
             let tuned = szhi_tuner::tune_chunk_interp(chunk, &self.header.interp);
             let predictor = InterpPredictor::new(tuned.clone())
                 .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
-            (
-                predictor.compress(chunk, self.header.abs_eb),
-                Some(tuned.levels),
-            )
+            predictor.compress_into(
+                chunk,
+                self.header.abs_eb,
+                &mut scratch.compress,
+                &mut scratch.output,
+            );
+            Some(tuned.levels)
         } else {
-            (self.predictor.compress(chunk, self.header.abs_eb), None)
+            self.predictor.compress_into(
+                chunk,
+                self.header.abs_eb,
+                &mut scratch.compress,
+                &mut scratch.output,
+            );
+            None
         };
-        let codes = if self.header.reorder {
-            LevelOrder::new(expected, self.header.interp.anchor_stride).reorder(&output.codes)
+        let codes: &[u8] = if self.header.reorder {
+            let order = self
+                .orders
+                .iter()
+                .find(|(d, _)| *d == expected)
+                .map(|(_, o)| o)
+                .expect("every plan chunk shape has a precomputed permutation");
+            order.reorder_into(&scratch.output.codes, &mut scratch.reordered);
+            &scratch.reordered
         } else {
-            output.codes
+            &scratch.output.codes
         };
         // The per-chunk mode tuner: offer the codes to the selection
         // strategy (trial-encoding or the estimator-guided shortlist) and
         // keep the smallest real payload. The fallible selector turns a
         // misconfigured (empty) candidate set into a typed error instead
         // of aborting a long-running stream.
-        let (pipeline, payload) = self.selection.select(&codes)?;
-        let mut body = Vec::new();
-        write_sections(&mut body, &output.anchors, &output.outliers, &payload);
-        Ok(EncodedChunk {
-            index,
+        let (pipeline, payload) = self.selection.select(codes)?;
+        body.clear();
+        write_sections(
+            body,
+            &scratch.output.anchors,
+            &scratch.output.outliers,
+            &payload,
+        );
+        Ok(ChunkMeta {
             pipeline,
             levels,
-            anchors: output.anchors.len(),
-            outliers: output.outliers.len(),
+            anchors: scratch.output.anchors.len(),
+            outliers: scratch.output.outliers.len(),
             payload_bytes: payload.len(),
-            body,
         })
     }
 }
@@ -631,6 +722,12 @@ pub struct StreamSink<W: Write> {
     anchors: usize,
     outliers: usize,
     payload_bytes: usize,
+    /// Reusable encode buffers: after the first chunk of each shape, a
+    /// push writes the backing stream without growing the heap beyond the
+    /// lossless payload (this is what keeps the sink's memory high-water
+    /// at O(one encoded chunk + the chunk table)).
+    scratch: EncodeScratch,
+    body_buf: Vec<u8>,
 }
 
 impl<W: Write> StreamSink<W> {
@@ -667,6 +764,8 @@ impl<W: Write> StreamSink<W> {
             anchors: 0,
             outliers: 0,
             payload_bytes: 0,
+            scratch: EncodeScratch::default(),
+            body_buf: Vec::new(),
         })
     }
 
@@ -725,21 +824,44 @@ impl<W: Write> StreamSink<W> {
     /// Compresses the next chunk and writes its body to the backing writer
     /// immediately. Chunks must arrive in plan order with the standalone
     /// shape of their plan slot ([`StreamSink::next_chunk_region`]).
+    ///
+    /// This path reuses the sink's own encode scratch, so after the first
+    /// chunk of each shape a push performs no heap growth beyond the
+    /// lossless payload itself.
     pub fn push_chunk(&mut self, chunk: &Grid<f32>) -> Result<ChunkReceipt, SzhiError> {
+        self.check_poisoned()?;
         if self.is_complete() {
             return Err(SzhiError::InvalidInput(format!(
                 "all {} chunks have already been pushed",
                 self.enc.plan.len()
             )));
         }
-        let encoded = self.enc.encode(self.entries.len(), chunk)?;
-        let receipt = ChunkReceipt {
-            index: encoded.index,
-            pipeline: encoded.pipeline,
-            compressed_bytes: encoded.body.len(),
-        };
-        self.push_encoded(encoded)?;
-        Ok(receipt)
+        let index = self.entries.len();
+        let meta = self
+            .enc
+            .encode_into(index, chunk, &mut self.scratch, &mut self.body_buf)?;
+        let config = config_id_for(&mut self.configs, meta.levels)?;
+        let crc = crc32(&self.body_buf);
+        if let Err(e) = self.out.write_all(&self.body_buf) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.entries.push((
+            self.data_written,
+            self.body_buf.len() as u64,
+            meta.pipeline,
+            config,
+            crc,
+        ));
+        self.data_written += self.body_buf.len() as u64;
+        self.anchors += meta.anchors;
+        self.outliers += meta.outliers;
+        self.payload_bytes += meta.payload_bytes;
+        Ok(ChunkReceipt {
+            index,
+            pipeline: meta.pipeline,
+            compressed_bytes: self.body_buf.len(),
+        })
     }
 
     /// Writes a chunk previously produced by [`StreamSink::encode_chunk`]

@@ -23,9 +23,6 @@ pub struct Step {
     /// Axes to interpolate along (0 = z, 1 = y, 2 = x). Multi-axis steps
     /// average the highest-order per-axis predictions.
     pub interp_axes: Vec<usize>,
-    /// Optional explicit batch of `(z, y)` rows; used internally to bound the
-    /// size of parallel batches. `None` means "all rows of the lattice".
-    pub rows: Option<Vec<(usize, usize)>>,
 }
 
 impl Step {
@@ -40,11 +37,10 @@ impl Step {
             y,
             x,
             interp_axes,
-            rows: None,
         }
     }
 
-    /// Iterates every target coordinate of the step (ignoring `rows`).
+    /// Iterates every target coordinate of the step.
     pub fn targets(&self, dims: Dims) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let (z0, zs) = self.z;
         let (y0, ys) = self.y;

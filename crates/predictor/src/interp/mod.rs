@@ -156,7 +156,7 @@ impl InterpConfig {
 }
 
 /// Output of the interpolation lossy decomposition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InterpOutput {
     /// Losslessly stored anchor values, in row-major anchor-lattice order.
     pub anchors: Vec<f32>,
@@ -177,6 +177,17 @@ impl InterpOutput {
             self.outliers.len() as f64 / self.codes.len() as f64
         }
     }
+}
+
+/// Reusable working buffers for [`InterpPredictor::compress_into`]: holds
+/// the per-point reconstruction buffer and the level sweep's row/prediction
+/// staging buffers, so repeated compressions of same-shaped fields reuse the
+/// same allocations instead of growing the heap per call.
+#[derive(Debug, Default)]
+pub struct CompressScratch {
+    recon: Vec<f32>,
+    rows: Vec<(usize, usize)>,
+    results: Vec<(usize, f32)>,
 }
 
 /// The interpolation predictor.
@@ -205,17 +216,46 @@ impl InterpPredictor {
     /// Runs the lossy decomposition of `data` under the absolute error bound
     /// `eb`, returning anchors, quantization codes and outliers.
     pub fn compress(&self, data: &Grid<f32>, eb: f64) -> InterpOutput {
+        let mut scratch = CompressScratch::default();
+        let mut out = InterpOutput::default();
+        self.compress_into(data, eb, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`compress`](InterpPredictor::compress), but reuses the caller's
+    /// buffers: the output vectors in `out` and the reconstruction buffer in
+    /// `scratch` are cleared and refilled in place, so a caller encoding a
+    /// stream of same-shaped chunks performs no steady-state heap growth in
+    /// the predictor stage.
+    pub fn compress_into(
+        &self,
+        data: &Grid<f32>,
+        eb: f64,
+        scratch: &mut CompressScratch,
+        out: &mut InterpOutput,
+    ) {
         let dims = data.dims();
         let quantizer = Quantizer::new(eb);
         let block_grid = BlockGrid::new(dims, self.cfg.anchor_stride);
 
-        let mut recon = vec![0.0f32; dims.len()];
-        let mut codes = vec![ZERO_CODE; dims.len()];
-        let mut outliers: Vec<Outlier> = Vec::new();
+        let CompressScratch {
+            recon,
+            rows,
+            results,
+        } = scratch;
+        recon.clear();
+        recon.resize(dims.len(), 0.0f32);
+        let codes = &mut out.codes;
+        codes.clear();
+        codes.resize(dims.len(), ZERO_CODE);
+        let outliers = &mut out.outliers;
+        outliers.clear();
 
         // Anchors are stored losslessly and seed the reconstruction.
         let anchor_coords = block_grid.anchor_coords();
-        let mut anchors = Vec::with_capacity(anchor_coords.len());
+        let anchors = &mut out.anchors;
+        anchors.clear();
+        anchors.reserve(anchor_coords.len());
         for &(z, y, x) in &anchor_coords {
             let idx = dims.index(z, y, x);
             let v = data.as_slice()[idx];
@@ -226,11 +266,12 @@ impl InterpPredictor {
         let data_slice = data.as_slice();
         self.walk_levels(
             dims,
-            |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+            |step, rows, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
                 // Phase 1 (parallel, read-only): predictions for this batch of rows.
                 Self::predict_batch(
                     dims,
                     step,
+                    rows,
                     s,
                     spline,
                     self.cfg.block_span,
@@ -238,7 +279,7 @@ impl InterpPredictor {
                     results,
                 );
             },
-            &mut recon,
+            recon,
             |idx, pred, recon_ref, codes_ref: &mut Vec<u8>, outliers_ref: &mut Vec<Outlier>| {
                 // Phase 2 (sequential): quantize and commit the reconstruction.
                 let (code, value) = quantizer.quantize(data_slice[idx], pred);
@@ -252,17 +293,14 @@ impl InterpPredictor {
                 recon_ref[idx] = value;
                 Ok(())
             },
-            &mut codes,
-            &mut outliers,
+            codes,
+            outliers,
+            rows,
+            results,
         )
         .expect("the compression sweep commits infallibly");
 
-        outliers.sort_by_key(|o| o.index);
-        InterpOutput {
-            anchors,
-            codes,
-            outliers,
-        }
+        out.outliers.sort_by_key(|o| o.index);
     }
 
     /// Reconstructs the field from an [`InterpOutput`] under the same
@@ -317,12 +355,15 @@ impl InterpPredictor {
         let codes = &output.codes;
         let mut dummy_codes: Vec<u8> = Vec::new();
         let mut dummy_outliers: Vec<Outlier> = Vec::new();
+        let mut sweep_rows: Vec<(usize, usize)> = Vec::new();
+        let mut sweep_results: Vec<(usize, f32)> = Vec::new();
         self.walk_levels(
             dims,
-            |step, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
+            |step, rows, s, spline, recon_ref, results: &mut Vec<(usize, f32)>| {
                 Self::predict_batch(
                     dims,
                     step,
+                    rows,
                     s,
                     spline,
                     self.cfg.block_span,
@@ -346,6 +387,8 @@ impl InterpPredictor {
             },
             &mut dummy_codes,
             &mut dummy_outliers,
+            &mut sweep_rows,
+            &mut sweep_results,
         )?;
 
         Ok(Grid::from_vec(dims, recon))
@@ -355,6 +398,7 @@ impl InterpPredictor {
     /// step of the level's scheme, predictions are computed in parallel
     /// batches and committed sequentially through `commit`. A failing commit
     /// (decompression over inconsistent input) aborts the sweep.
+    #[allow(clippy::too_many_arguments)]
     fn walk_levels<P, C>(
         &self,
         dims: Dims,
@@ -363,9 +407,11 @@ impl InterpPredictor {
         mut commit: C,
         codes: &mut Vec<u8>,
         outliers: &mut Vec<Outlier>,
+        rows: &mut Vec<(usize, usize)>,
+        results: &mut Vec<(usize, f32)>,
     ) -> Result<(), PredictorError>
     where
-        P: Fn(&Step, usize, Spline, &[f32], &mut Vec<(usize, f32)>) + Sync,
+        P: Fn(&Step, &[(usize, usize)], usize, Spline, &[f32], &mut Vec<(usize, f32)>) + Sync,
         C: FnMut(
             usize,
             f32,
@@ -375,29 +421,20 @@ impl InterpPredictor {
         ) -> Result<(), PredictorError>,
     {
         let num_levels = self.cfg.num_levels();
-        let mut results: Vec<(usize, f32)> = Vec::new();
         for level in (1..=num_levels).rev() {
             let s = 1usize << (level - 1);
             let lc = self.cfg.levels[level - 1];
             for step in steps(dims, s, lc.scheme) {
                 // Enumerate the (z, y) rows of this step and process them in
                 // bounded batches.
-                let zs: Vec<usize> = (step.z.0..dims.nz()).step_by(step.z.1).collect();
-                let ys: Vec<usize> = (step.y.0..dims.ny()).step_by(step.y.1).collect();
-                if zs.is_empty() || ys.is_empty() {
-                    continue;
+                rows.clear();
+                for z in (step.z.0..dims.nz()).step_by(step.z.1) {
+                    for y in (step.y.0..dims.ny()).step_by(step.y.1) {
+                        rows.push((z, y));
+                    }
                 }
-                let rows: Vec<(usize, usize)> = zs
-                    .iter()
-                    .flat_map(|&z| ys.iter().map(move |&y| (z, y)))
-                    .collect();
                 for batch in rows.chunks(ROWS_PER_BATCH) {
-                    results.clear();
-                    let batch_step = Step {
-                        rows: Some(batch.to_vec()),
-                        ..step.clone()
-                    };
-                    predict(&batch_step, s, lc.spline, recon, &mut results);
+                    predict(&step, batch, s, lc.spline, recon, results);
                     for &(idx, pred) in results.iter() {
                         commit(idx, pred, recon.as_mut_slice(), codes, outliers)?;
                     }
@@ -407,27 +444,34 @@ impl InterpPredictor {
         Ok(())
     }
 
-    /// Computes the predictions of every target in `step` (restricted to its
-    /// `rows` batch) in parallel.
+    /// Computes the predictions of every target in `step` restricted to the
+    /// `rows` batch, in parallel, into the flat `results` buffer (cleared
+    /// and refilled in place, one slot per target in row-major batch order —
+    /// exactly the order the sequential commit phase expects).
+    #[allow(clippy::too_many_arguments)]
     fn predict_batch(
         dims: Dims,
         step: &Step,
+        rows: &[(usize, usize)],
         s: usize,
         spline: Spline,
         block_span: [usize; 3],
         recon: &[f32],
         results: &mut Vec<(usize, f32)>,
     ) {
-        let rows = step
-            .rows
-            .as_ref()
-            .expect("predict_batch requires a row batch");
-        let per_row: Vec<Vec<(usize, f32)>> = rows
-            .par_iter()
-            .map(|&(z, y)| {
-                let mut row_out = Vec::new();
+        results.clear();
+        let row_len = (step.x.0..dims.nx()).step_by(step.x.1.max(1)).count();
+        if row_len == 0 {
+            return;
+        }
+        results.resize(rows.len() * row_len, (0usize, 0.0f32));
+        results
+            .par_chunks_mut(row_len)
+            .enumerate()
+            .for_each(|(r, out)| {
+                let (z, y) = rows[r];
                 let mut x = step.x.0;
-                while x < dims.nx() {
+                for slot in out.iter_mut() {
                     let pred = predict_point(
                         recon,
                         dims,
@@ -437,15 +481,10 @@ impl InterpPredictor {
                         spline,
                         block_span,
                     );
-                    row_out.push((dims.index(z, y, x), pred));
+                    *slot = (dims.index(z, y, x), pred);
                     x += step.x.1;
                 }
-                row_out
-            })
-            .collect();
-        for row in per_row {
-            results.extend(row);
-        }
+            });
     }
 }
 

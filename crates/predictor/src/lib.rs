@@ -30,6 +30,8 @@ pub mod quantize;
 pub mod reorder;
 
 pub use error::PredictorError;
-pub use interp::{InterpConfig, InterpOutput, InterpPredictor, LevelConfig, Scheme, Spline};
+pub use interp::{
+    CompressScratch, InterpConfig, InterpOutput, InterpPredictor, LevelConfig, Scheme, Spline,
+};
 pub use quantize::{Outlier, Quantizer, OUTLIER_CODE, ZERO_CODE};
 pub use reorder::LevelOrder;

@@ -124,16 +124,25 @@ impl LevelOrder {
 
     /// Applies the permutation: `out[dest[i]] = codes[i]`.
     pub fn reorder(&self, codes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.reorder_into(codes, &mut out);
+        out
+    }
+
+    /// Like [`reorder`](LevelOrder::reorder), but writes into a reusable
+    /// output buffer (cleared and resized in place), so per-chunk callers
+    /// avoid one code-array-sized allocation per chunk.
+    pub fn reorder_into(&self, codes: &[u8], out: &mut Vec<u8>) {
         assert_eq!(
             codes.len(),
             self.dest.len(),
             "code array does not match the permutation"
         );
-        let mut out = vec![0u8; codes.len()];
+        out.clear();
+        out.resize(codes.len(), 0);
         for (i, &d) in self.dest.iter().enumerate() {
             out[d as usize] = codes[i];
         }
-        out
     }
 
     /// Inverts the permutation: `out[i] = reordered[dest[i]]`. The input is

@@ -362,13 +362,17 @@ fn estimated_orchestration_is_byte_identical_across_thread_counts() {
 
     rayon::set_num_threads(1);
     let single = compress(&data, &cfg).unwrap();
-    rayon::set_num_threads(4);
-    let multi = compress(&data, &cfg).unwrap();
+    // 2 and 4 exercise the persistent worker pool (including a mid-process
+    // resize); 0 restores the default (SZHI_NUM_THREADS / machine) count.
+    for threads in [2usize, 4, 0] {
+        rayon::set_num_threads(threads);
+        let multi = compress(&data, &cfg).unwrap();
+        assert_eq!(
+            single, multi,
+            "estimated v5 streams must be byte-identical at 1 and {threads} threads"
+        );
+    }
     rayon::set_num_threads(0);
-    assert_eq!(
-        single, multi,
-        "estimated v5 streams must be byte-identical at 1 and 4 threads"
-    );
     assert_eq!(
         szhi::core::stream_version(&single).unwrap(),
         szhi::core::VERSION_TUNED

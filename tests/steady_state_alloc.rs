@@ -1,0 +1,151 @@
+//! Steady-state allocation behaviour of the chunk encode chain.
+//!
+//! The encode hot path threads reusable scratch buffers (the predictor's
+//! reconstruction plane, its quantization output, the level-reordered code
+//! array, the framed body) through every per-chunk stage, so once those
+//! buffers are warm, compressing another chunk of the same shape performs
+//! no heap growth in the decomposition chain at all — and a full sink push
+//! allocates only the lossless pipeline's own working set, never another
+//! field-sized buffer. Both properties are pinned down with a counting
+//! global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use szhi::prelude::*;
+
+/// Counts cumulative allocated bytes on top of the system allocator.
+struct CountingAlloc;
+
+static TOTAL_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the added
+// bookkeeping is a relaxed atomic add with no further allocator reentry.
+// szhi-analyzer: allow(no-unsafe) -- a GlobalAlloc impl is unsafe by trait contract
+unsafe impl GlobalAlloc for CountingAlloc {
+    // szhi-analyzer: allow(no-unsafe) -- signature mandated by GlobalAlloc
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            TOTAL_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    // szhi-analyzer: allow(no-unsafe) -- signature mandated by GlobalAlloc
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    // szhi-analyzer: allow(no-unsafe) -- signature mandated by GlobalAlloc
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            TOTAL_ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocated() -> usize {
+    TOTAL_ALLOCATED.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_scratch_decomposition_performs_zero_heap_growth() {
+    use szhi_predictor::{CompressScratch, InterpConfig, InterpOutput, InterpPredictor};
+
+    rayon::set_num_threads(1);
+    let dims = Dims::d3(32, 32, 32);
+    let data = DatasetKind::Miranda.generate(dims, 7);
+    let predictor = InterpPredictor::new(InterpConfig::cusz_hi()).unwrap();
+    let order = szhi_predictor::LevelOrder::new(dims, InterpConfig::cusz_hi().anchor_stride);
+
+    let mut scratch = CompressScratch::default();
+    let mut output = InterpOutput::default();
+    let mut reordered = Vec::new();
+    // Warm-up: sizes every buffer of the chain.
+    predictor.compress_into(&data, 2e-3, &mut scratch, &mut output);
+    order.reorder_into(&output.codes, &mut reordered);
+
+    let before = allocated();
+    let rounds = 16usize;
+    for _ in 0..rounds {
+        predictor.compress_into(&data, 2e-3, &mut scratch, &mut output);
+        order.reorder_into(&output.codes, &mut reordered);
+    }
+    let per_round = (allocated() - before) / rounds;
+    rayon::set_num_threads(0);
+
+    // Zero is the target; a small allowance covers allocator-internal noise
+    // (e.g. the outlier sort's temp for a handful of outliers). Anything
+    // buffer-sized means a scratch field is being reallocated per call.
+    assert!(
+        per_round < 4096,
+        "warm-scratch decomposition allocates {per_round} B per round — a \
+         scratch buffer is not being reused"
+    );
+}
+
+#[test]
+fn steady_state_sink_pushes_allocate_no_field_sized_buffers() {
+    use szhi::core::StreamSink;
+
+    // Sequential encoding: the measurement must see one encode chain, not
+    // a worker pool's interleaved allocations.
+    rayon::set_num_threads(1);
+
+    let dims = Dims::d3(384, 32, 32); // 12 chunks of 32³
+    let data = DatasetKind::Miranda.generate(dims, 11);
+    let cfg = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+        .with_auto_tune(false)
+        .with_chunk_span([32, 32, 32]);
+
+    // Pre-extract every chunk so the loop below allocates nothing of its
+    // own, and pre-size the output so writes never grow it.
+    let out: Vec<u8> = Vec::with_capacity(dims.nbytes_f32());
+    let mut sink = StreamSink::new(out, dims, &cfg).unwrap();
+    let chunks: Vec<Grid<f32>> = (0..sink.plan().len())
+        .map(|i| {
+            let region = sink.plan().chunk_at(i);
+            Grid::from_vec(sink.plan().chunk_dims(i), data.extract(&region))
+        })
+        .collect();
+    let chunk_raw_bytes = sink.plan().chunk_dims(0).nbytes_f32();
+    assert!(chunks.len() >= 12, "need enough chunks to measure");
+
+    // Warm-up: the first few pushes size the scratch buffers.
+    let warmup = 3usize;
+    for chunk in &chunks[..warmup] {
+        sink.push_chunk(chunk).unwrap();
+    }
+    let before = allocated();
+    for chunk in &chunks[warmup..] {
+        sink.push_chunk(chunk).unwrap();
+    }
+    let steady = chunks.len() - warmup;
+    let per_chunk = (allocated() - before) / steady;
+
+    // What remains per steady-state push is the lossless pipeline's own
+    // transient working set (a few code-array multiples). Before scratch
+    // reuse, every push also allocated the f32 reconstruction plane, the
+    // code array, the level permutation and the reorder output — roughly
+    // `3 × chunk_raw_bytes` on top, which this bound catches.
+    assert!(
+        per_chunk < 8 * chunk_raw_bytes,
+        "steady-state push allocates {per_chunk} B per chunk (chunk raw \
+         size {chunk_raw_bytes} B) — field-sized buffers are being \
+         reallocated instead of reused"
+    );
+
+    // The measured stream is still a correct one.
+    let bytes = sink.finish().unwrap();
+    rayon::set_num_threads(0);
+    let recon = szhi::core::decompress(&bytes).unwrap();
+    for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+        assert!(((*a as f64) - (*b as f64)).abs() <= 2e-3 + 1e-12);
+    }
+}

@@ -5,12 +5,15 @@
 //! rayon's API *shape* for the subset this workspace uses — `par_iter`,
 //! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`, and the
 //! [`ParIter`] adaptors (`map`, `zip`, `enumerate`, `reduce(identity, op)`,
-//! `flat_map_iter`, `with_min_len`, ...). Unlike the original sequential
-//! shim, terminal operations now genuinely execute on multiple OS threads:
-//! the input positions are split into contiguous ranges, each range is driven
-//! on its own `std::thread::scope` thread, and the per-range outputs are
-//! recombined **in input order**, so order-sensitive terminals (`collect`,
-//! `for_each` over disjoint chunks) observe exactly the sequential result.
+//! `flat_map_iter`, `with_min_len`, ...). Terminal operations genuinely
+//! execute on multiple OS threads: the input positions are split into
+//! contiguous ranges (oversubscribed ~4× per executor for balance), the
+//! ranges are submitted to a lazily-initialised **persistent work-stealing
+//! pool** (the private `pool` module) — workers park between terminals instead of being
+//! respawned, and a worker that drains its own deque steals from a
+//! laggard's — and the per-range outputs are recombined **in input order**,
+//! so order-sensitive terminals (`collect`, `for_each` over disjoint
+//! chunks) observe exactly the sequential result at every thread count.
 //!
 //! Thread count control:
 //!
@@ -153,12 +156,17 @@ pub trait IndexedPipeline: Pipeline {}
 /// function pointer.
 pub type FnMapped<'a, P, T> = ParIter<MapPipe<P, fn(&'a T) -> T>>;
 
-/// Splits `0..n` into at most `current_num_threads()` contiguous ranges of
-/// at least `min_len` positions each.
-fn partition(n: usize, min_len: usize) -> Vec<Range<usize>> {
-    let threads = current_num_threads();
+/// How many parts each executor's share of the range is split into. Finer
+/// parts than executors give the stealing pool something to rebalance when
+/// ranges take unequal time; 4 is rayon's own rule of thumb for static
+/// splits and keeps per-part bookkeeping negligible.
+const OVERSUBSCRIBE: usize = 4;
+
+/// Splits `0..n` into at most `threads * OVERSUBSCRIBE` contiguous ranges
+/// of at least `min_len` positions each.
+fn partition(n: usize, min_len: usize, threads: usize) -> Vec<Range<usize>> {
     let max_parts = n / min_len.max(1);
-    let parts = threads.min(max_parts).max(1);
+    let parts = (threads * OVERSUBSCRIBE).min(max_parts).max(1);
     let base = n / parts;
     let rem = n % parts;
     let mut ranges = Vec::with_capacity(parts);
@@ -171,8 +179,223 @@ fn partition(n: usize, min_len: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Runs the pipeline over its full range, splitting across scoped threads,
-/// and returns one ordered output vector per range.
+/// The lazily-initialised persistent worker pool terminals submit their
+/// parts to. Workers are spawned on first parallel use, kept parked between
+/// terminals, and grown (never shrunk) when [`set_num_threads`] raises the
+/// configured count mid-process — so steady-state terminals pay a queue
+/// push and a wake instead of a `thread::spawn` per range.
+///
+/// Scheduling: a terminal with `E = min(threads, parts)` executors runs on
+/// the calling thread plus pool workers `0..E-1`. Part `i` is assigned to
+/// executor `i % E`; the caller executes its own share directly (it never
+/// steals, and its share is not stealable, so every terminal provably
+/// touches more than one thread when `E > 1`). Workers that drain their own
+/// deque steal the newest task from another worker's deque, restricted to
+/// jobs whose executor width covers their pool index — stealing rebalances
+/// uneven ranges without ever exceeding the configured thread count.
+mod pool {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+
+    /// One parallel terminal submitted to the pool: the lifetime-erased
+    /// executor, the completion latch, and the first caught panic.
+    struct Job {
+        /// The terminal's part executor, borrowed from the stack frame of
+        /// the `run` call that is blocked until this job completes. Stored
+        /// as a raw pointer because no lifetime can name that frame.
+        exec: *const (dyn Fn(usize) + Sync),
+        /// Pool workers `0..active_workers` may execute this job's tasks;
+        /// a steal by a higher-indexed worker would exceed the thread
+        /// count the submitting terminal was configured with.
+        active_workers: usize,
+        /// Parts not yet finished; the job is complete at zero.
+        pending: AtomicUsize,
+        done: Mutex<()>,
+        done_cv: Condvar,
+        /// The payload of the first part that panicked, rethrown on the
+        /// submitting thread once every part has finished.
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    // SAFETY: the raw executor pointer is only dereferenced while the
+    // submitting `run` call is blocked waiting for `pending` to reach
+    // zero, so the closure it points to is alive; all other fields are Send.
+    unsafe impl Send for Job {}
+    // SAFETY: the pointed-to executor is `Sync` (the pointee type says so),
+    // and every other field synchronises itself, so sharing a `Job` across
+    // worker threads cannot create an unsynchronised access.
+    unsafe impl Sync for Job {}
+
+    struct Task {
+        job: Arc<Job>,
+        part: usize,
+    }
+
+    /// One persistent worker: its task deque and its parking signal.
+    struct PoolWorker {
+        queue: Mutex<VecDeque<Task>>,
+        /// Set under the mutex before `cv` is notified, so a wake that
+        /// races a task push is never lost.
+        signal: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    struct PoolShared {
+        workers: RwLock<Vec<Arc<PoolWorker>>>,
+    }
+
+    fn shared() -> &'static PoolShared {
+        static POOL: OnceLock<PoolShared> = OnceLock::new();
+        POOL.get_or_init(|| PoolShared {
+            workers: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Grows the pool to at least `count` workers (never shrinks: a parked
+    /// worker costs nothing, and live jobs may reference existing indices).
+    fn ensure_workers(count: usize) {
+        {
+            let workers = shared().workers.read().unwrap();
+            if workers.len() >= count {
+                return;
+            }
+        }
+        let mut workers = shared().workers.write().unwrap();
+        while workers.len() < count {
+            let worker = Arc::new(PoolWorker {
+                queue: Mutex::new(VecDeque::new()),
+                signal: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let index = workers.len();
+            let handle = Arc::clone(&worker);
+            std::thread::Builder::new()
+                .name(format!("szhi-pool-{index}"))
+                .spawn(move || worker_loop(index, handle))
+                .expect("failed to spawn a pool worker thread");
+            workers.push(worker);
+        }
+    }
+
+    fn worker_loop(index: usize, me: Arc<PoolWorker>) {
+        loop {
+            if let Some(task) = grab_task(index) {
+                run_part(&task.job, task.part);
+                continue;
+            }
+            let mut ready = me.signal.lock().unwrap();
+            while !*ready {
+                ready = me.cv.wait(ready).unwrap();
+            }
+            *ready = false;
+        }
+    }
+
+    /// Pops the oldest task from this worker's own deque, or steals the
+    /// newest eligible task from another worker's (owner and thief work
+    /// opposite ends, so a steal takes the largest still-untouched share).
+    fn grab_task(index: usize) -> Option<Task> {
+        let workers = shared().workers.read().unwrap();
+        if let Some(task) = workers[index].queue.lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        for (other, worker) in workers.iter().enumerate() {
+            if other == index {
+                continue;
+            }
+            let mut queue = worker.queue.lock().unwrap();
+            if let Some(pos) = queue.iter().rposition(|t| index < t.job.active_workers) {
+                return queue.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Executes one part, records a panic instead of unwinding the worker,
+    /// and opens the completion latch when the last part finishes.
+    fn run_part(job: &Job, part: usize) {
+        // SAFETY: `run` blocks until `pending` reaches zero, which can only
+        // happen after this call finishes, so the borrowed closure behind
+        // the pointer is still alive here.
+        let exec = unsafe { &*job.exec };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(part)))
+        {
+            let mut slot = job.panic.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking the latch mutex before notifying closes the window
+            // where the submitter checks `pending` and parks concurrently.
+            let _latch = job.done.lock().unwrap_or_else(|p| p.into_inner());
+            job.done_cv.notify_all();
+        }
+    }
+
+    /// Runs `exec(part)` for every `part in 0..parts` across the calling
+    /// thread and at most `threads - 1` pool workers, blocking until every
+    /// part has finished. A panic in any part is rethrown here after the
+    /// remaining parts complete — workers never die, and the caller's
+    /// borrowed data stays valid until no part can still reference it.
+    pub(crate) fn run(parts: usize, threads: usize, exec: &(dyn Fn(usize) + Sync)) {
+        let executors = threads.min(parts).max(1);
+        let helpers = executors - 1;
+        ensure_workers(helpers);
+        // SAFETY: pure lifetime erasure on the pointee (identical layout); `run`
+        // blocks until every part finishes, so no dereference outlives the frame.
+        let exec: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(exec as *const (dyn Fn(usize) + Sync + '_)) };
+        let job = Arc::new(Job {
+            exec,
+            active_workers: helpers,
+            pending: AtomicUsize::new(parts),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let workers = shared().workers.read().unwrap();
+            for w in 0..helpers {
+                let mut assigned = false;
+                {
+                    let mut queue = workers[w].queue.lock().unwrap();
+                    for part in (w + 1..parts).step_by(executors) {
+                        queue.push_back(Task {
+                            job: Arc::clone(&job),
+                            part,
+                        });
+                        assigned = true;
+                    }
+                }
+                if assigned {
+                    *workers[w].signal.lock().unwrap() = true;
+                    workers[w].cv.notify_one();
+                }
+            }
+        }
+        // The caller executes its own share directly; it is not stealable,
+        // so a terminal with more than one executor always runs on more
+        // than one thread.
+        for part in (0..parts).step_by(executors) {
+            run_part(&job, part);
+        }
+        let mut latch = job.done.lock().unwrap_or_else(|p| p.into_inner());
+        while job.pending.load(Ordering::Acquire) != 0 {
+            latch = job.done_cv.wait(latch).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(latch);
+        let payload = job.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs the pipeline over its full range on the persistent worker pool and
+/// returns one ordered output vector per range (flattening them yields the
+/// sequential result, at every thread count).
 fn run_parts<P: Pipeline>(pipe: &P) -> Vec<Vec<P::Item>> {
     let n = pipe.positions();
     if n == 0 {
@@ -181,26 +404,31 @@ fn run_parts<P: Pipeline>(pipe: &P) -> Vec<Vec<P::Item>> {
     // Nested terminals (inside a worker) run sequentially, as does any
     // partition that collapses to a single range.
     let nested = IN_PARALLEL.with(|f| f.get());
-    let ranges = partition(n, pipe.min_len());
-    if nested || ranges.len() == 1 {
+    let threads = current_num_threads();
+    let ranges = if nested || threads <= 1 {
+        partition(n, n, 1)
+    } else {
+        partition(n, pipe.min_len(), threads)
+    };
+    if ranges.len() == 1 {
         let mut out = Vec::new();
         pipe.drive(0..n, &mut |item| out.push(item));
         return vec![out];
     }
     let mut results: Vec<Vec<P::Item>> = ranges.iter().map(|_| Vec::new()).collect();
-    std::thread::scope(|scope| {
-        let mut slots = results.iter_mut();
-        let first_slot = slots.next().expect("at least one range");
-        for (range, slot) in ranges[1..].iter().cloned().zip(slots) {
-            scope.spawn(move || {
-                let _guard = NestedFlagGuard::engage();
-                pipe.drive(range, &mut |item| slot.push(item));
-            });
-        }
-        // The calling thread executes the first range itself.
+    let slots = SharedMut(results.as_mut_ptr());
+    let exec = |part: usize| {
         let _guard = NestedFlagGuard::engage();
-        pipe.drive(ranges[0].clone(), &mut |item| first_slot.push(item));
-    });
+        // Borrow the whole wrapper so the closure captures the `Sync`
+        // `SharedMut`, not its raw-pointer field.
+        let base = &slots;
+        // SAFETY: the pool executes each part index exactly once, so this
+        // is the only access to result slot `part` until `pool::run`
+        // returns, after which the caller again owns all of `results`.
+        let slot = unsafe { &mut *base.0.add(part) };
+        pipe.drive(ranges[part].clone(), &mut |item| slot.push(item));
+    };
+    pool::run(ranges.len(), threads, &exec);
     results
 }
 
@@ -1044,6 +1272,70 @@ mod tests {
         assert_eq!(b, "ok");
     }
 
+    #[test]
+    fn worker_threads_persist_across_terminals() {
+        // The whole point of the pool: repeated terminals must reuse the
+        // same parked workers instead of spawning fresh threads. At 4
+        // threads only pool workers 0..3 may ever execute a part, so eight
+        // terminals can touch at most 3 distinct non-caller thread ids —
+        // the old scope-per-terminal design would show up to 24.
+        use std::collections::HashSet;
+        let _reset = override_threads(4);
+        let caller = std::thread::current().id();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..8 {
+            let data = vec![1u64; 64];
+            let total: u64 = data
+                .par_iter()
+                .with_min_len(1)
+                .map(|&v| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    v
+                })
+                .sum();
+            assert_eq!(total, 64);
+        }
+        let mut workers = ids.lock().unwrap().clone();
+        workers.remove(&caller);
+        assert!(!workers.is_empty(), "no worker thread ever ran a part");
+        assert!(
+            workers.len() <= 3,
+            "8 terminals at 4 threads touched {} distinct workers: threads are being respawned",
+            workers.len()
+        );
+    }
+
+    #[test]
+    fn set_num_threads_resize_grows_the_pool_mid_process() {
+        // Raising the thread count after the pool exists must grow it (and
+        // lowering it must stop using the extra workers) without wedging or
+        // changing results. Every worker's share is unstealable by the
+        // caller, so >1 distinct thread id is guaranteed at every count.
+        use std::collections::HashSet;
+        let input: Vec<u64> = (0..4096).collect();
+        let reference: Vec<u64> = input
+            .iter()
+            .map(|&x| x.wrapping_mul(2_654_435_761) >> 7)
+            .collect();
+        for threads in [2usize, 6, 3] {
+            let _reset = override_threads(threads);
+            let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+            let got: Vec<u64> = input
+                .par_iter()
+                .with_min_len(64)
+                .map(|&x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    x.wrapping_mul(2_654_435_761) >> 7
+                })
+                .collect();
+            assert_eq!(got, reference, "collect diverged at {threads} threads");
+            assert!(
+                ids.lock().unwrap().len() > 1,
+                "expected more than one thread at override {threads}"
+            );
+        }
+    }
+
     /// Simulates a buggy terminal that drives two overlapping ranges while
     /// both are live: the inner claim must panic before any aliasing
     /// mutable reference is handed out.
@@ -1078,5 +1370,19 @@ mod tests {
         assert!(data.iter().all(|&x| x == 1));
         data.par_chunks_mut(8).for_each(|c| c.fill(7));
         assert!(data.iter().all(|&x| x == 7));
+    }
+
+    /// Many fine-grained parts over a mutable source at 4 threads: the
+    /// pool's steal path hands ranges to whichever worker drains its deque
+    /// first, and every stolen range's claim must still be disjoint.
+    #[cfg(szhi_racecheck)]
+    #[test]
+    fn racecheck_accepts_disjoint_ranges_through_the_steal_path() {
+        let _reset = override_threads(4);
+        let mut data = vec![0u32; 256];
+        data.par_iter_mut().with_min_len(1).for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 1));
+        data.par_chunks_mut(4).for_each(|c| c.fill(9));
+        assert!(data.iter().all(|&x| x == 9));
     }
 }
