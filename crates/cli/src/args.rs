@@ -1,0 +1,463 @@
+//! Hand-rolled argument parsing for the four subcommands.
+//!
+//! Flags accept both `--flag value` and `--flag=value`. Every parse
+//! failure is a [`CliError::Usage`] (exit code 2) carrying a message that
+//! names the offending token, followed by the usage text on stderr.
+
+use crate::CliError;
+use szhi_core::{ModeTuning, SzhiConfig};
+use szhi_datagen::DatasetKind;
+use szhi_ndgrid::Dims;
+
+/// The usage text printed after every usage error and by `--help`.
+pub const USAGE: &str = "usage: szhi-cli <subcommand> [options]
+
+subcommands:
+  encode <input> <output|-> --dims Z,Y,X --eb F [options]
+      Compress a raw little-endian f32 file into a trailered container.
+      --dims Z,Y,X        field shape (required)
+      --eb F              error bound (required; absolute unless --rel)
+      --rel               treat --eb as value-range-relative
+      --chunk-span Z,Y,X  chunk span (default 64,64,64)
+      --mode M            global | per-chunk | exhaustive | estimated
+      --tune-interp       per-chunk interpolation tuning (v5 container)
+      --threads N         worker threads for this run
+
+  decode <input|-> <output|-> [--chunk I]
+      Decompress a container back to raw little-endian f32. `-` as input
+      reads a non-seekable pipe (stdin) through the forward-only source;
+      --chunk I extracts one chunk (chunk-local row-major order).
+
+  inspect <input>
+      Print header, chunk table, trailer and mode/config histograms
+      without decoding any chunk payload.
+
+  bench [--dims Z,Y,X] [--eb F] [--dataset NAME] [--seed N]
+        [--chunk-span Z,Y,X] [--mode M] [--jobs N] [--threads N]
+      Compress/decompress a synthetic field and report ratio and
+      throughput; --jobs N runs N concurrent jobs through the job
+      service and checks each against a serial run byte-for-byte.
+
+exit codes: 0 success, 1 runtime failure, 2 usage error";
+
+/// Pipeline-mode tuning policy named on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeArg {
+    /// One global pipeline for every chunk.
+    Global,
+    /// Per-chunk choice between the CR and TP production pipelines.
+    PerChunk,
+    /// Exhaustive trial-encoding over the Figure-6 catalogue.
+    Exhaustive,
+    /// Cost-model-guided selection over the Figure-6 catalogue.
+    Estimated,
+}
+
+impl ModeArg {
+    /// The [`ModeTuning`] policy this flag value selects.
+    pub fn tuning(&self) -> ModeTuning {
+        match self {
+            ModeArg::Global => ModeTuning::Global,
+            ModeArg::PerChunk => ModeTuning::PerChunk,
+            ModeArg::Exhaustive => ModeTuning::exhaustive(),
+            ModeArg::Estimated => ModeTuning::estimated(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "global" => Ok(ModeArg::Global),
+            "per-chunk" => Ok(ModeArg::PerChunk),
+            "exhaustive" => Ok(ModeArg::Exhaustive),
+            "estimated" => Ok(ModeArg::Estimated),
+            _ => Err(usage(format!(
+                "unknown --mode '{s}' (expected global, per-chunk, exhaustive or estimated)"
+            ))),
+        }
+    }
+}
+
+/// Parsed `encode` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodeArgs {
+    /// Raw f32 input file.
+    pub input: String,
+    /// Output path, or `-` for stdout.
+    pub output: String,
+    /// Field shape.
+    pub dims: Dims,
+    /// Error bound value (`--eb`).
+    pub eb: f64,
+    /// Whether `--eb` is value-range-relative.
+    pub rel: bool,
+    /// Chunk span.
+    pub chunk_span: [usize; 3],
+    /// Pipeline-mode tuning policy.
+    pub mode: ModeArg,
+    /// Per-chunk interpolation tuning (emits the v5 container).
+    pub tune_interp: bool,
+    /// Worker-thread override.
+    pub threads: Option<usize>,
+}
+
+/// Parsed `decode` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeArgs {
+    /// Container path, or `-` for stdin (forward-only).
+    pub input: String,
+    /// Raw f32 output path, or `-` for stdout.
+    pub output: String,
+    /// Decode only this chunk index.
+    pub chunk: Option<usize>,
+}
+
+/// Parsed `inspect` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectArgs {
+    /// Container path.
+    pub input: String,
+}
+
+/// Parsed `bench` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Synthetic field shape.
+    pub dims: Dims,
+    /// Value-range-relative error bound.
+    pub eb: f64,
+    /// Dataset generator family.
+    pub dataset: DatasetKind,
+    /// Generator seed.
+    pub seed: u64,
+    /// Chunk span.
+    pub chunk_span: [usize; 3],
+    /// Pipeline-mode tuning policy.
+    pub mode: ModeArg,
+    /// Concurrent jobs to run through the job service.
+    pub jobs: usize,
+    /// Worker-thread override.
+    pub threads: Option<usize>,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `szhi-cli encode …`
+    Encode(EncodeArgs),
+    /// `szhi-cli decode …`
+    Decode(DecodeArgs),
+    /// `szhi-cli inspect …`
+    Inspect(InspectArgs),
+    /// `szhi-cli bench …`
+    Bench(BenchArgs),
+}
+
+fn usage(msg: String) -> CliError {
+    CliError::Usage(msg)
+}
+
+/// Splits `argv` into `(positionals, flags)` where each flag is
+/// `(name, Option<inline value>)` — `--flag=v` carries its value inline,
+/// `--flag v` leaves it to the consumer to pull from the token stream.
+struct Tokens<'a> {
+    argv: &'a [String],
+    next: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Tokens { argv, next: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let tok = self.argv.get(self.next)?;
+        self.next += 1;
+        Some(tok.as_str())
+    }
+
+    /// The value of a flag: the inline `=value` part if present, else the
+    /// next token.
+    fn value(&mut self, flag: &str, inline: Option<&'a str>) -> Result<&'a str, CliError> {
+        if let Some(v) = inline {
+            return Ok(v);
+        }
+        self.next()
+            .ok_or_else(|| usage(format!("flag {flag} requires a value")))
+    }
+}
+
+fn split_inline(tok: &str) -> (&str, Option<&str>) {
+    match tok.split_once('=') {
+        Some((name, value)) => (name, Some(value)),
+        None => (tok, None),
+    }
+}
+
+fn parse_dims(flag: &str, s: &str) -> Result<Dims, CliError> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| {
+            usage(format!(
+                "{flag} expects comma-separated integers, got '{s}'"
+            ))
+        })?;
+    if parts.is_empty() || parts.len() > 3 || parts.contains(&0) {
+        return Err(usage(format!(
+            "{flag} expects 1-3 positive extents, got '{s}'"
+        )));
+    }
+    Ok(Dims::from_slice(&parts))
+}
+
+fn parse_span(flag: &str, s: &str) -> Result<[usize; 3], CliError> {
+    let d = parse_dims(flag, s)?;
+    Ok([d.nz(), d.ny(), d.nx()])
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
+    s.parse::<T>()
+        .map_err(|_| usage(format!("{flag} expects a number, got '{s}'")))
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let mut toks = Tokens::new(argv);
+    let sub = toks
+        .next()
+        .ok_or_else(|| usage("missing subcommand".into()))?;
+    match sub {
+        "encode" => parse_encode(&mut toks),
+        "decode" => parse_decode(&mut toks),
+        "inspect" => parse_inspect(&mut toks),
+        "bench" => parse_bench(&mut toks),
+        "--help" | "-h" | "help" => Err(usage("help requested".into())),
+        _ => Err(usage(format!("unknown subcommand '{sub}'"))),
+    }
+}
+
+fn parse_encode(toks: &mut Tokens<'_>) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut dims = None;
+    let mut eb = None;
+    let mut rel = false;
+    let mut chunk_span = SzhiConfig::DEFAULT_CHUNK_SPAN;
+    let mut mode = ModeArg::Global;
+    let mut tune_interp = false;
+    let mut threads = None;
+    while let Some(tok) = toks.next() {
+        let (name, inline) = split_inline(tok);
+        match name {
+            "--dims" => dims = Some(parse_dims(name, toks.value(name, inline)?)?),
+            "--eb" => eb = Some(parse_num::<f64>(name, toks.value(name, inline)?)?),
+            "--rel" => rel = true,
+            "--chunk-span" => chunk_span = parse_span(name, toks.value(name, inline)?)?,
+            "--mode" => mode = ModeArg::parse(toks.value(name, inline)?)?,
+            "--tune-interp" => tune_interp = true,
+            "--threads" => threads = Some(parse_num::<usize>(name, toks.value(name, inline)?)?),
+            _ if name.starts_with('-') && name != "-" => {
+                return Err(usage(format!("unknown flag '{name}' for encode")))
+            }
+            _ => positional.push(tok),
+        }
+    }
+    let [input, output] = two_positionals("encode", "<input> <output|->", &positional)?;
+    if input == "-" {
+        return Err(usage(
+            "encode reads from a file, not stdin (--rel and the chunked reader need a real \
+             file); use a temporary file"
+                .into(),
+        ));
+    }
+    Ok(Command::Encode(EncodeArgs {
+        input,
+        output,
+        dims: dims.ok_or_else(|| usage("encode requires --dims Z,Y,X".into()))?,
+        eb: eb.ok_or_else(|| usage("encode requires --eb F".into()))?,
+        rel,
+        chunk_span,
+        mode,
+        tune_interp,
+        threads,
+    }))
+}
+
+fn parse_decode(toks: &mut Tokens<'_>) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut chunk = None;
+    while let Some(tok) = toks.next() {
+        let (name, inline) = split_inline(tok);
+        match name {
+            "--chunk" => chunk = Some(parse_num::<usize>(name, toks.value(name, inline)?)?),
+            _ if name.starts_with('-') && name != "-" => {
+                return Err(usage(format!("unknown flag '{name}' for decode")))
+            }
+            _ => positional.push(tok),
+        }
+    }
+    let [input, output] = two_positionals("decode", "<input|-> <output|->", &positional)?;
+    Ok(Command::Decode(DecodeArgs {
+        input,
+        output,
+        chunk,
+    }))
+}
+
+fn parse_inspect(toks: &mut Tokens<'_>) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    while let Some(tok) = toks.next() {
+        if tok.starts_with('-') {
+            return Err(usage(format!("unknown flag '{tok}' for inspect")));
+        }
+        positional.push(tok);
+    }
+    match positional.as_slice() {
+        [input] => Ok(Command::Inspect(InspectArgs {
+            input: (*input).into(),
+        })),
+        _ => Err(usage("inspect takes exactly one argument: <input>".into())),
+    }
+}
+
+fn parse_bench(toks: &mut Tokens<'_>) -> Result<Command, CliError> {
+    let mut a = BenchArgs {
+        dims: Dims::d3(64, 64, 64),
+        eb: 1e-3,
+        dataset: DatasetKind::Rtm,
+        seed: 1,
+        chunk_span: [32, 32, 32],
+        mode: ModeArg::Global,
+        jobs: 1,
+        threads: None,
+    };
+    while let Some(tok) = toks.next() {
+        let (name, inline) = split_inline(tok);
+        match name {
+            "--dims" => a.dims = parse_dims(name, toks.value(name, inline)?)?,
+            "--eb" => a.eb = parse_num::<f64>(name, toks.value(name, inline)?)?,
+            "--dataset" => {
+                let v = toks.value(name, inline)?;
+                a.dataset = DatasetKind::from_name(v).ok_or_else(|| {
+                    usage(format!(
+                        "unknown --dataset '{v}' (expected one of cesm-atm, jhtdb, miranda, \
+                         nyx, qmcpack, rtm)"
+                    ))
+                })?;
+            }
+            "--seed" => a.seed = parse_num::<u64>(name, toks.value(name, inline)?)?,
+            "--chunk-span" => a.chunk_span = parse_span(name, toks.value(name, inline)?)?,
+            "--mode" => a.mode = ModeArg::parse(toks.value(name, inline)?)?,
+            "--jobs" => {
+                a.jobs = parse_num::<usize>(name, toks.value(name, inline)?)?;
+                if a.jobs == 0 {
+                    return Err(usage("--jobs must be at least 1".into()));
+                }
+            }
+            "--threads" => a.threads = Some(parse_num::<usize>(name, toks.value(name, inline)?)?),
+            _ => return Err(usage(format!("unknown argument '{tok}' for bench"))),
+        }
+    }
+    Ok(Command::Bench(a))
+}
+
+fn two_positionals(sub: &str, shape: &str, got: &[&str]) -> Result<[String; 2], CliError> {
+    match got {
+        [a, b] => Ok([(*a).into(), (*b).into()]),
+        _ => Err(usage(format!(
+            "{sub} takes exactly two positional arguments: {shape} (got {})",
+            got.len()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn encode_parses_flags_in_both_styles() {
+        let cmd = parse(&argv(
+            "encode in.f32 out.szhi --dims 24,20,32 --eb=2e-3 --rel \
+             --chunk-span 16,16,16 --mode per-chunk --tune-interp --threads 2",
+        ))
+        .unwrap();
+        let Command::Encode(a) = cmd else {
+            panic!("expected encode")
+        };
+        assert_eq!(a.dims, Dims::d3(24, 20, 32));
+        assert_eq!(a.eb, 2e-3);
+        assert!(a.rel && a.tune_interp);
+        assert_eq!(a.chunk_span, [16, 16, 16]);
+        assert_eq!(a.mode, ModeArg::PerChunk);
+        assert_eq!(a.threads, Some(2));
+    }
+
+    #[test]
+    fn missing_required_flags_are_usage_errors() {
+        for bad in [
+            "encode in.f32 out.szhi --eb 1e-3",
+            "encode in.f32 out.szhi --dims 8,8,8",
+            "encode only-one --dims 8,8,8 --eb 1e-3",
+            "decode one-positional",
+            "inspect",
+            "frobnicate x",
+            "",
+            "bench --jobs 0",
+            "encode in out --dims 0,8,8 --eb 1e-3",
+            "encode in out --dims 8,8,8 --eb nope",
+            "bench --dataset mars",
+            "encode in out --dims 8,8,8 --eb 1e-3 --mode sometimes",
+            "decode a b --what",
+        ] {
+            let args = argv(bad);
+            let err = parse(&args).unwrap_err();
+            assert!(
+                matches!(err, CliError::Usage(_)),
+                "'{bad}' should be a usage error, got {err:?}"
+            );
+            assert_eq!(err.exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn decode_accepts_stdin_and_chunk_flags() {
+        let cmd = parse(&argv("decode - out.f32 --chunk 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Decode(DecodeArgs {
+                input: "-".into(),
+                output: "out.f32".into(),
+                chunk: Some(3),
+            })
+        );
+    }
+
+    #[test]
+    fn bench_defaults_are_stable() {
+        let Command::Bench(a) = parse(&argv("bench")).unwrap() else {
+            panic!("expected bench")
+        };
+        assert_eq!(a.dims, Dims::d3(64, 64, 64));
+        assert_eq!(a.jobs, 1);
+        assert_eq!(a.dataset.name(), "rtm");
+    }
+
+    #[test]
+    fn mode_arg_maps_to_tuning_policies() {
+        assert_eq!(ModeArg::Global.tuning(), ModeTuning::Global);
+        assert_eq!(ModeArg::PerChunk.tuning(), ModeTuning::PerChunk);
+        assert!(matches!(
+            ModeArg::Exhaustive.tuning(),
+            ModeTuning::Exhaustive { .. }
+        ));
+        assert!(matches!(
+            ModeArg::Estimated.tuning(),
+            ModeTuning::Estimated { .. }
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! # szhi-cli — the command-line serving layer
+//!
+//! This crate puts the szhi compressor behind four subcommands:
+//!
+//! - `encode` streams a raw little-endian f32 field through
+//!   [`szhi_core::StreamSink`] into a trailered container, never holding
+//!   the uncompressed field in memory;
+//! - `decode` reads a container back to raw f32 — seekable files go
+//!   through [`szhi_core::StreamSource`] (with `--chunk` random access),
+//!   and `-` decodes straight off a non-seekable stdin pipe through
+//!   [`szhi_core::ForwardSource`];
+//! - `inspect` dumps the header, chunk table, trailer and mode/config
+//!   histograms of any container version without decoding a single
+//!   payload byte;
+//! - `bench` compresses a synthetic field, and with `--jobs N` drives N
+//!   concurrent [`szhi_core::JobService`] jobs over the shared worker
+//!   pool, checking every job's output byte-identical to a serial run.
+//!
+//! The command implementations live in the library (not the binary) so
+//! the integration tests and the golden-corpus generator exercise the
+//! exact code the `szhi-cli` binary ships. The argument parser is
+//! hand-rolled: the build environment is offline and the workspace adds
+//! no external dependencies.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod golden;
+pub mod inspect;
+pub mod raw;
+
+use szhi_core::SzhiError;
+
+/// A CLI failure, split by exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself is malformed (unknown flag, missing or
+    /// unparsable value). Exit code 2; the usage text is printed.
+    Usage(String),
+    /// The command was well-formed but failed while running (I/O error,
+    /// corrupt stream, bound violation). Exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// The error message (without the `szhi-cli: error:` prefix).
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => msg,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SzhiError> for CliError {
+    fn from(e: SzhiError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+/// Runs the CLI on an already-split argument list (`argv` without the
+/// program name) and returns the process exit code, printing any error to
+/// stderr in the stable `szhi-cli: error: <message>` shape the
+/// integration tests assert on.
+pub fn run(argv: &[String]) -> i32 {
+    let cmd = match args::parse(argv) {
+        Ok(cmd) => cmd,
+        Err(e) => return report(&e),
+    };
+    match commands::dispatch(&cmd) {
+        Ok(()) => 0,
+        Err(e) => report(&e),
+    }
+}
+
+fn report(e: &CliError) -> i32 {
+    eprintln!("szhi-cli: error: {}", e.message());
+    if matches!(e, CliError::Usage(_)) {
+        eprintln!();
+        eprintln!("{}", args::USAGE);
+    }
+    e.exit_code()
+}

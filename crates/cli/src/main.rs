@@ -1,0 +1,6 @@
+//! The `szhi-cli` binary: a thin shell around [`szhi_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(szhi_cli::run(&argv));
+}

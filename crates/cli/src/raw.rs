@@ -1,0 +1,248 @@
+//! Raw little-endian f32 file I/O with bounded memory.
+//!
+//! `encode` and `decode` move whole scientific fields that may be larger
+//! than RAM, so every helper here works region-by-region: reads and
+//! writes touch one x-row at a time via seeks, and the `--rel` pre-scan
+//! streams the file through a fixed buffer. Values are little-endian
+//! f32, matching the flat binary layout of the SDRBench datasets the
+//! paper evaluates on.
+
+use crate::CliError;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use szhi_ndgrid::{Dims, Grid, Region};
+
+fn runtime(msg: String) -> CliError {
+    CliError::Runtime(msg)
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> CliError {
+    runtime(format!("{what} {}: {e}", path.display()))
+}
+
+/// Opens `path` for reading and checks its size is exactly the raw f32
+/// footprint of `dims`, so shape mistakes fail before any compression
+/// work starts.
+pub fn open_field(path: &Path, dims: Dims) -> Result<File, CliError> {
+    let file = File::open(path).map_err(|e| io_err("cannot open", path, e))?;
+    let len = file
+        .metadata()
+        .map_err(|e| io_err("cannot stat", path, e))?
+        .len();
+    let expect = dims.nbytes_f32() as u64;
+    if len != expect {
+        return Err(runtime(format!(
+            "{} is {len} bytes, but a {dims} f32 field needs exactly {expect}",
+            path.display()
+        )));
+    }
+    Ok(file)
+}
+
+/// Streams the file once through a fixed buffer and returns its
+/// `(min, max)` with the same NaN convention as
+/// [`Grid::min_max`] (`(0, 0)` when no finite value exists).
+pub fn min_max(path: &Path, dims: Dims) -> Result<(f32, f32), CliError> {
+    let mut file = open_field(path, dims)?;
+    let mut buf = [0u8; 64 * 1024];
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    let mut pending = [0u8; 4];
+    let mut pending_len = 0usize;
+    loop {
+        let n = file
+            .read(&mut buf)
+            .map_err(|e| io_err("cannot read", path, e))?;
+        if n == 0 {
+            break;
+        }
+        let mut i = 0;
+        // Stitch a value split across read boundaries.
+        while pending_len > 0 && pending_len < 4 && i < n {
+            pending[pending_len] = buf[i];
+            pending_len += 1;
+            i += 1;
+        }
+        if pending_len == 4 {
+            fold(f32::from_le_bytes(pending), &mut lo, &mut hi);
+            // pending_len is reset by the tail-handling below.
+        } else if pending_len > 0 {
+            // The read was too short to even complete the pending value.
+            continue;
+        }
+        let whole = (n - i) / 4 * 4;
+        for chunk in buf[i..i + whole].chunks_exact(4) {
+            fold(
+                f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
+                &mut lo,
+                &mut hi,
+            );
+        }
+        let rest = &buf[i + whole..n];
+        pending[..rest.len()].copy_from_slice(rest);
+        pending_len = rest.len();
+    }
+    if lo.is_finite() && hi.is_finite() {
+        Ok((lo, hi))
+    } else {
+        Ok((0.0, 0.0))
+    }
+}
+
+fn fold(v: f32, lo: &mut f32, hi: &mut f32) {
+    if v < *lo {
+        *lo = v;
+    }
+    if v > *hi {
+        *hi = v;
+    }
+}
+
+/// Reads one region of a `dims`-shaped raw f32 file into a grid, one
+/// x-row per read.
+pub fn read_region(file: &mut File, dims: Dims, region: &Region) -> Result<Grid<f32>, CliError> {
+    let mut values = Vec::with_capacity(region.len());
+    let mut row = vec![0u8; region.nx() * 4];
+    for z in region.z_range() {
+        for y in region.y_range() {
+            let offset = dims.index(z, y, region.x0()) as u64 * 4;
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| runtime(format!("cannot seek input: {e}")))?;
+            file.read_exact(&mut row)
+                .map_err(|e| runtime(format!("cannot read input row: {e}")))?;
+            values.extend(
+                row.chunks_exact(4)
+                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            );
+        }
+    }
+    Ok(Grid::from_vec(region.dims(), values))
+}
+
+/// Writes one region's values (chunk-local row-major order) into a
+/// `dims`-shaped raw f32 file, one x-row per write. The file must
+/// already be sized (see [`presize`]).
+pub fn write_region(
+    file: &mut File,
+    dims: Dims,
+    region: &Region,
+    values: &[f32],
+) -> Result<(), CliError> {
+    if values.len() != region.len() {
+        return Err(runtime(format!(
+            "region holds {} points but got {} values",
+            region.len(),
+            values.len()
+        )));
+    }
+    let mut row = Vec::with_capacity(region.nx() * 4);
+    for (i, z) in region.z_range().enumerate() {
+        for (j, y) in region.y_range().enumerate() {
+            let start = (i * region.ny() + j) * region.nx();
+            row.clear();
+            for v in &values[start..start + region.nx()] {
+                row.extend_from_slice(&v.to_le_bytes());
+            }
+            let offset = dims.index(z, y, region.x0()) as u64 * 4;
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| runtime(format!("cannot seek output: {e}")))?;
+            file.write_all(&row)
+                .map_err(|e| runtime(format!("cannot write output row: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+/// Pre-sizes the output file to the full raw footprint so region writes
+/// can land in any order.
+pub fn presize(file: &File, dims: Dims) -> Result<(), CliError> {
+    file.set_len(dims.nbytes_f32() as u64)
+        .map_err(|e| runtime(format!("cannot size output file: {e}")))
+}
+
+/// Serializes a value slice to little-endian bytes.
+pub fn to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a little-endian f32 file of exactly `dims` into a grid (whole
+/// file in memory; used by tests and the golden generator, not the
+/// streaming paths).
+pub fn read_field(path: &Path, dims: Dims) -> Result<Grid<f32>, CliError> {
+    let mut file = open_field(path, dims)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("cannot read", path, e))?;
+    Ok(Grid::from_vec(
+        dims,
+        bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect(),
+    ))
+}
+
+/// Writes a full grid as a little-endian f32 stream.
+pub fn write_all<W: Write>(mut out: W, values: &[f32]) -> Result<(), CliError> {
+    out.write_all(&to_bytes(values))
+        .map_err(|e| runtime(format!("cannot write output: {e}")))?;
+    out.flush()
+        .map_err(|e| runtime(format!("cannot flush output: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szhi_ndgrid::ChunkPlan;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("szhi-cli-raw-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn region_io_roundtrips_through_a_file() {
+        let dims = Dims::d3(6, 5, 7);
+        let field = Grid::from_fn(dims, |z, y, x| (z * 100 + y * 10 + x) as f32);
+        let path = temp_path("region");
+        std::fs::write(&path, to_bytes(field.as_slice())).unwrap();
+
+        let mut file = open_field(&path, dims).unwrap();
+        let plan = ChunkPlan::new(dims, [4, 4, 4]);
+        let out_path = temp_path("region-out");
+        let mut out = File::options()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&out_path)
+            .unwrap();
+        presize(&out, dims).unwrap();
+        for i in 0..plan.len() {
+            let region = plan.chunk_at(i);
+            let sub = read_region(&mut file, dims, &region).unwrap();
+            assert_eq!(sub.as_slice(), field.extract(&region).as_slice());
+            write_region(&mut out, dims, &region, sub.as_slice()).unwrap();
+        }
+        let back = read_field(&out_path, dims).unwrap();
+        assert_eq!(back.as_slice(), field.as_slice());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&out_path).unwrap();
+    }
+
+    #[test]
+    fn min_max_matches_grid_and_size_mismatch_is_reported() {
+        let dims = Dims::d3(3, 4, 5);
+        let field = Grid::from_fn(dims, |z, y, x| ((z + y) as f32).sin() - x as f32 * 0.25);
+        let path = temp_path("minmax");
+        std::fs::write(&path, to_bytes(field.as_slice())).unwrap();
+        assert_eq!(min_max(&path, dims).unwrap(), field.min_max());
+
+        let err = open_field(&path, Dims::d3(3, 4, 6)).unwrap_err();
+        assert!(matches!(&err, CliError::Runtime(m) if m.contains("needs exactly")));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

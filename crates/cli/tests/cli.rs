@@ -1,0 +1,317 @@
+//! End-to-end tests of the `szhi-cli` binary: real files, real pipes,
+//! real exit codes. Every test drives the compiled binary through
+//! `std::process::Command` (`CARGO_BIN_EXE_szhi-cli`), so the argument
+//! surface, the stream layouts on disk and the stderr/exit-code contract
+//! are all exercised exactly as a shell user sees them.
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use szhi_core::{decompress, stream_version};
+use szhi_ndgrid::{Dims, Grid};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_szhi-cli"))
+}
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("szhi-cli-e2e-{}-{tag}", std::process::id()))
+}
+
+fn field() -> Grid<f32> {
+    szhi_datagen::mixed_smooth_noisy(Dims::d3(24, 20, 32))
+}
+
+fn to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect()
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("cannot run szhi-cli")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed: status {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// encode → inspect → decode over real files, bit-compared against the
+/// in-memory engine.
+#[test]
+fn encode_inspect_decode_roundtrip_on_files() {
+    let input = temp("rt-in.f32");
+    let archive = temp("rt.szhi");
+    let output = temp("rt-out.f32");
+    let f = field();
+    std::fs::write(&input, to_bytes(f.as_slice())).unwrap();
+
+    let out = run(&[
+        "encode",
+        input.to_str().unwrap(),
+        archive.to_str().unwrap(),
+        "--dims",
+        "24,20,32",
+        "--eb",
+        "2e-3",
+        "--chunk-span",
+        "16,16,16",
+        "--mode",
+        "per-chunk",
+    ]);
+    assert_ok(&out, "encode");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("encoded"));
+
+    // The archive is a well-formed trailered stream the library decodes.
+    let bytes = std::fs::read(&archive).unwrap();
+    assert_eq!(stream_version(&bytes).unwrap(), 4);
+    let restored = decompress(&bytes).unwrap();
+
+    let out = run(&["inspect", archive.to_str().unwrap()]);
+    assert_ok(&out, "inspect");
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(report.contains("v4 (trailered)"));
+    assert!(report.contains("pipeline histogram:"));
+
+    let out = run(&[
+        "decode",
+        archive.to_str().unwrap(),
+        output.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "decode");
+    // Bit-identical to the in-memory decompression of the same archive…
+    let decoded = to_f32(&std::fs::read(&output).unwrap());
+    assert_eq!(decoded, restored.as_slice());
+    // …and within the bound of the original field.
+    for (a, b) in f.as_slice().iter().zip(&decoded) {
+        assert!(((*a as f64) - (*b as f64)).abs() <= 2e-3);
+    }
+
+    for p in [&input, &archive, &output] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+/// `decode - out` reads the archive from a non-seekable stdin pipe
+/// through the forward-only source.
+#[test]
+fn decode_reads_from_a_stdin_pipe() {
+    let input = temp("pipe-in.f32");
+    let archive = temp("pipe.szhi");
+    let output = temp("pipe-out.f32");
+    let f = field();
+    std::fs::write(&input, to_bytes(f.as_slice())).unwrap();
+    assert_ok(
+        &run(&[
+            "encode",
+            input.to_str().unwrap(),
+            archive.to_str().unwrap(),
+            "--dims",
+            "24,20,32",
+            "--eb",
+            "2e-3",
+            "--chunk-span",
+            "16,16,16",
+            "--tune-interp",
+        ]),
+        "encode",
+    );
+    let bytes = std::fs::read(&archive).unwrap();
+    assert_eq!(stream_version(&bytes).unwrap(), 5, "tuned container");
+
+    let mut child = bin()
+        .args(["decode", "-", output.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write as _;
+    child.stdin.take().unwrap().write_all(&bytes).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_ok(&out, "decode from stdin");
+
+    let decoded = to_f32(&std::fs::read(&output).unwrap());
+    assert_eq!(decoded, decompress(&bytes).unwrap().as_slice());
+
+    for p in [&input, &archive, &output] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+/// `--chunk i` extracts one chunk via random access, matching the
+/// library's `decompress_chunk`.
+#[test]
+fn decode_single_chunk_matches_random_access() {
+    let input = temp("chunk-in.f32");
+    let archive = temp("chunk.szhi");
+    let output = temp("chunk-out.f32");
+    let f = field();
+    std::fs::write(&input, to_bytes(f.as_slice())).unwrap();
+    assert_ok(
+        &run(&[
+            "encode",
+            input.to_str().unwrap(),
+            archive.to_str().unwrap(),
+            "--dims",
+            "24,20,32",
+            "--eb",
+            "2e-3",
+            "--chunk-span",
+            "16,16,16",
+        ]),
+        "encode",
+    );
+    let bytes = std::fs::read(&archive).unwrap();
+    let (_, want) = szhi_core::decompress_chunk(&bytes, 3).unwrap();
+
+    assert_ok(
+        &run(&[
+            "decode",
+            archive.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--chunk",
+            "3",
+        ]),
+        "decode --chunk",
+    );
+    assert_eq!(to_f32(&std::fs::read(&output).unwrap()), want.as_slice());
+
+    // Out-of-range chunk indices are runtime errors, not panics.
+    let out = run(&[
+        "decode",
+        archive.to_str().unwrap(),
+        output.to_str().unwrap(),
+        "--chunk",
+        "99",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    for p in [&input, &archive, &output] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+/// Bad command lines exit 2 with the usage text; runtime failures exit 1
+/// with the stable error prefix.
+#[test]
+fn exit_codes_and_stderr_shape() {
+    for bad in [
+        vec!["frobnicate"],
+        vec!["encode", "in", "out"],
+        vec!["encode", "in", "out", "--dims", "8,8,8", "--eb", "nope"],
+        vec!["decode", "only-one"],
+        vec!["inspect"],
+        vec![],
+    ] {
+        let out = run(&bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("szhi-cli: error:"), "args {bad:?}");
+        assert!(stderr.contains("usage:"), "args {bad:?}");
+    }
+
+    // Missing input file: well-formed command, runtime failure.
+    let out = run(&[
+        "encode",
+        "/nonexistent/input.f32",
+        "/tmp/out.szhi",
+        "--dims",
+        "8,8,8",
+        "--eb",
+        "1e-3",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("szhi-cli: error:"));
+
+    // Corrupt archive: typed decode error, not a panic.
+    let garbage = temp("garbage.szhi");
+    std::fs::write(&garbage, b"definitely not a szhi stream").unwrap();
+    for sub in ["decode", "inspect"] {
+        let mut args = vec![sub, garbage.to_str().unwrap()];
+        if sub == "decode" {
+            args.push("/tmp/never-written.f32");
+        }
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(1), "{sub} on garbage");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("szhi-cli: error:"), "{sub}: {stderr}");
+    }
+    std::fs::remove_file(&garbage).unwrap();
+}
+
+/// `encode … -` writes the archive to stdout so a shell pipeline can
+/// feed it straight into `decode -`.
+#[test]
+fn encode_to_stdout_pipes_into_decode() {
+    let input = temp("pipeline-in.f32");
+    let f = field();
+    std::fs::write(&input, to_bytes(f.as_slice())).unwrap();
+
+    let out = run(&[
+        "encode",
+        input.to_str().unwrap(),
+        "-",
+        "--dims",
+        "24,20,32",
+        "--eb",
+        "2e-3",
+        "--chunk-span",
+        "16,16,16",
+    ]);
+    assert_ok(&out, "encode to stdout");
+    let archive = out.stdout;
+    assert_eq!(stream_version(&archive).unwrap(), 4);
+
+    let mut child = bin()
+        .args(["decode", "-", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write as _;
+    child.stdin.take().unwrap().write_all(&archive).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_ok(&out, "decode from stdin to stdout");
+    assert_eq!(
+        to_f32(&out.stdout),
+        decompress(&archive).unwrap().as_slice()
+    );
+
+    std::fs::remove_file(&input).unwrap();
+}
+
+/// `bench --jobs N` drives concurrent jobs through the job service and
+/// reports the byte-identity check.
+#[test]
+fn bench_runs_concurrent_jobs() {
+    let out = run(&[
+        "bench",
+        "--dims",
+        "32,32,32",
+        "--eb",
+        "1e-3",
+        "--dataset",
+        "miranda",
+        "--chunk-span",
+        "16,16,16",
+        "--jobs",
+        "3",
+    ]);
+    assert_ok(&out, "bench --jobs 3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("within bound"));
+    assert!(stdout.contains("3 concurrent jobs"));
+    assert_eq!(stdout.matches("byte-identical to serial").count(), 3);
+}

@@ -59,6 +59,11 @@ pub enum SzhiError {
     /// formatted [`std::io::Error`]; kept as a string so `SzhiError` stays
     /// `Clone`/`Eq`).
     Io(String),
+    /// The job was cancelled cooperatively before it completed
+    /// (`JobHandle::cancel`). A cancelled compress job poisons its sink:
+    /// the partially written stream has no table or trailer and must be
+    /// discarded.
+    Cancelled,
     /// A lossless decoding stage failed (truncated or corrupted payload).
     Codec(CodecError),
 }
@@ -100,6 +105,7 @@ impl std::fmt::Display for SzhiError {
                  (stored {stored:#010x}, computed {computed:#010x})"
             ),
             SzhiError::Io(msg) => write!(f, "stream I/O failed: {msg}"),
+            SzhiError::Cancelled => write!(f, "the job was cancelled before it completed"),
             SzhiError::Codec(e) => write!(f, "lossless decoding failed: {e}"),
         }
     }
@@ -147,5 +153,7 @@ mod tests {
         let e: SzhiError =
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "disk vanished").into();
         assert!(matches!(&e, SzhiError::Io(msg) if msg.contains("disk vanished")));
+        let e = SzhiError::Cancelled;
+        assert!(e.to_string().contains("cancelled"));
     }
 }

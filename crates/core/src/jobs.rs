@@ -1,0 +1,407 @@
+//! The concurrent job service: many simultaneous compress / decompress
+//! jobs multiplexed over the shared persistent worker pool, each with
+//! per-job progress reporting and cooperative cancellation.
+//!
+//! A *job* is one whole-archive operation — compress a field into a
+//! [`StreamSink`], or decompress a stream through a [`StreamSource`] —
+//! running on its own coordinator thread. The coordinator of a compress
+//! job fans chunk encoding out over the workspace's shared work-stealing
+//! pool in small batches (so several jobs interleave fairly on the same
+//! workers) and pushes the results to the sink in plan order, which keeps
+//! every job's output **byte-identical to a serial run**: chunk encoding
+//! is a pure function of (chunk, configuration), and the container
+//! assembles chunks in plan order regardless of who encoded them when.
+//!
+//! Progress is observable while the job runs ([`JobHandle::progress`]),
+//! and a job can be cancelled cooperatively ([`JobHandle::cancel`]): the
+//! coordinator notices between chunks, **poisons** a compress job's sink —
+//! the half-written stream has no table or trailer and must never be
+//! finalized — and returns the typed [`SzhiError::Cancelled`].
+//!
+//! ```
+//! use szhi_core::{jobs::JobService, ErrorBound, SzhiConfig};
+//! use szhi_ndgrid::{Dims, Grid};
+//!
+//! let field = Grid::from_fn(Dims::d3(32, 32, 32), |z, y, x| {
+//!     ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+//! });
+//! let cfg = SzhiConfig::new(ErrorBound::Absolute(1e-3))
+//!     .with_auto_tune(false)
+//!     .with_chunk_span([16, 16, 16]);
+//! let service = JobService::new();
+//! // Several jobs can run at once; each returns a handle immediately.
+//! let job = service.compress(field, &cfg, Vec::new()).unwrap();
+//! let (bytes, stats) = job.join().unwrap();
+//! assert_eq!(stats.compressed_bytes, bytes.len());
+//! ```
+
+use crate::compressor::CompressionStats;
+use crate::config::SzhiConfig;
+use crate::error::SzhiError;
+use crate::stream::{StreamSink, StreamSource};
+use rayon::prelude::*;
+use std::io::{Read, Seek, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use szhi_ndgrid::Grid;
+
+/// A snapshot of a job's progress: chunks completed out of chunks total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Chunks fully processed so far.
+    pub done: usize,
+    /// Total chunks the job will process.
+    pub total: usize,
+}
+
+impl JobProgress {
+    /// Completed fraction in `[0, 1]` (`1.0` for an empty job).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every chunk has been processed.
+    pub fn is_complete(&self) -> bool {
+        self.done >= self.total
+    }
+}
+
+/// The state a job's coordinator thread and its [`JobHandle`] share.
+#[derive(Debug)]
+struct JobState {
+    done: AtomicUsize,
+    total: usize,
+    cancelled: AtomicBool,
+}
+
+/// A handle to one running job: observe progress, request cancellation,
+/// and join for the result. Dropping the handle detaches the job — it
+/// runs to completion (or cancellation) unobserved.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    state: Arc<JobState>,
+    thread: std::thread::JoinHandle<Result<T, SzhiError>>,
+}
+
+impl<T> JobHandle<T> {
+    /// A snapshot of the job's progress, safe to poll from any thread.
+    pub fn progress(&self) -> JobProgress {
+        JobProgress {
+            done: self.state.done.load(Ordering::Relaxed),
+            total: self.state.total,
+        }
+    }
+
+    /// Requests cooperative cancellation. The job notices between chunks:
+    /// a compress job poisons its sink (the partial stream must be
+    /// discarded) and [`JobHandle::join`] returns
+    /// [`SzhiError::Cancelled`]. Cancelling a job that already finished
+    /// has no effect.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancel_requested(&self) -> bool {
+        self.state.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Whether the job's coordinator thread has finished (successfully or
+    /// not) — `join` will not block once this is true.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Blocks until the job completes and returns its result.
+    pub fn join(self) -> Result<T, SzhiError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            // A panic on the coordinator is a bug, not an operational
+            // error: propagate it instead of laundering it into a typed
+            // error the caller might retry.
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+/// Spawns compress / decompress jobs that run concurrently over the
+/// shared worker pool. The service itself is stateless — it exists to
+/// give the job API an explicit home and keep call sites readable — so
+/// it is `Copy` and free to construct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobService;
+
+impl JobService {
+    /// Creates a job service.
+    pub fn new() -> JobService {
+        JobService
+    }
+
+    /// Spawns a job compressing `field` under `cfg` into `out` as a
+    /// trailered (v4, or tuned v5) container — the [`StreamSink`] rules
+    /// apply: absolute error bound, auto-tune disabled. Configuration
+    /// errors surface here, on the caller's thread, before any job
+    /// spawns. On success the handle joins to the backing writer and the
+    /// aggregated compression statistics.
+    pub fn compress<W>(
+        &self,
+        field: Grid<f32>,
+        cfg: &SzhiConfig,
+        out: W,
+    ) -> Result<JobHandle<(W, CompressionStats)>, SzhiError>
+    where
+        W: Write + Send + 'static,
+    {
+        let sink = StreamSink::new(out, field.dims(), cfg)?;
+        let state = Arc::new(JobState {
+            done: AtomicUsize::new(0),
+            total: sink.plan().len(),
+            cancelled: AtomicBool::new(false),
+        });
+        let shared = Arc::clone(&state);
+        let thread = std::thread::spawn(move || run_compress(field, sink, &shared));
+        Ok(JobHandle { state, thread })
+    }
+
+    /// Spawns a job decompressing the stream behind `reader` (any chunked
+    /// container, v2–v5) into the full field. Header and chunk-table
+    /// errors surface here, on the caller's thread, before any job
+    /// spawns.
+    pub fn decompress<R>(&self, reader: R) -> Result<JobHandle<Grid<f32>>, SzhiError>
+    where
+        R: Read + Seek + Send + 'static,
+    {
+        let source = StreamSource::new(reader)?;
+        let state = Arc::new(JobState {
+            done: AtomicUsize::new(0),
+            total: source.chunk_count(),
+            cancelled: AtomicBool::new(false),
+        });
+        let shared = Arc::clone(&state);
+        let thread = std::thread::spawn(move || run_decompress(source, &shared));
+        Ok(JobHandle { state, thread })
+    }
+}
+
+/// The coordinator loop of a compress job: encode chunk batches in
+/// parallel over the shared pool, push them to the sink in plan order,
+/// check for cancellation between pushes.
+fn run_compress<W: Write>(
+    field: Grid<f32>,
+    mut sink: StreamSink<W>,
+    state: &JobState,
+) -> Result<(W, CompressionStats), SzhiError> {
+    let n = sink.plan().len();
+    // Small batches keep several concurrent jobs interleaving fairly on
+    // the shared workers and bound the cancellation latency to one batch.
+    let batch = rayon::current_num_threads().max(1);
+    let mut start = 0usize;
+    while start < n {
+        if state.cancelled.load(Ordering::Relaxed) {
+            sink.poison();
+            return Err(SzhiError::Cancelled);
+        }
+        let end = (start + batch).min(n);
+        let encoded: Vec<Result<crate::stream::EncodedChunk, SzhiError>> = {
+            // Borrow only the encoder and plan — not the whole sink — so
+            // the backing writer never has to be `Sync`.
+            let enc = sink.encoder();
+            let plan = sink.plan();
+            (start..end)
+                .into_par_iter()
+                .map(|i| {
+                    let region = plan.chunk_at(i);
+                    let dims = plan.chunk_dims(i);
+                    enc.encode(i, &Grid::from_vec(dims, field.extract(&region)))
+                })
+                .collect()
+        };
+        for chunk in encoded {
+            if state.cancelled.load(Ordering::Relaxed) {
+                sink.poison();
+                return Err(SzhiError::Cancelled);
+            }
+            sink.push_encoded(chunk?)?;
+            state.done.fetch_add(1, Ordering::Relaxed);
+        }
+        start = end;
+    }
+    sink.finish_with_stats()
+}
+
+/// The coordinator loop of a decompress job: fetch + decode chunks
+/// sequentially (reads from one seekable source are inherently serial),
+/// checking for cancellation between chunks.
+fn run_decompress<R: Read + Seek>(
+    mut source: StreamSource<R>,
+    state: &JobState,
+) -> Result<Grid<f32>, SzhiError> {
+    let mut out = Grid::zeros(source.dims());
+    for i in 0..source.chunk_count() {
+        if state.cancelled.load(Ordering::Relaxed) {
+            return Err(SzhiError::Cancelled);
+        }
+        let (region, sub) = source.read_chunk(i)?;
+        out.insert(&region, sub.as_slice());
+        state.done.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::decompress;
+    use crate::config::ErrorBound;
+    use szhi_datagen::DatasetKind;
+    use szhi_ndgrid::Dims;
+
+    fn job_cfg() -> SzhiConfig {
+        SzhiConfig::new(ErrorBound::Absolute(2e-3))
+            .with_auto_tune(false)
+            .with_chunk_span([16, 16, 16])
+    }
+
+    /// Serial reference bytes: the same field through a plain sink.
+    fn serial_bytes(field: &Grid<f32>, cfg: &SzhiConfig) -> Vec<u8> {
+        let mut sink = StreamSink::new(Vec::new(), field.dims(), cfg).unwrap();
+        while let Some(region) = sink.next_chunk_region() {
+            let dims = sink.plan().chunk_dims(sink.next_index());
+            sink.push_chunk(&Grid::from_vec(dims, field.extract(&region)))
+                .unwrap();
+        }
+        sink.finish().unwrap()
+    }
+
+    #[test]
+    fn concurrent_jobs_match_serial_runs_byte_for_byte() {
+        let cfg = job_cfg();
+        let fields: Vec<Grid<f32>> = (0..4)
+            .map(|seed| DatasetKind::Miranda.generate(Dims::d3(32, 32, 32), 100 + seed))
+            .collect();
+        let expected: Vec<Vec<u8>> = fields.iter().map(|f| serial_bytes(f, &cfg)).collect();
+
+        let service = JobService::new();
+        let handles: Vec<JobHandle<(Vec<u8>, CompressionStats)>> = fields
+            .iter()
+            .map(|f| service.compress(f.clone(), &cfg, Vec::new()).unwrap())
+            .collect();
+        // Join in reverse submission order: completion order must not
+        // matter for the bytes.
+        for (handle, want) in handles.into_iter().rev().zip(expected.iter().rev()) {
+            let (bytes, stats) = handle.join().unwrap();
+            assert_eq!(&bytes, want, "a concurrent job diverged from serial");
+            assert_eq!(stats.compressed_bytes, bytes.len());
+        }
+    }
+
+    #[test]
+    fn progress_reaches_total_and_decompress_jobs_roundtrip() {
+        let cfg = job_cfg();
+        let field = DatasetKind::Nyx.generate(Dims::d3(32, 32, 32), 7);
+        let service = JobService::new();
+        let job = service.compress(field.clone(), &cfg, Vec::new()).unwrap();
+        let (bytes, _) = job.join().unwrap();
+
+        let job = service
+            .decompress(std::io::Cursor::new(bytes.clone()))
+            .unwrap();
+        let restored = job.join().unwrap();
+        assert_eq!(
+            restored.as_slice(),
+            decompress(&bytes).unwrap().as_slice(),
+            "a decompress job diverged from decompress"
+        );
+
+        // A fresh handle reports sane, monotonically meaningful progress.
+        let job = service.compress(field, &cfg, Vec::new()).unwrap();
+        let total = job.progress().total;
+        assert_eq!(total, 8);
+        let (_, stats) = job.join().unwrap();
+        assert!(stats.compressed_bytes > 0);
+        let done = JobProgress { done: total, total };
+        assert!(done.is_complete());
+        assert!((done.fraction() - 1.0).abs() < f64::EPSILON);
+        assert!((JobProgress { done: 0, total: 0 }).is_complete());
+    }
+
+    /// A writer that lets `ungated` writes pass, then blocks one write on
+    /// the paired channel — pinning a job at a deterministic point so a
+    /// test can cancel it mid-flight without racing.
+    #[derive(Debug)]
+    struct GatedWriter {
+        ungated: usize,
+        gate: Option<std::sync::mpsc::Receiver<()>>,
+        bytes: Vec<u8>,
+    }
+
+    impl Write for GatedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ungated > 0 {
+                self.ungated -= 1;
+            } else if let Some(gate) = self.gate.take() {
+                // Block until the test releases (or drops) the sender.
+                let _ = gate.recv();
+            }
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cancellation_is_cooperative_and_poisons_the_sink() {
+        // The header write (on the caller's thread) passes ungated; the
+        // coordinator's first chunk-body write blocks on the gate. The
+        // test cancels while the job is pinned there, then releases it:
+        // the coordinator finishes that push, sees the flag before the
+        // next one, poisons the sink and reports Cancelled.
+        let field = DatasetKind::Rtm.generate(Dims::d3(32, 32, 32), 3);
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let out = GatedWriter {
+            ungated: 1,
+            gate: Some(gate),
+            bytes: Vec::new(),
+        };
+        let service = JobService::new();
+        let job = service.compress(field, &job_cfg(), out).unwrap();
+        assert_eq!(job.progress().total, 8);
+        job.cancel();
+        assert!(job.is_cancel_requested());
+        drop(release);
+        let err = job.join().unwrap_err();
+        assert!(
+            matches!(err, SzhiError::Cancelled),
+            "expected SzhiError::Cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_sinks_refuse_further_pushes() {
+        // The poisoned-on-cancel contract at the sink level: after
+        // poison(), pushes and finish fail with the poisoning error.
+        let field = DatasetKind::Qmcpack.generate(Dims::d3(16, 16, 16), 1);
+        let cfg = job_cfg();
+        let mut sink = StreamSink::new(Vec::new(), field.dims(), &cfg).unwrap();
+        assert!(!sink.is_poisoned());
+        sink.poison();
+        assert!(sink.is_poisoned());
+        let region = sink.plan().chunk_at(0);
+        let sub = Grid::from_vec(sink.plan().chunk_dims(0), field.extract(&region));
+        assert!(matches!(
+            sink.push_chunk(&sub),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("poisoned")
+        ));
+        assert!(matches!(
+            sink.finish(),
+            Err(SzhiError::InvalidInput(msg)) if msg.contains("poisoned")
+        ));
+    }
+}

@@ -169,6 +169,20 @@
 //!     assert_eq!(sub.len(), region.len());
 //! }
 //! ```
+//!
+//! ## Serving (pipes and concurrent jobs)
+//!
+//! Two pieces turn the engine into a serving layer. [`ForwardSource`] is
+//! the forward-only counterpart of [`StreamSource`]: it decodes any
+//! chunked container over a plain [`std::io::Read`] — no `Seek` — so
+//! compressed streams decode straight off a pipe, socket or `stdin`
+//! (trailered v4/v5 streams are buffered to EOF and their table + trailer
+//! validated at end-of-stream; see `docs/FORMAT.md`). [`jobs::JobService`]
+//! runs many compress / decompress jobs concurrently over the shared
+//! worker pool, each with per-job progress reporting and cooperative
+//! cancellation that poisons the job's sink — and every job's output stays
+//! byte-identical to a serial run. The `szhi-cli` binary puts both behind
+//! `encode` / `decode` / `inspect` / `bench` subcommands.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -177,6 +191,7 @@ pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
+pub mod jobs;
 pub mod stream;
 
 pub use compressor::{
@@ -189,6 +204,8 @@ pub use format::{
     stream_version, Header, MAGIC, TRAILER_MAGIC, TRAILER_MAGIC_V5, TRAILER_SIZE, VERSION,
     VERSION_CHUNKED, VERSION_STREAMED, VERSION_TRAILERED, VERSION_TUNED,
 };
+pub use jobs::{JobHandle, JobProgress, JobService};
 pub use stream::{
-    ChunkReceipt, EncodedChunk, SourceChunks, StreamReader, StreamSink, StreamSource, StreamWriter,
+    ChunkReceipt, EncodedChunk, ForwardChunks, ForwardSource, SourceChunks, StreamReader,
+    StreamSink, StreamSource, StreamWriter,
 };

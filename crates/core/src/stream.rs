@@ -245,7 +245,7 @@ struct ChunkMeta {
 /// and the pipeline-selection strategy. Encoding a chunk is a pure `&self`
 /// function, so either front end can fan encoding out across threads.
 #[derive(Debug)]
-struct ChunkEncoder {
+pub(crate) struct ChunkEncoder {
     header: Header,
     plan: ChunkPlan,
     predictor: InterpPredictor,
@@ -375,7 +375,11 @@ impl ChunkEncoder {
     /// [`StreamWriter::encode_chunk`]). Each encode thread reuses its own
     /// [`EncodeScratch`], so steady-state encoding allocates only the body
     /// the caller keeps.
-    fn encode(&self, index: usize, chunk: &Grid<f32>) -> Result<EncodedChunk, SzhiError> {
+    pub(crate) fn encode(
+        &self,
+        index: usize,
+        chunk: &Grid<f32>,
+    ) -> Result<EncodedChunk, SzhiError> {
         thread_local! {
             static SCRATCH: std::cell::RefCell<EncodeScratch> =
                 std::cell::RefCell::new(EncodeScratch::default());
@@ -813,6 +817,13 @@ impl<W: Write> StreamSink<W> {
         &self.out
     }
 
+    /// The sink's chunk encoder, detached from the backing writer so a
+    /// parallel encode loop can share it across threads without requiring
+    /// `W: Sync` (the job coordinator in [`crate::jobs`] uses this).
+    pub(crate) fn encoder(&self) -> &ChunkEncoder {
+        &self.enc
+    }
+
     /// Compresses chunk `index` without appending it to the stream — the
     /// same pure function as [`StreamWriter::encode_chunk`], so callers can
     /// encode several chunks in parallel and feed
@@ -952,6 +963,20 @@ impl<W: Write> StreamSink<W> {
             ));
         }
         Ok(())
+    }
+
+    /// Poisons the sink explicitly: every further push or finish fails with
+    /// a typed error, exactly as after a write failure. A cancelled job
+    /// calls this so its half-written stream — which has no chunk table or
+    /// trailer — can never be finalized into something that parses.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether the sink has been poisoned, by a write failure or by
+    /// [`StreamSink::poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 }
 
@@ -1529,6 +1554,384 @@ impl<R: Read + Seek> Iterator for SourceChunks<'_, R> {
     }
 }
 
+/// Reads exactly `n` bytes from a forward-only reader **without trusting
+/// `n` for the allocation**: the buffer grows only with bytes actually
+/// present, so a corrupt length field fails as a typed error once the
+/// stream runs dry — never as an allocation blowup.
+fn read_exact_untrusted<R: Read>(reader: &mut R, n: u64, what: &str) -> Result<Vec<u8>, SzhiError> {
+    let mut buf = Vec::new();
+    reader
+        .take(n)
+        .read_to_end(&mut buf)
+        .map_err(|e| SzhiError::Io(format!("reading {what}: {e}")))?;
+    if (buf.len() as u64) != n {
+        return Err(SzhiError::Io(format!(
+            "reading {what}: the stream ended after {} of {n} bytes",
+            buf.len()
+        )));
+    }
+    Ok(buf)
+}
+
+/// Discards exactly `n` bytes from a forward-only reader (the gap between
+/// two chunk bodies, which a seekable source would simply seek over).
+fn skip_exact<R: Read>(reader: &mut R, n: u64, what: &str) -> Result<(), SzhiError> {
+    let copied = std::io::copy(&mut reader.take(n), &mut std::io::sink())
+        .map_err(|e| SzhiError::Io(format!("skipping {what}: {e}")))?;
+    if copied != n {
+        return Err(SzhiError::Io(format!(
+            "skipping {what}: the stream ended after {copied} of {n} bytes"
+        )));
+    }
+    Ok(())
+}
+
+/// How a [`ForwardSource`] holds the part of the stream behind the header.
+#[derive(Debug)]
+enum ForwardState<R> {
+    /// v2/v3: the chunk table leads the data area, so the source is truly
+    /// incremental — it holds the parsed table, the live reader and the
+    /// current position within the data area, and decodes each body as it
+    /// streams past.
+    Streaming {
+        reader: R,
+        entries: Vec<ChunkEntry>,
+        /// Bytes of the data area consumed so far (the forward cursor).
+        pos: u64,
+    },
+    /// v4/v5: the chunk table and trailer sit **behind** the data area, so
+    /// no chunk's pipeline, config or checksum is known until the stream
+    /// ends. The source buffers the remainder to EOF, then validates
+    /// table + trailer in the standard order — the unavoidable price of a
+    /// trailered container on a pipe (memory high-water is O(compressed
+    /// stream); see [`StreamSource`] for the seekable bounded-memory path).
+    Buffered { bytes: Vec<u8>, table: ChunkTable },
+}
+
+/// Forward-only reader of chunked containers (v2–v5) over any
+/// [`io::Read`](std::io::Read) — **no `Seek` required** — so a compressed
+/// stream can be decoded straight off a pipe, a socket, or `stdin`.
+///
+/// Chunks are decoded strictly in offset order (which for streams written
+/// by this workspace is plan order). For v2/v3 containers, whose chunk
+/// table precedes the data area, decoding is truly incremental: one
+/// compressed body and one reconstructed sub-field in memory at a time.
+/// For trailered v4/v5 containers the table and trailer live at the end of
+/// the stream, so the source buffers the remainder to EOF first and
+/// validates table + trailer at end-of-stream in the same order as the
+/// in-memory readers (header → trailer geometry → table-region CRC32 →
+/// config dictionary → entries), then every chunk body is still verified
+/// against its CRC32 before any lossless decoder touches it.
+///
+/// ```
+/// use szhi_core::{compress, decompress, ErrorBound, ForwardSource, SzhiConfig};
+/// use szhi_ndgrid::{Dims, Grid};
+///
+/// let field = Grid::from_fn(Dims::d3(40, 32, 32), |z, y, x| {
+///     ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+/// });
+/// let cfg = SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span([32, 32, 32]);
+/// let bytes = compress(&field, &cfg).unwrap();
+///
+/// // A plain `&[u8]` implements `Read` but not `Seek` — the forward
+/// // source decodes it anyway, identically to `decompress`.
+/// let mut source = ForwardSource::new(&bytes[..]).unwrap();
+/// let restored = source.read_all().unwrap();
+/// assert_eq!(restored.as_slice(), decompress(&bytes).unwrap().as_slice());
+/// ```
+#[derive(Debug)]
+pub struct ForwardSource<R> {
+    state: ForwardState<R>,
+    version: u8,
+    header: Header,
+    span: [usize; 3],
+    plan: ChunkPlan,
+    next: usize,
+}
+
+impl<R: Read> ForwardSource<R> {
+    /// Opens a chunked (v2), streamed (v3), trailered (v4) or tuned (v5)
+    /// container over a forward-only reader. Monolithic (v1) streams and
+    /// unknown future versions are rejected with clear typed errors.
+    ///
+    /// For v2/v3 this reads and validates the header and leading chunk
+    /// table only; for v4/v5 it consumes the reader to EOF (see the type
+    /// docs for why) and validates the trailing table before returning.
+    pub fn new(mut reader: R) -> Result<ForwardSource<R>, SzhiError> {
+        // The fixed header prefix: magic, version, and everything through
+        // the level count at offset 48 (see docs/FORMAT.md).
+        let mut head = read_exact_vec(&mut reader, 49, "the stream header")?;
+        let version = format::read_magic_version(&mut ByteCursor::new(&head))?;
+        format::reject_unchunked_version(version)?;
+        let n_levels = head[48] as usize;
+        head.extend(read_exact_vec(
+            &mut reader,
+            2 * n_levels + 12,
+            "the predictor levels and chunk span",
+        )?);
+        let mut cur = ByteCursor::new(&head);
+        format::read_magic_version(&mut cur)?;
+        let header = format::read_header_fields(&mut cur)?;
+        let span = format::read_span(&mut cur)?;
+        let plan = format::validated_plan(&header, span)?;
+        let state = if version == VERSION_TRAILERED || version == VERSION_TUNED {
+            Self::buffer_trailered(reader, head)?
+        } else {
+            Self::parse_forward_leading_table(reader, &header, &plan, version)?
+        };
+        Ok(ForwardSource {
+            state,
+            version,
+            header,
+            span,
+            plan,
+            next: 0,
+        })
+    }
+
+    /// The v4/v5 path: drain the reader to EOF behind the already-consumed
+    /// header prefix, then validate the whole stream exactly like the
+    /// in-memory readers — the table and trailer are validated at
+    /// end-of-stream, in the standard order.
+    fn buffer_trailered(mut reader: R, head: Vec<u8>) -> Result<ForwardState<R>, SzhiError> {
+        let mut bytes = head;
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|e| SzhiError::Io(format!("reading a trailered stream to its end: {e}")))?;
+        let (_, table) = format::read_stream_trailered(&bytes)?;
+        Ok(ForwardState::Buffered { bytes, table })
+    }
+
+    /// The v2/v3 path: read and validate the leading chunk table, leaving
+    /// the reader positioned at the start of the data area. The data
+    /// area's length is unknown on a forward stream (it ends at EOF), so
+    /// extents are validated against the maximal area; a chunk that claims
+    /// bytes past the true end surfaces as a typed I/O error when its body
+    /// is read.
+    fn parse_forward_leading_table(
+        mut reader: R,
+        header: &Header,
+        plan: &ChunkPlan,
+        version: u8,
+    ) -> Result<ForwardState<R>, SzhiError> {
+        let count_bytes = read_exact_vec(&mut reader, 8, "the chunk count")?;
+        let n_chunks = u64::from_le_bytes(
+            *count_bytes
+                .first_chunk::<8>()
+                .ok_or_else(|| SzhiError::Io("short read of the chunk count".into()))?,
+        );
+        if n_chunks != plan.len() as u64 {
+            return Err(SzhiError::InvalidStream(format!(
+                "chunk table lists {n_chunks} chunks, the {} field at span {:?} has {}",
+                header.dims,
+                plan.span(),
+                plan.len()
+            )));
+        }
+        let entry_size = if version == VERSION_STREAMED {
+            format::V3_ENTRY_SIZE
+        } else {
+            format::V2_ENTRY_SIZE
+        };
+        let table_len = n_chunks.saturating_mul(entry_size as u64);
+        let table_bytes = read_exact_untrusted(&mut reader, table_len, "the chunk table")?;
+        let mut cur = ByteCursor::new(&table_bytes);
+        let raw =
+            format::read_raw_entries(&mut cur, version, n_chunks as usize, header.pipeline, 0)?;
+        let entries = format::validate_extents(raw, u64::MAX)?;
+        Ok(ForwardState::Streaming {
+            reader,
+            entries,
+            pos: 0,
+        })
+    }
+
+    /// The container version of the stream (2, 3, 4 or 5).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The parsed stream header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Shape of the full field the stream encodes.
+    pub fn dims(&self) -> Dims {
+        self.header.dims
+    }
+
+    /// Chunk span per axis `(z, y, x)`.
+    pub fn span(&self) -> [usize; 3] {
+        self.span
+    }
+
+    /// The chunk partition of the stream.
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
+    }
+
+    /// Number of chunks in the stream.
+    pub fn chunk_count(&self) -> usize {
+        match &self.state {
+            ForwardState::Streaming { entries, .. } => entries.len(),
+            ForwardState::Buffered { table, .. } => table.entries.len(),
+        }
+    }
+
+    /// Index of the next chunk [`ForwardSource::next_chunk`] will decode.
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// The region of the original field chunk `index` covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see
+    /// [`ForwardSource::chunk_count`]).
+    pub fn chunk_region(&self, index: usize) -> Region {
+        self.plan.chunk_at(index)
+    }
+
+    /// The table entry of chunk `index`, or a typed error when out of
+    /// range.
+    fn entry(&self, index: usize) -> Result<ChunkEntry, SzhiError> {
+        let entry = match &self.state {
+            ForwardState::Streaming { entries, .. } => entries.get(index),
+            ForwardState::Buffered { table, .. } => table.entries.get(index),
+        };
+        entry.copied().ok_or_else(|| {
+            SzhiError::InvalidInput(format!(
+                "chunk index {index} out of range for a stream of {} chunks",
+                self.chunk_count()
+            ))
+        })
+    }
+
+    /// The lossless pipeline that encoded chunk `index` (from the v3+ mode
+    /// byte; for v2 streams, the header's global pipeline), or a typed
+    /// error when out of range.
+    pub fn chunk_pipeline(&self, index: usize) -> Result<PipelineSpec, SzhiError> {
+        self.entry(index).map(|e| e.pipeline)
+    }
+
+    /// The interpolation configuration chunk `index` was compressed with:
+    /// its config-dictionary entry for tuned (v5) streams, the header's
+    /// configuration for every other version; a typed error when out of
+    /// range.
+    pub fn chunk_interp(&self, index: usize) -> Result<InterpConfig, SzhiError> {
+        let entry = self.entry(index)?;
+        let configs: &[Vec<LevelConfig>] = match &self.state {
+            ForwardState::Streaming { .. } => &[],
+            ForwardState::Buffered { table, .. } => &table.configs,
+        };
+        Ok(format::resolve_chunk_interp(
+            &self.header,
+            entry.config,
+            configs,
+        ))
+    }
+
+    /// Decodes the next chunk in offset order: its region of the original
+    /// field plus the reconstructed sub-field, or `None` once every chunk
+    /// has been decoded. The chunk's CRC32 (v3+) is verified before any
+    /// lossless decoder touches the bytes.
+    ///
+    /// A forward source cannot rewind, so an error consumes the chunk like
+    /// a success: after a checksum or decode failure the stream position
+    /// is still consistent (the body was fully consumed) and the next call
+    /// moves on to the following chunk; after an I/O failure every later
+    /// body read reports a typed I/O error of its own.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_chunk(&mut self) -> Option<Result<(Region, Grid<f32>), SzhiError>> {
+        if self.next >= self.chunk_count() {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some(self.decode_chunk(index))
+    }
+
+    /// Fetches and decodes chunk `index` (the current forward position).
+    fn decode_chunk(&mut self, index: usize) -> Result<(Region, Grid<f32>), SzhiError> {
+        let entry = self.entry(index)?;
+        let interp = self.chunk_interp(index)?;
+        let ForwardSource {
+            state,
+            header,
+            plan,
+            ..
+        } = self;
+        let dims = plan.chunk_dims(index);
+        let grid = match state {
+            ForwardState::Streaming { reader, pos, .. } => {
+                let offset = entry.offset as u64;
+                if offset > *pos {
+                    // A gap between bodies: a seekable source would seek
+                    // over it; a forward source discards it.
+                    skip_exact(reader, offset - *pos, "a gap between chunk bodies")?;
+                    *pos = offset;
+                }
+                let body = read_exact_untrusted(reader, entry.len as u64, "a chunk body")?;
+                *pos += entry.len as u64;
+                if let Some(stored) = entry.checksum {
+                    let computed = crc32(&body);
+                    if computed != stored {
+                        return Err(SzhiError::ChunkChecksum {
+                            index,
+                            stored,
+                            computed,
+                        });
+                    }
+                }
+                decompress_chunk_body(header, entry.pipeline, &interp, dims, &body)?
+            }
+            ForwardState::Buffered { bytes, table } => {
+                let body = table.verified_chunk_slice(bytes, index)?;
+                decompress_chunk_body(header, entry.pipeline, &interp, dims, body)?
+            }
+        };
+        Ok((plan.chunk_at(index), grid))
+    }
+
+    /// Iterates over the remaining decoded chunks in offset order, lazily:
+    /// one compressed body and one reconstructed sub-field in memory at a
+    /// time (for v2/v3; buffered v4/v5 streams hold the compressed bytes
+    /// until the source is dropped).
+    pub fn chunks(&mut self) -> ForwardChunks<'_, R> {
+        ForwardChunks { source: self }
+    }
+
+    /// Decodes every remaining chunk and assembles the full field (regions
+    /// already consumed by [`ForwardSource::next_chunk`] stay zero). On a
+    /// fresh source this reconstructs the whole field, identically to
+    /// [`crate::decompress`].
+    pub fn read_all(&mut self) -> Result<Grid<f32>, SzhiError> {
+        let mut out = Grid::zeros(self.header.dims);
+        while let Some(chunk) = self.next_chunk() {
+            let (region, sub) = chunk?;
+            out.insert(&region, sub.as_slice());
+        }
+        Ok(out)
+    }
+}
+
+/// Lazy chunk iterator over a [`ForwardSource`], returned by
+/// [`ForwardSource::chunks`].
+#[derive(Debug)]
+pub struct ForwardChunks<'a, R> {
+    source: &'a mut ForwardSource<R>,
+}
+
+impl<R: Read> Iterator for ForwardChunks<'_, R> {
+    type Item = Result<(Region, Grid<f32>), SzhiError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.source.next_chunk()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2072,6 +2475,192 @@ mod tests {
                 }
             });
             assert!(result.is_ok(), "v5 reader panicked at truncation {cut}");
+        }
+    }
+
+    /// Wraps a byte slice in a reader that implements `Read` but not
+    /// `Seek` and hands out bytes a few at a time, like a slow pipe.
+    struct PipeReader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Read for PipeReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(13).min(self.bytes.len() - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn forward_source_matches_the_seekable_source_on_every_version() {
+        let data = DatasetKind::Rtm.generate(Dims::d3(40, 40, 24), 13);
+        let cfg = stream_cfg([16, 16, 16]);
+        let v3 = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+        let (header, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let bodies: Vec<Vec<u8>> = (0..table.entries.len())
+            .map(|i| table.chunk_slice(&v3, i).to_vec())
+            .collect();
+        let chunks: Vec<(PipelineSpec, Vec<u8>)> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (table.entries[i].pipeline, b.clone()))
+            .collect();
+        let v2 = crate::format::write_stream_v2(&header, table.span, &bodies);
+        let v4 = crate::format::write_stream_v4(&header, table.span, &chunks);
+        let v5 = compress_chunked(
+            &data,
+            &cfg.clone()
+                .with_mode_tuning(ModeTuning::estimated())
+                .with_chunk_interp_tuning(true),
+            [16, 16, 16],
+        )
+        .unwrap();
+        assert_eq!(stream_version(&v5).unwrap(), VERSION_TUNED);
+
+        for (version, bytes) in [(2u8, &v2), (3, &v3), (4, &v4), (5, &v5)] {
+            let expect = decompress(bytes).unwrap();
+            // A `PipeReader` is Read-only — the compiler proves no Seek is
+            // used anywhere on this path.
+            let mut forward = ForwardSource::new(PipeReader { bytes, pos: 0 }).unwrap();
+            assert_eq!(forward.version(), version, "v{version}");
+            assert_eq!(forward.dims(), data.dims());
+            assert_eq!(forward.span(), table.span);
+            assert_eq!(forward.plan().len(), forward.chunk_count());
+            let mut seekable = StreamSource::from_bytes(bytes).unwrap();
+            assert_eq!(forward.chunk_count(), seekable.chunk_count());
+            for i in 0..forward.chunk_count() {
+                assert_eq!(
+                    forward.chunk_pipeline(i).unwrap(),
+                    seekable.chunk_pipeline(i),
+                    "v{version} chunk {i} pipeline"
+                );
+                assert_eq!(
+                    forward.chunk_interp(i).unwrap(),
+                    seekable.chunk_interp(i),
+                    "v{version} chunk {i} interp"
+                );
+                assert_eq!(forward.chunk_region(i), seekable.chunk_region(i));
+            }
+            assert!(forward.chunk_pipeline(forward.chunk_count()).is_err());
+            assert_eq!(forward.next_index(), 0);
+            let restored = forward.read_all().unwrap();
+            assert_eq!(forward.next_index(), forward.chunk_count());
+            assert_eq!(
+                restored.as_slice(),
+                expect.as_slice(),
+                "v{version} forward source disagrees with decompress"
+            );
+            assert_eq!(
+                seekable.read_all().unwrap().as_slice(),
+                expect.as_slice(),
+                "v{version} seekable source disagrees with decompress"
+            );
+            assert!(forward.next_chunk().is_none(), "the source is drained");
+
+            // And the lazy iterator sees every chunk exactly once.
+            let mut forward = ForwardSource::new(&bytes[..]).unwrap();
+            let mut covered = 0usize;
+            for chunk in forward.chunks() {
+                let (region, sub) = chunk.unwrap();
+                assert_eq!(sub.len(), region.len());
+                covered += region.len();
+            }
+            assert_eq!(covered, data.dims().len(), "v{version}");
+        }
+
+        // v1 and unknown versions are rejected with the same clear typed
+        // errors as the seekable source.
+        let v1 = crate::compressor::compress(&data, &SzhiConfig::new(ErrorBound::Relative(1e-2)))
+            .unwrap();
+        assert!(matches!(
+            ForwardSource::new(&v1[..]),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("monolithic")
+        ));
+        let mut v6 = v3.clone();
+        v6[4] = 6;
+        assert!(matches!(
+            ForwardSource::new(&v6[..]),
+            Err(SzhiError::InvalidStream(msg)) if msg.contains("unsupported")
+        ));
+    }
+
+    #[test]
+    fn forward_source_skips_gaps_between_chunk_bodies() {
+        // The format tolerates unused bytes between chunk bodies (extents
+        // must only be non-overlapping and non-decreasing). A seekable
+        // source seeks over them; the forward source must discard them.
+        let data = DatasetKind::Nyx.generate(Dims::d3(32, 32, 32), 5);
+        let v3 = compress_chunked(&data, &stream_cfg([16, 16, 16]), [16, 16, 16]).unwrap();
+        let (_, table) = crate::format::read_stream_chunked(&v3).unwrap();
+        let n = table.entries.len();
+        let gap = 5usize;
+        let mut gapped = v3[..table.data_start].to_vec();
+        let entries_at = table.data_start - n * crate::format::V3_ENTRY_SIZE;
+        for (i, e) in table.entries.iter().enumerate() {
+            // Patch the entry's offset to account for the gaps inserted
+            // before every body, then emit the gap + the body.
+            let shifted = (e.offset + gap * (i + 1)) as u64;
+            let at = entries_at + i * crate::format::V3_ENTRY_SIZE;
+            gapped[at..at + 8].copy_from_slice(&shifted.to_le_bytes());
+        }
+        for i in 0..n {
+            gapped.extend(vec![0xAAu8; gap]);
+            gapped.extend_from_slice(table.chunk_slice(&v3, i));
+        }
+        let expect = decompress(&gapped).unwrap();
+        let mut forward = ForwardSource::new(&gapped[..]).unwrap();
+        assert_eq!(forward.read_all().unwrap().as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn forward_source_byte_flips_and_truncations_never_panic() {
+        // The forward-only read path upholds the same discipline as every
+        // other reader: single-byte corruption and truncation of a leading
+        // -table (v3) or trailered (v5) stream surface as typed errors —
+        // never a panic, never an unbounded allocation.
+        let data = szhi_datagen::mixed_smooth_noisy(Dims::d3(16, 16, 32));
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(2e-3))
+            .with_auto_tune(false)
+            .with_chunk_span([16, 16, 16]);
+        let v3 = compress_chunked(&data, &cfg, [16, 16, 16]).unwrap();
+        let v5 = compress_chunked(
+            &data,
+            &cfg.clone()
+                .with_mode_tuning(ModeTuning::PerChunk)
+                .with_chunk_interp_tuning(true),
+            [16, 16, 16],
+        )
+        .unwrap();
+        for bytes in [&v3, &v5] {
+            for pos in 0..bytes.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut corrupt = bytes.clone();
+                    corrupt[pos] ^= flip;
+                    let result = std::panic::catch_unwind(|| {
+                        if let Ok(mut forward) = ForwardSource::new(&corrupt[..]) {
+                            let _ = forward.read_all();
+                        }
+                    });
+                    assert!(
+                        result.is_ok(),
+                        "forward source panicked with byte {pos} xor {flip:#x}"
+                    );
+                }
+            }
+            for cut in [0usize, 4, 40, bytes.len() / 2, bytes.len() - 1] {
+                let result = std::panic::catch_unwind(|| {
+                    if let Ok(mut forward) = ForwardSource::new(&bytes[..cut]) {
+                        let _ = forward.read_all();
+                    }
+                });
+                assert!(
+                    result.is_ok(),
+                    "forward source panicked at truncation {cut}"
+                );
+            }
         }
     }
 

@@ -40,8 +40,8 @@ pub use szhi_core::{compress, decompress};
 pub mod prelude {
     pub use szhi_baselines::Compressor;
     pub use szhi_core::{
-        compress, decompress, ErrorBound, ModeTuning, PipelineMode, StreamReader, StreamSink,
-        StreamSource, StreamWriter, SzhiConfig,
+        compress, decompress, ErrorBound, ForwardSource, JobHandle, JobProgress, JobService,
+        ModeTuning, PipelineMode, StreamReader, StreamSink, StreamSource, StreamWriter, SzhiConfig,
     };
     pub use szhi_datagen::DatasetKind;
     pub use szhi_metrics::QualityReport;

@@ -315,3 +315,113 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The forward-only source is indistinguishable from the seekable
+    /// source and the in-memory decoder on arbitrary shapes, spans and
+    /// tuning policies — for every container version the encoder can
+    /// emit (v3 streamed, v4 trailered, v5 tuned).
+    #[test]
+    fn forward_only_decoding_matches_every_other_read_path(
+        (data, rel_eb) in field_strategy(),
+        cz in 1usize..4, cy in 1usize..4, cx in 1usize..4,
+        per_chunk in any::<bool>(),
+        tune_interp in any::<bool>(),
+        trailered in any::<bool>(),
+    ) {
+        use szhi::core::compress_chunked;
+
+        let span = [16 * cz, 16 * cy, 16 * cx];
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let tuning = if per_chunk { ModeTuning::PerChunk } else { ModeTuning::Global };
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span(span)
+            .with_mode_tuning(tuning)
+            .with_chunk_interp_tuning(tune_interp);
+
+        let bytes = if trailered {
+            // v4 (or v5 when tuned): the io-backed sink.
+            let mut sink = StreamSink::new(Vec::new(), data.dims(), &cfg).unwrap();
+            while let Some(region) = sink.next_chunk_region() {
+                let chunk = Grid::from_vec(region.dims(), data.extract(&region));
+                sink.push_chunk(&chunk).unwrap();
+            }
+            sink.finish().unwrap()
+        } else {
+            // v3 (or v5 when tuned): the batch chunked engine.
+            compress_chunked(&data, &cfg, span).unwrap()
+        };
+
+        let in_memory = decompress(&bytes).unwrap();
+        let mut seekable = StreamSource::from_bytes(&bytes).unwrap();
+        let mut forward = ForwardSource::new(&bytes[..]).unwrap();
+        prop_assert_eq!(forward.chunk_count(), seekable.chunk_count());
+        prop_assert_eq!(in_memory.as_slice(), seekable.read_all().unwrap().as_slice());
+        prop_assert_eq!(in_memory.as_slice(), forward.read_all().unwrap().as_slice());
+        for (a, b) in data.as_slice().iter().zip(in_memory.as_slice()) {
+            prop_assert!(((*a as f64) - (*b as f64)).abs() <= abs_eb + 1e-12,
+                "violated: {} vs {} (eb {})", a, b, abs_eb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N concurrent compress jobs over the shared pool, joined in reverse
+    /// (shuffled) completion order, each produce archives byte-identical
+    /// to a serial sink run of the same field — concurrency can reorder
+    /// completions but never bytes.
+    #[test]
+    fn concurrent_jobs_are_byte_identical_to_serial(
+        (data, rel_eb) in field_strategy(),
+        n_jobs in 2usize..5,
+        per_chunk in any::<bool>(),
+    ) {
+        let span = [16, 16, 16];
+        let abs_eb = ErrorBound::Relative(rel_eb).absolute(data.value_range() as f64);
+        let tuning = if per_chunk { ModeTuning::PerChunk } else { ModeTuning::Global };
+        let cfg = SzhiConfig::new(ErrorBound::Absolute(abs_eb))
+            .with_auto_tune(false)
+            .with_chunk_span(span)
+            .with_mode_tuning(tuning);
+
+        // Each job gets its own deterministic variant of the field.
+        let fields: Vec<Grid<f32>> = (0..n_jobs)
+            .map(|j| {
+                let offset = j as f32 * 0.125;
+                Grid::from_vec(
+                    data.dims(),
+                    data.as_slice().iter().map(|v| v + offset).collect(),
+                )
+            })
+            .collect();
+
+        let service = JobService::new();
+        let handles: Vec<_> = fields
+            .iter()
+            .map(|f| service.compress(f.clone(), &cfg, Vec::new()).unwrap())
+            .collect();
+        // Join newest-first so completion order differs from spawn order.
+        let mut outputs: Vec<(usize, Vec<u8>)> = handles
+            .into_iter()
+            .enumerate()
+            .rev()
+            .map(|(j, h)| (j, h.join().unwrap().0))
+            .collect();
+        outputs.sort_by_key(|&(j, _)| j);
+
+        for ((j, bytes), f) in outputs.iter().zip(&fields) {
+            let mut sink = StreamSink::new(Vec::new(), f.dims(), &cfg).unwrap();
+            while let Some(region) = sink.next_chunk_region() {
+                let chunk = Grid::from_vec(region.dims(), f.extract(&region));
+                sink.push_chunk(&chunk).unwrap();
+            }
+            let serial = sink.finish().unwrap();
+            prop_assert_eq!(bytes, &serial, "job {} diverged from serial", j);
+        }
+    }
+}
