@@ -9,15 +9,24 @@
 //! lexer that blanks comments and string/char literals before matching, so
 //! a lint never fires on the contents of a string or a doc comment.
 //!
+//! Since PR 9 the per-line lints sit on top of a workspace **call-graph
+//! engine** ([`table`], [`graph`]): every `fn` item is parsed into a
+//! function table and call sites are resolved into a conservative,
+//! name-based call graph (unresolved calls are recorded, never silently
+//! dropped), which powers three transitive lints with root-cause chains.
+//!
 //! # Lints
 //!
 //! | id | rule |
 //! |----|------|
 //! | `no-unsafe` (L1) | `unsafe` is forbidden outside `vendor/`; every `unsafe` inside `vendor/` must carry a `// SAFETY:` comment |
-//! | `no-panic-decode` (L2) | no `unwrap`/`expect`/`panic!`/`unreachable!`/slice indexing in library (non-test) decode paths of `szhi-codec` and `szhi-core::{format,stream}` |
-//! | `capped-alloc` (L3) | `Vec::with_capacity`/`reserve` in those decode paths must route through `decode_capacity` |
-//! | `spec-drift` (L4) | magic strings, version bytes and entry/trailer sizes declared in `format.rs` must be stated in `docs/FORMAT.md` |
-//! | `error-coverage` (L5) | every `SzhiError` variant is constructed in library code and asserted by name in at least one test |
+//! | `no-panic-decode` (L2) | no `unwrap`/`expect`/`panic!`/`unreachable!`/slice indexing in library (non-test) decode paths |
+//! | `capped-alloc` (L3) | `Vec::with_capacity`/`reserve` in decode paths must route through `decode_capacity` |
+//! | `spec-drift` (L4) | constants in `format.rs` must be stated in `docs/FORMAT.md`; subcommands/flags/exit codes in `args.rs` must be stated in `docs/CLI.md` |
+//! | `error-coverage` (L5) | every `SzhiError` variant constructed and asserted by name; every cli usage-error message pinned by a test |
+//! | `panic-reachability` (L6) | no call chain from a decode/serve entry point reaches a panic site (reported with the full chain) |
+//! | `steady-alloc` (L7) | no call chain from a warm-path encode root reaches an allocation that is not scratch-routed |
+//! | `pool-invariant` (L8) | every `lock()`/`wait` in `vendor/rayon` carries an `// ORDER:` level, monotonically non-decreasing along call chains |
 //!
 //! # Suppression
 //!
@@ -28,16 +37,44 @@
 //! // szhi-analyzer: allow(no-panic-decode) -- ids are validated at parse time
 //! ```
 //!
+//! For the transitive lints (L6/L7) the same comment on a *call site*
+//! cuts every chain through that edge — place it at the boundary where
+//! the invariant is argued (e.g. a fuzz-tested subsystem entry).
+//!
+//! # Scoping
+//!
+//! L2/L3 scope is driven by file-level directives instead of a hard-coded
+//! path list (the legacy decode modules stay in scope unconditionally):
+//!
+//! ```text
+//! // szhi-analyzer: scope(<lint-id>)        — decode-named fns of this file
+//! // szhi-analyzer: scope(<lint-id>: all)   — every non-test fn of this file
+//! ```
+//!
+//! (The placeholder `<lint-id>` stands for a lint id such as
+//! `no-panic-decode`; a directive naming no real lint is inert, which is
+//! also why this very doc comment does not put the analyzer in scope.)
+//!
 //! See `docs/ANALYSIS.md` for the full catalogue and the rationale per lint.
 #![forbid(unsafe_code)]
 
+pub mod graph;
+pub mod lexer;
+pub mod report;
+pub mod table;
+
+pub use lexer::{lex, Lexed};
+pub use report::Metrics;
+pub use table::Workspace;
+
+use lexer::{find, in_regions, is_ident_byte, line_of, line_starts, match_brace, test_regions};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The project lints, in catalogue order (L1–L5).
+/// The project lints, in catalogue order (L1–L8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// L1: `unsafe` forbidden outside `vendor/`; `// SAFETY:` required inside.
@@ -46,20 +83,29 @@ pub enum Lint {
     NoPanicDecode,
     /// L3: decoder allocations route through `decode_capacity`.
     CappedAlloc,
-    /// L4: `format.rs` constants cross-checked against `docs/FORMAT.md`.
+    /// L4: `format.rs`/`args.rs` constants cross-checked against the docs.
     SpecDrift,
     /// L5: every `SzhiError` variant constructed and asserted by name.
     ErrorCoverage,
+    /// L6: no panic site reachable from a decode/serve entry point.
+    PanicReachability,
+    /// L7: no unrouted allocation reachable from a warm-path root.
+    SteadyAlloc,
+    /// L8: `vendor/rayon` lock sites annotated and ordered.
+    PoolInvariant,
 }
 
 impl Lint {
     /// Every lint, in catalogue order.
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 8] = [
         Lint::NoUnsafe,
         Lint::NoPanicDecode,
         Lint::CappedAlloc,
         Lint::SpecDrift,
         Lint::ErrorCoverage,
+        Lint::PanicReachability,
+        Lint::SteadyAlloc,
+        Lint::PoolInvariant,
     ];
 
     /// The stable id used on the command line and in suppression comments.
@@ -70,6 +116,9 @@ impl Lint {
             Lint::CappedAlloc => "capped-alloc",
             Lint::SpecDrift => "spec-drift",
             Lint::ErrorCoverage => "error-coverage",
+            Lint::PanicReachability => "panic-reachability",
+            Lint::SteadyAlloc => "steady-alloc",
+            Lint::PoolInvariant => "pool-invariant",
         }
     }
 
@@ -90,6 +139,9 @@ pub struct Violation {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Supporting detail — for the transitive lints, the call chain from
+    /// the entry point to the offending site, one step per line.
+    pub notes: Vec<String>,
 }
 
 impl fmt::Display for Violation {
@@ -101,298 +153,225 @@ impl fmt::Display for Violation {
             self.line,
             self.lint.id(),
             self.message
-        )
+        )?;
+        for note in &self.notes {
+            write!(f, "\n        {note}")?;
+        }
+        Ok(())
     }
 }
 
 // ---------------------------------------------------------------------------
-// Lexer
+// Suppression and scope comments
 // ---------------------------------------------------------------------------
 
-/// A lexed source file.
-///
-/// `code` is the original byte stream with comments and string/char literals
-/// blanked to spaces — newlines are preserved, so byte offsets and line
-/// numbers still line up with the original text and braces/tokens can be
-/// matched without tripping over literal contents. `comments` maps 1-based
-/// line numbers to the comment text appearing on that line (used for
-/// `// SAFETY:` checks and suppression comments).
-pub struct Lexed {
-    /// Blanked source bytes, same length as the input.
-    pub code: Vec<u8>,
-    /// Comment text per 1-based line number.
-    pub comments: HashMap<usize, String>,
+const ALLOW_MARKER: &str = "szhi-analyzer: allow(";
+const SCOPE_MARKER: &str = "szhi-analyzer: scope(";
+
+/// Whether `text` carries a well-formed suppression for `id`:
+/// `szhi-analyzer: allow(<ids>) -- <non-empty reason>`.
+fn comment_allows(text: &str, id: &str) -> bool {
+    let Some(p) = text.find(ALLOW_MARKER) else {
+        return false;
+    };
+    let rest = &text[p + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    let ids = &rest[..close];
+    let after = &rest[close + 1..];
+    let Some(dash) = after.find("--") else {
+        return false;
+    };
+    if after[dash + 2..].trim().is_empty() {
+        return false; // a reason is mandatory
+    }
+    ids.split(',').any(|s| s.trim() == id)
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b == b'_' || b.is_ascii_alphanumeric()
+/// Suppression applies on the violation's own line or the line above.
+pub(crate) fn is_suppressed(comments: &HashMap<usize, String>, line: usize, lint: Lint) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .filter(|&&l| l > 0)
+        .any(|l| {
+            comments
+                .get(l)
+                .is_some_and(|t| comment_allows(t, lint.id()))
+        })
 }
 
-fn append_comment(map: &mut HashMap<usize, String>, line: usize, text: &str) {
-    if text.is_empty() {
-        return;
-    }
-    let entry = map.entry(line).or_default();
-    if !entry.is_empty() {
-        entry.push(' ');
-    }
-    entry.push_str(text);
+/// File-level scope directives for the per-line lints.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// Lints applying to decode-named fns of the file.
+    pub decode_named: Vec<Lint>,
+    /// Lints applying to every non-test fn of the file.
+    pub all_fns: Vec<Lint>,
 }
 
-/// Returns the position of the opening quote if `i` starts a raw string
-/// (`r"`, `r#"`, `br"`, `br##"`, …), along with the number of `#`s.
-fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
-    let mut j = i;
-    if bytes.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0usize;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if bytes.get(j) == Some(&b'"') {
-        Some((hashes, j))
-    } else {
-        None
+impl Scope {
+    fn is_empty(&self) -> bool {
+        self.decode_named.is_empty() && self.all_fns.is_empty()
     }
 }
 
-/// Lexes `source`: blanks comments and literals, collects per-line comments.
-pub fn lex(source: &str) -> Lexed {
-    let bytes = source.as_bytes();
-    let n = bytes.len();
-    let mut code = Vec::with_capacity(n);
-    let mut comments: HashMap<usize, String> = HashMap::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-    // Pushes one blank per byte, preserving newlines (and counting lines).
-    macro_rules! blank {
-        ($b:expr) => {
-            if $b == b'\n' {
-                code.push(b'\n');
-                line += 1;
-            } else {
-                code.push(b' ');
-            }
-        };
-    }
-    while i < n {
-        let b = bytes[i];
-        let prev_ident = i > 0 && is_ident_byte(bytes[i - 1]);
-        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
-            let start = i;
-            while i < n && bytes[i] != b'\n' {
-                code.push(b' ');
-                i += 1;
-            }
-            append_comment(&mut comments, line, &source[start..i]);
-        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-            let mut depth = 1usize;
-            code.push(b' ');
-            code.push(b' ');
-            i += 2;
-            let mut seg = i;
-            while i < n && depth > 0 {
-                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    code.push(b' ');
-                    code.push(b' ');
-                    i += 2;
-                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    code.push(b' ');
-                    code.push(b' ');
-                    i += 2;
-                } else if bytes[i] == b'\n' {
-                    append_comment(&mut comments, line, &source[seg..i]);
-                    code.push(b'\n');
-                    line += 1;
-                    i += 1;
-                    seg = i;
-                } else {
-                    code.push(b' ');
-                    i += 1;
-                }
-            }
-            append_comment(&mut comments, line, &source[seg..i]);
-        } else if !prev_ident && (b == b'r' || b == b'b') && raw_string_start(bytes, i).is_some() {
-            let (hashes, quote) = raw_string_start(bytes, i).unwrap_or((0, i)); // unreachable: checked just above
-            while i <= quote {
-                code.push(b' ');
-                i += 1;
-            }
-            while i < n {
-                if bytes[i] == b'"' {
-                    let mut k = 0usize;
-                    while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
-                        k += 1;
-                    }
-                    if k == hashes {
-                        code.extend(std::iter::repeat_n(b' ', hashes + 1));
-                        i += 1 + hashes;
-                        break;
-                    }
-                    code.push(b' ');
-                    i += 1;
-                } else {
-                    blank!(bytes[i]);
-                    i += 1;
-                }
-            }
-        } else if b == b'"' {
-            // Plain (or byte) string literal; the `b` prefix, if any, was
-            // already copied through as a harmless stray identifier byte.
-            code.push(b' ');
-            i += 1;
-            while i < n {
-                match bytes[i] {
-                    b'\\' => {
-                        code.push(b' ');
-                        i += 1;
-                        if i < n {
-                            blank!(bytes[i]);
-                            i += 1;
-                        }
-                    }
-                    b'"' => {
-                        code.push(b' ');
-                        i += 1;
-                        break;
-                    }
-                    other => {
-                        blank!(other);
-                        i += 1;
-                    }
-                }
-            }
-        } else if b == b'\'' {
-            // Distinguish a char literal from a lifetime: a lifetime starts
-            // with an identifier char and is NOT closed by a quote right
-            // after that single char ('a, 'static), while 'x' / '\n' / '('
-            // are literals.
-            let next = bytes.get(i + 1).copied();
-            let is_char = match next {
-                Some(b'\\') => true,
-                Some(c) if is_ident_byte(c) => bytes.get(i + 2) == Some(&b'\''),
-                Some(_) => true,
-                None => true,
+/// Parses every `szhi-analyzer: scope(<lint>[: all][, ...])` directive in
+/// a file's comments.
+pub fn parse_scope(comments: &HashMap<usize, String>) -> Scope {
+    let mut scope = Scope::default();
+    for text in comments.values() {
+        let mut rest = text.as_str();
+        while let Some(p) = rest.find(SCOPE_MARKER) {
+            rest = &rest[p + SCOPE_MARKER.len()..];
+            let Some(close) = rest.find(')') else {
+                break;
             };
-            if !is_char {
-                code.push(b'\'');
-                i += 1;
-            } else {
-                code.push(b' ');
-                i += 1;
-                while i < n && bytes[i] != b'\'' {
-                    if bytes[i] == b'\\' {
-                        code.push(b' ');
-                        i += 1;
-                        if i < n {
-                            blank!(bytes[i]);
-                            i += 1;
-                        }
-                    } else if bytes[i] == b'\n' {
-                        break; // malformed literal: bail out of the scan
+            for part in rest[..close].split(',') {
+                let part = part.trim();
+                let (id, all) = match part.split_once(':') {
+                    Some((id, modifier)) => (id.trim(), modifier.trim() == "all"),
+                    None => (part, false),
+                };
+                if let Some(lint) = Lint::from_id(id) {
+                    let bucket = if all {
+                        &mut scope.all_fns
                     } else {
-                        code.push(b' ');
-                        i += 1;
+                        &mut scope.decode_named
+                    };
+                    if !bucket.contains(&lint) {
+                        bucket.push(lint);
                     }
                 }
-                if i < n && bytes[i] == b'\'' {
-                    code.push(b' ');
-                    i += 1;
-                }
             }
-        } else {
-            if b == b'\n' {
-                line += 1;
-            }
-            code.push(b);
-            i += 1;
+            rest = &rest[close..];
         }
     }
-    Lexed { code, comments }
+    scope
 }
 
 // ---------------------------------------------------------------------------
-// Structural helpers over lexed code
+// Path classification
 // ---------------------------------------------------------------------------
 
-fn line_starts(code: &[u8]) -> Vec<usize> {
-    let mut starts = vec![0usize];
-    for (i, &b) in code.iter().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
+fn is_vendor_path(rel: &str) -> bool {
+    rel.starts_with("vendor/")
+}
+
+/// Integration-test files: every byte is test code.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests")
+}
+
+/// Files that are not library code (tests, benches, examples).
+fn is_nonlib_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+/// First-party library source (in scope for L5's construction leg).
+fn is_first_party_lib(rel: &str) -> bool {
+    !is_vendor_path(rel)
+        && !is_nonlib_path(rel)
+        && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
+}
+
+/// The always-on decode-path scope of L2/L3: `szhi-codec` and the
+/// container modules of `szhi-core`. Other files opt in via a
+/// `szhi-analyzer: scope(...)` directive.
+fn in_decode_scope(rel: &str) -> bool {
+    rel.starts_with("crates/codec/src/")
+        || rel == "crates/core/src/format.rs"
+        || rel == "crates/core/src/stream.rs"
+}
+
+/// Function-name keywords that mark a function as a decode path. Matched as
+/// substrings of the function name; encode-side names (`encode`, `compress`,
+/// `pack`, `finish`, …) deliberately match none of them.
+const DECODE_FN_KEYWORDS: &[&str] = &[
+    "decode",
+    "decompress",
+    "unpack",
+    "unpass",
+    "read",
+    "parse",
+    "validate",
+    "verif",
+    "restore",
+    "take",
+    "peek",
+    "refill",
+    "consume",
+    "fetch",
+    "resolve",
+    "get_",
+    "from_bytes",
+    "stream_version",
+    "reject",
+    "expect_chunked",
+    "checked_count",
+];
+
+fn is_decode_fn(name: &str) -> bool {
+    DECODE_FN_KEYWORDS.iter().any(|k| name.contains(k))
+}
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (array/slice literals and patterns).
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "return", "break", "in", "else", "match", "if", "while", "let", "mut", "ref", "move", "for",
+    "loop", "as", "dyn", "where", "impl", "const", "static",
+];
+
+/// Heuristic: `[` is an index expression if it directly follows an
+/// identifier, `)`, `]` or `?` (rustfmt leaves no space there), and the
+/// preceding identifier is not a keyword.
+pub(crate) fn is_index_expr(code: &[u8], pos: usize) -> bool {
+    if pos == 0 {
+        return false;
     }
-    starts
+    let prev = code[pos - 1];
+    if prev == b')' || prev == b']' || prev == b'?' {
+        return true;
+    }
+    if !is_ident_byte(prev) {
+        return false;
+    }
+    let mut s = pos - 1;
+    while s > 0 && is_ident_byte(code[s - 1]) {
+        s -= 1;
+    }
+    let ident = String::from_utf8_lossy(&code[s..pos]);
+    !PRE_BRACKET_KEYWORDS.contains(&ident.as_ref())
 }
 
-fn line_of(starts: &[usize], pos: usize) -> usize {
-    starts.partition_point(|&s| s <= pos)
-}
-
-fn find(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    hay.get(from..)?
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
-}
-
-/// Position of the `}` matching the `{` at `open`.
-fn match_brace(code: &[u8], open: usize) -> Option<usize> {
+/// Whether the parenthesised argument list opening at `open` contains
+/// `needle` (used to accept `with_capacity(decode_capacity(...))`).
+fn paren_contains(code: &[u8], open: usize, needle: &[u8]) -> bool {
+    if code.get(open) != Some(&b'(') {
+        return false;
+    }
     let mut depth = 0usize;
+    let mut end = open;
     for (k, &b) in code.iter().enumerate().skip(open) {
         match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth = depth.checked_sub(1)?;
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
                 if depth == 0 {
-                    return Some(k);
+                    end = k;
+                    break;
                 }
             }
             _ => {}
         }
     }
-    None
+    find(&code[..end], needle, open).is_some()
 }
 
-/// Byte ranges covered by `#[cfg(test)]` items (the attribute through the
-/// end of the item it gates).
-fn test_regions(code: &[u8]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let pat = b"cfg(test)";
-    let mut from = 0usize;
-    while let Some(p) = find(code, pat, from) {
-        let mut k = p + pat.len();
-        let mut end = code.len();
-        while k < code.len() {
-            match code[k] {
-                b'{' => {
-                    end = match_brace(code, k).map_or(code.len(), |c| c + 1);
-                    break;
-                }
-                b';' => {
-                    end = k + 1;
-                    break;
-                }
-                _ => k += 1,
-            }
-        }
-        out.push((p, end));
-        from = end.max(p + 1);
-    }
-    out
-}
-
-fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
-    regions.iter().any(|&(s, e)| pos >= s && pos < e)
-}
+// ---------------------------------------------------------------------------
+// Per-file lints: L1 no-unsafe, L2 no-panic-decode, L3 capped-alloc
+// ---------------------------------------------------------------------------
 
 /// A named function and the byte range of its body (braces inclusive).
 struct FnRegion {
@@ -463,170 +442,10 @@ fn enclosing_fn(fns: &[FnRegion], pos: usize) -> Option<&FnRegion> {
         .min_by_key(|f| f.end - f.start)
 }
 
-// ---------------------------------------------------------------------------
-// Suppression comments
-// ---------------------------------------------------------------------------
-
-const ALLOW_MARKER: &str = "szhi-analyzer: allow(";
-
-/// Whether `text` carries a well-formed suppression for `id`:
-/// `szhi-analyzer: allow(<ids>) -- <non-empty reason>`.
-fn comment_allows(text: &str, id: &str) -> bool {
-    let Some(p) = text.find(ALLOW_MARKER) else {
-        return false;
-    };
-    let rest = &text[p + ALLOW_MARKER.len()..];
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    let ids = &rest[..close];
-    let after = &rest[close + 1..];
-    let Some(dash) = after.find("--") else {
-        return false;
-    };
-    if after[dash + 2..].trim().is_empty() {
-        return false; // a reason is mandatory
-    }
-    ids.split(',').any(|s| s.trim() == id)
-}
-
-/// Suppression applies on the violation's own line or the line above.
-fn is_suppressed(comments: &HashMap<usize, String>, line: usize, lint: Lint) -> bool {
-    [line, line.saturating_sub(1)]
-        .iter()
-        .filter(|&&l| l > 0)
-        .any(|l| {
-            comments
-                .get(l)
-                .is_some_and(|t| comment_allows(t, lint.id()))
-        })
-}
-
-// ---------------------------------------------------------------------------
-// Path classification
-// ---------------------------------------------------------------------------
-
-fn is_vendor_path(rel: &str) -> bool {
-    rel.starts_with("vendor/")
-}
-
-/// Integration-test files: every byte is test code.
-fn is_test_path(rel: &str) -> bool {
-    rel.split('/').any(|c| c == "tests")
-}
-
-/// Files that are not library code (tests, benches, examples).
-fn is_nonlib_path(rel: &str) -> bool {
-    rel.split('/')
-        .any(|c| matches!(c, "tests" | "benches" | "examples"))
-}
-
-/// First-party library source (in scope for L5's construction leg).
-fn is_first_party_lib(rel: &str) -> bool {
-    !is_vendor_path(rel)
-        && !is_nonlib_path(rel)
-        && (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
-}
-
-/// The decode-path scope of L2/L3: `szhi-codec` and the container modules
-/// of `szhi-core`.
-fn in_decode_scope(rel: &str) -> bool {
-    rel.starts_with("crates/codec/src/")
-        || rel == "crates/core/src/format.rs"
-        || rel == "crates/core/src/stream.rs"
-}
-
-/// Function-name keywords that mark a function as a decode path. Matched as
-/// substrings of the function name; encode-side names (`encode`, `compress`,
-/// `pack`, `finish`, …) deliberately match none of them.
-const DECODE_FN_KEYWORDS: &[&str] = &[
-    "decode",
-    "decompress",
-    "unpack",
-    "unpass",
-    "read",
-    "parse",
-    "validate",
-    "verif",
-    "restore",
-    "take",
-    "peek",
-    "refill",
-    "consume",
-    "fetch",
-    "resolve",
-    "get_",
-    "from_bytes",
-    "stream_version",
-    "reject",
-    "expect_chunked",
-    "checked_count",
-];
-
-fn is_decode_fn(name: &str) -> bool {
-    DECODE_FN_KEYWORDS.iter().any(|k| name.contains(k))
-}
-
-/// Keywords that can directly precede a `[` without it being an index
-/// expression (array/slice literals and patterns).
-const PRE_BRACKET_KEYWORDS: &[&str] = &[
-    "return", "break", "in", "else", "match", "if", "while", "let", "mut", "ref", "move", "for",
-    "loop", "as", "dyn", "where", "impl", "const", "static",
-];
-
-/// Heuristic: `[` is an index expression if it directly follows an
-/// identifier, `)`, `]` or `?` (rustfmt leaves no space there), and the
-/// preceding identifier is not a keyword.
-fn is_index_expr(code: &[u8], pos: usize) -> bool {
-    if pos == 0 {
-        return false;
-    }
-    let prev = code[pos - 1];
-    if prev == b')' || prev == b']' || prev == b'?' {
-        return true;
-    }
-    if !is_ident_byte(prev) {
-        return false;
-    }
-    let mut s = pos - 1;
-    while s > 0 && is_ident_byte(code[s - 1]) {
-        s -= 1;
-    }
-    let ident = String::from_utf8_lossy(&code[s..pos]);
-    !PRE_BRACKET_KEYWORDS.contains(&ident.as_ref())
-}
-
-/// Whether the parenthesised argument list opening at `open` contains
-/// `needle` (used to accept `with_capacity(decode_capacity(...))`).
-fn paren_contains(code: &[u8], open: usize, needle: &[u8]) -> bool {
-    if code.get(open) != Some(&b'(') {
-        return false;
-    }
-    let mut depth = 0usize;
-    let mut end = open;
-    for (k, &b) in code.iter().enumerate().skip(open) {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = k;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    find(&code[..end], needle, open).is_some()
-}
-
-// ---------------------------------------------------------------------------
-// Per-file lints: L1 no-unsafe, L2 no-panic-decode, L3 capped-alloc
-// ---------------------------------------------------------------------------
-
 /// Runs the per-file lints (L1, L2, L3) over one source file. `rel` is the
 /// workspace-relative `/`-separated path, which selects the applicable
-/// scopes (vendor for L1, decode modules for L2/L3).
+/// scopes (vendor for L1, decode modules plus `scope(...)` directives for
+/// L2/L3).
 pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     let lexed = lex(source);
     let code = &lexed.code;
@@ -634,7 +453,9 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     let tests = test_regions(code);
     let fns = fn_regions(code);
     let vendor = is_vendor_path(rel);
-    let decode_scope = in_decode_scope(rel) && !is_test_path(rel);
+    let scope = parse_scope(&lexed.comments);
+    let legacy_decode = in_decode_scope(rel) && !is_test_path(rel);
+    let scan_decode = (legacy_decode || !scope.is_empty()) && !is_test_path(rel);
     let mut out = Vec::new();
     let push = |out: &mut Vec<Violation>, lint: Lint, pos: usize, message: String| {
         let line = line_of(&starts, pos);
@@ -644,6 +465,7 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
                 file: rel.to_string(),
                 line,
                 message,
+                notes: Vec::new(),
             });
         }
     };
@@ -688,8 +510,8 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
         }
     }
 
-    // L2 + L3: decode-path scans.
-    if decode_scope {
+    // L2 + L3: decode-path scans (legacy path list plus scope directives).
+    if scan_decode {
         let mut i = 0usize;
         while i < code.len() {
             let at_ident = i == 0 || !is_ident_byte(code[i - 1]);
@@ -727,8 +549,13 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
             if let Some((lint, message)) = hit {
                 if !in_regions(&tests, i) {
                     if let Some(f) = enclosing_fn(&fns, i) {
-                        if is_decode_fn(&f.name) {
+                        let decode_scoped = (legacy_decode || scope.decode_named.contains(&lint))
+                            && is_decode_fn(&f.name);
+                        if decode_scoped {
                             let message = format!("{message} in decode path `{}`", f.name);
+                            push(&mut out, lint, i, message);
+                        } else if scope.all_fns.contains(&lint) {
+                            let message = format!("{message} in `{}`", f.name);
                             push(&mut out, lint, i, message);
                         }
                     }
@@ -822,6 +649,7 @@ pub fn lint_spec_drift(format_rs: &str, format_md: &str) -> Vec<Violation> {
                 file: FORMAT_RS.to_string(),
                 line,
                 message,
+                notes: Vec::new(),
             });
         }
     };
@@ -875,6 +703,131 @@ pub fn lint_spec_drift(format_rs: &str, format_md: &str) -> Vec<Violation> {
             line: 1,
             message: "no magic/size/version constants could be extracted from format.rs"
                 .to_string(),
+            notes: Vec::new(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L4 (cli leg): args.rs cross-checked against docs/CLI.md
+// ---------------------------------------------------------------------------
+
+/// Whether `md` mentions `flag` as a whole token (`--chunk` must not be
+/// satisfied by `--chunk-span`).
+fn contains_flag(md: &str, flag: &str) -> bool {
+    let bytes = md.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = md.get(from..).and_then(|h| h.find(flag)) {
+        let abs = from + p;
+        let after = bytes.get(abs + flag.len());
+        let after_ok = !matches!(after, Some(b) if b.is_ascii_lowercase() || *b == b'-');
+        if after_ok {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+/// Cross-checks the CLI surface declared in `crates/cli/src/args.rs`
+/// against `docs/CLI.md`: every dispatched subcommand, every `"--flag"`
+/// literal and every exit code on the `exit codes:` usage line must be
+/// stated in the doc (same word-boundary rules as the FORMAT.md pass).
+pub fn lint_cli_drift(args_rs: &str, cli_md: &str) -> Vec<Violation> {
+    const ARGS_RS: &str = "crates/cli/src/args.rs";
+    let comments = lex(args_rs).comments;
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, line: usize, message: String| {
+        if !is_suppressed(&comments, line, Lint::SpecDrift) {
+            out.push(Violation {
+                lint: Lint::SpecDrift,
+                file: ARGS_RS.to_string(),
+                line,
+                message,
+                notes: Vec::new(),
+            });
+        }
+    };
+    let mut subcommands = 0usize;
+    let mut flags_seen: Vec<String> = Vec::new();
+    for (idx, raw) in args_rs.lines().enumerate() {
+        let line_no = idx + 1;
+        // Subcommand dispatch arms: `"encode" => parse_encode(...)`.
+        if let Some(arrow) = raw.find("\" => parse_") {
+            let head = &raw[..arrow];
+            if let Some(open) = head.rfind('"') {
+                let name = &head[open + 1..];
+                if !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                {
+                    subcommands += 1;
+                    if !contains_word(cli_md, name) {
+                        push(
+                            &mut out,
+                            line_no,
+                            format!("docs/CLI.md does not document the `{name}` subcommand"),
+                        );
+                    }
+                }
+            }
+        }
+        // Exact `"--flag"` string literals (match arms and alias lists).
+        let mut from = 0usize;
+        while let Some(p) = raw.get(from..).and_then(|h| h.find("\"--")) {
+            let abs = from + p;
+            let rest = &raw[abs + 1..];
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !(c.is_ascii_lowercase() || *c == '-'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let flag = &rest[..end];
+            if rest[end..].starts_with('"')
+                && flag.len() > 2
+                && !flags_seen.contains(&flag.to_string())
+            {
+                flags_seen.push(flag.to_string());
+                if !contains_flag(cli_md, flag) {
+                    push(
+                        &mut out,
+                        line_no,
+                        format!("docs/CLI.md does not document the `{flag}` flag"),
+                    );
+                }
+            }
+            from = abs + 3;
+        }
+        // Exit codes from the usage text's `exit codes:` line.
+        if let Some(p) = raw.find("exit codes:") {
+            let codes: Vec<String> = raw[p..]
+                .chars()
+                .filter(|c| c.is_ascii_digit())
+                .map(|c| c.to_string())
+                .collect();
+            if !codes.is_empty() {
+                subcommands += 1; // the usage line counts as extractable surface
+            }
+            for code in codes {
+                if !contains_word(cli_md, &code) {
+                    push(
+                        &mut out,
+                        line_no,
+                        format!("docs/CLI.md does not state exit code {code}"),
+                    );
+                }
+            }
+        }
+    }
+    if subcommands == 0 && flags_seen.is_empty() {
+        out.push(Violation {
+            lint: Lint::SpecDrift,
+            file: ARGS_RS.to_string(),
+            line: 1,
+            message: "no subcommands/flags/exit codes could be extracted from args.rs".to_string(),
+            notes: Vec::new(),
         });
     }
     out
@@ -999,6 +952,7 @@ pub fn lint_error_coverage(files: &[(String, String)]) -> Vec<Violation> {
             file: "crates/core/src/error.rs".to_string(),
             line: 1,
             message: "no `pub enum SzhiError` found in first-party library code".to_string(),
+            notes: Vec::new(),
         }];
     };
 
@@ -1036,6 +990,7 @@ pub fn lint_error_coverage(files: &[(String, String)]) -> Vec<Violation> {
                     file: enum_rel.clone(),
                     line: *line,
                     message,
+                    notes: Vec::new(),
                 });
             }
         };
@@ -1054,8 +1009,203 @@ pub fn lint_error_coverage(files: &[(String, String)]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// L5 (cli leg): every usage-error message in args.rs pinned by a test
+// ---------------------------------------------------------------------------
+
+/// Reads a Rust string literal starting at the `"` at `pos` in raw
+/// source, resolving `\"`, `\\`, `\n`, `\t` and backslash-newline
+/// continuations. Returns the decoded content.
+fn read_string_literal(src: &[u8], pos: usize) -> Option<String> {
+    if src.get(pos) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = pos + 1;
+    while i < src.len() {
+        match src[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                i += 1;
+                match src.get(i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'\n' => {
+                        // Line continuation: skip the newline and the
+                        // indentation that follows.
+                        i += 1;
+                        while matches!(src.get(i), Some(b' ') | Some(b'\t')) {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    &b => out.push(b as char),
+                }
+                i += 1;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// The longest literal segment of a format string, between `{...}`
+/// placeholders (`{{`/`}}` decoded as literal braces).
+fn longest_literal_segment(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut segments: Vec<String> = vec![String::new()];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' if bytes.get(i + 1) == Some(&b'{') => {
+                if let Some(seg) = segments.last_mut() {
+                    seg.push('{');
+                }
+                i += 2;
+            }
+            b'}' if bytes.get(i + 1) == Some(&b'}') => {
+                if let Some(seg) = segments.last_mut() {
+                    seg.push('}');
+                }
+                i += 2;
+            }
+            b'{' => {
+                // A placeholder: skip to the matching `}` and start a new
+                // segment.
+                while i < bytes.len() && bytes[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+                segments.push(String::new());
+            }
+            b => {
+                if let Some(seg) = segments.last_mut() {
+                    seg.push(b as char);
+                }
+                i += 1;
+            }
+        }
+    }
+    segments
+        .into_iter()
+        .map(|seg| seg.trim().to_string())
+        .max_by_key(|seg| seg.len())
+        .unwrap_or_default()
+}
+
+/// L5 cli leg: every `usage(...)` error message constructed in
+/// `crates/cli/src/args.rs` must be pinned by a test — its longest
+/// literal segment must appear verbatim inside test code somewhere in the
+/// workspace (the args.rs test table asserting exit code 2 and the
+/// message text). Messages too short to pin robustly (< 8 chars of
+/// literal text) are skipped.
+pub fn lint_usage_pins(files: &[(String, String)]) -> Vec<Violation> {
+    const ARGS_RS: &str = "crates/cli/src/args.rs";
+    let Some((_, args_src)) = files.iter().find(|(rel, _)| rel == ARGS_RS) else {
+        return Vec::new(); // no cli crate in this tree: nothing to pin
+    };
+    let lexed = lex(args_src);
+    let starts = line_starts(&lexed.code);
+    let tests = test_regions(&lexed.code);
+    let raw = args_src.as_bytes();
+
+    // Collect the usage messages: `usage("...")` / `usage(format!("..."))`
+    // call sites outside test code. Blanking preserves byte offsets, so
+    // positions found in lexed code index the raw source directly.
+    let mut messages: Vec<(usize, String)> = Vec::new(); // (line, segment)
+    let mut from = 0usize;
+    while let Some(p) = find(&lexed.code, b"usage(", from) {
+        from = p + 1;
+        if (p > 0 && is_ident_byte(lexed.code[p - 1])) || in_regions(&tests, p) {
+            continue; // an identifier tail (`USAGE(`-like) or test code
+        }
+        // Skip the definition `fn usage(msg: String)`.
+        if let Some((pp, prev)) = lexer::prev_nonspace(&lexed.code, p) {
+            if is_ident_byte(prev) {
+                if let Some((_, word)) = lexer::ident_before(&lexed.code, pp + 1) {
+                    if word == b"fn" {
+                        continue;
+                    }
+                }
+            }
+        }
+        // Find the string literal: directly, or behind `format!(`.
+        let mut q = p + 6;
+        while matches!(raw.get(q), Some(b' ') | Some(b'\n') | Some(b'\t')) {
+            q += 1;
+        }
+        if raw[q..].starts_with(b"format!(") {
+            q += 8;
+            while matches!(raw.get(q), Some(b' ') | Some(b'\n') | Some(b'\t')) {
+                q += 1;
+            }
+        }
+        let Some(content) = read_string_literal(raw, q) else {
+            continue; // not a literal (e.g. `usage(msg)` forwarding)
+        };
+        let segment = longest_literal_segment(&content);
+        if segment.len() >= 8 {
+            messages.push((line_of(&starts, p), segment));
+        }
+    }
+
+    // A message is pinned when its segment appears inside test code.
+    let pinned = |segment: &str| -> bool {
+        files.iter().any(|(rel, src)| {
+            if is_vendor_path(rel) {
+                return false;
+            }
+            let whole_test = is_test_path(rel);
+            let code = lex(src).code;
+            let regions = test_regions(&code);
+            let mut from = 0usize;
+            // Search the raw source: the segment lives inside test string
+            // literals, which the lexer blanks.
+            while let Some(pos) = find(src.as_bytes(), segment.as_bytes(), from) {
+                if whole_test || in_regions(&regions, pos) {
+                    return true;
+                }
+                from = pos + 1;
+            }
+            false
+        })
+    };
+
+    let mut out = Vec::new();
+    for (line, segment) in messages {
+        if is_suppressed(&lexed.comments, line, Lint::ErrorCoverage) {
+            continue;
+        }
+        if !pinned(&segment) {
+            out.push(Violation {
+                lint: Lint::ErrorCoverage,
+                file: ARGS_RS.to_string(),
+                line,
+                message: format!(
+                    "usage-error message \"{segment}\" has no test pinning its exit code and text"
+                ),
+                notes: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
+
+/// A full analysis result: summary metrics plus the findings.
+pub struct AnalysisReport {
+    /// Function-table and call-graph statistics.
+    pub metrics: Metrics,
+    /// All findings, sorted by file, line and lint.
+    pub violations: Vec<Violation>,
+}
 
 /// Walks a workspace root and runs the selected lints.
 pub struct Analyzer {
@@ -1084,6 +1234,11 @@ impl Analyzer {
     /// `target/`, `.git/` and fixture directories). Violations are sorted
     /// by file, line and lint.
     pub fn run(&self) -> io::Result<Vec<Violation>> {
+        self.run_report().map(|r| r.violations)
+    }
+
+    /// Like [`Analyzer::run`], also returning the summary metrics.
+    pub fn run_report(&self) -> io::Result<AnalysisReport> {
         let mut files: Vec<(String, String)> = Vec::new();
         collect_rs(&self.root, &self.root, &mut files)?;
         files.sort();
@@ -1108,14 +1263,70 @@ impl Analyzer {
                     line: 1,
                     message: "format.rs or docs/FORMAT.md not found; cannot cross-check the spec"
                         .to_string(),
+                    notes: Vec::new(),
+                }),
+            }
+            let args_rs = files
+                .iter()
+                .find(|(rel, _)| rel == "crates/cli/src/args.rs");
+            let cli_md = fs::read_to_string(self.root.join("docs/CLI.md"));
+            match (args_rs, cli_md) {
+                (Some((_, src)), Ok(md)) => out.extend(lint_cli_drift(src, &md)),
+                _ => out.push(Violation {
+                    lint: Lint::SpecDrift,
+                    file: "docs/CLI.md".to_string(),
+                    line: 1,
+                    message: "args.rs or docs/CLI.md not found; cannot cross-check the CLI doc"
+                        .to_string(),
+                    notes: Vec::new(),
                 }),
             }
         }
         if self.lints.contains(&Lint::ErrorCoverage) {
             out.extend(lint_error_coverage(&files));
+            out.extend(lint_usage_pins(&files));
         }
+
+        // The call-graph lints: L6/L7 over first-party code, L8 over the
+        // vendored pool.
+        let first_party: Vec<(String, String)> = files
+            .iter()
+            .filter(|(rel, _)| !is_vendor_path(rel))
+            .cloned()
+            .collect();
+        let ws = Workspace::from_sources(&first_party);
+        let cg = graph::CallGraph::build(&ws);
+        let vendor_files: Vec<(String, String)> = files
+            .iter()
+            .filter(|(rel, _)| rel.starts_with("vendor/rayon/"))
+            .cloned()
+            .collect();
+        let vws = Workspace::from_sources(&vendor_files);
+        let vcg = graph::CallGraph::build(&vws);
+        let metrics = Metrics {
+            files: files.len(),
+            functions: ws.fns.len() + vws.fns.len(),
+            calls: cg.calls + vcg.calls,
+            resolved_edges: cg.resolved_edges + vcg.resolved_edges,
+            unresolved_calls: cg.unresolved_calls + vcg.unresolved_calls,
+            panic_roots: graph::l6_roots(&ws).len(),
+            alloc_roots: graph::l7_roots(&ws).len(),
+        };
+        if self.lints.contains(&Lint::PanicReachability) {
+            out.extend(graph::lint_panic_reachability(&ws, &cg));
+        }
+        if self.lints.contains(&Lint::SteadyAlloc) {
+            out.extend(graph::lint_steady_alloc(&ws, &cg));
+        }
+        if self.lints.contains(&Lint::PoolInvariant) {
+            out.extend(graph::lint_pool_invariants(&vws, &vcg));
+        }
+
         out.sort_by(|a, b| (&a.file, a.line, a.lint.id()).cmp(&(&b.file, b.line, b.lint.id())));
-        Ok(out)
+        Ok(AnalysisReport {
+            metrics,
+            violations: out,
+        })
     }
 }
 

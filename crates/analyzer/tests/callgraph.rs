@@ -1,0 +1,304 @@
+//! Fixture tests for the call-graph engine: name resolution, conservatism
+//! (unresolved calls are recorded, never dropped), cycle termination, and
+//! the transitive lints' chain reporting in both text and JSON.
+
+use szhi_analyzer::graph::{CallGraph, Qualifier};
+use szhi_analyzer::report;
+use szhi_analyzer::Workspace;
+
+fn ws_of(files: &[(&str, &str)]) -> Workspace {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), src.to_string()))
+        .collect();
+    Workspace::from_sources(&sources)
+}
+
+#[test]
+fn bare_call_prefers_free_fn_over_method_of_same_name() {
+    let ws = ws_of(&[(
+        "crates/x/src/lib.rs",
+        r#"
+struct A;
+impl A {
+    fn go(&self) -> usize {
+        work()
+    }
+    fn via_self(&self) -> usize {
+        self.work()
+    }
+    fn work(&self) -> usize {
+        1
+    }
+}
+fn work() -> usize {
+    2
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let free_work = ws.find_fn("work", None).expect("free work");
+    let method_work = ws.find_fn("work", Some("A")).expect("A::work");
+
+    let go = ws.find_fn("go", Some("A")).expect("A::go");
+    assert_eq!(graph.callees(go), vec![free_work], "bare call → free fn");
+
+    let via_self = ws.find_fn("via_self", Some("A")).expect("A::via_self");
+    assert_eq!(
+        graph.callees(via_self),
+        vec![method_work],
+        "self.work() → the enclosing impl's method"
+    );
+}
+
+#[test]
+fn same_method_name_on_two_types_resolves_by_owner() {
+    let ws = ws_of(&[(
+        "crates/x/src/lib.rs",
+        r#"
+struct B;
+struct C;
+impl B {
+    fn ping(&self) -> usize {
+        1
+    }
+}
+impl C {
+    fn ping(&self) -> usize {
+        2
+    }
+}
+fn drive_b(b: &B) -> usize {
+    B::ping(b)
+}
+fn drive_unknown(b: &B) -> usize {
+    (*b).ping()
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let b_ping = ws.find_fn("ping", Some("B")).expect("B::ping");
+    let c_ping = ws.find_fn("ping", Some("C")).expect("C::ping");
+
+    let drive_b = ws.find_fn("drive_b", None).unwrap();
+    assert_eq!(
+        graph.callees(drive_b),
+        vec![b_ping],
+        "Type::method resolves to that type's impl only"
+    );
+
+    let drive_unknown = ws.find_fn("drive_unknown", None).unwrap();
+    let mut callees = graph.callees(drive_unknown);
+    callees.sort_unstable();
+    assert_eq!(
+        callees,
+        vec![b_ping, c_ping],
+        "a method on an unknown receiver conservatively fans out to every impl"
+    );
+}
+
+#[test]
+fn local_nested_fn_shadows_the_free_fn() {
+    let ws = ws_of(&[(
+        "crates/x/src/lib.rs",
+        r#"
+fn outer() -> usize {
+    fn helper() -> usize {
+        1
+    }
+    helper()
+}
+fn helper() -> usize {
+    2
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let outer = ws.find_fn("outer", None).unwrap();
+    let callees = graph.callees(outer);
+    assert_eq!(
+        callees.len(),
+        1,
+        "exactly one resolution for the shadowed name"
+    );
+    let callee = &ws.fns[callees[0]];
+    assert_eq!(callee.name, "helper");
+    let outer_body = ws.fns[outer].body;
+    assert!(
+        callee.body.0 > outer_body.0 && callee.body.1 < outer_body.1,
+        "the nested helper (inside outer's body) wins over the free helper"
+    );
+}
+
+#[test]
+fn macro_calls_are_recorded_as_unresolved_not_dropped() {
+    let ws = ws_of(&[(
+        "crates/x/src/lib.rs",
+        r#"
+fn uses_macro() -> String {
+    format!("{}", 1)
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    assert!(graph.calls >= 1);
+    assert!(graph.unresolved_calls >= 1);
+    let site = graph
+        .unresolved
+        .iter()
+        .find(|s| s.name == "format")
+        .expect("the format! invocation is recorded");
+    assert_eq!(site.qualifier, Qualifier::Macro);
+}
+
+#[test]
+fn call_cycles_terminate_the_reachability_walk() {
+    let ws = ws_of(&[(
+        "crates/core/src/cyclic.rs",
+        r#"
+pub fn decompress_cycle(n: usize) -> usize {
+    a_step(n)
+}
+fn a_step(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        b_step(n - 1)
+    }
+}
+fn b_step(n: usize) -> usize {
+    a_step(n)
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    // `decompress_cycle` is an L6 root; the a↔b cycle must not hang or
+    // overflow the walk, and a panic-free cycle yields no findings.
+    let violations = szhi_analyzer::graph::lint_panic_reachability(&ws, &graph);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn transitive_panic_chain_is_reported_with_the_full_path() {
+    let ws = ws_of(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn decompress_entry(stream: &[u8]) -> usize {
+    helper_mid(stream)
+}
+fn helper_mid(stream: &[u8]) -> usize {
+    helper_leaf(stream)
+}
+fn helper_leaf(stream: &[u8]) -> usize {
+    stream.first().copied().unwrap() as usize
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let violations = szhi_analyzer::graph::lint_panic_reachability(&ws, &graph);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.file, "crates/core/src/fixture.rs");
+
+    // Text: the Display form carries the whole chain, entry to panic site.
+    let text = v.to_string();
+    assert!(text.contains("[panic-reachability]"), "{text}");
+    assert!(text.contains("entry `decompress_entry`"), "{text}");
+    assert!(text.contains("`helper_mid`"), "{text}");
+    assert!(text.contains("`helper_leaf`"), "{text}");
+    assert!(text.contains("call to `.unwrap()`"), "{text}");
+
+    // JSON: the same chain rides along in the notes array, and the report
+    // parses back with our own reader.
+    let json = report::to_json(&report::Metrics::default(), &violations);
+    let doc = report::parse_json(&json).expect("report JSON parses");
+    let viol = doc.get("violations").expect("violations member");
+    let szhi_analyzer::report::Json::Arr(items) = viol else {
+        panic!("violations is not an array")
+    };
+    assert_eq!(items.len(), 1);
+    let notes = items[0].get("notes").expect("notes member");
+    let szhi_analyzer::report::Json::Arr(notes) = notes else {
+        panic!("notes is not an array")
+    };
+    let joined: Vec<&str> = notes.iter().filter_map(|n| n.as_str()).collect();
+    assert!(joined
+        .iter()
+        .any(|n| n.contains("entry `decompress_entry`")));
+    assert!(joined.iter().any(|n| n.contains("`helper_mid`")));
+    assert!(joined.iter().any(|n| n.contains("`helper_leaf`")));
+    assert!(joined.last().is_some_and(|n| n.contains(".unwrap()")));
+}
+
+#[test]
+fn suppression_at_a_call_site_cuts_the_whole_chain() {
+    let ws = ws_of(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn decompress_entry(stream: &[u8]) -> usize {
+    // szhi-analyzer: allow(panic-reachability) -- fixture: the callee is length-checked upstream
+    helper_mid(stream)
+}
+fn helper_mid(stream: &[u8]) -> usize {
+    stream.first().copied().unwrap() as usize
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let violations = szhi_analyzer::graph::lint_panic_reachability(&ws, &graph);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn warm_path_allocations_are_flagged_and_scratch_routes_accepted() {
+    let ws = ws_of(&[(
+        "crates/core/src/warm.rs",
+        r#"
+pub fn compress_into(out: &mut Vec<u8>) {
+    fill(out);
+}
+fn fill(out: &mut Vec<u8>) {
+    let tmp: Vec<u8> = Vec::new();
+    let scratch_buf: Vec<u8> = Vec::with_capacity(16); // reused scratch
+    out.extend_from_slice(&tmp);
+    out.extend_from_slice(&scratch_buf);
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let violations = szhi_analyzer::graph::lint_steady_alloc(&ws, &graph);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(
+        violations[0].to_string().contains("`Vec::new()`"),
+        "{}",
+        violations[0]
+    );
+}
+
+#[test]
+fn baseline_passes_known_findings_and_fails_new_ones() {
+    let ws = ws_of(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn decompress_entry(stream: &[u8]) -> usize {
+    stream.first().copied().unwrap() as usize
+}
+"#,
+    )]);
+    let graph = CallGraph::build(&ws);
+    let violations = szhi_analyzer::graph::lint_panic_reachability(&ws, &graph);
+    assert_eq!(violations.len(), 1);
+
+    // A baseline generated from this very report marks the finding known.
+    let baseline_json = report::to_json(&report::Metrics::default(), &violations);
+    let keys = report::parse_baseline(&baseline_json).expect("baseline parses");
+    let (known, fresh) = report::split_by_baseline(violations.clone(), &keys);
+    assert_eq!(known.len(), 1);
+    assert!(fresh.is_empty(), "an old finding must not fail the gate");
+
+    // An empty baseline leaves the same finding fresh — the gate fails.
+    let empty = report::parse_baseline(r#"{"violations": []}"#).expect("empty baseline");
+    let (known, fresh) = report::split_by_baseline(violations, &empty);
+    assert!(known.is_empty());
+    assert_eq!(fresh.len(), 1, "a new finding must fail the gate");
+}

@@ -1,23 +1,126 @@
 //! Meta-test: the analyzer must run clean over the real workspace. This is
 //! the same invocation CI enforces (`szhi-analyzer --deny-all`), so a
 //! violation introduced anywhere in the tree fails `cargo test` too.
+//!
+//! Beyond "no findings", the suite pins what *clean* means: the transitive
+//! lints actually found their entry points (a rename that empties the root
+//! sets would otherwise pass vacuously), and every suppression comment in
+//! the tree carries a written reason.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use szhi_analyzer::Analyzer;
 
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 #[test]
 fn workspace_has_no_violations() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let violations = Analyzer::new(root).run().expect("walking the workspace");
+    let report = Analyzer::new(workspace_root())
+        .run_report()
+        .expect("walking the workspace");
     assert!(
-        violations.is_empty(),
+        report.violations.is_empty(),
         "szhi-analyzer found {} violation(s):\n{}",
-        violations.len(),
-        violations
+        report.violations.len(),
+        report
+            .violations
             .iter()
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The decode/serve entry points and warm-path roots must exist in the
+/// tree: together with `workspace_has_no_violations` this asserts the
+/// entry points are transitively panic-free (L6) and the warm encode path
+/// is statically allocation-free (L7) — not that the lints had nothing to
+/// check.
+#[test]
+fn transitive_lints_found_their_roots() {
+    let report = Analyzer::new(workspace_root())
+        .run_report()
+        .expect("walking the workspace");
+    assert!(
+        report.metrics.panic_roots > 0,
+        "no panic-reachability entry points found — did the decode/serve API get renamed?"
+    );
+    assert!(
+        report.metrics.alloc_roots > 0,
+        "no steady-alloc warm-path roots found — did the encode API get renamed?"
+    );
+    assert!(report.metrics.functions > 0);
+    assert!(report.metrics.resolved_edges > 0);
+    assert!(
+        report.metrics.unresolved_calls > 0,
+        "zero unresolved calls is implausible (std/extern calls are recorded, not dropped)"
+    );
+}
+
+/// Every `szhi-analyzer: allow(...)` comment in the tree must carry a
+/// ` -- <reason>` tail. The analyzer already treats a reasonless allow as
+/// inert (the finding still fires), but an inert allow left in the tree is
+/// a lie to the next reader — fail loudly instead.
+#[test]
+fn every_suppression_carries_a_reason() {
+    let root = workspace_root();
+    let mut rs_files = Vec::new();
+    collect_rs(&root, &mut rs_files);
+    assert!(rs_files.len() > 50, "workspace walk looks broken");
+    let mut bad = Vec::new();
+    let mut seen = 0usize;
+    for path in &rs_files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        for (idx, line) in src.lines().enumerate() {
+            let Some(p) = line.find("szhi-analyzer: allow(") else {
+                continue;
+            };
+            // Skip mentions inside string literals or backtick-quoted prose
+            // (the analyzer's tests and docs talk *about* allow comments).
+            if line[..p].contains('"') || line[..p].contains('`') {
+                continue;
+            }
+            seen += 1;
+            let rest = &line[p..];
+            let reasoned = rest
+                .split_once(')')
+                .and_then(|(_, tail)| tail.split_once("--"))
+                .is_some_and(|(_, reason)| !reason.trim().is_empty());
+            if !reasoned {
+                bad.push(format!("{}:{}: {}", path.display(), idx + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        seen > 10,
+        "expected the tree's suppressions to be visible to this walk"
+    );
+    assert!(
+        bad.is_empty(),
+        "suppression(s) without a ` -- <reason>` tail:\n{}",
+        bad.join("\n")
+    );
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "node_modules") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
 }

@@ -4,6 +4,8 @@
 //! failure is a [`CliError::Usage`] (exit code 2) carrying a message that
 //! names the offending token, followed by the usage text on stderr.
 
+// szhi-analyzer: scope(no-panic-decode: all)
+
 use crate::CliError;
 use szhi_core::{ModeTuning, SzhiConfig};
 use szhi_datagen::DatasetKind;
@@ -421,6 +423,70 @@ mod tests {
                 "'{bad}' should be a usage error, got {err:?}"
             );
             assert_eq!(err.exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn every_usage_error_message_is_pinned() {
+        // One row per `usage(...)` site in this file: a command line that
+        // triggers it and the message text it must carry. The static
+        // analyzer's error-coverage lint checks that every usage-error
+        // message literal is pinned here, so a reworded message fails this
+        // test (or the lint) instead of silently changing the CLI contract.
+        let cases: &[(&str, &str)] = &[
+            (
+                "encode in out --dims 8,8,8 --eb 1e-3 --mode sometimes",
+                "unknown --mode 'sometimes' (expected global, per-chunk, exhaustive or estimated)",
+            ),
+            ("encode in out --dims", "flag --dims requires a value"),
+            (
+                "encode in out --dims 8;8 --eb 1e-3",
+                "--dims expects comma-separated integers, got '8;8'",
+            ),
+            (
+                "encode in out --dims 1,2,3,4 --eb 1e-3",
+                "--dims expects 1-3 positive extents, got '1,2,3,4'",
+            ),
+            ("encode in out --dims 8,8,8 --eb nope", "--eb expects a number, got 'nope'"),
+            ("", "missing subcommand"),
+            ("--help", "help requested"),
+            ("frobnicate", "unknown subcommand 'frobnicate'"),
+            ("encode in out --wat", "unknown flag '--wat' for encode"),
+            (
+                "encode - out --dims 8,8,8 --eb 1e-3",
+                "encode reads from a file, not stdin (--rel and the chunked reader need a real file); use a temporary file",
+            ),
+            ("encode in out --eb 1e-3", "encode requires --dims Z,Y,X"),
+            ("encode in out --dims 8,8,8", "encode requires --eb F"),
+            ("decode a b --what", "unknown flag '--what' for decode"),
+            ("inspect --verbose", "unknown flag '--verbose' for inspect"),
+            ("inspect a b", "inspect takes exactly one argument: <input>"),
+            (
+                "bench --dataset mars",
+                "unknown --dataset 'mars' (expected one of cesm-atm, jhtdb, miranda, nyx, qmcpack, rtm)",
+            ),
+            ("bench --jobs 0", "--jobs must be at least 1"),
+            ("bench positional", "unknown argument 'positional' for bench"),
+            (
+                "decode only-one",
+                "decode takes exactly two positional arguments: <input|-> <output|-> (got 1)",
+            ),
+        ];
+        for (cmdline, fragment) in cases {
+            let args = argv(cmdline);
+            let err = parse(&args).unwrap_err();
+            let CliError::Usage(msg) = &err else {
+                panic!("'{cmdline}' should be a usage error, got {err:?}")
+            };
+            assert_eq!(err.exit_code(), 2, "'{cmdline}'");
+            assert!(
+                msg.contains(fragment),
+                "'{cmdline}' produced '{msg}', expected it to contain '{fragment}'"
+            );
+            // The front-end renders every failure in the stable stderr
+            // shape documented in docs/CLI.md.
+            let rendered = format!("szhi-cli: error: {}", err.message());
+            assert!(rendered.starts_with("szhi-cli: error: "));
         }
     }
 

@@ -7,6 +7,8 @@
 //! uncompressed field unless the data itself must leave on stdout.
 //! Progress summaries go to stderr whenever stdout may carry data.
 
+// szhi-analyzer: scope(no-panic-decode: all, capped-alloc: all)
+
 use crate::args::{BenchArgs, Command, DecodeArgs, EncodeArgs, InspectArgs};
 use crate::{inspect, raw, CliError};
 use std::fs::File;
@@ -289,7 +291,7 @@ fn bench(a: &BenchArgs) -> Result<(), CliError> {
 /// byte-identical to a serial [`StreamSink`] run of the same field.
 fn bench_jobs(a: &BenchArgs, cfg: &SzhiConfig) -> Result<(), CliError> {
     let service = JobService::new();
-    let mut jobs = Vec::with_capacity(a.jobs);
+    let mut jobs = Vec::with_capacity(szhi_codec::bitio::decode_capacity(a.jobs));
     for j in 0..a.jobs {
         let seed = a.seed + j as u64;
         let field = a.dataset.generate(a.dims, seed);

@@ -6,6 +6,8 @@
 //! reformatting this report is a compatibility break the golden suite
 //! will catch.
 
+// szhi-analyzer: scope(no-panic-decode: all)
+
 use std::fmt::Write;
 use szhi_core::format::{self, ChunkTable, Header};
 use szhi_core::{SzhiError, TRAILER_SIZE, VERSION};
@@ -81,13 +83,11 @@ fn render_header(out: &mut String, header: &Header) {
         "  reorder:  {}",
         if header.reorder { "on" } else { "off" }
     );
+    let [bz, by, bx] = header.interp.block_span;
     let _ = writeln!(
         out,
-        "  interp:   anchor stride {}, block span {}x{}x{}",
+        "  interp:   anchor stride {}, block span {bz}x{by}x{bx}",
         header.interp.anchor_stride,
-        header.interp.block_span[0],
-        header.interp.block_span[1],
-        header.interp.block_span[2]
     );
     let _ = writeln!(out, "  levels:   {}", levels_str(&header.interp.levels));
 }
@@ -114,11 +114,8 @@ fn render_chunks(out: &mut String, table: &ChunkTable) {
     let data_bytes: usize = table.entries.iter().map(|e| e.len).sum();
     let _ = writeln!(out);
     let _ = writeln!(out, "chunks:");
-    let _ = writeln!(
-        out,
-        "  span:        {}x{}x{}",
-        table.span[0], table.span[1], table.span[2]
-    );
+    let [sz, sy, sx] = table.span;
+    let _ = writeln!(out, "  span:        {sz}x{sy}x{sx}");
     let _ = writeln!(out, "  count:       {}", table.entries.len());
     let _ = writeln!(out, "  data start:  {}", table.data_start);
     let _ = writeln!(out, "  chunk bytes: {data_bytes}");
@@ -130,14 +127,19 @@ fn render_chunks(out: &mut String, table: &ChunkTable) {
 /// this only re-reads the fields for display, so a short stream simply
 /// omits the section instead of failing.
 fn render_trailer(out: &mut String, bytes: &[u8]) {
-    let start = match bytes.len().checked_sub(TRAILER_SIZE) {
-        Some(start) => start,
+    let tail = match bytes
+        .len()
+        .checked_sub(TRAILER_SIZE)
+        .and_then(|s| bytes.get(s..))
+    {
+        Some(tail) => tail,
         None => return,
     };
-    let tail = &bytes[start..];
     let field = |range: std::ops::Range<usize>| -> u64 {
         let mut v = [0u8; 8];
-        v[..range.len()].copy_from_slice(&tail[range]);
+        if let (Some(dst), Some(src)) = (v.get_mut(..range.len()), tail.get(range)) {
+            dst.copy_from_slice(src);
+        }
         u64::from_le_bytes(v)
     };
     let _ = writeln!(out);
@@ -145,7 +147,7 @@ fn render_trailer(out: &mut String, bytes: &[u8]) {
     let _ = writeln!(
         out,
         "  magic:        {}",
-        String::from_utf8_lossy(&tail[20..24])
+        String::from_utf8_lossy(tail.get(20..24).unwrap_or_default())
     );
     let _ = writeln!(out, "  table offset: {}", field(0..8));
     let _ = writeln!(out, "  n chunks:     {}", field(8..16));

@@ -7,14 +7,27 @@
 //! f32, matching the flat binary layout of the SDRBench datasets the
 //! paper evaluates on.
 
+// szhi-analyzer: scope(no-panic-decode: all, capped-alloc: all)
+
 use crate::CliError;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use szhi_codec::bitio::decode_capacity;
 use szhi_ndgrid::{Dims, Grid, Region};
 
 fn runtime(msg: String) -> CliError {
     CliError::Runtime(msg)
+}
+
+/// Decodes up to 4 little-endian bytes into an f32 without indexing
+/// (missing bytes read as zero; every caller passes exact 4-byte chunks).
+fn le_f32(b: &[u8]) -> f32 {
+    let mut v = [0u8; 4];
+    for (slot, &byte) in v.iter_mut().zip(b) {
+        *slot = byte;
+    }
+    f32::from_le_bytes(v)
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> CliError {
@@ -57,31 +70,35 @@ pub fn min_max(path: &Path, dims: Dims) -> Result<(f32, f32), CliError> {
         if n == 0 {
             break;
         }
-        let mut i = 0;
+        let (mut rest, _) = buf.split_at(n);
         // Stitch a value split across read boundaries.
-        while pending_len > 0 && pending_len < 4 && i < n {
-            pending[pending_len] = buf[i];
-            pending_len += 1;
-            i += 1;
-        }
-        if pending_len == 4 {
+        if pending_len > 0 {
+            while pending_len < 4 {
+                let Some((&b, tail)) = rest.split_first() else {
+                    break;
+                };
+                if let Some(slot) = pending.get_mut(pending_len) {
+                    *slot = b;
+                }
+                pending_len += 1;
+                rest = tail;
+            }
+            if pending_len < 4 {
+                // The read was too short to even complete the pending value.
+                continue;
+            }
             fold(f32::from_le_bytes(pending), &mut lo, &mut hi);
             // pending_len is reset by the tail-handling below.
-        } else if pending_len > 0 {
-            // The read was too short to even complete the pending value.
-            continue;
         }
-        let whole = (n - i) / 4 * 4;
-        for chunk in buf[i..i + whole].chunks_exact(4) {
-            fold(
-                f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
-                &mut lo,
-                &mut hi,
-            );
+        let mut chunks = rest.chunks_exact(4);
+        for chunk in &mut chunks {
+            fold(le_f32(chunk), &mut lo, &mut hi);
         }
-        let rest = &buf[i + whole..n];
-        pending[..rest.len()].copy_from_slice(rest);
-        pending_len = rest.len();
+        let tail = chunks.remainder();
+        for (slot, &b) in pending.iter_mut().zip(tail) {
+            *slot = b;
+        }
+        pending_len = tail.len();
     }
     if lo.is_finite() && hi.is_finite() {
         Ok((lo, hi))
@@ -102,7 +119,7 @@ fn fold(v: f32, lo: &mut f32, hi: &mut f32) {
 /// Reads one region of a `dims`-shaped raw f32 file into a grid, one
 /// x-row per read.
 pub fn read_region(file: &mut File, dims: Dims, region: &Region) -> Result<Grid<f32>, CliError> {
-    let mut values = Vec::with_capacity(region.len());
+    let mut values = Vec::with_capacity(decode_capacity(region.len()));
     let mut row = vec![0u8; region.nx() * 4];
     for z in region.z_range() {
         for y in region.y_range() {
@@ -111,10 +128,7 @@ pub fn read_region(file: &mut File, dims: Dims, region: &Region) -> Result<Grid<
                 .map_err(|e| runtime(format!("cannot seek input: {e}")))?;
             file.read_exact(&mut row)
                 .map_err(|e| runtime(format!("cannot read input row: {e}")))?;
-            values.extend(
-                row.chunks_exact(4)
-                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
-            );
+            values.extend(row.chunks_exact(4).map(le_f32));
         }
     }
     Ok(Grid::from_vec(region.dims(), values))
@@ -136,12 +150,15 @@ pub fn write_region(
             values.len()
         )));
     }
-    let mut row = Vec::with_capacity(region.nx() * 4);
-    for (i, z) in region.z_range().enumerate() {
-        for (j, y) in region.y_range().enumerate() {
-            let start = (i * region.ny() + j) * region.nx();
+    let mut row = Vec::with_capacity(decode_capacity(region.nx() * 4));
+    // `values` holds exactly `region.len()` points (checked above), so the
+    // x-rows line up with chunk-local row-major order.
+    let mut rows = values.chunks_exact(region.nx());
+    for z in region.z_range() {
+        for y in region.y_range() {
+            let Some(vals) = rows.next() else { break };
             row.clear();
-            for v in &values[start..start + region.nx()] {
+            for v in vals {
                 row.extend_from_slice(&v.to_le_bytes());
             }
             let offset = dims.index(z, y, region.x0()) as u64 * 4;
@@ -163,7 +180,7 @@ pub fn presize(file: &File, dims: Dims) -> Result<(), CliError> {
 
 /// Serializes a value slice to little-endian bytes.
 pub fn to_bytes(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 4);
+    let mut out = Vec::with_capacity(decode_capacity(values.len() * 4));
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -180,10 +197,7 @@ pub fn read_field(path: &Path, dims: Dims) -> Result<Grid<f32>, CliError> {
         .map_err(|e| io_err("cannot read", path, e))?;
     Ok(Grid::from_vec(
         dims,
-        bytes
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            .collect(),
+        bytes.chunks_exact(4).map(le_f32).collect(),
     ))
 }
 

@@ -56,6 +56,7 @@ impl Tcms {
         let width = self.width;
         let bits = (width * 8) as u32;
         let n_sym = symbol_count(input.len(), width);
+        // szhi-analyzer: allow(steady-alloc) -- the output vector is the stage's product, returned through the boxed-stage API and kept by the selector as the chunk payload; the runtime allocator gate (tests/steady_state_alloc.rs) budgets payload-only allocation on the warm path
         let mut out = Vec::with_capacity(input.len());
         for i in 0..n_sym {
             let sym = read_symbol(input, i, width);

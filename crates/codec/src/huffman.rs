@@ -320,6 +320,7 @@ pub fn decode_limited(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError
             "code book violates the Kraft inequality",
         ));
     }
+    // szhi-analyzer: allow(panic-reachability) -- `canonical_codes` indexes two fixed `[_; 256]` tables with symbols drawn from `0..256`, in bounds by construction; the Kraft check above already rejected malformed code books
     let codes = canonical_codes(&lengths);
 
     // For the canonical fallback: occurring symbols with their length and

@@ -674,6 +674,7 @@ impl ChunkTable {
     /// Panics if `i` is out of range. Config ids are validated at parse
     /// time, so indexing the dictionary cannot fail on a parsed table.
     pub fn chunk_interp(&self, header: &Header, i: usize) -> InterpConfig {
+        // szhi-analyzer: allow(panic-reachability) -- documented `# Panics` contract; chunk indices come from the reader's own table and config ids are validated at parse time
         resolve_chunk_interp(header, self.entries[i].config, &self.configs)
     }
     /// The byte slice of chunk `i` within `bytes` (the full stream),
@@ -732,7 +733,7 @@ pub(crate) fn resolve_chunk_interp(
         Some(id) => InterpConfig {
             anchor_stride: header.interp.anchor_stride,
             block_span: header.interp.block_span,
-            // szhi-analyzer: allow(no-panic-decode) -- config ids are validated against the dictionary at parse time
+            // szhi-analyzer: allow(no-panic-decode, panic-reachability) -- config ids are validated against the dictionary at parse time
             levels: configs[id as usize].clone(),
         },
         None => header.interp.clone(),

@@ -35,6 +35,8 @@
 //! assert_eq!(stats.compressed_bytes, bytes.len());
 //! ```
 
+// szhi-analyzer: scope(no-panic-decode: all)
+
 use crate::compressor::CompressionStats;
 use crate::config::SzhiConfig;
 use crate::error::SzhiError;

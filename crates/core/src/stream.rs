@@ -386,6 +386,7 @@ impl ChunkEncoder {
         }
         SCRATCH.with(|s| {
             let mut scratch = s.borrow_mut();
+            // szhi-analyzer: allow(steady-alloc) -- this body vector is moved into the returned `EncodedChunk` and owned by the caller, so it cannot be scratch-routed; the steady-state serving path (`StreamSink::push_chunk`) goes through `encode_into` with a reused buffer instead
             let mut body = Vec::new();
             let meta = self.encode_into(index, chunk, &mut scratch, &mut body)?;
             Ok(EncodedChunk {
@@ -1071,6 +1072,7 @@ impl<'a> StreamReader<'a> {
     ///
     /// Panics if `index` is out of range (see [`StreamReader::chunk_count`]).
     pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
+        // szhi-analyzer: allow(panic-reachability) -- documented `# Panics` contract for out-of-range indices; the reader's own decode paths only pass indices below `chunk_count()`
         self.table.entries[index].pipeline
     }
 
@@ -1230,6 +1232,7 @@ impl<R: Read + Seek> StreamSource<R> {
         let mut head = read_exact_vec(&mut reader, 49, "the stream header")?;
         let version = format::read_magic_version(&mut ByteCursor::new(&head))?;
         format::reject_unchunked_version(version)?;
+        // szhi-analyzer: allow(panic-reachability) -- `head` was filled by `read_exact_vec(.., 49, ..)` just above, so index 48 is in bounds; short reads already surfaced as typed errors
         let n_levels = head[48] as usize;
         head.extend(read_exact_vec(
             &mut reader,
@@ -1421,6 +1424,7 @@ impl<R: Read + Seek> StreamSource<R> {
     /// Panics if `index` is out of range (see
     /// [`StreamSource::chunk_count`]).
     pub fn chunk_pipeline(&self, index: usize) -> PipelineSpec {
+        // szhi-analyzer: allow(panic-reachability) -- documented `# Panics` contract for out-of-range indices; `fetch_chunk` guards every internal use with `check_index`
         self.entries[index].pipeline
     }
 
@@ -1433,6 +1437,7 @@ impl<R: Read + Seek> StreamSource<R> {
     /// Panics if `index` is out of range (see
     /// [`StreamSource::chunk_count`]).
     pub fn chunk_interp(&self, index: usize) -> InterpConfig {
+        // szhi-analyzer: allow(panic-reachability) -- documented `# Panics` contract for out-of-range indices; `fetch_chunk` guards every internal use with `check_index`
         format::resolve_chunk_interp(&self.header, self.entries[index].config, &self.configs)
     }
 
@@ -1663,6 +1668,7 @@ impl<R: Read> ForwardSource<R> {
         let mut head = read_exact_vec(&mut reader, 49, "the stream header")?;
         let version = format::read_magic_version(&mut ByteCursor::new(&head))?;
         format::reject_unchunked_version(version)?;
+        // szhi-analyzer: allow(panic-reachability) -- `head` was filled by `read_exact_vec(.., 49, ..)` just above, so index 48 is in bounds; short reads already surfaced as typed errors
         let n_levels = head[48] as usize;
         head.extend(read_exact_vec(
             &mut reader,

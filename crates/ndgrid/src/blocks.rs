@@ -135,25 +135,23 @@ impl BlockGrid {
     /// coordinates are all multiples of the stride), in row-major order.
     /// Anchors are stored losslessly by the interpolation compressors.
     pub fn anchor_coords(&self) -> Vec<(usize, usize, usize)> {
-        let axis = |extent: usize| -> Vec<usize> {
-            if extent == 1 {
-                vec![0]
-            } else {
-                (0..extent).step_by(self.stride).collect()
-            }
-        };
-        let zs = axis(self.dims.nz());
-        let ys = axis(self.dims.ny());
-        let xs = axis(self.dims.nx());
-        let mut out = Vec::with_capacity(zs.len() * ys.len() * xs.len());
-        for &z in &zs {
-            for &y in &ys {
-                for &x in &xs {
-                    out.push((z, y, x));
-                }
-            }
-        }
-        out
+        self.anchor_coords_iter().collect()
+    }
+
+    /// Allocation-free counterpart of [`BlockGrid::anchor_coords`]: yields
+    /// the same coordinates in the same row-major order without building the
+    /// vector, so the warm encode path can seed anchors with no per-chunk
+    /// heap traffic. (A degenerate axis of extent 1 yields the single
+    /// coordinate 0, exactly as `(0..1).step_by(stride)` does, so no special
+    /// case is needed.)
+    pub fn anchor_coords_iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let stride = self.stride;
+        let (nz, ny, nx) = (self.dims.nz(), self.dims.ny(), self.dims.nx());
+        (0..nz).step_by(stride).flat_map(move |z| {
+            (0..ny)
+                .step_by(stride)
+                .flat_map(move |y| (0..nx).step_by(stride).map(move |x| (z, y, x)))
+        })
     }
 
     /// Number of anchor points of the field.

@@ -39,17 +39,19 @@ impl ChunkPlan {
             "chunk span must be non-zero on every axis"
         );
         let clamp = |extent: usize, s: usize| if extent == 1 { 1 } else { s.min(extent) };
+        let [sz, sy, sx] = span;
         let span = [
-            clamp(dims.nz(), span[0]),
-            clamp(dims.ny(), span[1]),
-            clamp(dims.nx(), span[2]),
+            clamp(dims.nz(), sz),
+            clamp(dims.ny(), sy),
+            clamp(dims.nx(), sx),
         ];
+        let [sz, sy, sx] = span;
         ChunkPlan {
             dims,
             span,
-            ncz: dims.nz().div_ceil(span[0]),
-            ncy: dims.ny().div_ceil(span[1]),
-            ncx: dims.nx().div_ceil(span[2]),
+            ncz: dims.nz().div_ceil(sz),
+            ncy: dims.ny().div_ceil(sy),
+            ncx: dims.nx().div_ceil(sx),
         }
     }
 
@@ -97,16 +99,17 @@ impl ChunkPlan {
             cz < self.ncz && cy < self.ncy && cx < self.ncx,
             "chunk coordinate out of range"
         );
-        let z0 = cz * self.span[0];
-        let y0 = cy * self.span[1];
-        let x0 = cx * self.span[2];
+        let [sz, sy, sx] = self.span;
+        let z0 = cz * sz;
+        let y0 = cy * sy;
+        let x0 = cx * sx;
         Region::new(
             z0,
             y0,
             x0,
-            self.span[0].min(self.dims.nz() - z0),
-            self.span[1].min(self.dims.ny() - y0),
-            self.span[2].min(self.dims.nx() - x0),
+            sz.min(self.dims.nz() - z0),
+            sy.min(self.dims.ny() - y0),
+            sx.min(self.dims.nx() - x0),
         )
     }
 

@@ -113,6 +113,7 @@ impl<T: Copy + Default> Grid<T> {
         for z in region.z_range() {
             for y in region.y_range() {
                 let row = self.dims.index(z, y, region.x0());
+                // szhi-analyzer: allow(panic-reachability) -- `Region` construction clamps to the grid and the assert above pins `values.len()`, so both slices are in bounds; stream readers only pass regions from the container's own ChunkPlan partition
                 self.data[row..row + region.nx()].copy_from_slice(&values[src..src + region.nx()]);
                 src += region.nx();
             }

@@ -284,9 +284,9 @@ mod pool {
                 run_part(&task.job, task.part);
                 continue;
             }
-            let mut ready = me.signal.lock().unwrap();
+            let mut ready = me.signal.lock().unwrap(); // ORDER: 1 (signal)
             while !*ready {
-                ready = me.cv.wait(ready).unwrap();
+                ready = me.cv.wait(ready).unwrap(); // ORDER: 1 (signal)
             }
             *ready = false;
         }
@@ -297,6 +297,7 @@ mod pool {
     /// opposite ends, so a steal takes the largest still-untouched share).
     fn grab_task(index: usize) -> Option<Task> {
         let workers = shared().workers.read().unwrap();
+        // ORDER: 2 (queue)
         if let Some(task) = workers[index].queue.lock().unwrap().pop_front() {
             return Some(task);
         }
@@ -304,7 +305,7 @@ mod pool {
             if other == index {
                 continue;
             }
-            let mut queue = worker.queue.lock().unwrap();
+            let mut queue = worker.queue.lock().unwrap(); // ORDER: 2 (queue)
             if let Some(pos) = queue.iter().rposition(|t| index < t.job.active_workers) {
                 return queue.remove(pos);
             }
@@ -321,7 +322,7 @@ mod pool {
         let exec = unsafe { &*job.exec };
         if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(part)))
         {
-            let mut slot = job.panic.lock().unwrap_or_else(|p| p.into_inner());
+            let mut slot = job.panic.lock().unwrap_or_else(|p| p.into_inner()); // ORDER: 3 (panic)
             if slot.is_none() {
                 *slot = Some(payload);
             }
@@ -329,7 +330,7 @@ mod pool {
         if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Taking the latch mutex before notifying closes the window
             // where the submitter checks `pending` and parks concurrently.
-            let _latch = job.done.lock().unwrap_or_else(|p| p.into_inner());
+            let _latch = job.done.lock().unwrap_or_else(|p| p.into_inner()); // ORDER: 4 (done)
             job.done_cv.notify_all();
         }
     }
@@ -360,7 +361,7 @@ mod pool {
             for w in 0..helpers {
                 let mut assigned = false;
                 {
-                    let mut queue = workers[w].queue.lock().unwrap();
+                    let mut queue = workers[w].queue.lock().unwrap(); // ORDER: 2 (queue)
                     for part in (w + 1..parts).step_by(executors) {
                         queue.push_back(Task {
                             job: Arc::clone(&job),
@@ -370,7 +371,7 @@ mod pool {
                     }
                 }
                 if assigned {
-                    *workers[w].signal.lock().unwrap() = true;
+                    *workers[w].signal.lock().unwrap() = true; // ORDER: 1 (signal)
                     workers[w].cv.notify_one();
                 }
             }
@@ -381,12 +382,12 @@ mod pool {
         for part in (0..parts).step_by(executors) {
             run_part(&job, part);
         }
-        let mut latch = job.done.lock().unwrap_or_else(|p| p.into_inner());
+        let mut latch = job.done.lock().unwrap_or_else(|p| p.into_inner()); // ORDER: 4 (done)
         while job.pending.load(Ordering::Acquire) != 0 {
-            latch = job.done_cv.wait(latch).unwrap_or_else(|p| p.into_inner());
+            latch = job.done_cv.wait(latch).unwrap_or_else(|p| p.into_inner()); // ORDER: 4 (done)
         }
         drop(latch);
-        let payload = job.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let payload = job.panic.lock().unwrap_or_else(|p| p.into_inner()).take(); // ORDER: 3 (panic)
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -509,7 +510,7 @@ mod racecheck {
     fn live() -> std::sync::MutexGuard<'static, Vec<(usize, usize, usize)>> {
         // A panic raised by an overlap report poisons the lock; later
         // claims (e.g. after `catch_unwind` in tests) still need it.
-        LIVE.lock().unwrap_or_else(|p| p.into_inner())
+        LIVE.lock().unwrap_or_else(|p| p.into_inner()) // ORDER: 9 (racecheck LIVE)
     }
 
     /// RAII registration of one drive's claimed element range.
