@@ -231,6 +231,7 @@ fn main() {
 
     orchestration_section(n, &mut report);
     streaming_sink_section(&data, &mut report);
+    telemetry_section(&data, &mut report);
 
     if let Some(path) = json_path {
         report.write(&path, dims).expect("writing the JSON report");
@@ -355,6 +356,134 @@ fn streaming_sink_section(data: &Grid<f32>, report: &mut JsonReport) {
          (one chunk + table vs the whole compressed stream)",
         100.0 * counter.max_write.max(max_chunk) as f64 / buffered_high_water.max(1) as f64
     );
+}
+
+/// The telemetry overhead section — the CI gate behind the "zero
+/// overhead while disabled" claim. Three measurements:
+///
+/// 1. **Gate cost**: the wall time of one disabled span enter/drop pair
+///    (the most expensive instrumentation site: one relaxed flags load
+///    plus an inert guard; a counter bump is strictly cheaper).
+/// 2. **Estimated disabled regression**: gate cost × the number of
+///    instrumentation events one chunked encode actually fires (counted
+///    from an enabled run), as a percentage of the disabled encode wall
+///    time. The acceptance criterion is < 2%.
+/// 3. **Enabled-over-disabled ratio**: the same encode with stats and
+///    trace fully on, as a sanity bound on the *enabled* cost (lenient
+///    threshold — this path is allowed to cost something).
+///
+/// The section also re-checks the determinism invariant: the bytes with
+/// every switch on equal the bytes with every switch off.
+fn telemetry_section(data: &Grid<f32>, report: &mut JsonReport) {
+    use szhi_telemetry as tm;
+    static GATE_SPAN: tm::Span = tm::Span::new("bench.telemetry.gate");
+    assert!(
+        !tm::stats_enabled() && !tm::trace_enabled(),
+        "the disabled-path measurement needs every switch off"
+    );
+
+    const EVENTS: u32 = 4_000_000;
+    let sw = Stopwatch::start();
+    for _ in 0..EVENTS {
+        std::hint::black_box(GATE_SPAN.enter());
+    }
+    let gate_ns = sw.elapsed().as_secs_f64() * 1e9 / EVENTS as f64;
+
+    let dims = data.dims();
+    let cfg =
+        SzhiConfig::new(ErrorBound::Relative(1e-3)).with_chunk_span(SzhiConfig::DEFAULT_CHUNK_SPAN);
+    let run = |data: &Grid<f32>| {
+        let sw = Stopwatch::start();
+        let bytes = compress(data, &cfg).expect("compression failed");
+        (bytes, sw.elapsed().as_secs_f64())
+    };
+    let (bytes_off, off_a) = run(data);
+    let (_, off_b) = run(data);
+    let off_secs = off_a.min(off_b);
+
+    tm::set_stats_enabled(true);
+    tm::set_trace_enabled(true);
+    let before = tm::Snapshot::capture();
+    let (bytes_on, on_a) = run(data);
+    let delta = tm::Snapshot::capture().delta(&before);
+    let (_, on_b) = run(data);
+    tm::set_stats_enabled(false);
+    tm::set_trace_enabled(false);
+    tm::reset();
+    let on_secs = on_a.min(on_b);
+    assert_eq!(
+        bytes_off, bytes_on,
+        "telemetry must never change the emitted bytes"
+    );
+
+    // Instrumentation events one encode fires: every recorded span is
+    // one enter/drop pair; the counter bumps ride along with the sink
+    // pushes and pool parts.
+    let span_pairs: u64 = delta.histograms.iter().map(|h| h.count).sum();
+    let counter_bumps =
+        2 * delta.counter("io.sink.chunks").unwrap_or(0) + delta.counter("pool.tasks").unwrap_or(0);
+    let events = (span_pairs + counter_bumps) as f64;
+    let est_pct = 100.0 * gate_ns * events / (off_secs * 1e9);
+    let ratio = on_secs / off_secs.max(1e-9);
+
+    let mb = dims.nbytes_f32() as f64 / 1e6;
+    report.push(
+        "telemetry",
+        format!(
+            "{{\"gate_ns_per_event\": {}, \"events_per_encode\": {events}, \
+             \"disabled_comp_mb_s\": {}, \"enabled_comp_mb_s\": {}, \
+             \"enabled_over_disabled\": {}, \"est_disabled_regression_pct\": {}}}",
+            jnum(gate_ns),
+            jnum(mb / off_secs),
+            jnum(mb / on_secs),
+            jnum(ratio),
+            jnum(est_pct)
+        ),
+    );
+    print_table(
+        &format!("Telemetry overhead on {dims} (chunk span 64³)"),
+        &["measurement", "value"],
+        &[
+            vec![
+                "disabled gate cost".into(),
+                format!("{gate_ns:.2} ns per event"),
+            ],
+            vec![
+                "events per encode".into(),
+                format!("{events:.0} (spans + counter bumps)"),
+            ],
+            vec![
+                "encode, telemetry off".into(),
+                format!(
+                    "{} ({:.1} MiB/s)",
+                    fmt_ms(std::time::Duration::from_secs_f64(off_secs)),
+                    mb / off_secs
+                ),
+            ],
+            vec![
+                "encode, stats + trace on".into(),
+                format!(
+                    "{} ({:.1} MiB/s)",
+                    fmt_ms(std::time::Duration::from_secs_f64(on_secs)),
+                    mb / on_secs
+                ),
+            ],
+            vec![
+                "est. disabled regression".into(),
+                format!("{est_pct:.4}% (criterion: < 2%)"),
+            ],
+        ],
+    );
+    println!(
+        "\ntelemetry disabled-path estimate: {est_pct:.4}% of encode wall time \
+         ({events:.0} events x {gate_ns:.2} ns); enabled/disabled x{ratio:.3}"
+    );
+    if est_pct >= 2.0 {
+        eprintln!("WARNING: estimated disabled-telemetry overhead reached the 2% budget");
+    }
+    if ratio > 1.25 {
+        eprintln!("WARNING: fully-enabled telemetry cost more than 25% of encode time");
+    }
 }
 
 /// A compact per-level signature of an interpolation configuration, e.g.

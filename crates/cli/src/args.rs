@@ -40,6 +40,11 @@ subcommands:
       throughput; --jobs N runs N concurrent jobs through the job
       service and checks each against a serial run byte-for-byte.
 
+global options (accepted by every subcommand):
+  --stats             print a telemetry summary table to stderr on exit
+  --stats-json PATH   write every counter and histogram to PATH as JSON
+  --trace PATH        write a chrome://tracing-compatible trace to PATH
+
 exit codes: 0 success, 1 runtime failure, 2 usage error";
 
 /// Pipeline-mode tuning policy named on the command line.
@@ -139,6 +144,63 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// Worker-thread override.
     pub threads: Option<usize>,
+}
+
+/// The global telemetry outputs requested on the command line. These
+/// flags are accepted anywhere on the line, for every subcommand, and
+/// stripped before subcommand parsing (see [`split_telemetry`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryArgs {
+    /// `--stats`: print a summary table to stderr after the run.
+    pub stats: bool,
+    /// `--stats-json PATH`: write every counter and histogram to `PATH`
+    /// as JSON.
+    pub stats_json: Option<String>,
+    /// `--trace PATH`: write the span trace to `PATH` in the Trace Event
+    /// Format that `chrome://tracing` and Perfetto load.
+    pub trace: Option<String>,
+}
+
+impl TelemetryArgs {
+    /// Whether stats collection must be enabled for this run.
+    pub fn wants_stats(&self) -> bool {
+        self.stats || self.stats_json.is_some()
+    }
+
+    /// Whether any telemetry output was requested at all.
+    pub fn any(&self) -> bool {
+        self.wants_stats() || self.trace.is_some()
+    }
+}
+
+/// Strips the global telemetry flags (`--stats`, `--stats-json PATH`,
+/// `--trace PATH`, inline `=` values included) out of `argv` and returns
+/// the remaining tokens plus the parsed [`TelemetryArgs`].
+pub fn split_telemetry(argv: &[String]) -> Result<(Vec<String>, TelemetryArgs), CliError> {
+    let mut rest: Vec<String> = Vec::with_capacity(argv.len());
+    let mut tel = TelemetryArgs::default();
+    let mut i = 0usize;
+    while let Some(tok) = argv.get(i) {
+        i += 1;
+        let (name, inline) = split_inline(tok);
+        let path_value = |inline: Option<&str>, i: &mut usize| -> Result<String, CliError> {
+            if let Some(v) = inline {
+                return Ok(v.to_string());
+            }
+            let v = argv
+                .get(*i)
+                .ok_or_else(|| usage(format!("flag {name} requires a value")))?;
+            *i += 1;
+            Ok(v.clone())
+        };
+        match name {
+            "--stats" if inline.is_none() => tel.stats = true,
+            "--stats-json" => tel.stats_json = Some(path_value(inline, &mut i)?),
+            "--trace" => tel.trace = Some(path_value(inline, &mut i)?),
+            _ => rest.push(tok.clone()),
+        }
+    }
+    Ok((rest, tel))
 }
 
 /// A parsed command line.
@@ -488,6 +550,29 @@ mod tests {
             let rendered = format!("szhi-cli: error: {}", err.message());
             assert!(rendered.starts_with("szhi-cli: error: "));
         }
+    }
+
+    #[test]
+    fn telemetry_flags_split_off_for_every_subcommand() {
+        let (rest, tel) = split_telemetry(&argv(
+            "bench --stats --dims 16,16,16 --stats-json=stats.json --trace trace.json",
+        ))
+        .unwrap();
+        assert_eq!(rest, argv("bench --dims 16,16,16"));
+        assert!(tel.stats && tel.wants_stats() && tel.any());
+        assert_eq!(tel.stats_json.as_deref(), Some("stats.json"));
+        assert_eq!(tel.trace.as_deref(), Some("trace.json"));
+
+        let (rest, tel) = split_telemetry(&argv("decode in.szhi out.f32")).unwrap();
+        assert_eq!(rest, argv("decode in.szhi out.f32"));
+        assert_eq!(tel, TelemetryArgs::default());
+        assert!(!tel.any());
+
+        let err = split_telemetry(&argv("inspect a.szhi --trace")).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("flag --trace requires a value")),
+            "expected a usage error, got {err:?}"
+        );
     }
 
     #[test]

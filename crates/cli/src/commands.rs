@@ -14,7 +14,6 @@ use crate::{inspect, raw, CliError};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
-use std::time::Instant;
 use szhi_core::{
     decompress, ErrorBound, ForwardSource, JobService, StreamSink, StreamSource, SzhiConfig,
 };
@@ -237,6 +236,16 @@ fn sink_bytes(field: &Grid<f32>, cfg: &SzhiConfig) -> Result<Vec<u8>, CliError> 
     Ok(sink.finish()?)
 }
 
+/// The timed region of the bench encode body.
+static BENCH_ENCODE: szhi_telemetry::Span = szhi_telemetry::Span::new("bench.encode");
+/// The timed region of the bench decode body.
+static BENCH_DECODE: szhi_telemetry::Span = szhi_telemetry::Span::new("bench.decode");
+
+/// The recorded wall time of one span in a snapshot, in seconds.
+fn span_secs(snap: &szhi_telemetry::Snapshot, name: &str) -> f64 {
+    snap.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e9)
+}
+
 fn bench(a: &BenchArgs) -> Result<(), CliError> {
     if let Some(t) = a.threads {
         rayon::set_num_threads(t);
@@ -248,12 +257,22 @@ fn bench(a: &BenchArgs) -> Result<(), CliError> {
         .with_chunk_span(a.chunk_span)
         .with_mode_tuning(a.mode.tuning());
 
-    let start = Instant::now();
-    let bytes = sink_bytes(&field, &cfg)?;
-    let enc_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    let restored = decompress(&bytes)?;
-    let dec_secs = start.elapsed().as_secs_f64();
+    // The stopwatch is the telemetry stack itself: spans time the encode
+    // and decode bodies and the report reads the durations back out of a
+    // snapshot delta — the same numbers `--stats` and `--trace` carry.
+    szhi_telemetry::set_stats_enabled(true);
+    let before = szhi_telemetry::Snapshot::capture();
+    let bytes = {
+        let _span = BENCH_ENCODE.enter();
+        sink_bytes(&field, &cfg)?
+    };
+    let restored = {
+        let _span = BENCH_DECODE.enter();
+        decompress(&bytes)?
+    };
+    let delta = szhi_telemetry::Snapshot::capture().delta(&before);
+    let enc_secs = span_secs(&delta, "bench.encode");
+    let dec_secs = span_secs(&delta, "bench.decode");
 
     let mut max_err = 0.0f64;
     for (x, y) in field.as_slice().iter().zip(restored.as_slice()) {

@@ -181,53 +181,46 @@ fn render_table(out: &mut String, table: &ChunkTable) {
     }
 }
 
+/// The merged per-stream usage table: one row per (pipeline, config)
+/// pair a chunk actually used, with the chunk count and the recorded
+/// compressed bytes side by side, rendered through the shared telemetry
+/// table renderer. Tuned (v5) streams show their config ids in the
+/// `cfg` column; older versions show `-` there.
 fn render_histograms(out: &mut String, table: &ChunkTable) {
-    // Pipeline (mode) histogram, ordered by pipeline id.
-    let mut by_pipeline: Vec<(u8, &str, usize)> = Vec::new();
+    let mut groups: Vec<(u8, &str, Option<u16>, usize, usize)> = Vec::new();
     for e in &table.entries {
-        match by_pipeline
+        match groups
             .iter_mut()
-            .find(|(id, _, _)| *id == e.pipeline.id())
+            .find(|(id, _, cfg, _, _)| *id == e.pipeline.id() && *cfg == e.config)
         {
-            Some((_, _, n)) => *n += 1,
-            None => by_pipeline.push((e.pipeline.id(), e.pipeline.name(), 1)),
+            Some((_, _, _, n, bytes)) => {
+                *n += 1;
+                *bytes += e.len;
+            }
+            None => groups.push((e.pipeline.id(), e.pipeline.name(), e.config, 1, e.len)),
         }
     }
-    by_pipeline.sort_by_key(|&(id, _, _)| id);
+    groups.sort_by_key(|&(id, _, cfg, _, _)| (id, cfg));
+    let rows: Vec<Vec<String>> = groups
+        .iter()
+        .map(|(id, name, cfg, n, bytes)| {
+            vec![
+                format!("{name} (id {id})"),
+                match cfg {
+                    Some(c) => c.to_string(),
+                    None => "-".into(),
+                },
+                n.to_string(),
+                bytes.to_string(),
+            ]
+        })
+        .collect();
     let _ = writeln!(out);
-    let _ = writeln!(out, "pipeline histogram:");
-    for (id, name, n) in &by_pipeline {
-        let _ = writeln!(out, "  {name} (id {id}): {n} {}", plural(*n));
-    }
-
-    // Config histogram (tuned streams only), ordered by config id.
-    let mut by_config: Vec<(u16, usize)> = Vec::new();
-    for e in &table.entries {
-        let id = match e.config {
-            Some(id) => id,
-            None => continue,
-        };
-        match by_config.iter_mut().find(|(c, _)| *c == id) {
-            Some((_, n)) => *n += 1,
-            None => by_config.push((id, 1)),
-        }
-    }
-    if !by_config.is_empty() {
-        by_config.sort_by_key(|&(id, _)| id);
-        let _ = writeln!(out);
-        let _ = writeln!(out, "config histogram:");
-        for (id, n) in &by_config {
-            let _ = writeln!(out, "  config {id}: {n} {}", plural(*n));
-        }
-    }
-}
-
-fn plural(n: usize) -> &'static str {
-    if n == 1 {
-        "chunk"
-    } else {
-        "chunks"
-    }
+    let _ = writeln!(out, "pipeline/config usage:");
+    out.push_str(&szhi_telemetry::render_ascii_table(
+        &["pipeline", "cfg", "chunks", "bytes"],
+        &rows,
+    ));
 }
 
 #[cfg(test)]
@@ -258,7 +251,7 @@ mod tests {
         .unwrap();
         let report = render(&v3).unwrap();
         assert!(report.contains("v3 (streamed)"));
-        assert!(report.contains("pipeline histogram:"));
+        assert!(report.contains("pipeline/config usage:"));
         assert!(report.contains("chunk table:"));
         assert!(!report.contains("trailer:"), "v3 has no trailer");
 
@@ -274,7 +267,13 @@ mod tests {
         assert!(report.contains("trailer:"));
         assert!(report.contains("magic:        SZT5"));
         assert!(report.contains("config dictionary:"));
-        assert!(report.contains("config histogram:"));
+        // The usage table carries the per-chunk config ids next to the
+        // recorded compressed sizes — one table, not two histograms.
+        assert!(report.contains("pipeline/config usage:"));
+        assert!(report.contains("  pipeline"));
+        assert!(report.contains("cfg"));
+        assert!(report.contains("chunks"));
+        assert!(report.contains("bytes"));
     }
 
     #[test]

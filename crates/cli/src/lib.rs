@@ -81,15 +81,63 @@ impl From<SzhiError> for CliError {
 /// program name) and returns the process exit code, printing any error to
 /// stderr in the stable `szhi-cli: error: <message>` shape the
 /// integration tests assert on.
+///
+/// The global `--stats`, `--stats-json PATH` and `--trace PATH` flags
+/// work with every subcommand: they are split off before subcommand
+/// parsing, switch the telemetry collectors on for the run, and emit
+/// their outputs after the subcommand finishes (also on failure, so a
+/// crashed run still leaves its trace behind).
 pub fn run(argv: &[String]) -> i32 {
-    let cmd = match args::parse(argv) {
+    let (argv, tel) = match args::split_telemetry(argv) {
+        Ok(split) => split,
+        Err(e) => return report(&e),
+    };
+    let cmd = match args::parse(&argv) {
         Ok(cmd) => cmd,
         Err(e) => return report(&e),
     };
-    match commands::dispatch(&cmd) {
+    if tel.any() {
+        // Stats feed the summary table and the JSON dump, and give the
+        // trace export its final counter values — so they are on for
+        // every telemetry mode.
+        szhi_telemetry::set_stats_enabled(true);
+    }
+    if tel.trace.is_some() {
+        szhi_telemetry::set_trace_enabled(true);
+    }
+    let before = szhi_telemetry::Snapshot::capture();
+    let result = commands::dispatch(&cmd);
+    let emitted = emit_telemetry(&tel, &before);
+    match result.and(emitted) {
         Ok(()) => 0,
         Err(e) => report(&e),
     }
+}
+
+/// Writes the telemetry outputs requested by the global flags: the
+/// `--stats` summary table (stderr, so piped stdout payloads stay
+/// clean), the `--stats-json` registry dump, and the `--trace` Chrome
+/// Trace Event Format export.
+fn emit_telemetry(
+    tel: &args::TelemetryArgs,
+    before: &szhi_telemetry::Snapshot,
+) -> Result<(), CliError> {
+    if !tel.any() {
+        return Ok(());
+    }
+    let delta = szhi_telemetry::Snapshot::capture().delta(before);
+    if tel.stats {
+        eprint!("{}", szhi_telemetry::render_stats(&delta));
+    }
+    if let Some(path) = &tel.stats_json {
+        std::fs::write(path, szhi_telemetry::stats_json(&delta))
+            .map_err(|e| CliError::Runtime(format!("writing stats JSON {path}: {e}")))?;
+    }
+    if let Some(path) = &tel.trace {
+        std::fs::write(path, szhi_telemetry::export_trace_json())
+            .map_err(|e| CliError::Runtime(format!("writing trace {path}: {e}")))?;
+    }
+    Ok(())
 }
 
 fn report(e: &CliError) -> i32 {

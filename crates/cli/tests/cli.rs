@@ -80,7 +80,7 @@ fn encode_inspect_decode_roundtrip_on_files() {
     assert_ok(&out, "inspect");
     let report = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(report.contains("v4 (trailered)"));
-    assert!(report.contains("pipeline histogram:"));
+    assert!(report.contains("pipeline/config usage:"));
 
     let out = run(&[
         "decode",
@@ -314,4 +314,103 @@ fn bench_runs_concurrent_jobs() {
     assert!(stdout.contains("within bound"));
     assert!(stdout.contains("3 concurrent jobs"));
     assert_eq!(stdout.matches("byte-identical to serial").count(), 3);
+}
+
+/// The three global telemetry flags on a real encode + decode: the stats
+/// summary lands on stderr, the JSON dump and the trace land on disk with
+/// the per-chunk stage spans, pool counters and tuner records the
+/// observability contract promises — and the archive is byte-identical
+/// to one produced with telemetry off.
+#[test]
+fn telemetry_flags_emit_stats_json_and_trace() {
+    let input = temp("tel-in.f32");
+    let quiet = temp("tel-quiet.szhi");
+    let archive = temp("tel.szhi");
+    let output = temp("tel-out.f32");
+    let stats_json = temp("tel-stats.json");
+    let trace = temp("tel-trace.json");
+    std::fs::write(&input, to_bytes(field().as_slice())).unwrap();
+
+    let base = [
+        "encode",
+        input.to_str().unwrap(),
+        quiet.to_str().unwrap(),
+        "--dims",
+        "24,20,32",
+        "--eb",
+        "2e-3",
+        "--chunk-span",
+        "16,16,16",
+        "--mode",
+        "estimated",
+    ];
+    assert_ok(&run(&base), "plain encode");
+
+    // `--threads 4` forces real pool workers even on a single-core
+    // runner (output is byte-identical at every thread count, so the
+    // comparison against the default-threads encode still holds).
+    let mut instrumented = base.to_vec();
+    instrumented[2] = archive.to_str().unwrap();
+    instrumented.extend([
+        "--threads",
+        "4",
+        "--stats",
+        "--stats-json",
+        stats_json.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    let out = run(&instrumented);
+    assert_ok(&out, "instrumented encode");
+    assert_eq!(
+        std::fs::read(&quiet).unwrap(),
+        std::fs::read(&archive).unwrap(),
+        "telemetry must not change the emitted bytes"
+    );
+
+    // The human summary goes to stderr, after the subcommand's output.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("telemetry stats:"));
+    assert!(stderr.contains("io.sink.bytes"));
+    assert!(stderr.contains("encode.chunk"));
+
+    // The JSON dump carries the per-chunk stage spans, the pool counters
+    // and the tuner estimated-vs-actual histograms.
+    let json = std::fs::read_to_string(&stats_json).unwrap();
+    for name in [
+        "encode.chunk",
+        "encode.predict",
+        "encode.entropy",
+        "encode.crc",
+        "pool.tasks",
+        "tuner.estimated_bytes",
+        "tuner.actual_bytes",
+    ] {
+        assert!(json.contains(name), "stats JSON is missing {name}");
+    }
+
+    // The trace is Trace Event Format: an event array with complete
+    // spans, worker thread names and tuner selection instants.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+    assert!(trace_text.contains("\"ph\":\"X\""));
+    assert!(trace_text.contains("\"name\":\"encode.chunk\""));
+    assert!(trace_text.contains("\"name\":\"tuner.select\""));
+    assert!(trace_text.contains("szhi-pool-"));
+
+    // Decode with telemetry picks up the decode-side spans too.
+    let out = run(&[
+        "decode",
+        archive.to_str().unwrap(),
+        output.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert_ok(&out, "instrumented decode");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("decode.chunk"));
+    assert!(stderr.contains("io.source.bytes"));
+
+    for p in [&input, &quiet, &archive, &output, &stats_json, &trace] {
+        std::fs::remove_file(p).unwrap();
+    }
 }

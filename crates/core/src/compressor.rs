@@ -280,6 +280,7 @@ pub(crate) fn decompress_chunk_body(
     chunk_dims: Dims,
     body: &[u8],
 ) -> Result<Grid<f32>, SzhiError> {
+    let _span = crate::telemetry::DECODE_CHUNK.enter();
     let (anchors, outliers, payload) = read_chunk_sections(body)?;
     reconstruct(
         header, pipeline, interp, chunk_dims, anchors, outliers, payload,
@@ -314,11 +315,14 @@ fn reconstruct(
     outliers: Vec<szhi_predictor::Outlier>,
     payload: Vec<u8>,
 ) -> Result<Grid<f32>, SzhiError> {
-    let codes = pipeline
-        // szhi-analyzer: allow(panic-reachability) -- `StageSpec::build` panics only on stage widths no named pipeline produces; stream headers decode to named `PipelineSpec`s, and decoding itself is bounded and typed (byte-flip fuzz suites `chunked_stream_byte_flips_never_panic` / `corrupted_v4_streams` cover this boundary)
-        .build()
-        .decode_bounded(&payload, dims.len())
-        .map_err(SzhiError::Codec)?;
+    let codes = {
+        let _span = crate::telemetry::DECODE_ENTROPY.enter();
+        pipeline
+            // szhi-analyzer: allow(panic-reachability) -- `StageSpec::build` panics only on stage widths no named pipeline produces; stream headers decode to named `PipelineSpec`s, and decoding itself is bounded and typed (byte-flip fuzz suites `chunked_stream_byte_flips_never_panic` / `corrupted_v4_streams` cover this boundary)
+            .build()
+            .decode_bounded(&payload, dims.len())
+            .map_err(SzhiError::Codec)?
+    };
     if codes.len() != dims.len() {
         return Err(SzhiError::InvalidStream(format!(
             "decoded {} quantization codes for a field of {} points",
@@ -327,6 +331,7 @@ fn reconstruct(
         )));
     }
     let codes = if header.reorder {
+        let _span = crate::telemetry::DECODE_REORDER.enter();
         // szhi-analyzer: allow(panic-reachability) -- `LevelOrder::new` builds a permutation from locally computed dims/stride (never stream bytes) and indexes only its own level buckets; in bounds by construction
         let order = LevelOrder::new(dims, interp.anchor_stride);
         order
@@ -341,6 +346,7 @@ fn reconstruct(
         codes,
         outliers,
     };
+    let _span = crate::telemetry::DECODE_PREDICT.enter();
     let predictor = InterpPredictor::new(interp.clone())
         .map_err(|e| SzhiError::InvalidStream(e.to_string()))?;
     predictor

@@ -43,17 +43,59 @@ use crate::error::SzhiError;
 use crate::stream::{StreamSink, StreamSource};
 use rayon::prelude::*;
 use std::io::{Read, Seek, Write};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use szhi_ndgrid::Grid;
+use szhi_telemetry::Snapshot;
 
-/// A snapshot of a job's progress: chunks completed out of chunks total.
+/// The coarse stage a job is in, fed by telemetry span enter/exit events
+/// on the job's threads: the `job.tune` span (configuration resolution
+/// and permutation precompute) maps to [`JobPhase::Tuning`], `job.encode`
+/// to [`JobPhase::Encoding`], `job.flush` to [`JobPhase::Flushing`],
+/// `job.decode` to [`JobPhase::Decoding`], and leaving the final span
+/// maps to [`JobPhase::Done`]. A job that errors or is cancelled keeps
+/// the phase it was last in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobPhase {
+    /// The job exists but has not entered a phase span yet.
+    Starting = 0,
+    /// Resolving configuration: header validation, chunk plan,
+    /// level-order permutation precompute.
+    Tuning = 1,
+    /// The batched parallel encode loop (compress jobs).
+    Encoding = 2,
+    /// Finalizing the container: table, trailer, flush (compress jobs).
+    Flushing = 3,
+    /// The sequential fetch-verify-decode loop (decompress jobs).
+    Decoding = 4,
+    /// The final phase span has exited; the job result is ready.
+    Done = 5,
+}
+
+impl JobPhase {
+    fn from_u8(v: u8) -> JobPhase {
+        match v {
+            1 => JobPhase::Tuning,
+            2 => JobPhase::Encoding,
+            3 => JobPhase::Flushing,
+            4 => JobPhase::Decoding,
+            5 => JobPhase::Done,
+            _ => JobPhase::Starting,
+        }
+    }
+}
+
+/// A snapshot of a job's progress: chunks completed out of chunks total,
+/// plus the coarse phase the job is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobProgress {
     /// Chunks fully processed so far.
     pub done: usize,
     /// Total chunks the job will process.
     pub total: usize,
+    /// The stage the job is in (see [`JobPhase`]).
+    pub phase: JobPhase,
 }
 
 impl JobProgress {
@@ -78,6 +120,42 @@ struct JobState {
     done: AtomicUsize,
     total: usize,
     cancelled: AtomicBool,
+    phase: Arc<AtomicU8>,
+    telemetry: Mutex<Option<Snapshot>>,
+}
+
+/// Installs a thread-local telemetry span listener that translates the
+/// `job.*` span enter/exit events of the current thread into [`JobPhase`]
+/// stores, and uninstalls it on drop — RAII so the listener (and the
+/// global observe flag it holds up) cannot leak past an early return or
+/// a coordinator panic.
+struct PhaseFeed;
+
+impl PhaseFeed {
+    fn install(phase: Arc<AtomicU8>) -> PhaseFeed {
+        szhi_telemetry::set_thread_span_listener(Some(Box::new(move |name, entered| {
+            let next = match (name, entered) {
+                ("job.tune", true) => Some(JobPhase::Tuning),
+                ("job.encode", true) => Some(JobPhase::Encoding),
+                ("job.flush", true) => Some(JobPhase::Flushing),
+                ("job.decode", true) => Some(JobPhase::Decoding),
+                // Leaving the final span of either job kind means the
+                // result is ready.
+                ("job.flush", false) | ("job.decode", false) => Some(JobPhase::Done),
+                _ => None,
+            };
+            if let Some(p) = next {
+                phase.store(p as u8, Ordering::Relaxed);
+            }
+        })));
+        PhaseFeed
+    }
+}
+
+impl Drop for PhaseFeed {
+    fn drop(&mut self) {
+        szhi_telemetry::set_thread_span_listener(None);
+    }
 }
 
 /// A handle to one running job: observe progress, request cancellation,
@@ -95,7 +173,22 @@ impl<T> JobHandle<T> {
         JobProgress {
             done: self.state.done.load(Ordering::Relaxed),
             total: self.state.total,
+            phase: JobPhase::from_u8(self.state.phase.load(Ordering::Relaxed)),
         }
+    }
+
+    /// The telemetry delta recorded over this job's run — every counter,
+    /// histogram and span as captured right before the coordinator
+    /// started minus right after it finished. `None` until the job
+    /// finishes. The metric registry is global, so jobs running
+    /// concurrently with this one contribute to its delta too; for an
+    /// isolated reading run one job at a time.
+    pub fn telemetry(&self) -> Option<Snapshot> {
+        self.state
+            .telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Requests cooperative cancellation. The job notices between chunks:
@@ -158,14 +251,28 @@ impl JobService {
     where
         W: Write + Send + 'static,
     {
-        let sink = StreamSink::new(out, field.dims(), cfg)?;
+        crate::telemetry::JOBS_STARTED.bump(1);
+        let phase = Arc::new(AtomicU8::new(JobPhase::Starting as u8));
+        let sink = {
+            // Sink construction is the job's tuning step: configuration
+            // resolution, chunk planning, level-order permutation
+            // precompute. It runs here on the caller's thread (so config
+            // errors surface synchronously), with a temporary listener so
+            // the phase indicator reflects it.
+            let _feed = PhaseFeed::install(Arc::clone(&phase));
+            let _span = crate::telemetry::JOB_TUNE.enter();
+            StreamSink::new(out, field.dims(), cfg)?
+        };
         let state = Arc::new(JobState {
             done: AtomicUsize::new(0),
             total: sink.plan().len(),
             cancelled: AtomicBool::new(false),
+            phase,
+            telemetry: Mutex::new(None),
         });
         let shared = Arc::clone(&state);
-        let thread = std::thread::spawn(move || run_compress(field, sink, &shared));
+        let thread =
+            std::thread::spawn(move || run_job(&shared, |state| run_compress(field, sink, state)));
         Ok(JobHandle { state, thread })
     }
 
@@ -177,16 +284,43 @@ impl JobService {
     where
         R: Read + Seek + Send + 'static,
     {
+        crate::telemetry::JOBS_STARTED.bump(1);
         let source = StreamSource::new(reader)?;
         let state = Arc::new(JobState {
             done: AtomicUsize::new(0),
             total: source.chunk_count(),
             cancelled: AtomicBool::new(false),
+            phase: Arc::new(AtomicU8::new(JobPhase::Starting as u8)),
+            telemetry: Mutex::new(None),
         });
         let shared = Arc::clone(&state);
-        let thread = std::thread::spawn(move || run_decompress(source, &shared));
+        let thread =
+            std::thread::spawn(move || run_job(&shared, |state| run_decompress(source, state)));
         Ok(JobHandle { state, thread })
     }
+}
+
+/// Runs a job body on the coordinator thread with the shared job
+/// plumbing: the thread-local phase feed, the per-job telemetry delta,
+/// and the job lifecycle counters.
+fn run_job<T, F>(state: &JobState, body: F) -> Result<T, SzhiError>
+where
+    F: FnOnce(&JobState) -> Result<T, SzhiError>,
+{
+    let _feed = PhaseFeed::install(Arc::clone(&state.phase));
+    let before = Snapshot::capture();
+    let result = body(state);
+    let delta = Snapshot::capture().delta(&before);
+    *state
+        .telemetry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(delta);
+    match &result {
+        Ok(_) => crate::telemetry::JOBS_COMPLETED.bump(1),
+        Err(SzhiError::Cancelled) => crate::telemetry::JOBS_CANCELLED.bump(1),
+        Err(_) => crate::telemetry::JOBS_FAILED.bump(1),
+    }
+    result
 }
 
 /// The coordinator loop of a compress job: encode chunk batches in
@@ -201,37 +335,41 @@ fn run_compress<W: Write>(
     // Small batches keep several concurrent jobs interleaving fairly on
     // the shared workers and bound the cancellation latency to one batch.
     let batch = rayon::current_num_threads().max(1);
-    let mut start = 0usize;
-    while start < n {
-        if state.cancelled.load(Ordering::Relaxed) {
-            sink.poison();
-            return Err(SzhiError::Cancelled);
-        }
-        let end = (start + batch).min(n);
-        let encoded: Vec<Result<crate::stream::EncodedChunk, SzhiError>> = {
-            // Borrow only the encoder and plan — not the whole sink — so
-            // the backing writer never has to be `Sync`.
-            let enc = sink.encoder();
-            let plan = sink.plan();
-            (start..end)
-                .into_par_iter()
-                .map(|i| {
-                    let region = plan.chunk_at(i);
-                    let dims = plan.chunk_dims(i);
-                    enc.encode(i, &Grid::from_vec(dims, field.extract(&region)))
-                })
-                .collect()
-        };
-        for chunk in encoded {
+    {
+        let _span = crate::telemetry::JOB_ENCODE.enter();
+        let mut start = 0usize;
+        while start < n {
             if state.cancelled.load(Ordering::Relaxed) {
                 sink.poison();
                 return Err(SzhiError::Cancelled);
             }
-            sink.push_encoded(chunk?)?;
-            state.done.fetch_add(1, Ordering::Relaxed);
+            let end = (start + batch).min(n);
+            let encoded: Vec<Result<crate::stream::EncodedChunk, SzhiError>> = {
+                // Borrow only the encoder and plan — not the whole sink —
+                // so the backing writer never has to be `Sync`.
+                let enc = sink.encoder();
+                let plan = sink.plan();
+                (start..end)
+                    .into_par_iter()
+                    .map(|i| {
+                        let region = plan.chunk_at(i);
+                        let dims = plan.chunk_dims(i);
+                        enc.encode(i, &Grid::from_vec(dims, field.extract(&region)))
+                    })
+                    .collect()
+            };
+            for chunk in encoded {
+                if state.cancelled.load(Ordering::Relaxed) {
+                    sink.poison();
+                    return Err(SzhiError::Cancelled);
+                }
+                sink.push_encoded(chunk?)?;
+                state.done.fetch_add(1, Ordering::Relaxed);
+            }
+            start = end;
         }
-        start = end;
     }
+    let _span = crate::telemetry::JOB_FLUSH.enter();
     sink.finish_with_stats()
 }
 
@@ -242,6 +380,7 @@ fn run_decompress<R: Read + Seek>(
     mut source: StreamSource<R>,
     state: &JobState,
 ) -> Result<Grid<f32>, SzhiError> {
+    let _span = crate::telemetry::JOB_DECODE.enter();
     let mut out = Grid::zeros(source.dims());
     for i in 0..source.chunk_count() {
         if state.cancelled.load(Ordering::Relaxed) {
@@ -325,10 +464,19 @@ mod tests {
         assert_eq!(total, 8);
         let (_, stats) = job.join().unwrap();
         assert!(stats.compressed_bytes > 0);
-        let done = JobProgress { done: total, total };
+        let done = JobProgress {
+            done: total,
+            total,
+            phase: JobPhase::Done,
+        };
         assert!(done.is_complete());
         assert!((done.fraction() - 1.0).abs() < f64::EPSILON);
-        assert!((JobProgress { done: 0, total: 0 }).is_complete());
+        assert!((JobProgress {
+            done: 0,
+            total: 0,
+            phase: JobPhase::Done
+        })
+        .is_complete());
     }
 
     /// A writer that lets `ungated` writes pass, then blocks one write on
@@ -383,6 +531,100 @@ mod tests {
             matches!(err, SzhiError::Cancelled),
             "expected SzhiError::Cancelled, got {err:?}"
         );
+    }
+
+    #[test]
+    fn phase_indicator_is_observable_mid_job_and_settles_on_done() {
+        // Pin the coordinator on its first chunk-body write: the job is
+        // provably mid-encode while we poll the phase.
+        let field = DatasetKind::Miranda.generate(Dims::d3(32, 32, 32), 11);
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let out = GatedWriter {
+            ungated: 1,
+            gate: Some(gate),
+            bytes: Vec::new(),
+        };
+        let service = JobService::new();
+        let job = service.compress(field.clone(), &job_cfg(), out).unwrap();
+        // The caller-thread tuning step already ran, so the phase starts
+        // at Tuning and moves to Encoding when the coordinator enters the
+        // encode span. It cannot reach Flushing: the gate holds the first
+        // body write back.
+        let mut spins = 0usize;
+        loop {
+            let phase = job.progress().phase;
+            assert!(
+                phase == JobPhase::Tuning || phase == JobPhase::Encoding,
+                "unexpected phase while gated: {phase:?}"
+            );
+            if phase == JobPhase::Encoding {
+                break;
+            }
+            spins += 1;
+            assert!(spins < 20_000, "job never reached the encode phase");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!job.progress().is_complete());
+        drop(release);
+        while !job.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let end = job.progress();
+        assert_eq!(end.phase, JobPhase::Done);
+        assert!(end.is_complete());
+        // The per-job telemetry delta exists once the job is done.
+        assert!(
+            job.telemetry().is_some(),
+            "finished job has a telemetry delta"
+        );
+        let (writer, _) = job.join().unwrap();
+
+        // A decompress job reports Decoding on the way to Done.
+        let job = service
+            .decompress(std::io::Cursor::new(writer.bytes))
+            .unwrap();
+        let mut saw_decoding = false;
+        while !job.is_finished() {
+            let phase = job.progress().phase;
+            assert!(
+                phase == JobPhase::Starting
+                    || phase == JobPhase::Decoding
+                    || phase == JobPhase::Done,
+                "unexpected decompress phase: {phase:?}"
+            );
+            saw_decoding |= phase == JobPhase::Decoding;
+            std::thread::yield_now();
+        }
+        // The decode loop may finish between polls; Done is the one
+        // guaranteed observation.
+        let _ = saw_decoding;
+        assert_eq!(job.progress().phase, JobPhase::Done);
+        let restored = job.join().unwrap();
+        assert_eq!(restored.dims(), field.dims());
+    }
+
+    #[test]
+    fn per_job_telemetry_delta_counts_this_jobs_chunks() {
+        // Stats must be on for counters to record; the flag is global and
+        // sticky, which is fine — no test in this binary asserts that
+        // metrics stay silent.
+        szhi_telemetry::set_stats_enabled(true);
+        let field = DatasetKind::Nyx.generate(Dims::d3(32, 32, 32), 21);
+        let service = JobService::new();
+        let job = service.compress(field, &job_cfg(), Vec::new()).unwrap();
+        while !job.is_finished() {
+            std::thread::yield_now();
+        }
+        let delta = job.telemetry().expect("finished job has a delta");
+        // 32³ at span 16 → 8 chunks. Concurrent tests may add to the
+        // global registry, so the delta is a floor, not an equality.
+        assert!(
+            delta.counter("io.sink.chunks").unwrap_or(0) >= 8,
+            "delta records the job's sink pushes: {delta:?}"
+        );
+        assert!(delta.counter("io.sink.bytes").unwrap_or(0) > 0);
+        let (bytes, stats) = job.join().unwrap();
+        assert_eq!(stats.compressed_bytes, bytes.len());
     }
 
     #[test]

@@ -193,6 +193,7 @@ pub mod error;
 pub mod format;
 pub mod jobs;
 pub mod stream;
+pub(crate) mod telemetry;
 
 pub use compressor::{
     chunk_count, compress, compress_chunked, compress_chunked_with_stats, compress_with_stats,

@@ -212,6 +212,21 @@ impl PipelineSelection {
             }
             PipelineSelection::Estimated(candidates, params) => {
                 let selection = szhi_tuner::select_pipeline(candidates, codes, params)?;
+                // Telemetry: the estimator's predicted size for the winner
+                // next to the size it actually produced. Exhaustive
+                // fallbacks (shortlist covers every candidate) carry no
+                // estimate and record nothing.
+                let actual = selection.payload.len() as u64;
+                if let Some(&(_, est)) = selection
+                    .estimates
+                    .iter()
+                    .find(|(p, _)| *p == selection.pipeline)
+                {
+                    let estimated = est.max(0.0) as u64;
+                    crate::telemetry::TUNER_ESTIMATED.observe(estimated);
+                    crate::telemetry::TUNER_ACTUAL.observe(actual);
+                    szhi_telemetry::tuner_record(estimated, actual);
+                }
                 Ok((selection.pipeline, selection.payload))
             }
         }
@@ -426,30 +441,35 @@ impl ChunkEncoder {
                 chunk.dims()
             )));
         }
+        let _chunk_span = crate::telemetry::ENCODE_CHUNK.enter();
         // Per-chunk interpolation tuning: score the per-level candidates
         // on this chunk's own blocks and compress with the winner (a pure
         // function of the chunk, so the tuned stream stays deterministic).
-        let levels = if self.chunk_interp {
-            let tuned = szhi_tuner::tune_chunk_interp(chunk, &self.header.interp);
-            let predictor = InterpPredictor::new(tuned.clone())
-                .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
-            predictor.compress_into(
-                chunk,
-                self.header.abs_eb,
-                &mut scratch.compress,
-                &mut scratch.output,
-            );
-            Some(tuned.levels)
-        } else {
-            self.predictor.compress_into(
-                chunk,
-                self.header.abs_eb,
-                &mut scratch.compress,
-                &mut scratch.output,
-            );
-            None
+        let levels = {
+            let _span = crate::telemetry::ENCODE_PREDICT.enter();
+            if self.chunk_interp {
+                let tuned = szhi_tuner::tune_chunk_interp(chunk, &self.header.interp);
+                let predictor = InterpPredictor::new(tuned.clone())
+                    .map_err(|e| SzhiError::InvalidInput(e.to_string()))?;
+                predictor.compress_into(
+                    chunk,
+                    self.header.abs_eb,
+                    &mut scratch.compress,
+                    &mut scratch.output,
+                );
+                Some(tuned.levels)
+            } else {
+                self.predictor.compress_into(
+                    chunk,
+                    self.header.abs_eb,
+                    &mut scratch.compress,
+                    &mut scratch.output,
+                );
+                None
+            }
         };
         let codes: &[u8] = if self.header.reorder {
+            let _span = crate::telemetry::ENCODE_REORDER.enter();
             let order = self
                 .orders
                 .iter()
@@ -466,7 +486,10 @@ impl ChunkEncoder {
         // keep the smallest real payload. The fallible selector turns a
         // misconfigured (empty) candidate set into a typed error instead
         // of aborting a long-running stream.
-        let (pipeline, payload) = self.selection.select(codes)?;
+        let (pipeline, payload) = {
+            let _span = crate::telemetry::ENCODE_ENTROPY.enter();
+            self.selection.select(codes)?
+        };
         body.clear();
         write_sections(
             body,
@@ -853,11 +876,16 @@ impl<W: Write> StreamSink<W> {
             .enc
             .encode_into(index, chunk, &mut self.scratch, &mut self.body_buf)?;
         let config = config_id_for(&mut self.configs, meta.levels)?;
-        let crc = crc32(&self.body_buf);
+        let crc = {
+            let _span = crate::telemetry::ENCODE_CRC.enter();
+            crc32(&self.body_buf)
+        };
         if let Err(e) = self.out.write_all(&self.body_buf) {
             self.poisoned = true;
             return Err(e.into());
         }
+        crate::telemetry::SINK_BYTES.bump(self.body_buf.len() as u64);
+        crate::telemetry::SINK_CHUNKS.bump(1);
         self.entries.push((
             self.data_written,
             self.body_buf.len() as u64,
@@ -891,11 +919,16 @@ impl<W: Write> StreamSink<W> {
             )));
         }
         let config = config_id_for(&mut self.configs, chunk.levels)?;
-        let crc = crc32(&chunk.body);
+        let crc = {
+            let _span = crate::telemetry::ENCODE_CRC.enter();
+            crc32(&chunk.body)
+        };
         if let Err(e) = self.out.write_all(&chunk.body) {
             self.poisoned = true;
             return Err(e.into());
         }
+        crate::telemetry::SINK_BYTES.bump(chunk.body.len() as u64);
+        crate::telemetry::SINK_CHUNKS.bump(1);
         self.entries.push((
             self.data_written,
             chunk.body.len() as u64,
@@ -1463,7 +1496,10 @@ impl<R: Read + Seek> StreamSource<R> {
             .seek(SeekFrom::Start(self.data_start + entry.offset as u64))
             .map_err(|e| SzhiError::Io(format!("seeking to chunk {index}: {e}")))?;
         let body = read_exact_vec(&mut self.reader, entry.len, "a chunk body")?;
+        crate::telemetry::SOURCE_BYTES.bump(body.len() as u64);
+        crate::telemetry::SOURCE_CHUNKS.bump(1);
         if let Some(stored) = entry.checksum {
+            let _span = crate::telemetry::DECODE_CRC.enter();
             let computed = crc32(&body);
             if computed != stored {
                 return Err(SzhiError::ChunkChecksum {
@@ -1881,7 +1917,10 @@ impl<R: Read> ForwardSource<R> {
                 }
                 let body = read_exact_untrusted(reader, entry.len as u64, "a chunk body")?;
                 *pos += entry.len as u64;
+                crate::telemetry::FORWARD_BYTES.bump(body.len() as u64);
+                crate::telemetry::FORWARD_CHUNKS.bump(1);
                 if let Some(stored) = entry.checksum {
+                    let _span = crate::telemetry::DECODE_CRC.enter();
                     let computed = crc32(&body);
                     if computed != stored {
                         return Err(SzhiError::ChunkChecksum {
@@ -1895,6 +1934,8 @@ impl<R: Read> ForwardSource<R> {
             }
             ForwardState::Buffered { bytes, table } => {
                 let body = table.verified_chunk_slice(bytes, index)?;
+                crate::telemetry::FORWARD_BYTES.bump(body.len() as u64);
+                crate::telemetry::FORWARD_CHUNKS.bump(1);
                 decompress_chunk_body(header, entry.pipeline, &interp, dims, body)?
             }
         };

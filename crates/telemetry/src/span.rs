@@ -1,0 +1,134 @@
+//! Scoped spans: RAII-timed regions feeding a per-span duration
+//! histogram, the trace buffer, and (for job-phase tracking) an
+//! optional per-thread enter/exit listener.
+
+// szhi-analyzer: scope(no-panic-decode: all)
+
+use crate::metrics::Histogram;
+use crate::{flags, set_flag, trace, OBSERVE, STATS, TRACE};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A named timed region. Declare as a `static`; every
+/// [`Span::enter`]..guard-drop window records once.
+pub struct Span {
+    name: &'static str,
+    dur: Histogram,
+}
+
+impl Span {
+    /// A span named `name`; its duration histogram shares the name
+    /// (unit `ns`).
+    pub const fn new(name: &'static str) -> Span {
+        Span {
+            name,
+            dur: Histogram::new(name, "ns"),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Opens the span. With every switch off this is one relaxed load
+    /// and returns an inert guard (no clock read, no allocation).
+    #[inline]
+    pub fn enter(&'static self) -> SpanGuard {
+        let f = flags();
+        if f == 0 {
+            return SpanGuard {
+                span: None,
+                start: None,
+                notified: false,
+            };
+        }
+        let notified = f & OBSERVE != 0 && notify(self.name, true);
+        SpanGuard {
+            span: Some(self),
+            start: Some(Instant::now()),
+            notified,
+        }
+    }
+
+    /// The span's duration histogram (for snapshot assertions).
+    pub fn durations(&self) -> &Histogram {
+        &self.dur
+    }
+}
+
+/// The RAII guard returned by [`Span::enter`]; dropping it closes the
+/// span and records wherever the flags word says to.
+pub struct SpanGuard {
+    span: Option<&'static Span>,
+    start: Option<Instant>,
+    notified: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(span), Some(start)) = (self.span, self.start) else {
+            return;
+        };
+        let f = flags();
+        if f & (STATS | TRACE) != 0 {
+            let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if f & STATS != 0 {
+                span.dur.record_value(dur_ns);
+            }
+            if f & TRACE != 0 {
+                trace::push_complete(span.name, start, dur_ns);
+            }
+        }
+        if self.notified {
+            notify(span.name, false);
+        }
+    }
+}
+
+/// A per-thread span listener: called with the span name and `true` on
+/// enter, `false` on exit, for every span opened **on the installing
+/// thread** while installed.
+pub type SpanListener = Box<dyn Fn(&'static str, bool)>;
+
+thread_local! {
+    static LISTENER: RefCell<Option<SpanListener>> = const { RefCell::new(None) };
+}
+
+/// How many threads currently have a listener installed; drives the
+/// shared OBSERVE bit so listener-free processes pay nothing.
+static LISTENERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (`Some`) or removes (`None`) the calling thread's span
+/// listener. The listener must not itself install or remove listeners.
+/// Used by the job coordinator to map its own phase spans onto the
+/// job's progress phase without enabling stats globally.
+pub fn set_thread_span_listener(listener: Option<SpanListener>) {
+    let installing = listener.is_some();
+    let had = LISTENER.with(|slot| slot.replace(listener).is_some());
+    match (had, installing) {
+        (false, true) => {
+            LISTENERS.fetch_add(1, Ordering::SeqCst);
+        }
+        (true, false) => {
+            LISTENERS.fetch_sub(1, Ordering::SeqCst);
+        }
+        _ => {}
+    }
+    set_flag(OBSERVE, LISTENERS.load(Ordering::SeqCst) > 0);
+}
+
+/// Notifies the current thread's listener, if any. Returns whether one
+/// ran (so the guard knows to send the matching exit).
+fn notify(name: &'static str, entering: bool) -> bool {
+    LISTENER.with(|slot| {
+        if let Ok(guard) = slot.try_borrow() {
+            if let Some(listener) = guard.as_ref() {
+                listener(name, entering);
+                return true;
+            }
+        }
+        false
+    })
+}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Shape checks for the two JSON documents szhi-cli's telemetry flags emit.
+
+Usage:
+    check_telemetry_json.py stats STATS.json
+    check_telemetry_json.py trace TRACE.json
+
+`stats` validates a `--stats-json` registry dump; `trace` validates a
+`--trace` Trace Event Format file (the format chrome://tracing and
+Perfetto load). Both exit non-zero with a message naming the first
+violation, so a CI step can gate on them directly.
+
+The checks are structural, not value-pinning: names, types and
+cross-field invariants (bucket totals match counts, every trace event
+names a known phase, span events nest within the recorded time range).
+"""
+
+import json
+import sys
+
+BUCKETS = 64
+
+
+def fail(msg):
+    print(f"check_telemetry_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_u64(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_time(v):
+    """Timestamps/durations are microseconds with fractional ns."""
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and v >= 0
+
+
+def check_stats(doc):
+    expect(set(doc) == {"counters", "histograms"},
+           f"top-level keys {sorted(doc)} != ['counters', 'histograms']")
+    for c in doc["counters"]:
+        expect(set(c) == {"name", "value"}, f"counter keys {sorted(c)}")
+        expect(isinstance(c["name"], str) and c["name"],
+               "counter name must be a non-empty string")
+        expect(is_u64(c["value"]), f"counter {c['name']} value {c['value']!r}")
+    names = [c["name"] for c in doc["counters"]]
+    expect(names == sorted(names), "counters must be sorted by name")
+    for h in doc["histograms"]:
+        expect(set(h) == {"name", "unit", "count", "sum", "mean", "p50",
+                          "p99", "buckets"},
+               f"histogram keys {sorted(h)}")
+        name = h["name"]
+        expect(isinstance(name, str) and name,
+               "histogram name must be a non-empty string")
+        expect(isinstance(h["unit"], str) and h["unit"],
+               f"histogram {name} unit must be a non-empty string")
+        for k in ("count", "sum", "mean", "p50", "p99"):
+            expect(is_u64(h[k]), f"histogram {name} {k} {h[k]!r}")
+        expect(len(h["buckets"]) == BUCKETS,
+               f"histogram {name} has {len(h['buckets'])} buckets, "
+               f"expected {BUCKETS}")
+        expect(all(is_u64(b) for b in h["buckets"]),
+               f"histogram {name} has a non-u64 bucket")
+        expect(sum(h["buckets"]) == h["count"],
+               f"histogram {name} bucket total {sum(h['buckets'])} "
+               f"!= count {h['count']}")
+    names = [h["name"] for h in doc["histograms"]]
+    expect(names == sorted(names), "histograms must be sorted by name")
+    print(f"check_telemetry_json: stats OK "
+          f"({len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def check_trace(doc):
+    expect(doc.get("displayTimeUnit") == "ns", "displayTimeUnit != 'ns'")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list) and events, "traceEvents missing or empty")
+    phases = {"M": 0, "X": 0, "i": 0, "C": 0}
+    for e in events:
+        ph = e.get("ph")
+        expect(ph in phases, f"unknown event phase {ph!r}")
+        phases[ph] += 1
+        expect(isinstance(e.get("name"), str) and e["name"],
+               f"{ph} event without a name")
+        expect(is_u64(e.get("pid")) and is_u64(e.get("tid")),
+               f"{ph} event {e['name']} without pid/tid")
+        if ph == "M":
+            expect(e["name"] == "thread_name"
+                   and isinstance(e.get("args", {}).get("name"), str),
+                   "metadata event must carry args.name")
+        else:
+            expect(is_time(e.get("ts")), f"{ph} event {e['name']} without ts")
+        if ph == "X":
+            expect(is_time(e.get("dur")),
+                   f"complete event {e['name']} without dur")
+        if ph == "C":
+            args = e.get("args", {})
+            expect(len(args) == 1 and all(is_u64(v) for v in args.values()),
+                   f"counter event {e['name']} args {args!r}")
+        if e["name"] == "tuner.select":
+            args = e.get("args", {})
+            expect(is_u64(args.get("estimated_bytes"))
+                   and is_u64(args.get("actual_bytes")),
+                   "tuner.select instant without estimated/actual bytes")
+    expect(phases["M"] >= 1, "no thread_name metadata events")
+    expect(phases["X"] >= 1, "no complete (span) events")
+    tids = {e["tid"] for e in events if e["ph"] == "M"}
+    used = {e["tid"] for e in events if e["ph"] in ("X", "i")}
+    expect(used <= tids,
+           f"events on thread ids {sorted(used - tids)} with no thread_name")
+    print(f"check_telemetry_json: trace OK "
+          f"({phases['X']} spans, {phases['i']} instants, "
+          f"{phases['C']} counters on {len(tids)} threads)")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("stats", "trace"):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    kind, path = sys.argv[1], sys.argv[2]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    (check_stats if kind == "stats" else check_trace)(doc)
+
+
+if __name__ == "__main__":
+    main()

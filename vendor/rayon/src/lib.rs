@@ -198,6 +198,15 @@ mod pool {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
+    /// Parts executed by the pool (every `run_part`, on workers and on
+    /// the submitting thread's own share alike).
+    static POOL_TASKS: szhi_telemetry::Counter = szhi_telemetry::Counter::new("pool.tasks");
+    /// Tasks a worker took from another worker's deque instead of its own.
+    static POOL_STEALS: szhi_telemetry::Counter = szhi_telemetry::Counter::new("pool.steals");
+    /// Wall time spent executing one part; the histogram's sum is the
+    /// pool's total busy time.
+    static POOL_TASK: szhi_telemetry::Span = szhi_telemetry::Span::new("pool.task");
+
     /// One parallel terminal submitted to the pool: the lifetime-erased
     /// executor, the completion latch, and the first caught panic.
     struct Job {
@@ -307,6 +316,7 @@ mod pool {
             }
             let mut queue = worker.queue.lock().unwrap(); // ORDER: 2 (queue)
             if let Some(pos) = queue.iter().rposition(|t| index < t.job.active_workers) {
+                POOL_STEALS.bump(1);
                 return queue.remove(pos);
             }
         }
@@ -320,8 +330,11 @@ mod pool {
         // happen after this call finishes, so the borrowed closure behind
         // the pointer is still alive here.
         let exec = unsafe { &*job.exec };
-        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(part)))
-        {
+        POOL_TASKS.bump(1);
+        let busy = POOL_TASK.enter();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(part)));
+        drop(busy);
+        if let Err(payload) = outcome {
             let mut slot = job.panic.lock().unwrap_or_else(|p| p.into_inner()); // ORDER: 3 (panic)
             if slot.is_none() {
                 *slot = Some(payload);
